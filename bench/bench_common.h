@@ -1,0 +1,41 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attention/full_attention.h"
+#include "baselines/bigbird.h"
+#include "baselines/hash_sparse.h"
+#include "baselines/hyper_attention.h"
+#include "baselines/streaming_llm.h"
+#include "perf/latency_report.h"
+#include "sample_attention/sample_attention.h"
+
+namespace sattn::bench {
+
+// The method lineup of the paper's Table 2, in table order: full attention
+// (gold), SampleAttention(alpha=0.95), BigBird, StreamingLLM,
+// HyperAttention, Hash-Sparse. All sparse methods share the paper's
+// Section 5.2 settings (8% window ratio, alpha=0.95, r_row=5%).
+inline std::vector<std::unique_ptr<AttentionMethod>> table2_methods() {
+  std::vector<std::unique_ptr<AttentionMethod>> methods;
+  methods.push_back(std::make_unique<FullAttention>());
+  methods.push_back(std::make_unique<SampleAttention>());
+  methods.push_back(std::make_unique<BigBird>());
+  methods.push_back(std::make_unique<StreamingLLM>());
+  methods.push_back(std::make_unique<HyperAttention>());
+  methods.push_back(std::make_unique<HashSparse>());
+  return methods;
+}
+
+inline std::vector<const AttentionMethod*> raw_pointers(
+    const std::vector<std::unique_ptr<AttentionMethod>>& methods) {
+  std::vector<const AttentionMethod*> out;
+  out.reserve(methods.size());
+  for (const auto& m : methods) out.push_back(m.get());
+  return out;
+}
+
+}  // namespace sattn::bench

@@ -1,0 +1,74 @@
+// Reproduces Figure 6: attention latency and TTFT scaling from 8K to 1M on
+// a single A100 (cost model driven by substrate-measured densities, scaled
+// with the paper's own Appendix A.4 methodology).
+//
+// Paper headline: at 1M tokens, TTFT reduced 2.27x (alpha=0.95) and 4.62x
+// (alpha=0.80) vs FlashAttention2.
+#include <algorithm>
+#include <cstdio>
+
+#include "model/workload.h"
+#include "perf/cost_model.h"
+#include "perf/latency_report.h"
+#include "sample_attention/sample_attention.h"
+
+using namespace sattn;
+
+int main() {
+  const ModelConfig model = chatglm2_6b();
+  const GpuSpec gpu = a100_single();
+
+  // Measure densities at 4K on a few layers, as in bench_fig5.
+  const Index s_measured = 4096;
+  double kept095 = 0.0, kept080 = 0.0, overhead = 0.0;
+  {
+    const ContentSpec content = plain_prompt(60, s_measured);
+    int n = 0;
+    for (Index layer : {4, 12, 20}) {
+      const AttentionInput in = generate_attention(model, content, layer, 3);
+      SampleAttentionConfig c95, c80;
+      c80.alpha = 0.80;
+      kept095 += plan_sample_attention(in, c95).density;
+      kept080 += plan_sample_attention(in, c80).density;
+      overhead += plan_sample_attention(in, c95).overhead_fraction;
+      ++n;
+    }
+    kept095 /= n;
+    kept080 /= n;
+    overhead /= n;
+  }
+
+  const double window_d_measured = window_band_density(s_measured, 0.08);
+  const double stripes095 = std::max(0.0, kept095 - window_d_measured);
+  const double stripes080 = std::max(0.0, kept080 - window_d_measured);
+
+  std::printf("Fig 6 — attention latency (s) and TTFT (s) scaling to 1M, single A100\n\n");
+  TextTable t({"S", "attn FA2", "attn SA95", "x", "attn SA80", "x", "TTFT FA2", "TTFT SA95", "x",
+               "TTFT SA80", "x"});
+  double x_attn95_1m = 0.0, x_attn80_1m = 0.0, x_ttft95_1m = 0.0, x_ttft80_1m = 0.0;
+  for (Index s : {8192, 16384, 32768, 65536, 131072, 262144, 524288, 1048576}) {
+    const double fa2 = flash_attention_seconds(model, s, gpu);
+    const double wd = window_band_density(s, 0.08);
+    const double k95 = wd + extrapolate_kept_fraction(stripes095, s_measured, s);
+    const double k80 = wd + extrapolate_kept_fraction(stripes080, s_measured, s);
+    const double sa95 = sample_attention_seconds(model, s, gpu, k95, overhead, wd).total_seconds;
+    const double sa80 = sample_attention_seconds(model, s, gpu, k80, overhead, wd).total_seconds;
+    const double ttft_fa2 = ttft_seconds(model, s, gpu, fa2);
+    const double ttft_95 = ttft_seconds(model, s, gpu, sa95);
+    const double ttft_80 = ttft_seconds(model, s, gpu, sa80);
+    t.add_row({std::to_string(s), fmt(fa2, 2), fmt(sa95, 2), fmt_speedup(fa2 / sa95), fmt(sa80, 2),
+               fmt_speedup(fa2 / sa80), fmt(ttft_fa2, 2), fmt(ttft_95, 2),
+               fmt_speedup(ttft_fa2 / ttft_95), fmt(ttft_80, 2), fmt_speedup(ttft_fa2 / ttft_80)});
+    if (s == 1048576) {
+      x_attn95_1m = fa2 / sa95;
+      x_attn80_1m = fa2 / sa80;
+      x_ttft95_1m = ttft_fa2 / ttft_95;
+      x_ttft80_1m = ttft_fa2 / ttft_80;
+    }
+  }
+  t.print();
+  std::printf("\nat 1M: attention %s / %s, TTFT %s / %s  (paper TTFT: 2.27x / 4.62x)\n",
+              fmt_speedup(x_attn95_1m).c_str(), fmt_speedup(x_attn80_1m).c_str(),
+              fmt_speedup(x_ttft95_1m).c_str(), fmt_speedup(x_ttft80_1m).c_str());
+  return 0;
+}

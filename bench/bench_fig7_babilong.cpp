@@ -1,0 +1,52 @@
+// Reproduces Figure 7 (Appendix A.2): detailed BABILong results per
+// sequence length for both models and all methods. The paper's panels show
+// per-length score curves; here each row is a (model, method) series over
+// the substrate-scaled lengths, strict all-facts scoring.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "tasks/babilong.h"
+
+using namespace sattn;
+
+int main() {
+  const auto methods = bench::table2_methods();
+  const auto ptrs = bench::raw_pointers(methods);
+
+  const std::vector<Index> lengths = {384, 768, 1536, 3072};
+  EvalOptions opts;
+  opts.num_heads = 2;
+
+  std::printf("Fig 7 — BABILong scores per sequence length (strict all-facts scoring)\n\n");
+  for (const ModelConfig& model : {chatglm2_6b(), internlm2_7b()}) {
+    std::printf("=== %s ===\n", model.name.c_str());
+    std::vector<std::string> header = {"Method"};
+    for (Index s : lengths) header.push_back(std::to_string(s));
+    header.push_back("mean");
+    TextTable t(header);
+
+    std::vector<std::vector<double>> per_length;  // [length][method]
+    for (Index s : lengths) {
+      BabiLongConfig cfg;
+      cfg.lengths = {s};
+      cfg.instances_per_cell = 1;
+      const auto suite = make_babilong_suite(cfg);
+      per_length.push_back(evaluate_suite_multi(model, ptrs, suite, opts));
+    }
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      std::vector<std::string> row = {methods[m]->name()};
+      double mean = 0.0;
+      for (std::size_t li = 0; li < lengths.size(); ++li) {
+        row.push_back(fmt(per_length[li][m], 2));
+        mean += per_length[li][m];
+      }
+      row.push_back(fmt(mean / static_cast<double>(lengths.size()), 3));
+      t.add_row(std::move(row));
+    }
+    t.print();
+    std::printf("\n");
+  }
+  std::printf("paper shape: SampleAttention tracks full attention at every length; the\n"
+              "static/hash baselines fall off and degrade further as length grows.\n");
+  return 0;
+}

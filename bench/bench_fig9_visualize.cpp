@@ -1,0 +1,71 @@
+// Reproduces Appendix A.3's attention visualizations (Figures 9-10: sparse
+// patterns of randomly chosen heads across layers) as ASCII heatmaps, plus
+// Figure 11's frequency statistics of retained KV elements along the Sk
+// dimension (Appendix A.4).
+//
+// Also writes PGM images next to the binary (sattn_fig9_L<層>H<head>.pgm)
+// for pixel-accurate inspection.
+#include <cstdio>
+
+#include "attention/score_utils.h"
+#include "core/numerics.h"
+#include "io/heatmap.h"
+#include "metrics/sparsity.h"
+#include "model/workload.h"
+#include "sample_attention/sample_attention.h"
+
+using namespace sattn;
+
+int main() {
+  const ModelConfig model = chatglm2_6b();
+  const ContentSpec content = plain_prompt(130, 1024);  // stand-in for the paper's 61K
+
+  std::printf("Fig 9/10 — per-head sparse patterns (ASCII, darker = more mass)\n");
+  HeatmapOptions opts;
+  opts.cells = 40;
+  for (auto [layer, head] : {std::pair<Index, Index>{0, 8}, {4, 3}, {12, 5}, {20, 11}}) {
+    const AttentionInput in = generate_attention(model, content, layer, head);
+    const Matrix hm = downsample_scores(in, opts);
+    const auto rows = stride_rows(1024, 0.05);
+    const double sd = sd_oracle(in, 0.95, rows).sd;
+    std::printf("\nlayer %lld head %lld   SD(0.95) = %.1f%%\n", static_cast<long long>(layer),
+                static_cast<long long>(head), 100.0 * sd);
+    std::fputs(render_ascii(hm).c_str(), stdout);
+    char path[64];
+    std::snprintf(path, sizeof(path), "sattn_fig9_L%lldH%lld.pgm", static_cast<long long>(layer),
+                  static_cast<long long>(head));
+    write_pgm(hm, path);
+  }
+
+  // Fig 11: frequency of retained KV columns along Sk for a sparse and a
+  // dense head (how often each column survives the per-row top-k filter).
+  std::printf("\nFig 11 — retained-KV frequency along Sk (16 buckets, %% of rows retaining)\n");
+  for (auto [label, layer, head] :
+       {std::tuple<const char*, Index, Index>{"sparse head L12H5", 12, 5},
+        {"dense head L0H8", 0, 8}}) {
+    const AttentionInput in = generate_attention(model, content, layer, head);
+    const auto rows = stride_rows(1024, 0.1);
+    std::vector<double> freq(16, 0.0);
+    Index n_rows = 0;
+    for_each_score_row(in, rows, [&](Index i, std::span<const float> p) {
+      const Index lim = causal_limit(i, 1024, 1024);
+      // Per-row minimal top-k set reaching alpha=0.95 (the oracle mask row).
+      std::vector<float> vals(p.begin(), p.begin() + lim + 1);
+      const auto order = argsort_desc(vals);
+      double acc = 0.0;
+      for (Index r = 0; r <= lim; ++r) {
+        const Index j = order[static_cast<std::size_t>(r)];
+        acc += vals[static_cast<std::size_t>(j)];
+        freq[static_cast<std::size_t>(std::min<Index>(15, j * 16 / 1024))] += 1.0;
+        if (acc >= 0.95) break;
+      }
+      ++n_rows;
+    });
+    std::printf("  %-18s", label);
+    for (double f : freq) std::printf(" %5.1f", f / n_rows);
+    std::printf("\n");
+  }
+  std::printf("(sparse heads concentrate retention near the diagonal + a few stripe buckets;\n"
+              " dense heads retain broadly — the paper's Fig 11 contrast)\n");
+  return 0;
+}

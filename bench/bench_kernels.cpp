@@ -1,0 +1,168 @@
+// google-benchmark microbenchmarks of the attention kernels and the
+// SampleAttention pipeline stages, plus the run-compression kernel ablation
+// called out in DESIGN.md (contiguous stripe runs vs scattered columns at
+// equal density).
+#include <benchmark/benchmark.h>
+
+#include "attention/block_sparse.h"
+#include "attention/flash_attention.h"
+#include "attention/full_attention.h"
+#include "attention/sparse_flash_attention.h"
+#include "baselines/bigbird.h"
+#include "baselines/streaming_llm.h"
+#include "model/workload.h"
+#include "sample_attention/sample_attention.h"
+
+namespace sattn {
+namespace {
+
+AttentionInput bench_input(Index s) {
+  static const ModelConfig model = chatglm2_6b();
+  return generate_attention(model, plain_prompt(7, s), 8, 3);
+}
+
+void BM_FullAttention(benchmark::State& state) {
+  const AttentionInput in = bench_input(state.range(0));
+  Matrix out;
+  for (auto _ : state) {
+    full_attention(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * in.sq() * in.sk() / 2);
+}
+BENCHMARK(BM_FullAttention)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_FlashAttention(benchmark::State& state) {
+  const AttentionInput in = bench_input(state.range(0));
+  Matrix out;
+  for (auto _ : state) {
+    flash_attention(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * in.sq() * in.sk() / 2);
+}
+BENCHMARK(BM_FlashAttention)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_SampleAttentionPlan(benchmark::State& state) {
+  const AttentionInput in = bench_input(state.range(0));
+  for (auto _ : state) {
+    const SamplePlan plan = plan_sample_attention(in, SampleAttentionConfig{});
+    benchmark::DoNotOptimize(plan.density);
+  }
+}
+BENCHMARK(BM_SampleAttentionPlan)->Arg(512)->Arg(1024)->Arg(2048);
+
+void BM_SampleAttentionEndToEnd(benchmark::State& state) {
+  const AttentionInput in = bench_input(state.range(0));
+  Matrix out;
+  for (auto _ : state) {
+    sample_attention(in, SampleAttentionConfig{}, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * in.sq() * in.sk() / 2);
+}
+BENCHMARK(BM_SampleAttentionEndToEnd)->Arg(512)->Arg(1024)->Arg(2048);
+
+// Sparse kernel throughput as a function of kept density (window-only
+// masks of increasing width). Arg = window per-mille of S.
+void BM_SparseKernelDensity(benchmark::State& state) {
+  const Index s = 2048;
+  const AttentionInput in = bench_input(s);
+  StructuredMask mask(s, s);
+  mask.set_window(std::max<Index>(1, s * state.range(0) / 1000));
+  Matrix out;
+  for (auto _ : state) {
+    sparse_flash_attention(in, mask, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["density"] = mask.density();
+}
+BENCHMARK(BM_SparseKernelDensity)->Arg(50)->Arg(125)->Arg(250)->Arg(500)->Arg(1000);
+
+// Ablation: contiguous stripe runs vs scattered single columns at equal
+// column count — run compression lets the kernel absorb whole runs with one
+// rescale.
+void BM_StripesContiguous(benchmark::State& state) {
+  const Index s = 2048;
+  const AttentionInput in = bench_input(s);
+  StructuredMask mask(s, s);
+  mask.set_window(4);
+  std::vector<Index> cols;
+  for (Index c = 256; c < 256 + 256; ++c) cols.push_back(c);  // one 256-run
+  mask.set_stripe_columns(cols);
+  Matrix out;
+  for (auto _ : state) {
+    sparse_flash_attention(in, mask, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_StripesContiguous);
+
+void BM_StripesScattered(benchmark::State& state) {
+  const Index s = 2048;
+  const AttentionInput in = bench_input(s);
+  StructuredMask mask(s, s);
+  mask.set_window(4);
+  std::vector<Index> cols;
+  for (Index c = 0; c < 256; ++c) cols.push_back(c * 7 % s);  // 256 isolated columns
+  mask.set_stripe_columns(cols);
+  Matrix out;
+  for (auto _ : state) {
+    sparse_flash_attention(in, mask, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_StripesScattered);
+
+// Row-run kernel vs block-granular kernel on the same SampleAttention plan
+// (the hardware-shaped execution ablation).
+void BM_SamplePlanRowRunKernel(benchmark::State& state) {
+  const AttentionInput in = bench_input(2048);
+  const SamplePlan plan = plan_sample_attention(in, SampleAttentionConfig{});
+  Matrix out;
+  for (auto _ : state) {
+    sparse_flash_attention(in, plan.mask, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["density"] = plan.density;
+}
+BENCHMARK(BM_SamplePlanRowRunKernel);
+
+void BM_SamplePlanBlockKernel(benchmark::State& state) {
+  const AttentionInput in = bench_input(2048);
+  const SamplePlan plan = plan_sample_attention(in, SampleAttentionConfig{});
+  const BlockSparseLayout layout = BlockSparseLayout::from_mask(plan.mask, state.range(0));
+  Matrix out;
+  for (auto _ : state) {
+    block_sparse_attention(in, layout, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["density"] = layout.density();
+  state.counters["rounding"] = layout.rounding_overhead(plan.mask);
+}
+BENCHMARK(BM_SamplePlanBlockKernel)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_BigBird(benchmark::State& state) {
+  const AttentionInput in = bench_input(state.range(0));
+  const BigBird method;
+  for (auto _ : state) {
+    const AttentionResult res = method.run(in);
+    benchmark::DoNotOptimize(res.density);
+  }
+}
+BENCHMARK(BM_BigBird)->Arg(1024);
+
+void BM_StreamingLLM(benchmark::State& state) {
+  const AttentionInput in = bench_input(state.range(0));
+  const StreamingLLM method;
+  for (auto _ : state) {
+    const AttentionResult res = method.run(in);
+    benchmark::DoNotOptimize(res.density);
+  }
+}
+BENCHMARK(BM_StreamingLLM)->Arg(1024);
+
+}  // namespace
+}  // namespace sattn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Reproduces Table 4: prefill latency breakdown on the paper's serving
+// setup (ChatGLM2-6B, 8x A100, TP=4 x PP=2) — TTFT, full-attention time and
+// the attention share of TTFT, 32K to 1M.
+//
+// Paper row at 1M: TTFT 169.7s, attention 148.8s (87.7%).
+#include <cstdio>
+
+#include "perf/cost_model.h"
+#include "perf/latency_report.h"
+
+using namespace sattn;
+
+int main() {
+  const ModelConfig model = chatglm2_6b();
+  const GpuSpec gpu = a100_cluster();
+
+  std::printf("Table 4 — prefill latency breakdown (%s, 8xA100 TP=4 PP=2 cost model)\n\n",
+              model.name.c_str());
+  TextTable t({"Sequence Length", "TTFT (ms)", "Full Attention (ms)", "Percent (%)"});
+  for (Index s : {32768, 65536, 131072, 262144, 524288, 1048576}) {
+    const double attn = flash_attention_seconds(model, s, gpu);
+    const double ttft = ttft_seconds(model, s, gpu, attn);
+    t.add_row({std::to_string(s / 1024) + "K", fmt_ms(ttft, 1), fmt_ms(attn, 1),
+               fmt(100.0 * attn / ttft, 1)});
+  }
+  t.print();
+  std::printf(
+      "\npaper: 32K 1273/410 (32.2%%) ... 1M 169653/148774 (87.7%%); the model matches the\n"
+      "long-sequence regime and the dominance trend (short lengths omit the paper's\n"
+      "chunked-prefill fixed costs, so the 32K share lands lower).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Decode-phase demo: SampleAttention prefill composed with KV-cache
+// eviction — the paper's claim that the two are orthogonal (Section 1).
+//
+// A needle is planted mid-context; prefill runs with SampleAttention; the
+// decode phase then answers repeatedly while an eviction policy shrinks the
+// KV cache. H2O (heavy-hitter) keeps the needle because its accumulated
+// attention score is high; a StreamingLLM-style sink+recent policy evicts
+// it and loses the answer.
+#include <cstdio>
+
+#include "model/workload.h"
+#include "runtime/chunked_prefill.h"
+#include "runtime/decode.h"
+#include "runtime/eviction.h"
+#include "tasks/needle.h"
+#include "tasks/scoring.h"
+
+int main() {
+  using namespace sattn;
+
+  const ModelConfig model = chatglm2_6b();
+  const Index s = 1024;
+  const TaskInstance inst = make_needle_instance(s, 0.45, /*seed=*/4242);
+  const Index needle = inst.facts[0];
+  const auto heads = retrieval_heads(model, 1);
+  const AttentionInput in = generate_attention(model, inst.content, heads[0].first,
+                                               heads[0].second);
+
+  std::printf("Decode demo — needle at position %lld of %lld, %s L%lldH%lld\n\n",
+              static_cast<long long>(needle), static_cast<long long>(s), model.name.c_str(),
+              static_cast<long long>(heads[0].first), static_cast<long long>(heads[0].second));
+
+  EvalOptions opts;
+  const auto run_with = [&](const char* label, EvictionPolicy& policy, Index budget_note) {
+    // Prefill (chunked SampleAttention) fills the cache.
+    KVCache cache(model.head_dim);
+    chunked_sample_prefill(in, 256, SampleAttentionConfig{}, &cache);
+
+    // Decode: the question is re-asked while the policy trims the cache.
+    bool answered = true;
+    for (int step = 0; step < 6; ++step) {
+      std::vector<float> out(static_cast<std::size_t>(model.head_dim)), weights;
+      decode_attention(in.q.row(s - 1), cache, out, &weights);
+      policy.observe(cache, weights);
+      policy.enforce(cache);
+      answered = fact_recovered(out, inst.content, needle, opts);
+    }
+    std::printf("  %-22s cache %4lld/%lld slots   needle kept: %-3s   answer: %s\n", label,
+                static_cast<long long>(cache.size()), static_cast<long long>(budget_note),
+                cache.slot_of(needle) >= 0 ? "yes" : "NO", answered ? "recovered" : "LOST");
+  };
+
+  H2OPolicy h2o(/*budget=*/192, /*recent=*/64);
+  run_with("H2O (heavy hitters)", h2o, s);
+  SinkRecentPolicy sink(/*sinks=*/4, /*recent=*/188);
+  run_with("sink+recent (192)", sink, s);
+
+  std::printf(
+      "\nSampleAttention cut the prefill cost; H2O then cut decode memory 5x without\n"
+      "losing the needle — the two techniques compose, as the paper argues.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Needle-in-a-Haystack demo: buries a fact at a chosen depth in a long
+// synthetic context and shows which attention methods can still answer the
+// question at the end — the scenario from the paper's Figure 4.
+//
+// Usage: needle_demo [length] [depth in 0..1]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "attention/full_attention.h"
+#include "baselines/bigbird.h"
+#include "baselines/hash_sparse.h"
+#include "baselines/hyper_attention.h"
+#include "baselines/streaming_llm.h"
+#include "sample_attention/sample_attention.h"
+#include "tasks/needle.h"
+
+int main(int argc, char** argv) {
+  using namespace sattn;
+
+  const Index length = argc > 1 ? std::atoll(argv[1]) : 2048;
+  const double depth = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+  const ModelConfig model = chatglm2_6b();
+  const TaskInstance inst = make_needle_instance(length, depth, /*seed=*/2024);
+  std::printf("Needle demo — %s substrate, context %lld tokens, needle at depth %.0f%%"
+              " (position %lld)\n\n",
+              model.name.c_str(), static_cast<long long>(length), 100.0 * depth,
+              static_cast<long long>(inst.facts[0]));
+
+  std::vector<std::unique_ptr<AttentionMethod>> methods;
+  methods.push_back(std::make_unique<FullAttention>());
+  methods.push_back(std::make_unique<SampleAttention>());
+  methods.push_back(std::make_unique<BigBird>());
+  methods.push_back(std::make_unique<StreamingLLM>());
+  methods.push_back(std::make_unique<HyperAttention>());
+  methods.push_back(std::make_unique<HashSparse>());
+
+  EvalOptions opts;
+  opts.num_heads = 3;
+  std::printf("%-26s %-10s %-16s\n", "method", "answered?", "attended density");
+  for (const auto& m : methods) {
+    const double score = evaluate_instance(model, *m, inst, opts);
+    // Density of the method on one representative head.
+    const auto heads = retrieval_heads(model, 1);
+    const AttentionInput in = generate_attention(model, inst.content, heads[0].first,
+                                                 heads[0].second);
+    const AttentionResult res = m->run(in);
+    std::printf("%-26s %-10s %5.1f%%\n", m->name().c_str(), score >= 0.5 ? "YES" : "no",
+                100.0 * res.density);
+  }
+
+  std::printf("\nfull attention and SampleAttention retrieve the needle at any depth;\n"
+              "window/sink masks only answer when the needle falls inside their pattern.\n");
+  return 0;
+}

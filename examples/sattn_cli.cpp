@@ -1,0 +1,192 @@
+// sattn_cli — command-line driver for the library.
+//
+//   sattn_cli plan     [--len N] [--layer L] [--head H] [--alpha A]
+//                      [--config FILE] [--save FILE] [--visualize]
+//   sattn_cli tune     [--min N] [--max N] [--requests K] [--save FILE]
+//   sattn_cli estimate [--len N] [--config FILE]
+//   sattn_cli evaluate [--len N] [--depth F] [--config FILE]
+//
+// Configs use the properties format of io/config_io.h; --save from `tune`
+// writes a profile that `plan` / `estimate` / `evaluate` consume, the
+// deploy-time loop the paper's Section 4.2 describes.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "attention/full_attention.h"
+#include "attention/score_utils.h"
+#include "io/config_io.h"
+#include "io/heatmap.h"
+#include "metrics/cra.h"
+#include "model/workload.h"
+#include "perf/cost_model.h"
+#include "perf/latency_report.h"
+#include "sample_attention/tuner.h"
+#include "tasks/needle.h"
+
+using namespace sattn;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  Index index(const char* key, Index fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  double number(const char* key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+  const char* str(const char* key) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? nullptr : it->second.c_str();
+  }
+  bool has(const char* key) const { return flags.count(key) > 0; }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int a = 2; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--", 2) != 0) continue;
+    const std::string key = argv[a] + 2;
+    if (a + 1 < argc && std::strncmp(argv[a + 1], "--", 2) != 0) {
+      args.flags[key] = argv[++a];
+    } else {
+      args.flags[key] = "1";
+    }
+  }
+  return args;
+}
+
+SampleAttentionConfig config_from(const Args& args) {
+  SampleAttentionConfig cfg;
+  if (const char* path = args.str("config")) {
+    const auto loaded = load_config(path);
+    if (!loaded) {
+      std::fprintf(stderr, "warning: could not load config '%s'; using defaults\n", path);
+    } else {
+      cfg = *loaded;
+    }
+  }
+  if (args.has("alpha")) cfg.alpha = args.number("alpha", cfg.alpha);
+  return cfg;
+}
+
+int cmd_plan(const Args& args) {
+  const ModelConfig model = chatglm2_6b();
+  const Index len = args.index("len", 2048);
+  const Index layer = args.index("layer", 8);
+  const Index head = args.index("head", 3);
+  const SampleAttentionConfig cfg = config_from(args);
+
+  const AttentionInput in = generate_attention(model, plain_prompt(1, len), layer, head);
+  const SamplePlan plan = plan_sample_attention(in, cfg);
+  const auto rows = stride_rows(len, std::min(1.0, 64.0 / static_cast<double>(len)));
+
+  std::printf("plan — %s L%lld H%lld, S=%lld, alpha=%.2f\n", model.name.c_str(),
+              static_cast<long long>(layer), static_cast<long long>(head),
+              static_cast<long long>(len), cfg.alpha);
+  std::printf("  |I_KV| = %zu (%s of keys), window = %lld, density = %s, overhead = %s\n",
+              plan.filter.kv_indices.size(), fmt_pct(plan.filter.kv_ratio).c_str(),
+              static_cast<long long>(plan.mask.window()), fmt_pct(plan.density).c_str(),
+              fmt_pct(plan.overhead_fraction).c_str());
+  std::printf("  achieved CRA (probe rows): %.4f\n", cra(in, plan.mask, rows));
+
+  if (args.has("visualize")) {
+    HeatmapOptions opts;
+    opts.cells = 32;
+    std::printf("\nscores:\n%s\nmask:\n%s", render_ascii(downsample_scores(in, opts)).c_str(),
+                render_ascii(downsample_mask(plan.mask, opts)).c_str());
+  }
+  if (const char* path = args.str("save")) {
+    if (save_config(cfg, path)) std::printf("config saved to %s\n", path);
+  }
+  return 0;
+}
+
+int cmd_tune(const Args& args) {
+  const ModelConfig model = chatglm2_6b();
+  const Index min_len = args.index("min", 256);
+  const Index max_len = args.index("max", 768);
+  const Index count = args.index("requests", 8);
+  const auto requests = profiling_set(min_len, max_len, count);
+  const auto inputs = profiling_inputs(model, requests, 8, 3);
+  const TunerReport report = tune_hyperparameters(inputs);
+  std::printf("tuned on %lld requests (%lld-%lld tokens): alpha=%.2f r_row=%s r_w=%s (%s)\n",
+              static_cast<long long>(count), static_cast<long long>(min_len),
+              static_cast<long long>(max_len), report.best.alpha,
+              fmt_pct(report.best.row_ratio, 0).c_str(),
+              fmt_pct(report.best.window_ratio, 0).c_str(),
+              report.found_feasible ? "near-lossless" : "best effort");
+  if (const char* path = args.str("save")) {
+    if (save_config(report.best, path)) std::printf("config saved to %s\n", path);
+  }
+  return 0;
+}
+
+int cmd_estimate(const Args& args) {
+  const ModelConfig model = chatglm2_6b();
+  const GpuSpec gpu = a100_single();
+  const Index len = args.index("len", 131072);
+  const SampleAttentionConfig cfg = config_from(args);
+
+  // Measure densities at a plannable length and scale.
+  const Index s_measured = 2048;
+  const AttentionInput in = generate_attention(model, plain_prompt(2, s_measured), 12, 3);
+  const SamplePlan plan = plan_sample_attention(in, cfg);
+  const double wd_measured = window_band_density(s_measured, cfg.window_ratio);
+  const double stripes = std::max(0.0, plan.density - wd_measured);
+  const double wd = window_band_density(len, cfg.window_ratio);
+  const double kept = wd + extrapolate_kept_fraction(stripes, s_measured, len);
+
+  const double fa2 = flash_attention_seconds(model, len, gpu);
+  const double sa =
+      sample_attention_seconds(model, len, gpu, kept, plan.overhead_fraction, wd).total_seconds;
+  const double linear = linear_parts_seconds(model, len, gpu);
+  std::printf("estimate — %lld tokens on one A100 (%s)\n", static_cast<long long>(len),
+              model.name.c_str());
+  std::printf("  FlashAttention2 : attention %ss, TTFT %ss\n", fmt(fa2, 2).c_str(),
+              fmt(fa2 + linear, 2).c_str());
+  std::printf("  SampleAttention : attention %ss, TTFT %ss  (attention %s, TTFT %s)\n",
+              fmt(sa, 2).c_str(), fmt(sa + linear, 2).c_str(), fmt_speedup(fa2 / sa).c_str(),
+              fmt_speedup((fa2 + linear) / (sa + linear)).c_str());
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const ModelConfig model = chatglm2_6b();
+  const Index len = args.index("len", 1024);
+  const double depth = args.number("depth", 0.5);
+  const SampleAttentionConfig cfg = config_from(args);
+  const TaskInstance inst = make_needle_instance(len, depth, 99);
+  const double full = evaluate_instance(model, FullAttention{}, inst);
+  const double sample = evaluate_instance(model, SampleAttention{cfg}, inst);
+  std::printf("needle at depth %.2f of %lld tokens: full=%.2f sample=%.2f -> %s\n", depth,
+              static_cast<long long>(len), full, sample,
+              sample >= 0.99 * full ? "near-lossless" : "LOSSY");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.command == "plan") return cmd_plan(args);
+  if (args.command == "tune") return cmd_tune(args);
+  if (args.command == "estimate") return cmd_estimate(args);
+  if (args.command == "evaluate") return cmd_evaluate(args);
+  std::fprintf(stderr,
+               "usage: sattn_cli <plan|tune|estimate|evaluate> [--flags]\n"
+               "  plan     --len N --layer L --head H --alpha A [--config F] [--save F] [--visualize]\n"
+               "  tune     --min N --max N --requests K [--save F]\n"
+               "  estimate --len N [--config F]\n"
+               "  evaluate --len N --depth F [--config F]\n");
+  return args.command.empty() ? 1 : 2;
+}

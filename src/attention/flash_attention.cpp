@@ -1,0 +1,128 @@
+#include "attention/flash_attention.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/thread_pool.h"
+
+namespace sattn {
+
+void absorb_key_run(OnlineSoftmaxRow& st, const AttentionInput& in, std::span<const float> qi,
+                    float scale, Index lo, Index hi, std::vector<float>& logits) {
+  if (hi <= lo) return;
+  const auto n = static_cast<std::size_t>(hi - lo);
+  if (logits.size() < n) logits.resize(n);
+  float run_max = -std::numeric_limits<float>::infinity();
+  for (Index j = lo; j < hi; ++j) {
+    const float s = scale * dot(qi, in.k.row(j));
+    logits[static_cast<std::size_t>(j - lo)] = s;
+    run_max = std::max(run_max, s);
+  }
+  if (run_max > st.m) {
+    const float rescale = std::exp(st.m - run_max);
+    for (float& a : st.acc) a *= rescale;
+    st.l *= rescale;
+    st.m = run_max;
+  }
+  for (Index j = lo; j < hi; ++j) {
+    const float w = std::exp(logits[static_cast<std::size_t>(j - lo)] - st.m);
+    st.l += w;
+    axpy(w, in.v.row(j), std::span<float>(st.acc));
+  }
+}
+
+void OnlineSoftmaxRow::absorb(float logit, std::span<const float> v_row) {
+  assert(v_row.size() == acc.size());
+  if (logit > m) {
+    const float rescale = std::exp(m - logit);
+    for (float& a : acc) a *= rescale;
+    l *= rescale;
+    m = logit;
+  }
+  const float w = std::exp(logit - m);
+  l += w;
+  for (std::size_t t = 0; t < acc.size(); ++t) acc[t] += w * v_row[t];
+}
+
+void OnlineSoftmaxRow::finalize(std::span<float> out_row) const {
+  assert(out_row.size() == acc.size());
+  if (l <= 0.0) {
+    std::fill(out_row.begin(), out_row.end(), 0.0f);
+    return;
+  }
+  const auto inv = static_cast<float>(1.0 / l);
+  for (std::size_t t = 0; t < acc.size(); ++t) out_row[t] = acc[t] * inv;
+}
+
+void flash_attention(const AttentionInput& in, Matrix& out, const FlashConfig& cfg) {
+  const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
+  assert(cfg.tile_q > 0 && cfg.tile_k > 0);
+  out.resize(sq, d);
+
+  const Index n_qtiles = (sq + cfg.tile_q - 1) / cfg.tile_q;
+  parallel_for(n_qtiles, [&](Index qt) {
+    const Index q_lo = qt * cfg.tile_q;
+    const Index q_hi = std::min(sq, q_lo + cfg.tile_q);
+    const Index rows = q_hi - q_lo;
+
+    // Per-tile state: running max / normalizer / accumulator per query row.
+    std::vector<float> m(static_cast<std::size_t>(rows), -std::numeric_limits<float>::infinity());
+    std::vector<double> l(static_cast<std::size_t>(rows), 0.0);
+    Matrix acc(rows, d);
+    std::vector<float> logits(static_cast<std::size_t>(cfg.tile_k));
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+    // The last key any row of this tile may see (causal).
+    const Index tile_k_max = causal_limit(q_hi - 1, sq, sk);
+    for (Index k_lo = 0; k_lo <= tile_k_max; k_lo += cfg.tile_k) {
+      const Index k_hi = std::min(tile_k_max + 1, k_lo + cfg.tile_k);
+      for (Index r = 0; r < rows; ++r) {
+        const Index i = q_lo + r;
+        const Index lim = causal_limit(i, sq, sk);
+        if (k_lo > lim) continue;  // entire tile masked for this row
+        const Index jn = std::min(k_hi, lim + 1);
+        const auto qi = in.q.row(i);
+        float tile_max = -std::numeric_limits<float>::infinity();
+        for (Index j = k_lo; j < jn; ++j) {
+          const float s = scale * dot(qi, in.k.row(j));
+          logits[static_cast<std::size_t>(j - k_lo)] = s;
+          tile_max = std::max(tile_max, s);
+        }
+        const std::size_t rr = static_cast<std::size_t>(r);
+        auto arow = acc.row(r);
+        if (tile_max > m[rr]) {
+          const float rescale = std::exp(m[rr] - tile_max);
+          for (float& a : arow) a *= rescale;
+          l[rr] *= rescale;
+          m[rr] = tile_max;
+        }
+        for (Index j = k_lo; j < jn; ++j) {
+          const float w = std::exp(logits[static_cast<std::size_t>(j - k_lo)] - m[rr]);
+          l[rr] += w;
+          axpy(w, in.v.row(j), arow);
+        }
+      }
+    }
+    for (Index r = 0; r < rows; ++r) {
+      auto orow = out.row(q_lo + r);
+      const double denom = l[static_cast<std::size_t>(r)];
+      if (denom <= 0.0) {
+        std::fill(orow.begin(), orow.end(), 0.0f);
+        continue;
+      }
+      const auto inv = static_cast<float>(1.0 / denom);
+      auto arow = acc.row(r);
+      for (Index t = 0; t < d; ++t) orow[static_cast<std::size_t>(t)] = arow[static_cast<std::size_t>(t)] * inv;
+    }
+  });
+}
+
+AttentionResult FlashAttention::run(const AttentionInput& in) const {
+  AttentionResult r;
+  flash_attention(in, r.out, cfg_);
+  r.density = 1.0;
+  return r;
+}
+
+}  // namespace sattn

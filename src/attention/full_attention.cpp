@@ -1,0 +1,58 @@
+#include "attention/full_attention.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/numerics.h"
+#include "core/thread_pool.h"
+
+namespace sattn {
+
+void logits_row(const AttentionInput& in, Index i, std::span<float> row) {
+  const Index sk = in.sk();
+  assert(row.size() == static_cast<std::size_t>(sk));
+  const float scale = 1.0f / std::sqrt(static_cast<float>(in.head_dim()));
+  const Index lim = causal_limit(i, in.sq(), sk);
+  const auto qi = in.q.row(i);
+  for (Index j = 0; j <= lim; ++j) row[static_cast<std::size_t>(j)] = scale * dot(qi, in.k.row(j));
+  for (Index j = lim + 1; j < sk; ++j)
+    row[static_cast<std::size_t>(j)] = -std::numeric_limits<float>::infinity();
+}
+
+void full_attention(const AttentionInput& in, Matrix& out) {
+  const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
+  assert(in.k.rows() == in.v.rows() && in.k.cols() == d && in.v.cols() == d);
+  out.resize(sq, d);
+  parallel_for(sq, [&](Index i) {
+    std::vector<float> row(static_cast<std::size_t>(sk));
+    logits_row(in, i, row);
+    const Index lim = causal_limit(i, sq, sk);
+    softmax_prefix_inplace(row, lim + 1);
+    auto oi = out.row(i);
+    for (Index j = 0; j <= lim; ++j) {
+      const float p = row[static_cast<std::size_t>(j)];
+      if (p != 0.0f) axpy(p, in.v.row(j), oi);
+    }
+  });
+}
+
+Matrix full_attention_scores(const AttentionInput& in) {
+  const Index sq = in.sq(), sk = in.sk();
+  Matrix p(sq, sk);
+  parallel_for(sq, [&](Index i) {
+    auto row = p.row(i);
+    logits_row(in, i, row);
+    softmax_prefix_inplace(row, causal_limit(i, sq, sk) + 1);
+  });
+  return p;
+}
+
+AttentionResult FullAttention::run(const AttentionInput& in) const {
+  AttentionResult r;
+  full_attention(in, r.out);
+  r.density = 1.0;
+  return r;
+}
+
+}  // namespace sattn

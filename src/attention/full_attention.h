@@ -1,0 +1,32 @@
+// Reference causal attention: O = softmax(Q K^T / sqrt(d)) V, Eq. (1).
+//
+// This is the gold baseline ("Full Attention" in Table 2) and the numeric
+// reference every kernel is tested against. It is written for clarity, with
+// double accumulation in the softmax normalizer, and O(Sq * Sk) time with
+// O(Sk) scratch (one score row at a time) so it stays usable at the longest
+// sequence lengths the tests exercise.
+#pragma once
+
+#include "attention/attention_method.h"
+#include "core/tensor.h"
+
+namespace sattn {
+
+// Computes causal attention output into `out` (resized to [Sq x d]).
+void full_attention(const AttentionInput& in, Matrix& out);
+
+// Full (row-softmaxed, causal) attention score matrix P in [0,1]^{Sq x Sk}.
+// Quadratic memory — only call at test/analysis scales.
+Matrix full_attention_scores(const AttentionInput& in);
+
+// Unnormalized causal logits row for query i: q_i . k_j / sqrt(d) for
+// j <= causal_limit(i); entries beyond the limit are set to -inf.
+void logits_row(const AttentionInput& in, Index i, std::span<float> row);
+
+class FullAttention final : public AttentionMethod {
+ public:
+  std::string name() const override { return "FullAttention"; }
+  AttentionResult run(const AttentionInput& in) const override;
+};
+
+}  // namespace sattn

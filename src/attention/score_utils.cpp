@@ -1,0 +1,58 @@
+#include "attention/score_utils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "attention/full_attention.h"
+#include "core/numerics.h"
+
+namespace sattn {
+
+void for_each_score_row(const AttentionInput& in, std::span<const Index> rows,
+                        const std::function<void(Index, std::span<const float>)>& visit) {
+  const Index sq = in.sq(), sk = in.sk();
+  std::vector<float> row(static_cast<std::size_t>(sk));
+  for (Index i : rows) {
+    assert(i >= 0 && i < sq);
+    logits_row(in, i, row);
+    softmax_prefix_inplace(row, causal_limit(i, sq, sk) + 1);
+    visit(i, row);
+  }
+}
+
+std::vector<float> column_score_sum(const AttentionInput& in, std::span<const Index> rows) {
+  std::vector<double> acc(static_cast<std::size_t>(in.sk()), 0.0);
+  for_each_score_row(in, rows, [&acc](Index, std::span<const float> p) {
+    for (std::size_t j = 0; j < p.size(); ++j) acc[j] += p[j];
+  });
+  std::vector<float> out(acc.size());
+  std::transform(acc.begin(), acc.end(), out.begin(),
+                 [](double v) { return static_cast<float>(v); });
+  return out;
+}
+
+std::vector<Index> stride_rows(Index sq, double row_ratio) {
+  assert(sq > 0);
+  row_ratio = std::clamp(row_ratio, 0.0, 1.0);
+  const Index l = std::max<Index>(1, static_cast<Index>(std::llround(row_ratio * static_cast<double>(sq))));
+  std::vector<Index> rows;
+  rows.reserve(static_cast<std::size_t>(l));
+  // Place samples at the centers of l equal strides so both early and late
+  // queries are represented; always include the last row, whose causal
+  // horizon covers every key.
+  for (Index t = 0; t < l; ++t) {
+    const Index i = std::min<Index>(sq - 1, (2 * t + 1) * sq / (2 * l));
+    if (rows.empty() || rows.back() != i) rows.push_back(i);
+  }
+  if (rows.back() != sq - 1) rows.push_back(sq - 1);
+  return rows;
+}
+
+std::vector<Index> all_rows(Index sq) {
+  std::vector<Index> rows(static_cast<std::size_t>(sq));
+  std::iota(rows.begin(), rows.end(), Index{0});
+  return rows;
+}
+
+}  // namespace sattn

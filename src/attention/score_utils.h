@@ -1,0 +1,34 @@
+// Analysis helpers over attention score matrices.
+//
+// These back the paper's empirical-foundation measurements (Section 3.2,
+// Fig 2, Tables 5/6). They are written to stream one score row at a time so
+// sparsity statistics can be computed at sequence lengths where the full
+// [Sq x Sk] matrix would not fit in memory.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace sattn {
+
+// Calls visit(i, row) with the causal-softmaxed score row for each query i
+// in `rows` (entries past the causal limit are zero). The row buffer is
+// reused between calls.
+void for_each_score_row(const AttentionInput& in, std::span<const Index> rows,
+                        const std::function<void(Index, std::span<const float>)>& visit);
+
+// Column-accumulated attention mass over the given query rows:
+// colsum[j] = sum_{i in rows} P[i, j]. This is the statistic Stage-2 of
+// SampleAttention filters on.
+std::vector<float> column_score_sum(const AttentionInput& in, std::span<const Index> rows);
+
+// Evenly spaced row indices: floor(k / ratio)-strided sampling with at least
+// one row; mirrors the paper's stride sampling (r_row = l / Sq).
+std::vector<Index> stride_rows(Index sq, double row_ratio);
+
+// All rows 0..sq-1.
+std::vector<Index> all_rows(Index sq);
+
+}  // namespace sattn

@@ -1,0 +1,91 @@
+#include "attention/sparse_flash_attention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "attention/flash_attention.h"
+#include "core/thread_pool.h"
+
+namespace sattn {
+namespace {
+
+bool runs_contain(const std::vector<ColumnRun>& runs, Index j) {
+  for (const ColumnRun& r : runs) {
+    if (j < r.lo) return false;
+    if (j < r.hi) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void sparse_flash_attention(const AttentionInput& in, const StructuredMask& mask, Matrix& out) {
+  const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
+  assert(mask.sq() == sq && mask.sk() == sk);
+  out.resize(sq, d);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  const auto& stripe_runs = mask.stripe_runs();
+  const auto& blocks = mask.blocks();
+  const auto& stripe_cols = mask.stripe_columns();
+
+  parallel_for(sq, [&](Index i) {
+    const Index lim = causal_limit(i, sq, sk);
+    auto orow = out.row(i);
+    if (lim < 0) {
+      std::fill(orow.begin(), orow.end(), 0.0f);
+      return;
+    }
+    OnlineSoftmaxRow st(d);
+    std::vector<float> logits;
+    const auto qi = in.q.row(i);
+
+    // 1. Diagonal bands (the local window plus any extra bands), as
+    //    disjoint runs.
+    const std::vector<ColumnRun> bands = mask.band_runs_for_row(i);
+    for (const ColumnRun& run : bands) absorb_key_run(st, in, qi, scale, run.lo, run.hi, logits);
+
+    // 2. Stripe runs, minus the parts already covered by a band.
+    for (const ColumnRun& run : stripe_runs) {
+      Index lo = run.lo;
+      const Index hi = std::min(run.hi, lim + 1);
+      for (const ColumnRun& band : bands) {
+        if (band.hi <= lo) continue;
+        if (band.lo >= hi) break;
+        if (band.lo > lo) absorb_key_run(st, in, qi, scale, lo, std::min(band.lo, hi), logits);
+        lo = std::max(lo, band.hi);
+        if (lo >= hi) break;
+      }
+      if (lo < hi) absorb_key_run(st, in, qi, scale, lo, hi, logits);
+    }
+
+    // 3. Extra blocks (BigBird): cells not already covered.
+    for (const Block& b : blocks) {
+      if (i < b.q_lo || i >= b.q_hi) continue;
+      const Index hi = std::min(b.k_hi, lim + 1);
+      for (Index j = b.k_lo; j < hi; ++j) {
+        if (runs_contain(bands, j)) continue;
+        if (std::binary_search(stripe_cols.begin(), stripe_cols.end(), j)) continue;
+        const float s = scale * dot(qi, in.k.row(j));
+        st.absorb(s, in.v.row(j));
+      }
+    }
+    st.finalize(orow);
+  });
+}
+
+double sparse_flash_work(const StructuredMask& mask) {
+  // The kernel evaluates exactly the masked-in causal cells (stripe runs are
+  // clipped against the bands and blocks against both), so work equals
+  // density * causal_pairs.
+  return mask.density() * causal_pairs(mask.sq(), mask.sk());
+}
+
+AttentionResult MaskedAttention::run(const AttentionInput& in) const {
+  const StructuredMask mask = builder_(in);
+  AttentionResult r;
+  sparse_flash_attention(in, mask, r.out);
+  r.density = mask.density();
+  return r;
+}
+
+}  // namespace sattn

@@ -1,0 +1,47 @@
+// Adaptive structured sparse attention kernel (Section 4.3).
+//
+// This is the CPU analogue of the paper's modified-FlashAttention kernel:
+// exactly the same online-softmax update as flash_attention.cpp, but per
+// query row it visits only the key runs admitted by a StructuredMask —
+// the local window interval plus the run-compressed column stripes (plus any
+// extra blocks, for BigBird). Work and memory traffic are therefore
+// proportional to the mask density instead of Sk, which is where the
+// paper's wall-clock speedup comes from.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "attention/attention_method.h"
+#include "attention/masks.h"
+#include "core/tensor.h"
+
+namespace sattn {
+
+// out is resized to [Sq x d]. The mask's (sq, sk) must match the input.
+// Softmax is computed over exactly the masked-in keys of each row; a row
+// whose mask is empty (cannot happen with window >= 1) would produce zeros.
+void sparse_flash_attention(const AttentionInput& in, const StructuredMask& mask, Matrix& out);
+
+// Exact number of (query, key) score evaluations the kernel performs for
+// this mask — used by tests (vs mask.density) and by the cost model.
+double sparse_flash_work(const StructuredMask& mask);
+
+// AttentionMethod adapter around a fixed mask builder. Used by the window /
+// streaming / BigBird baselines; SampleAttention has its own method class
+// because its mask is content-dependent.
+class MaskedAttention final : public AttentionMethod {
+ public:
+  using MaskBuilder = std::function<StructuredMask(const AttentionInput&)>;
+  MaskedAttention(std::string name, MaskBuilder builder)
+      : name_(std::move(name)), builder_(std::move(builder)) {}
+
+  std::string name() const override { return name_; }
+  AttentionResult run(const AttentionInput& in) const override;
+
+ private:
+  std::string name_;
+  MaskBuilder builder_;
+};
+
+}  // namespace sattn

@@ -1,0 +1,54 @@
+#include "baselines/bigbird.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "attention/sparse_flash_attention.h"
+#include "core/rng.h"
+
+namespace sattn {
+
+StructuredMask make_bigbird_mask(Index sq, Index sk, const BigBirdConfig& cfg) {
+  StructuredMask mask(sq, sk);
+  mask.set_window(window_width_from_ratio(sk, cfg.window_ratio));
+
+  // Global columns: half at the start of the sequence, half evenly spaced.
+  const Index g = std::max<Index>(
+      1, static_cast<Index>(std::ceil(cfg.global_ratio * static_cast<double>(sk))));
+  std::vector<Index> cols;
+  const Index head = g / 2;
+  for (Index c = 0; c < std::min(head, sk); ++c) cols.push_back(c);
+  const Index spread = g - head;
+  for (Index t = 0; t < spread; ++t) {
+    cols.push_back(std::min<Index>(sk - 1, (2 * t + 1) * sk / (2 * std::max<Index>(1, spread))));
+  }
+  mask.set_stripe_columns(std::move(cols));
+
+  // Random blocks: for each query block, a few random key blocks at or below
+  // the diagonal. Deterministic in (seed, sq, sk).
+  Rng rng(cfg.seed ^ (static_cast<std::uint64_t>(sq) << 20) ^ static_cast<std::uint64_t>(sk));
+  const Index bs = std::max<Index>(
+      8, cfg.block_size * sk / std::max<Index>(1, cfg.reference_length));
+  const Index n_qblocks = (sq + bs - 1) / bs;
+  for (Index qb = 0; qb < n_qblocks; ++qb) {
+    const Index q_lo = qb * bs;
+    const Index max_kblock = causal_limit(q_lo, sq, sk) / bs;  // blocks fully usable
+    if (max_kblock < 0) continue;
+    const Index n_pick = std::min<Index>(cfg.random_blocks_per_row_block, max_kblock + 1);
+    const auto picks = rng.sample_without_replacement(max_kblock + 1, n_pick);
+    for (Index kb : picks) {
+      mask.add_block({q_lo, std::min(sq, q_lo + bs), kb * bs, std::min(sk, (kb + 1) * bs)});
+    }
+  }
+  return mask;
+}
+
+AttentionResult BigBird::run(const AttentionInput& in) const {
+  const StructuredMask mask = make_bigbird_mask(in.sq(), in.sk(), cfg_);
+  AttentionResult r;
+  sparse_flash_attention(in, mask, r.out);
+  r.density = mask.density();
+  return r;
+}
+
+}  // namespace sattn

@@ -1,0 +1,42 @@
+// BigBird baseline (Zaheer et al., 2020), as configured in the paper's
+// Section 5.2: local window (8% of Sk, matching SampleAttention's window for
+// a fair comparison), global tokens totalling 8% of Sk, plus random blocks.
+// The mask is *static given the sequence length* — content-oblivious — which
+// is exactly why it degrades on retrieval-heavy tasks ("Synthetic Task" in
+// Table 2) while remaining decent on diffuse ones.
+//
+// Globals are split between the sequence start (where sinks live) and
+// evenly-spaced anchors; random blocks are sampled per (head, length) from a
+// deterministic seed.
+#pragma once
+
+#include "attention/attention_method.h"
+#include "attention/masks.h"
+
+namespace sattn {
+
+struct BigBirdConfig {
+  double window_ratio = 0.08;
+  double global_ratio = 0.08;
+  // Random-block edge length: 64 at the reference 4K length (the original
+  // BigBird setting), scaled proportionally for other sequence lengths so
+  // the block area stays a constant fraction of the grid.
+  Index block_size = 64;
+  Index reference_length = 4096;
+  Index random_blocks_per_row_block = 2;
+  std::uint64_t seed = 0x1b1dull;
+};
+
+StructuredMask make_bigbird_mask(Index sq, Index sk, const BigBirdConfig& cfg);
+
+class BigBird final : public AttentionMethod {
+ public:
+  explicit BigBird(BigBirdConfig cfg = {}) : cfg_(cfg) {}
+  std::string name() const override { return "BigBird"; }
+  AttentionResult run(const AttentionInput& in) const override;
+
+ private:
+  BigBirdConfig cfg_;
+};
+
+}  // namespace sattn

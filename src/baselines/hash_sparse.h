@@ -1,0 +1,33 @@
+// Hash-Sparse baseline (Pagliardini et al., 2023: "Faster causal attention
+// over large sequences through sparse flash attention"), as configured in
+// the paper's Section 5.2 with 16 hash buckets.
+//
+// Queries and keys are partitioned into buckets by a spherical-LSH style
+// hash (argmax over random projections); a query attends only the causal
+// keys in its own bucket, plus its own diagonal position as a fallback so
+// no row is empty. With B buckets the expected density is ~1/B, the source
+// of both its speed and — since the hash is content-random with respect to
+// attention mass — its severe accuracy loss in Table 2.
+#pragma once
+
+#include "attention/attention_method.h"
+#include "core/tensor.h"
+
+namespace sattn {
+
+struct HashSparseConfig {
+  Index num_buckets = 16;
+  std::uint64_t seed = 0xcafeull;
+};
+
+class HashSparse final : public AttentionMethod {
+ public:
+  explicit HashSparse(HashSparseConfig cfg = {}) : cfg_(cfg) {}
+  std::string name() const override { return "Hash-Sparse"; }
+  AttentionResult run(const AttentionInput& in) const override;
+
+ private:
+  HashSparseConfig cfg_;
+};
+
+}  // namespace sattn

@@ -1,0 +1,16 @@
+#include "baselines/streaming_llm.h"
+
+#include "attention/sparse_flash_attention.h"
+
+namespace sattn {
+
+AttentionResult StreamingLLM::run(const AttentionInput& in) const {
+  const Index window = window_width_from_ratio(in.sk(), cfg_.window_ratio);
+  const StructuredMask mask = make_streaming_mask(in.sq(), in.sk(), cfg_.sink_tokens, window);
+  AttentionResult r;
+  sparse_flash_attention(in, mask, r.out);
+  r.density = mask.density();
+  return r;
+}
+
+}  // namespace sattn

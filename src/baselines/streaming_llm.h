@@ -1,0 +1,29 @@
+// StreamingLLM baseline (Xiao et al., 2023), prefill variant used in the
+// paper's Table 2: a handful of initial "attention sink" tokens plus a local
+// window (the paper assigns it the same 8% window ratio as SampleAttention).
+// Because everything between the sinks and the window is dropped regardless
+// of content, needles buried mid-context are unrecoverable — the mechanism
+// behind its collapse on the Synthetic / Needle tasks.
+#pragma once
+
+#include "attention/attention_method.h"
+#include "attention/masks.h"
+
+namespace sattn {
+
+struct StreamingLLMConfig {
+  Index sink_tokens = 4;
+  double window_ratio = 0.08;
+};
+
+class StreamingLLM final : public AttentionMethod {
+ public:
+  explicit StreamingLLM(StreamingLLMConfig cfg = {}) : cfg_(cfg) {}
+  std::string name() const override { return "StreamingLLM"; }
+  AttentionResult run(const AttentionInput& in) const override;
+
+ private:
+  StreamingLLMConfig cfg_;
+};
+
+}  // namespace sattn

@@ -1,0 +1,39 @@
+// Shared numeric primitives: stable softmax, top-k selection, searchsorted,
+// prefix sums. These mirror the torch ops named in the paper's Algorithm 1
+// (sort, sum, searchsorted, gather) so the SampleAttention implementation
+// reads like the published pseudo-code.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace sattn {
+
+// In-place numerically stable softmax over `x`. Returns the log-sum-exp
+// normalizer (useful for tests). Empty input is a no-op returning -inf.
+double softmax_inplace(std::span<float> x);
+
+// Softmax over only the first `valid` entries; the tail is zeroed.
+// Used for causal rows where keys beyond the query position are masked.
+double softmax_prefix_inplace(std::span<float> x, Index valid);
+
+// Indices of the k largest values (ties broken by lower index first).
+// k is clamped to x.size(). Result is ordered by descending value.
+std::vector<Index> topk_indices(std::span<const float> x, Index k);
+
+// Argsort descending (stable).
+std::vector<Index> argsort_desc(std::span<const float> x);
+
+// Inclusive prefix sum in double precision.
+std::vector<double> prefix_sum(std::span<const float> x);
+
+// Smallest i such that sorted_ascending[i] >= value, i.e. torch.searchsorted
+// with right=false on an ascending array. Returns sorted.size() if none.
+Index searchsorted(std::span<const double> sorted_ascending, double value);
+
+// Sum in double precision.
+double dsum(std::span<const float> x);
+
+}  // namespace sattn

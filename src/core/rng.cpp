@@ -1,0 +1,100 @@
+#include "core/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace sattn {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  seed_ = seed;
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  has_spare_ = false;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+Index Rng::uniform_index(Index n) {
+  assert(n > 0);
+  // Rejection-free modulo bias is negligible for the index ranges used here
+  // (n << 2^64), but use Lemire's multiply-shift for cleanliness.
+  const auto un = static_cast<std::uint64_t>(n);
+  return static_cast<Index>((static_cast<unsigned __int128>(next_u64()) * un) >> 64);
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_ = mag * std::sin(2.0 * std::numbers::pi * u2);
+  has_spare_ = true;
+  return mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+void Rng::fill_normal(Matrix& m, float stddev) {
+  for (float& x : m.flat()) x = static_cast<float>(normal()) * stddev;
+}
+
+std::vector<Index> Rng::sample_without_replacement(Index n, Index k) {
+  assert(k >= 0 && k <= n);
+  // Floyd's algorithm: O(k) expected, no O(n) scratch.
+  std::vector<Index> out;
+  out.reserve(static_cast<std::size_t>(k));
+  for (Index j = n - k; j < n; ++j) {
+    const Index t = uniform_index(j + 1);
+    bool seen = false;
+    for (Index chosen : out) {
+      if (chosen == t) {
+        seen = true;
+        break;
+      }
+    }
+    out.push_back(seen ? j : t);
+  }
+  return out;
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  std::uint64_t mix = seed_ ^ (stream_id * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull);
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace sattn

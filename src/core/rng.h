@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library (synthetic model generation,
+// BigBird's random blocks, HyperAttention's hashes, workload construction)
+// draws from a seeded Rng so that all tests and benches are reproducible.
+// The generator is SplitMix64-seeded xoshiro256**, which is cheap enough to
+// instantiate per head without a shared mutable global.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace sattn {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double uniform();
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). n must be > 0.
+  Index uniform_index(Index n);
+
+  // Standard normal via Box-Muller (cached spare).
+  double normal();
+
+  // Fill a matrix with iid N(0, stddev^2).
+  void fill_normal(Matrix& m, float stddev = 1.0f);
+
+  // k distinct indices sampled uniformly without replacement from [0, n).
+  std::vector<Index> sample_without_replacement(Index n, Index k);
+
+  // Derive an independent stream; deterministic in (seed, stream_id).
+  Rng fork(std::uint64_t stream_id) const;
+
+ private:
+  std::uint64_t s_[4] = {};
+  std::uint64_t seed_ = 0;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace sattn

@@ -1,0 +1,51 @@
+#include "core/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sattn {
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  // Accumulate in double: head dims are small (<=256) but the reference
+  // paths compare against kernels at 1e-5 tolerances.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(acc);
+}
+
+void axpy(float scale, std::span<const float> x, std::span<float> y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += scale * x[i];
+}
+
+void matmul_nt(const Matrix& a, const Matrix& b, Matrix& c) {
+  assert(a.cols() == b.cols());
+  assert(c.rows() == a.rows() && c.cols() == b.rows());
+  const Index m = a.rows(), n = b.rows();
+  for (Index i = 0; i < m; ++i) {
+    auto ai = a.row(i);
+    for (Index j = 0; j < n; ++j) {
+      c(i, j) = dot(ai, b.row(j));
+    }
+  }
+}
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  float m = 0.0f;
+  auto fa = a.flat(), fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) m = std::max(m, std::fabs(fa[i] - fb[i]));
+  return m;
+}
+
+float mean_abs_diff(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  if (a.size() == 0) return 0.0f;
+  double s = 0.0;
+  auto fa = a.flat(), fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) s += std::fabs(fa[i] - fb[i]);
+  return static_cast<float>(s / static_cast<double>(fa.size()));
+}
+
+}  // namespace sattn

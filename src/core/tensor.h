@@ -1,0 +1,101 @@
+// Row-major dense float tensors used throughout the library.
+//
+// The attention kernels operate on 2-D matrices (sequence x head_dim) and
+// occasionally on 3-D stacks (heads x sequence x head_dim). We deliberately
+// keep the abstraction concrete and small: an owning, contiguous, row-major
+// buffer with bounds-checked accessors in debug builds and raw spans for the
+// hot loops. No expression templates, no reference counting — kernels take
+// `const Matrix&` in and write into caller-provided outputs so allocation
+// behaviour is explicit and measurable.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sattn {
+
+using Index = std::int64_t;
+
+// Owning 2-D row-major float matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(Index rows, Index cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols), fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(Index r, Index c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  float operator()(Index r, Index c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  // Contiguous view of one row.
+  std::span<float> row(Index r) {
+    assert(r >= 0 && r < rows_);
+    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+  }
+  std::span<const float> row(Index r) const {
+    assert(r >= 0 && r < rows_);
+    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+  }
+
+  std::span<float> flat() { return {data_.data(), data_.size()}; }
+  std::span<const float> flat() const { return {data_.data(), data_.size()}; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void resize(Index rows, Index cols, float fill = 0.0f) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<std::size_t>(rows * cols), fill);
+  }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<float> data_;
+};
+
+// The per-head inputs to every attention algorithm in this library.
+// Shapes follow the paper's notation: Q is [Sq x d], K and V are [Sk x d].
+struct AttentionInput {
+  Matrix q;  // [Sq x d]
+  Matrix k;  // [Sk x d]
+  Matrix v;  // [Sk x d]
+
+  Index sq() const { return q.rows(); }
+  Index sk() const { return k.rows(); }
+  Index head_dim() const { return q.cols(); }
+};
+
+// Basic dense ops shared by reference paths (not performance critical).
+float dot(std::span<const float> a, std::span<const float> b);
+
+// out[r,:] += scale * m[r,:] for a single row r of m, accumulated into out_row.
+void axpy(float scale, std::span<const float> x, std::span<float> y);
+
+// C = A * B^T where A is [m x d] and B is [n x d]; C must be [m x n].
+void matmul_nt(const Matrix& a, const Matrix& b, Matrix& c);
+
+// Maximum absolute elementwise difference.
+float max_abs_diff(const Matrix& a, const Matrix& b);
+
+// Mean absolute elementwise difference.
+float mean_abs_diff(const Matrix& a, const Matrix& b);
+
+}  // namespace sattn

@@ -1,0 +1,89 @@
+#include "core/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace sattn {
+
+ThreadPool::ThreadPool(unsigned n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // With one thread the pool runs everything inline; spawn no workers.
+  if (n_threads <= 1) return;
+  workers_.reserve(n_threads);
+  for (unsigned i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(Index n, const std::function<void(Index)>& fn) {
+  if (n <= 0) return;
+  const Index n_workers = static_cast<Index>(workers_.size());
+  if (n_workers == 0 || n == 1) {
+    for (Index i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const Index chunks = std::min(n, n_workers);
+  const Index per = (n + chunks - 1) / chunks;
+  std::atomic<Index> remaining{chunks};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  {
+    std::lock_guard lk(mu_);
+    for (Index c = 0; c < chunks; ++c) {
+      const Index lo = c * per;
+      const Index hi = std::min(n, lo + per);
+      tasks_.emplace([&, lo, hi] {
+        for (Index i = lo; i < hi; ++i) fn(i);
+        if (remaining.fetch_sub(1) == 1) {
+          std::lock_guard dlk(done_mu);
+          done_cv.notify_one();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+  std::unique_lock dlk(done_mu);
+  done_cv.wait(dlk, [&] { return remaining.load() == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("SATTN_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<unsigned>(v);
+    }
+    return 0u;
+  }());
+  return pool;
+}
+
+void parallel_for(Index n, const std::function<void(Index)>& fn) {
+  ThreadPool::global().parallel_for(n, fn);
+}
+
+}  // namespace sattn

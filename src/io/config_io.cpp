@@ -1,0 +1,180 @@
+#include "io/config_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace sattn {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+void Properties::set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+void Properties::set(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  values_[key] = buf;
+}
+
+void Properties::set(const std::string& key, Index value) {
+  values_[key] = std::to_string(value);
+}
+
+void Properties::set(const std::string& key, bool value) {
+  values_[key] = value ? "true" : "false";
+}
+
+std::optional<std::string> Properties::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> Properties::get_double(const std::string& key) const {
+  const auto s = get(key);
+  if (!s) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(s->c_str(), &end);
+  if (end == s->c_str() || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<Index> Properties::get_index(const std::string& key) const {
+  const auto s = get(key);
+  if (!s) return std::nullopt;
+  char* end = nullptr;
+  const long long v = std::strtoll(s->c_str(), &end, 10);
+  if (end == s->c_str() || *end != '\0') return std::nullopt;
+  return static_cast<Index>(v);
+}
+
+std::optional<bool> Properties::get_bool(const std::string& key) const {
+  const auto s = get(key);
+  if (!s) return std::nullopt;
+  if (*s == "true" || *s == "1") return true;
+  if (*s == "false" || *s == "0") return false;
+  return std::nullopt;
+}
+
+std::string Properties::serialize() const {
+  std::ostringstream out;
+  out << "# sattn properties\n";
+  for (const auto& [k, v] : values_) out << k << " = " << v << "\n";
+  return out.str();
+}
+
+bool Properties::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  bool ok = true;
+  while (std::getline(in, line)) {
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    const auto eq = t.find('=');
+    if (eq == std::string::npos) {
+      ok = false;
+      continue;
+    }
+    const std::string key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    if (key.empty()) {
+      ok = false;
+      continue;
+    }
+    values_[key] = value;
+  }
+  return ok;
+}
+
+bool Properties::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return false;
+  f << serialize();
+  return static_cast<bool>(f);
+}
+
+bool Properties::load(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse(ss.str());
+}
+
+Properties to_properties(const SampleAttentionConfig& cfg) {
+  Properties p;
+  p.set("alpha", cfg.alpha);
+  p.set("row_ratio", cfg.row_ratio);
+  p.set("window_ratio", cfg.window_ratio);
+  p.set("sampling", cfg.sampling == SamplingPolicy::kStride   ? std::string("stride")
+                    : cfg.sampling == SamplingPolicy::kRandom ? std::string("random")
+                                                              : std::string("tail"));
+  p.set("filter", cfg.filter == FilterMode::kBucketed ? std::string("bucketed")
+                                                      : std::string("exact"));
+  p.set("detect_diagonals", cfg.detect_diagonals);
+  p.set("diag_min_mass", cfg.diag_min_mass);
+  p.set("seed", static_cast<Index>(cfg.seed));
+  return p;
+}
+
+std::optional<SampleAttentionConfig> config_from_properties(const Properties& props) {
+  SampleAttentionConfig cfg;
+  const auto apply_double = [&](const char* key, double* out) {
+    if (const auto raw = props.get(key)) {
+      const auto v = props.get_double(key);
+      if (!v) return false;
+      *out = *v;
+    }
+    return true;
+  };
+  if (!apply_double("alpha", &cfg.alpha)) return std::nullopt;
+  if (!apply_double("row_ratio", &cfg.row_ratio)) return std::nullopt;
+  if (!apply_double("window_ratio", &cfg.window_ratio)) return std::nullopt;
+  if (!apply_double("diag_min_mass", &cfg.diag_min_mass)) return std::nullopt;
+  if (const auto s = props.get("sampling")) {
+    if (*s == "stride") cfg.sampling = SamplingPolicy::kStride;
+    else if (*s == "random") cfg.sampling = SamplingPolicy::kRandom;
+    else if (*s == "tail") cfg.sampling = SamplingPolicy::kTailOnly;
+    else return std::nullopt;
+  }
+  if (const auto s = props.get("filter")) {
+    if (*s == "bucketed") cfg.filter = FilterMode::kBucketed;
+    else if (*s == "exact") cfg.filter = FilterMode::kExact;
+    else return std::nullopt;
+  }
+  if (props.get("detect_diagonals")) {
+    const auto b = props.get_bool("detect_diagonals");
+    if (!b) return std::nullopt;
+    cfg.detect_diagonals = *b;
+  }
+  if (props.get("seed")) {
+    const auto v = props.get_index("seed");
+    if (!v) return std::nullopt;
+    cfg.seed = static_cast<std::uint64_t>(*v);
+  }
+  if (cfg.alpha <= 0.0 || cfg.alpha > 1.0 || cfg.row_ratio <= 0.0 || cfg.row_ratio > 1.0 ||
+      cfg.window_ratio < 0.0 || cfg.window_ratio > 1.0) {
+    return std::nullopt;
+  }
+  return cfg;
+}
+
+bool save_config(const SampleAttentionConfig& cfg, const std::string& path) {
+  return to_properties(cfg).save(path);
+}
+
+std::optional<SampleAttentionConfig> load_config(const std::string& path) {
+  Properties p;
+  if (!p.load(path)) return std::nullopt;
+  return config_from_properties(p);
+}
+
+}  // namespace sattn

@@ -1,0 +1,53 @@
+// Persistence for tuned configurations.
+//
+// The offline tuner (Section 4.2) produces per-model hyperparameters that a
+// deployment wants to pin; this module stores them in a line-oriented
+// `key = value` properties format (comments with '#', whitespace-tolerant)
+// chosen over JSON to keep parsing dependency-free and diff-friendly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sample_attention/sample_attention.h"
+
+namespace sattn {
+
+// Ordered key/value store with typed accessors.
+class Properties {
+ public:
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, Index value);
+  void set(const std::string& key, bool value);
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::optional<double> get_double(const std::string& key) const;
+  std::optional<Index> get_index(const std::string& key) const;
+  std::optional<bool> get_bool(const std::string& key) const;
+
+  std::size_t size() const { return values_.size(); }
+
+  // Serialization. parse() returns false on a malformed line (no '='
+  // outside comments/blank lines) and leaves previously parsed keys set.
+  std::string serialize() const;
+  bool parse(const std::string& text);
+
+  bool save(const std::string& path) const;
+  bool load(const std::string& path);
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+// SampleAttentionConfig <-> Properties.
+Properties to_properties(const SampleAttentionConfig& cfg);
+// Missing keys keep the default value; malformed values return nullopt.
+std::optional<SampleAttentionConfig> config_from_properties(const Properties& props);
+
+// Round-trip convenience.
+bool save_config(const SampleAttentionConfig& cfg, const std::string& path);
+std::optional<SampleAttentionConfig> load_config(const std::string& path);
+
+}  // namespace sattn

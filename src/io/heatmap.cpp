@@ -1,0 +1,98 @@
+#include "io/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "attention/score_utils.h"
+
+namespace sattn {
+namespace {
+
+// Normalizes intensities to [0,1] with gamma correction.
+Matrix normalized(const Matrix& intensity, double gamma) {
+  float mx = 0.0f;
+  for (float v : intensity.flat()) mx = std::max(mx, v);
+  Matrix out(intensity.rows(), intensity.cols());
+  if (mx <= 0.0f) return out;
+  for (Index r = 0; r < intensity.rows(); ++r) {
+    for (Index c = 0; c < intensity.cols(); ++c) {
+      out(r, c) = static_cast<float>(
+          std::pow(static_cast<double>(intensity(r, c)) / mx, gamma));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix downsample_scores(const AttentionInput& in, const HeatmapOptions& opts) {
+  const Index s = in.sq();
+  const Index cells = std::min(opts.cells, s);
+  Matrix acc(cells, cells);
+  // Sample up to 4 rows per row-tile and average their probabilities into
+  // column tiles — cheap and faithful enough for visualization.
+  std::vector<Index> rows;
+  for (Index rt = 0; rt < cells; ++rt) {
+    const Index lo = rt * s / cells;
+    const Index hi = std::max(lo + 1, (rt + 1) * s / cells);
+    const Index step = std::max<Index>(1, (hi - lo) / 4);
+    for (Index i = lo; i < hi; i += step) rows.push_back(i);
+  }
+  for_each_score_row(in, rows, [&](Index i, std::span<const float> p) {
+    const Index rt = std::min(cells - 1, i * cells / s);
+    for (Index j = 0; j <= causal_limit(i, s, in.sk()); ++j) {
+      const Index ct = std::min(cells - 1, j * cells / in.sk());
+      acc(rt, ct) += p[static_cast<std::size_t>(j)];
+    }
+  });
+  return acc;
+}
+
+Matrix downsample_mask(const StructuredMask& mask, const HeatmapOptions& opts) {
+  const Index s = mask.sq();
+  const Index cells = std::min(opts.cells, s);
+  Matrix acc(cells, cells);
+  const Index row_step = std::max<Index>(1, s / (cells * 2));
+  for (Index i = 0; i < s; i += row_step) {
+    const Index rt = std::min(cells - 1, i * cells / s);
+    for (Index j = 0; j < mask.sk(); ++j) {
+      if (mask.contains(i, j)) {
+        acc(rt, std::min(cells - 1, j * cells / mask.sk())) += 1.0f;
+      }
+    }
+  }
+  return acc;
+}
+
+std::string render_ascii(const Matrix& intensity, double gamma) {
+  static const char* kRamp = " .:-=+*#%@";
+  const Matrix n = normalized(intensity, gamma);
+  std::string out;
+  out.reserve(static_cast<std::size_t>((n.cols() + 1) * n.rows()));
+  for (Index r = 0; r < n.rows(); ++r) {
+    for (Index c = 0; c < n.cols(); ++c) {
+      const int level = std::clamp(static_cast<int>(n(r, c) * 9.999f), 0, 9);
+      out.push_back(kRamp[level]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool write_pgm(const Matrix& intensity, const std::string& path, double gamma) {
+  const Matrix n = normalized(intensity, gamma);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "P5\n%lld %lld\n255\n", static_cast<long long>(n.cols()),
+               static_cast<long long>(n.rows()));
+  for (Index r = 0; r < n.rows(); ++r) {
+    for (Index c = 0; c < n.cols(); ++c) {
+      const auto byte = static_cast<unsigned char>(std::clamp(n(r, c) * 255.0f, 0.0f, 255.0f));
+      std::fputc(byte, f);
+    }
+  }
+  return std::fclose(f) == 0;
+}
+
+}  // namespace sattn

@@ -1,0 +1,37 @@
+// Attention visualization: downsampled heatmaps of score matrices and
+// masks, rendered as ASCII (for terminals / logs) or PGM (portable graymap,
+// viewable anywhere). Reproduces the paper's Appendix A.3 visualizations
+// (Figs 9-10: per-head sparse patterns) without a plotting stack.
+#pragma once
+
+#include <string>
+
+#include "attention/masks.h"
+#include "core/tensor.h"
+
+namespace sattn {
+
+struct HeatmapOptions {
+  Index cells = 48;        // output is cells x cells
+  // Gamma < 1 lifts small attention probabilities so stripes are visible
+  // next to the dominant diagonal.
+  double gamma = 0.35;
+};
+
+// Downsamples the causal score matrix of `in` to cells x cells by averaging
+// each tile's probabilities (rows are exact softmax rows). Upper-triangular
+// (non-causal) tiles are zero.
+Matrix downsample_scores(const AttentionInput& in, const HeatmapOptions& opts = {});
+
+// Downsamples a structured mask (fraction of each tile covered).
+Matrix downsample_mask(const StructuredMask& mask, const HeatmapOptions& opts = {});
+
+// Renders a [cells x cells] intensity matrix (values >= 0, any scale) as
+// ASCII art, one output row per matrix row.
+std::string render_ascii(const Matrix& intensity, double gamma = 0.35);
+
+// Writes an 8-bit PGM image of the intensity matrix. Returns false on I/O
+// failure.
+bool write_pgm(const Matrix& intensity, const std::string& path, double gamma = 0.35);
+
+}  // namespace sattn

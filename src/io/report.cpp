@@ -1,0 +1,96 @@
+#include "io/report.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace sattn {
+namespace {
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string csv_escape(const std::string& s) {
+  if (!needs_quoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = n == content.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  assert(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << csv_escape(header_[c]) << (c + 1 < header_.size() ? "," : "");
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << csv_escape(row[c]) << (c + 1 < row.size() ? "," : "");
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+bool CsvWriter::write(const std::string& path) const { return write_file(path, to_string()); }
+
+void JsonReport::set(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  entries_.emplace_back(key, buf);
+}
+
+void JsonReport::set(const std::string& key, const std::string& value) {
+  entries_.emplace_back(key, "\"" + json_escape(value) + "\"");
+}
+
+std::string JsonReport::to_string() const {
+  std::ostringstream out;
+  out << "{\n";
+  for (std::size_t e = 0; e < entries_.size(); ++e) {
+    out << "  \"" << json_escape(entries_[e].first) << "\": " << entries_[e].second;
+    out << (e + 1 < entries_.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
+  return out.str();
+}
+
+bool JsonReport::write(const std::string& path) const { return write_file(path, to_string()); }
+
+}  // namespace sattn

@@ -1,0 +1,42 @@
+// Machine-readable bench output: CSV writing and a tiny JSON emitter, so
+// bench results can be plotted or diffed across runs without scraping the
+// console tables.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace sattn {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // RFC-4180-ish: quotes fields containing commas/quotes/newlines.
+  std::string to_string() const;
+  bool write(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Minimal JSON object builder for flat key/value reports (numbers and
+// strings). Intentionally not a general JSON library.
+class JsonReport {
+ public:
+  void set(const std::string& key, double value);
+  void set(const std::string& key, const std::string& value);
+  std::string to_string() const;
+  bool write(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;  // pre-encoded
+};
+
+}  // namespace sattn

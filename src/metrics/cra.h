@@ -1,0 +1,32 @@
+// Cumulative Residual Attention (Definition 2).
+//
+//   CRA(M) = min_i  sum_j (M * P)_{ij}
+//
+// i.e. the worst-case row mass retained after sparsification. Lemma 1 ties
+// it to the near-lossless bound: ||O~ - O||_1 <= R * (1 - CRA). The helpers
+// here evaluate CRA either from structured masks or from raw column sets,
+// streaming one score row at a time.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "attention/masks.h"
+#include "core/tensor.h"
+
+namespace sattn {
+
+// CRA of a structured mask over the given query rows (use all_rows(sq) for
+// the exact Definition 2 value). Rows whose causal prefix is fully inside
+// the mask contribute 1.0.
+double cra(const AttentionInput& in, const StructuredMask& mask, std::span<const Index> rows);
+
+// CRA of "keep these key columns plus a local window of width w", the shape
+// SampleAttention produces. Columns must be sorted ascending.
+double cra_columns_window(const AttentionInput& in, std::span<const Index> columns, Index window,
+                          std::span<const Index> rows);
+
+// Retained mass of one already-softmaxed score row under a mask row.
+double row_retained_mass(std::span<const float> p_row, const StructuredMask& mask, Index i);
+
+}  // namespace sattn

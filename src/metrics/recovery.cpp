@@ -1,0 +1,45 @@
+#include "metrics/recovery.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sattn {
+
+RecoveryStats recovery_stats(const Matrix& approx, const Matrix& exact) {
+  assert(approx.rows() == exact.rows() && approx.cols() == exact.cols());
+  RecoveryStats s;
+  double total = 0.0, denom = 0.0;
+  for (Index i = 0; i < exact.rows(); ++i) {
+    double row_l1 = 0.0;
+    auto a = approx.row(i), e = exact.row(i);
+    for (std::size_t t = 0; t < e.size(); ++t) {
+      const double diff = std::fabs(static_cast<double>(a[t]) - e[t]);
+      row_l1 += diff;
+      s.max_abs_err = std::max(s.max_abs_err, diff);
+      denom += std::fabs(static_cast<double>(e[t]));
+    }
+    total += row_l1;
+    s.max_row_l1 = std::max(s.max_row_l1, row_l1);
+  }
+  const double n = static_cast<double>(exact.size());
+  s.mean_abs_err = n > 0 ? total / n : 0.0;
+  s.rel_l1 = denom > 0 ? total / denom : 0.0;
+  return s;
+}
+
+double value_l1_bound(const Matrix& v) {
+  double r = 0.0;
+  for (Index j = 0; j < v.rows(); ++j) {
+    double l1 = 0.0;
+    for (float x : v.row(j)) l1 += std::fabs(x);
+    r = std::max(r, l1);
+  }
+  return r;
+}
+
+bool near_lossless(double score, double baseline_score, double ratio) {
+  if (baseline_score <= 0.0) return score >= baseline_score;
+  return score >= ratio * baseline_score;
+}
+
+}  // namespace sattn

@@ -1,0 +1,28 @@
+// Output-recovery metrics: how close a sparse attention output is to the
+// full-attention output, and the MLPerf-style near-lossless criterion the
+// paper adopts (accuracy >= 99% of the dense baseline).
+#pragma once
+
+#include "core/tensor.h"
+
+namespace sattn {
+
+struct RecoveryStats {
+  double max_abs_err = 0.0;   // max_i,t |O~ - O|
+  double mean_abs_err = 0.0;  // mean over all entries
+  double max_row_l1 = 0.0;    // max_i ||O~_i - O_i||_1 (Theorem 1's epsilon)
+  double rel_l1 = 0.0;        // sum|O~ - O| / sum|O|
+};
+
+RecoveryStats recovery_stats(const Matrix& approx, const Matrix& exact);
+
+// Theorem 1's value bound R = max_j ||V_j||_1; with CRA >= alpha the output
+// error satisfies max_row_l1 <= (1 - alpha) * 2R (softmax-renormalized
+// kernels can redistribute up to the dropped mass, hence the factor 2).
+double value_l1_bound(const Matrix& v);
+
+// MLPerf-style near-lossless check on task scores (>= 99% of baseline).
+// Baseline <= 0 degenerates to requiring score >= baseline.
+bool near_lossless(double score, double baseline_score, double ratio = 0.99);
+
+}  // namespace sattn

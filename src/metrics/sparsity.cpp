@@ -1,0 +1,43 @@
+#include "metrics/sparsity.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "attention/attention_method.h"
+#include "attention/score_utils.h"
+
+namespace sattn {
+
+Index row_min_kept(std::span<const float> p_row, Index causal_len, double alpha) {
+  assert(causal_len >= 0 && static_cast<std::size_t>(causal_len) <= p_row.size());
+  if (causal_len == 0) return 0;
+  std::vector<float> sorted(p_row.begin(), p_row.begin() + causal_len);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double acc = 0.0;
+  for (Index k = 0; k < causal_len; ++k) {
+    acc += sorted[static_cast<std::size_t>(k)];
+    if (acc >= alpha) return k + 1;
+  }
+  return causal_len;
+}
+
+SparsityStats sd_oracle(const AttentionInput& in, double alpha, std::span<const Index> rows) {
+  const Index sq = in.sq(), sk = in.sk();
+  double kept = 0.0, total = 0.0;
+  Index measured = 0;
+  for_each_score_row(in, rows, [&](Index i, std::span<const float> p) {
+    const Index len = causal_limit(i, sq, sk) + 1;
+    kept += static_cast<double>(row_min_kept(p, len, alpha));
+    total += static_cast<double>(len);
+    ++measured;
+  });
+  SparsityStats s;
+  s.rows_measured = measured;
+  if (total > 0.0) {
+    s.kept_fraction = kept / total;
+    s.sd = 1.0 - s.kept_fraction;
+  }
+  return s;
+}
+
+}  // namespace sattn

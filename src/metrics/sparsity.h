@@ -1,0 +1,36 @@
+// Sparsity Degree oracle (Definition 1).
+//
+//   SD(alpha) = max over masks M of the dropped fraction of the causal score
+//               grid, subject to CRA(M) >= alpha.
+//
+// Because CRA is a per-row min of kept mass and entries are independent, the
+// optimal mask keeps, in every row, the smallest set of highest-probability
+// entries whose sum reaches alpha — i.e. per-row descending sort + prefix
+// cut. That is exactly how the paper measures the statistics in Fig 2 and
+// Tables 5. Rows are streamed so this works at long sequence lengths, and a
+// row subset can be passed to trade accuracy for time.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace sattn {
+
+struct SparsityStats {
+  double sd = 0.0;            // dropped fraction of the causal grid
+  double kept_fraction = 0.0; // 1 - sd, over the causal grid
+  Index rows_measured = 0;
+};
+
+// Oracle SD(alpha) over the given query rows. The causal grid size is
+// estimated from the same rows, so a uniform row subsample yields an
+// unbiased estimate of the full-matrix SD.
+SparsityStats sd_oracle(const AttentionInput& in, double alpha, std::span<const Index> rows);
+
+// Minimum number of entries of an already-softmaxed row needed to reach
+// cumulative mass alpha (row restricted to its causal prefix length).
+Index row_min_kept(std::span<const float> p_row, Index causal_len, double alpha);
+
+}  // namespace sattn

@@ -1,0 +1,88 @@
+// Structured Q/K/V generator — the substrate standing in for real LLM
+// attention tensors (see DESIGN.md §1).
+//
+// The paper's empirical foundation (Section 3.2) characterizes long-context
+// score matrices as: inherently highly sparse, head-specific, content-aware,
+// and dominated by two patterns — local windows and column stripes, plus
+// attention sinks at the sequence start. This module synthesizes Q and K so
+// the resulting softmax(QK^T/sqrt(d)) exhibits exactly those patterns with
+// controllable strengths:
+//
+//   * column stripes  — stripe columns' keys gain a component along a shared
+//     "topic" direction u that every query also carries; their logits are
+//     elevated for all rows, producing the vertical stripes of Fig 2(d).
+//   * local window    — the last dp channels hold random-Fourier features
+//     phi(pos) of an RBF kernel, so q_i . k_j has a bump that decays with
+//     |i - j| at a controllable length scale.
+//   * sinks           — the first few columns get a smaller stripe boost.
+//   * content-awareness — stripe positions are drawn from the content seed,
+//     and task-critical positions (needles) become stripes whose strength
+//     scales with the head's retrieval affinity.
+//
+// V carries task "signatures" at critical positions so that answer recovery
+// can be scored from attention outputs alone (tasks/scoring.h).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace sattn {
+
+// Per-head structural parameters (head-specific sparsity, Fig 2(c)).
+struct HeadProfile {
+  double stripe_strength = 6.0;   // logit scale of content stripes
+  Index num_content_stripes = 12; // stripes drawn from the content seed
+  double window_strength = 5.5;   // amplitude of the local positional bump
+  // Decay length of the local window in TOKENS (clamped to Sk/2 at
+  // generation). Real heads attend locally over a roughly fixed number of
+  // recent tokens regardless of context length, which is what makes the
+  // sparsity degree GROW with sequence length (Fig 2(b), Table 5).
+  double window_decay_tokens = 80.0;
+  double sink_strength = 4.0;     // boost for the first `num_sinks` columns
+  Index num_sinks = 4;
+  double noise = 0.45;            // iid (row-specific) logit noise floor
+  // Std of the per-key importance along the shared topic direction. This is
+  // the column-correlated background that gives score matrices their
+  // "row-wise numerical distribution similarity" (Fig 2(e)): every query
+  // agrees on which background keys matter, so a small set of top columns
+  // covers most of the non-window mass.
+  double key_variation = 1.3;
+  double retrieval_affinity = 0.8;// how strongly critical positions become stripes
+  double diffuse_gain = 1.0;      // gain on content's diffuse positions
+  // Secondary diagonal band (Appendix A.6: "additional diagonal structures"
+  // in low-sparsity heads): a bump at relative distance ~diag_offset_frac*Sk
+  // with the given strength. 0 disables it.
+  double diag_strength = 0.0;
+  double diag_offset_frac = 0.25;
+  double diag_decay_tokens = 60.0;
+};
+
+// What the "prompt" contains, shared by all heads of a request.
+struct ContentSpec {
+  std::uint64_t seed = 1;
+  Index length = 1024;                    // Sk (= Sq at prefill)
+  std::vector<Index> critical_positions;  // task needle span *starts*
+  // Needles are short spans (a sentence), not single tokens: every token in
+  // [p, p + critical_span) is boosted and carries fact p's signature. The
+  // span width matters for the baselines — a static mask (BigBird's random
+  // blocks / globals) intersects a multi-token span with realistic
+  // probability, while a window-only mask still misses it deterministically.
+  Index critical_span = 1;
+  double critical_strength = 10.0;        // logit boost scale at needles
+  std::vector<Index> diffuse_positions;   // many mildly-important positions
+  double diffuse_strength = 2.2;
+  double signature_gain = 3.0;            // magnitude of V signatures
+};
+
+// Deterministic unit "signature" vector associated with (content seed, tag).
+// Tasks use tag = the critical position so every fact has its own signature.
+std::vector<float> signature_vector(Index d, std::uint64_t content_seed, std::uint64_t tag);
+
+// Generates one head's AttentionInput (Sq = Sk = content.length) with the
+// given profile. Deterministic in (content.seed, head_seed).
+AttentionInput generate_head_input(const ContentSpec& content, const HeadProfile& profile,
+                                   Index head_dim, std::uint64_t head_seed);
+
+}  // namespace sattn

@@ -1,0 +1,27 @@
+#include "model/rope.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sattn {
+
+void apply_rope_row(std::span<float> row, Index position, const RopeConfig& cfg) {
+  const auto d = static_cast<Index>(row.size());
+  assert(d % 2 == 0);
+  const double pos = static_cast<double>(position) / cfg.scaling;
+  for (Index t = 0; t < d / 2; ++t) {
+    const double freq = std::pow(cfg.theta, -2.0 * static_cast<double>(t) / static_cast<double>(d));
+    const double angle = pos * freq;
+    const double c = std::cos(angle), s = std::sin(angle);
+    const float x = row[static_cast<std::size_t>(2 * t)];
+    const float y = row[static_cast<std::size_t>(2 * t + 1)];
+    row[static_cast<std::size_t>(2 * t)] = static_cast<float>(c * x - s * y);
+    row[static_cast<std::size_t>(2 * t + 1)] = static_cast<float>(s * x + c * y);
+  }
+}
+
+void apply_rope(Matrix& m, Index position_offset, const RopeConfig& cfg) {
+  for (Index r = 0; r < m.rows(); ++r) apply_rope_row(m.row(r), position_offset + r, cfg);
+}
+
+}  // namespace sattn

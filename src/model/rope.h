@@ -1,0 +1,28 @@
+// Rotary positional embedding (Su et al., 2024), used by both backbone
+// models the paper evaluates (ChatGLM2 via continued long-context training,
+// InternLM2 via rope scaling / length extrapolation).
+//
+// Pairs of channels (2t, 2t+1) are rotated by angle pos * theta^{-2t/d}.
+// RoPE is norm-preserving and gives attention logits that depend on the
+// *relative* position i - j — properties the tests assert.
+#pragma once
+
+#include "core/tensor.h"
+
+namespace sattn {
+
+struct RopeConfig {
+  double theta = 10000.0;
+  // Linear position interpolation factor (>1 compresses positions — the
+  // "rope scaling" long-context trick InternLM2 uses). 1.0 = vanilla.
+  double scaling = 1.0;
+};
+
+// Applies RoPE in place to every row of m; row r gets position
+// positions_offset + r. Requires an even number of columns.
+void apply_rope(Matrix& m, Index position_offset = 0, const RopeConfig& cfg = {});
+
+// Rotates a single vector at the given position (helper for tests).
+void apply_rope_row(std::span<float> row, Index position, const RopeConfig& cfg = {});
+
+}  // namespace sattn

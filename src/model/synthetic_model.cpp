@@ -1,0 +1,139 @@
+#include "model/synthetic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sattn {
+
+ModelConfig chatglm2_6b() {
+  ModelConfig m;
+  m.name = "ChatGLM2-6B";
+  m.n_layers = 28;
+  m.n_heads = 32;
+  m.n_kv_heads = 2;
+  m.head_dim = 128;
+  m.hidden_dim = 4096;
+  m.ffn_dim = 13696;
+  m.context_window = 96 * 1024;
+  m.seed = 0xc4a7611ull;
+  m.base_structure = 1.0;
+  return m;
+}
+
+ModelConfig internlm2_7b() {
+  ModelConfig m;
+  m.name = "InternLM2-7B";
+  m.n_layers = 32;
+  m.n_heads = 32;
+  m.n_kv_heads = 8;
+  m.head_dim = 128;
+  m.hidden_dim = 4096;
+  m.ffn_dim = 14336;
+  m.context_window = 200 * 1024;
+  m.seed = 0x1e7e41ull;
+  m.base_structure = 1.08;  // slightly crisper stripes than ChatGLM2
+  return m;
+}
+
+std::uint64_t head_seed(const ModelConfig& model, Index layer, Index head) {
+  return model.seed ^ (static_cast<std::uint64_t>(layer) * 0x100000001b3ull) ^
+         (static_cast<std::uint64_t>(head) * 0x9e3779b97f4a7c15ull);
+}
+
+HeadKind head_kind(const ModelConfig& model, Index layer, Index head) {
+  Rng rng(head_seed(model, layer, head) ^ 0x4b494e44ull);
+  const double u = rng.uniform();
+  if (u < 0.08) return HeadKind::kDense;      // ~8% of heads stay dense
+  if (u < 0.30) return HeadKind::kRetrieval;  // ~22% strong retrieval heads
+  return HeadKind::kStandard;
+}
+
+HeadProfile head_profile(const ModelConfig& model, Index layer, Index head) {
+  Rng rng(head_seed(model, layer, head) ^ 0x50524f46ull);
+  const HeadKind kind = head_kind(model, layer, head);
+
+  // Layer 0 carries much weaker structure (Fig 2(a): lowest SD); structure
+  // sharpens and then saturates with depth.
+  double layer_gain = 1.0;
+  if (layer == 0) {
+    layer_gain = 0.35;
+  } else {
+    layer_gain = std::min(1.15, 0.80 + 0.03 * static_cast<double>(layer)) *
+                 (0.9 + 0.2 * rng.uniform());
+  }
+  const double g = model.base_structure * layer_gain;
+
+  HeadProfile p;
+  p.noise = 0.35;
+  p.key_variation = (1.7 + 0.6 * rng.uniform()) * g;
+  p.num_sinks = 4;
+  p.sink_strength = (3.4 + 1.2 * rng.uniform()) * g;
+  p.num_content_stripes = static_cast<Index>(6 + rng.uniform_index(18));
+  p.stripe_strength = (5.2 + 1.8 * rng.uniform()) * g;
+  p.window_strength = (4.6 + 1.8 * rng.uniform()) * g;
+  p.window_decay_tokens = 25.0 + 110.0 * rng.uniform();
+  p.diffuse_gain = 0.7 + 0.6 * rng.uniform();
+
+  // A minority of heads carries a secondary diagonal structure
+  // (Appendix A.6), most often the less-sparse ones.
+  if (rng.uniform() < (kind == HeadKind::kDense ? 0.5 : 0.08)) {
+    p.diag_strength = (2.2 + 1.2 * rng.uniform()) * g;
+    p.diag_offset_frac = 0.1 + 0.3 * rng.uniform();
+    p.diag_decay_tokens = 30.0 + 60.0 * rng.uniform();
+  }
+
+  switch (kind) {
+    case HeadKind::kDense:
+      // Flat score distribution: weak structure, broad window, higher noise.
+      p.stripe_strength *= 0.3;
+      p.window_strength *= 0.4;
+      p.window_decay_tokens = 1200.0 + 2000.0 * rng.uniform();
+      p.sink_strength *= 0.5;
+      p.noise = 0.95;
+      p.key_variation *= 0.4;
+      p.retrieval_affinity = 0.35;
+      break;
+    case HeadKind::kRetrieval:
+      p.retrieval_affinity = 1.0;
+      p.stripe_strength *= 1.15;
+      break;
+    case HeadKind::kStandard:
+      p.retrieval_affinity = 0.55 + 0.25 * rng.uniform();
+      break;
+  }
+  return p;
+}
+
+AttentionInput generate_attention(const ModelConfig& model, const ContentSpec& content,
+                                  Index layer, Index head) {
+  return generate_head_input(content, head_profile(model, layer, head), model.head_dim,
+                             head_seed(model, layer, head));
+}
+
+std::vector<std::pair<Index, Index>> retrieval_heads(const ModelConfig& model, Index count) {
+  std::vector<std::pair<Index, Index>> out;
+  // Walk layers (skipping layer 0, whose structure is weak) in a fixed
+  // pattern, keeping retrieval-class heads until `count` are found.
+  for (Index layer = 1; layer < model.n_layers && static_cast<Index>(out.size()) < count; ++layer) {
+    for (Index head = 0; head < model.n_heads && static_cast<Index>(out.size()) < count; ++head) {
+      if (head_kind(model, layer, head) == HeadKind::kRetrieval) {
+        out.emplace_back(layer, head);
+        break;  // at most one head per layer => answers come from spread depths
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<Index, Index>> representative_heads(const ModelConfig& model, Index count) {
+  std::vector<std::pair<Index, Index>> out;
+  if (count <= 0) return out;
+  for (Index t = 0; t < count; ++t) {
+    const Index layer = std::min<Index>(model.n_layers - 1, t * model.n_layers / count);
+    const Index head = (t * 7) % model.n_heads;
+    out.emplace_back(layer, head);
+  }
+  return out;
+}
+
+}  // namespace sattn

@@ -1,0 +1,59 @@
+// Model-level substrate: configurations mirroring the paper's two backbones
+// and deterministic per-(layer, head) structure profiles.
+//
+// ChatGLM2-6B ("Model1" in Fig 2): 28 layers x 32 heads, d=128, multi-query
+// style GQA with 2 KV groups, 96K context window. InternLM2-7B ("Model2"):
+// 32 layers x 32 heads, d=128, 8 KV groups, 200K window. The profile
+// distribution is what realizes the paper's head-specific sparsity findings:
+// layer 0 is markedly less sparse (Fig 2(a)), a small fraction of heads in
+// every layer stays dense (Fig 2(c): SD as low as 27% next to 99.8%), and
+// "retrieval" heads lock onto content-critical columns.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/attention_structure.h"
+
+namespace sattn {
+
+struct ModelConfig {
+  std::string name;
+  Index n_layers = 28;
+  Index n_heads = 32;
+  Index n_kv_heads = 2;   // GQA groups (affects KV I/O in the cost model)
+  Index head_dim = 128;
+  Index hidden_dim = 4096;
+  Index ffn_dim = 13696;
+  Index context_window = 96 * 1024;
+  std::uint64_t seed = 0x61747467ull;
+  // Global multiplier on structured-pattern strength; tuned so measured SD
+  // statistics land in the paper's reported ranges.
+  double base_structure = 1.0;
+};
+
+ModelConfig chatglm2_6b();
+ModelConfig internlm2_7b();
+
+enum class HeadKind { kDense, kStandard, kRetrieval };
+
+// Deterministic structural profile of one attention head.
+HeadProfile head_profile(const ModelConfig& model, Index layer, Index head);
+HeadKind head_kind(const ModelConfig& model, Index layer, Index head);
+
+// Seed used by the Q/K/V generator for this head.
+std::uint64_t head_seed(const ModelConfig& model, Index layer, Index head);
+
+// Generates the (layer, head) attention input for a given content.
+AttentionInput generate_attention(const ModelConfig& model, const ContentSpec& content,
+                                  Index layer, Index head);
+
+// Up to `count` retrieval-class heads spread over the depth of the model —
+// the heads the task scorers read answers from.
+std::vector<std::pair<Index, Index>> retrieval_heads(const ModelConfig& model, Index count);
+
+// A spread of (layer, head) pairs for sparsity statistics benches.
+std::vector<std::pair<Index, Index>> representative_heads(const ModelConfig& model, Index count);
+
+}  // namespace sattn

@@ -1,0 +1,48 @@
+#include "model/workload.h"
+
+#include <cmath>
+
+namespace sattn {
+
+ContentSpec plain_prompt(std::uint64_t seed, Index length) {
+  ContentSpec c;
+  c.seed = seed;
+  c.length = length;
+  // A handful of diffuse positions, as ordinary prose has mildly important
+  // tokens spread through it.
+  Rng rng(seed ^ 0x70726f6dull);
+  const Index n_diffuse = std::max<Index>(4, length / 96);
+  c.diffuse_positions = rng.sample_without_replacement(length, std::min(n_diffuse, length));
+  c.diffuse_strength = 2.0;
+  return c;
+}
+
+std::vector<Request> profiling_set(Index min_len, Index max_len, Index count, std::uint64_t seed) {
+  assert(min_len > 0 && max_len >= min_len && count > 0);
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const double lo = std::log(static_cast<double>(min_len));
+  const double hi = std::log(static_cast<double>(max_len));
+  for (Index r = 0; r < count; ++r) {
+    const double f = count == 1 ? 0.0 : static_cast<double>(r) / static_cast<double>(count - 1);
+    const auto len = static_cast<Index>(std::llround(std::exp(lo + f * (hi - lo))));
+    Request req;
+    req.label = "profile-" + std::to_string(r) + "-len" + std::to_string(len);
+    req.content = plain_prompt(seed + static_cast<std::uint64_t>(r) * 7919ull, len);
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+std::vector<AttentionInput> profiling_inputs(const ModelConfig& model,
+                                             std::vector<Request> const& requests, Index layer,
+                                             Index head) {
+  std::vector<AttentionInput> inputs;
+  inputs.reserve(requests.size());
+  for (const Request& r : requests) {
+    inputs.push_back(generate_attention(model, r.content, layer, head));
+  }
+  return inputs;
+}
+
+}  // namespace sattn

@@ -1,0 +1,36 @@
+// Request workloads: plain prompts and the offline-profiling set.
+//
+// The paper tunes SampleAttention's hyperparameters with "a small dataset
+// that contains 22 requests ranging from 25K-96K context length"
+// (Section 4.2). The substrate mirrors that procedure at configurable
+// lengths: 22 requests geometrically spread over [min_len, max_len], each a
+// plain prompt (content-seeded stripes and diffuse mass, no task needles).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/synthetic_model.h"
+
+namespace sattn {
+
+struct Request {
+  std::string label;
+  ContentSpec content;
+};
+
+// Plain prompt of the given length: content stripes + a sprinkling of
+// diffuse positions, no task-critical needles.
+ContentSpec plain_prompt(std::uint64_t seed, Index length);
+
+// The profiling workload (defaults follow the paper's 22 requests).
+std::vector<Request> profiling_set(Index min_len, Index max_len, Index count = 22,
+                                   std::uint64_t seed = 0x22ull);
+
+// Materializes per-request attention inputs on a fixed head of the model —
+// the tensors the tuner profiles against.
+std::vector<AttentionInput> profiling_inputs(const ModelConfig& model,
+                                             std::vector<Request> const& requests, Index layer,
+                                             Index head);
+
+}  // namespace sattn

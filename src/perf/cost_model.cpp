@@ -1,0 +1,154 @@
+#include "perf/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sattn {
+
+GpuSpec a100_single() {
+  GpuSpec g;
+  // Single-device microbenchmark setup (Section 5.4): no TP/PP communication,
+  // far less framework overhead than the Table 4 serving stack.
+  g.framework_overhead = 1.35;
+  return g;
+}
+
+GpuSpec a100_cluster() {
+  GpuSpec g;
+  g.device_count = 8;  // TP=4 x PP=2; sequence-chunked prefill keeps all busy
+  g.attn_efficiency = 0.60;
+  g.gemm_efficiency = 0.65;
+  g.framework_overhead = 3.6;
+  return g;
+}
+
+namespace {
+
+double compute_rate(const GpuSpec& g, double eff) {
+  return g.peak_flops * eff * static_cast<double>(g.device_count);
+}
+
+double bw_rate(const GpuSpec& g) { return g.hbm_bw * static_cast<double>(g.device_count); }
+
+}  // namespace
+
+double attention_flops(const ModelConfig& model, Index s) {
+  // Per (layer, head): QK^T and PV each cost 2*d flops per causal pair,
+  // and there are s^2/2 causal pairs.
+  const double pairs = 0.5 * static_cast<double>(s) * static_cast<double>(s);
+  return static_cast<double>(model.n_layers) * static_cast<double>(model.n_heads) * pairs * 4.0 *
+         static_cast<double>(model.head_dim);
+}
+
+double flash_attention_seconds(const ModelConfig& model, Index s, const GpuSpec& gpu) {
+  const double flops = attention_flops(model, s);
+  // I/O: Q,K,V read + O write per layer; KV shared across GQA groups.
+  const double qo = 2.0 * static_cast<double>(s) * static_cast<double>(model.n_heads) *
+                    static_cast<double>(model.head_dim);
+  const double kv = 2.0 * static_cast<double>(s) * static_cast<double>(model.n_kv_heads) *
+                    static_cast<double>(model.head_dim);
+  const double bytes = static_cast<double>(model.n_layers) * (qo + kv) * gpu.bytes_per_element;
+  return std::max(flops / compute_rate(gpu, gpu.attn_efficiency), bytes / bw_rate(gpu));
+}
+
+double sdpa_seconds(const ModelConfig& model, Index s, const GpuSpec& gpu) {
+  const double flops = attention_flops(model, s);
+  // SDPA materializes the [s x s] score matrix per head: written once after
+  // QK^T, read again by softmax (read+write), read by PV — ~4 passes.
+  const double score_bytes = static_cast<double>(model.n_layers) *
+                             static_cast<double>(model.n_heads) * 0.5 * static_cast<double>(s) *
+                             static_cast<double>(s) * gpu.bytes_per_element * 4.0;
+  return std::max(flops / compute_rate(gpu, gpu.attn_efficiency), score_bytes / bw_rate(gpu));
+}
+
+double window_band_density(Index s, double window_ratio) {
+  const double w = std::ceil(window_ratio * static_cast<double>(s));
+  const double sd = static_cast<double>(s);
+  if (w >= sd) return 1.0;
+  const double kept = 0.5 * w * (w + 1.0) + (sd - w) * w;
+  return kept / (0.5 * sd * (sd + 1.0));
+}
+
+SampleAttentionCost sample_attention_seconds(const ModelConfig& model, Index s, const GpuSpec& gpu,
+                                             double kept_density, double overhead_density,
+                                             double window_density) {
+  kept_density = std::clamp(kept_density, 0.0, 1.0);
+  overhead_density = std::clamp(overhead_density, 0.0, 1.0);
+  window_density = std::clamp(window_density, 0.0, kept_density);
+  const double flops = attention_flops(model, s);
+  // Stage-1/2 run as a chain of small operators; their utilization climbs
+  // with sequence length (the reason sampling overhead dominates at short
+  // lengths, Section 5.4).
+  const double util =
+      static_cast<double>(s) / (static_cast<double>(s) + gpu.small_op_halfpoint);
+  SampleAttentionCost c;
+  // Stage-1 is a dense (sampled-rows x keys) fused kernel.
+  c.sampling_seconds =
+      overhead_density * flops / (compute_rate(gpu, gpu.attn_efficiency) * util);
+  // Stage-2: sort + prefix + searchsorted over Sk per head per layer —
+  // bandwidth-bound streaming of O(Sk) elements a few (~6) times, plus a
+  // fixed launch cost per (layer, head).
+  const double filter_bytes = static_cast<double>(model.n_layers) *
+                              static_cast<double>(model.n_heads) * static_cast<double>(s) * 4.0 *
+                              6.0;
+  c.filter_seconds = filter_bytes / (bw_rate(gpu) * util) +
+                     gpu.launch_overhead * static_cast<double>(model.n_layers) *
+                         static_cast<double>(model.n_heads) /
+                         static_cast<double>(gpu.device_count);
+  // Sparse kernel: the contiguous window band runs at dense efficiency;
+  // the scattered stripe remainder pays the gather penalty.
+  c.sparse_seconds = window_density * flops / compute_rate(gpu, gpu.attn_efficiency) +
+                     (kept_density - window_density) * flops /
+                         compute_rate(gpu, gpu.sparse_efficiency);
+  c.total_seconds = c.sampling_seconds + c.filter_seconds + c.sparse_seconds;
+  c.sampling_share =
+      c.total_seconds > 0.0 ? (c.sampling_seconds + c.filter_seconds) / c.total_seconds : 0.0;
+  return c;
+}
+
+double linear_parts_seconds(const ModelConfig& model, Index s, const GpuSpec& gpu) {
+  const double h = static_cast<double>(model.hidden_dim);
+  const double f = static_cast<double>(model.ffn_dim);
+  const double kv = static_cast<double>(model.n_kv_heads) * static_cast<double>(model.head_dim);
+  const double sd = static_cast<double>(s);
+  // Per layer: QKV projection, attention output projection, gated MLP
+  // (gate + up + down).
+  const double qkv = 2.0 * sd * h * (h + 2.0 * kv);
+  const double out = 2.0 * sd * h * h;
+  const double mlp = 3.0 * 2.0 * sd * h * f;
+  const double flops = static_cast<double>(model.n_layers) * (qkv + out + mlp);
+  return gpu.framework_overhead * flops / compute_rate(gpu, gpu.gemm_efficiency);
+}
+
+double ttft_seconds(const ModelConfig& model, Index s, const GpuSpec& gpu,
+                    double attention_seconds) {
+  return attention_seconds + linear_parts_seconds(model, s, gpu);
+}
+
+double peak_prefill_bytes(const ModelConfig& model, Index s, Index chunk, bool materialize_scores,
+                          double bytes_per_element) {
+  if (chunk <= 0 || chunk > s) chunk = s;
+  const double sd = static_cast<double>(s);
+  const double cd = static_cast<double>(chunk);
+  const double h = static_cast<double>(model.hidden_dim);
+  const double kv_dim =
+      static_cast<double>(model.n_kv_heads) * static_cast<double>(model.head_dim);
+  // KV cache: all layers, full sequence (this is what cannot be chunked away).
+  const double kv_cache = static_cast<double>(model.n_layers) * 2.0 * sd * kv_dim;
+  // Activations: one chunk's hidden states through a layer (x few buffers).
+  const double activations = 4.0 * cd * h;
+  // SDPA materializes a [chunk x s] score block per head of one layer.
+  const double scores = materialize_scores
+                            ? static_cast<double>(model.n_heads) * cd * sd
+                            : 0.0;
+  return (kv_cache + activations + scores) * bytes_per_element;
+}
+
+double extrapolate_kept_fraction(double kept_at_measured, Index s_measured, Index s_target,
+                                 double per_doubling, double floor) {
+  if (s_target <= s_measured) return kept_at_measured;
+  const double doublings = std::log2(static_cast<double>(s_target) / static_cast<double>(s_measured));
+  return std::max(floor, kept_at_measured * std::pow(per_doubling, doublings));
+}
+
+}  // namespace sattn

@@ -1,0 +1,115 @@
+// Analytic A100 performance model (DESIGN.md §1 substitution for the
+// paper's GPU testbed).
+//
+// Latency is modeled with a roofline: time = max(flops / effective_compute,
+// bytes / effective_bandwidth), with per-kernel efficiency factors. The
+// model reproduces, at the paper's scales:
+//   * Table 4  — TTFT breakdown (attention share 32% at 32K → ~88% at 1M)
+//     on the paper's 8xA100 TP=4/PP=2 serving setup;
+//   * Fig 5/6  — attention latency and TTFT for SDPA / FlashAttention2 /
+//     SampleAttention on a single A100, 8K → 1M, where SampleAttention's
+//     time is (Stage-1 sampling) + (filtering) + (sparse kernel ∝ density).
+//
+// Densities are not assumed: benches measure them with the real
+// SampleAttention planner on the synthetic substrate and feed them in. For
+// lengths too long to plan directly, extrapolate_kept_fraction applies the
+// paper's observed scaling law (each doubling of length drops the kept
+// fraction by ~20%, Appendix A.4) — the same methodology the paper itself
+// uses to scale Fig 6 to 1M.
+#pragma once
+
+#include "core/tensor.h"
+#include "model/synthetic_model.h"
+
+namespace sattn {
+
+struct GpuSpec {
+  double peak_flops = 312e12;  // A100 fp16 tensor core peak
+  double hbm_bw = 2.0e12;      // bytes/s
+  int device_count = 1;        // effective parallel devices
+  double attn_efficiency = 0.62;    // fraction of peak for fused attention
+  double sparse_efficiency = 0.45;  // sparse/gather kernels run less efficiently
+  double gemm_efficiency = 0.70;    // projection / MLP GEMMs
+  // Multiplier on non-attention time covering framework, communication and
+  // kernel-launch overheads (calibrated against the paper's Table 4).
+  double framework_overhead = 3.2;
+  double bytes_per_element = 2.0;   // fp16
+  // Small-operator utilization: Stage-1/2's bmm+sort kernels run far below
+  // peak at short sequence lengths (the paper's explanation for
+  // SampleAttention losing to FlashAttention2 below ~16K). Utilization is
+  // modeled as S / (S + small_op_halfpoint).
+  double small_op_halfpoint = 24576.0;
+  // Fixed launch/setup cost per (layer, head) for the Stage-2 filtering ops.
+  double launch_overhead = 10e-6;
+};
+
+// Single A100-80GB, the paper's Section 5.4 microbenchmark device.
+GpuSpec a100_single();
+
+// The paper's Table 4 serving setup: 8xA100, TP=4 x PP=2.
+GpuSpec a100_cluster();
+
+// ---- attention kernels (whole model: all layers and heads, batch 1) ----
+
+// Causal attention FLOPs for the full model at sequence length s
+// (QK^T + PV over the causal half of the grid, all heads and layers).
+double attention_flops(const ModelConfig& model, Index s);
+
+// FlashAttention2: compute-bound, no quadratic memory traffic.
+double flash_attention_seconds(const ModelConfig& model, Index s, const GpuSpec& gpu);
+
+// PyTorch SDPA (materializes the score matrix): pays quadratic HBM traffic,
+// so it is bandwidth-bound at long sequence lengths.
+double sdpa_seconds(const ModelConfig& model, Index s, const GpuSpec& gpu);
+
+// Fraction of the causal grid covered by a local-window band of width
+// ceil(window_ratio * s) — the irreducible dense part of SampleAttention's
+// mask. Constant in s for a fixed ratio (~2 * ratio), so it caps the
+// achievable speedup; only the stripe part of the density shrinks with
+// length.
+double window_band_density(Index s, double window_ratio);
+
+struct SampleAttentionCost {
+  double sampling_seconds = 0.0;  // Stage-1 fused bmm+softmax+reduction
+  double filter_seconds = 0.0;    // Stage-2 sort + searchsorted + gather
+  double sparse_seconds = 0.0;    // sparse flash kernel
+  double total_seconds = 0.0;
+  double sampling_share = 0.0;    // Fig 5(b)
+};
+
+// kept_density: fraction of causal score entries retained by the merged
+// mask; overhead_density: Stage-1 sampled fraction (both measured from
+// SamplePlan on the substrate). window_density (<= kept_density) is the
+// contiguous window-band part, which runs at dense-kernel efficiency; the
+// remaining stripe part pays the gather penalty. Pass 0 to treat the whole
+// mask as scattered (conservative).
+SampleAttentionCost sample_attention_seconds(const ModelConfig& model, Index s, const GpuSpec& gpu,
+                                             double kept_density, double overhead_density,
+                                             double window_density = 0.0);
+
+// ---- whole-model TTFT ----
+
+// Non-attention prefill time: QKV/out projections + gated MLP GEMMs.
+double linear_parts_seconds(const ModelConfig& model, Index s, const GpuSpec& gpu);
+
+double ttft_seconds(const ModelConfig& model, Index s, const GpuSpec& gpu,
+                    double attention_seconds);
+
+// ---- memory accounting (Appendix A.6: ">=128K requests cause memory
+// issues ... chunking along the sequence dimension") ----
+
+// Peak prefill memory in bytes for one request: weights are excluded
+// (constant); counts KV cache, activations for one chunk of queries, and —
+// for the SDPA-style path — the materialized score block. chunk = 0 means
+// unchunked (chunk = s).
+double peak_prefill_bytes(const ModelConfig& model, Index s, Index chunk, bool materialize_scores,
+                          double bytes_per_element = 2.0);
+
+// ---- sparsity scaling (Appendix A.4) ----
+
+// Extrapolates a kept fraction measured at s_measured to length s_target
+// using the paper's ~20%-per-doubling reduction; never below `floor`.
+double extrapolate_kept_fraction(double kept_at_measured, Index s_measured, Index s_target,
+                                 double per_doubling = 0.80, double floor = 0.005);
+
+}  // namespace sattn

@@ -1,0 +1,63 @@
+#include "perf/latency_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sattn {
+
+TextTable::TextTable(std::vector<std::string> header) { rows_.push_back(std::move(header)); }
+
+void TextTable::add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      out << rows_[r][c];
+      if (c + 1 < rows_[r].size()) {
+        out << std::string(widths[c] - rows_[r][c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+      out << std::string(total, '-') << '\n';
+    }
+  }
+  return out.str();
+}
+
+void TextTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, 100.0 * fraction);
+  return buf;
+}
+
+std::string fmt_ms(double seconds, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, 1000.0 * seconds);
+  return buf;
+}
+
+std::string fmt_speedup(double x, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fx", precision, x);
+  return buf;
+}
+
+}  // namespace sattn

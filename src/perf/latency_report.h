@@ -1,0 +1,43 @@
+// Text-table reporting shared by the bench binaries, plus a wall-clock
+// timer for the CPU-kernel measurements.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace sattn {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Fixed-width table printer: benches print the same rows/series the paper's
+// tables and figures report.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+  void print() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers.
+std::string fmt(double v, int precision = 2);
+std::string fmt_pct(double fraction, int precision = 1);   // 0.957 -> "95.7%"
+std::string fmt_ms(double seconds, int precision = 1);     // 0.0123 -> "12.3"
+std::string fmt_speedup(double x, int precision = 2);      // 2.2 -> "2.20x"
+
+}  // namespace sattn

@@ -1,0 +1,82 @@
+#include "runtime/chunked_prefill.h"
+
+#include <algorithm>
+
+#include "attention/flash_attention.h"
+
+namespace sattn {
+namespace {
+
+// Copies the chunk's queries and the key prefix [0, k_hi) into a standalone
+// AttentionInput whose causal offset (sk - sq) reproduces the original
+// causal structure for those rows.
+AttentionInput make_chunk(const AttentionInput& in, Index q_lo, Index q_hi, Index k_hi) {
+  const Index d = in.head_dim();
+  AttentionInput chunk;
+  chunk.q.resize(q_hi - q_lo, d);
+  chunk.k.resize(k_hi, d);
+  chunk.v.resize(k_hi, d);
+  for (Index i = q_lo; i < q_hi; ++i) {
+    auto src = in.q.row(i);
+    auto dst = chunk.q.row(i - q_lo);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  for (Index j = 0; j < k_hi; ++j) {
+    auto ks = in.k.row(j);
+    auto kd = chunk.k.row(j);
+    std::copy(ks.begin(), ks.end(), kd.begin());
+    auto vs = in.v.row(j);
+    auto vd = chunk.v.row(j);
+    std::copy(vs.begin(), vs.end(), vd.begin());
+  }
+  return chunk;
+}
+
+template <typename RunChunk>
+ChunkedPrefillResult run_chunked(const AttentionInput& in, Index chunk_size, KVCache* cache,
+                                 RunChunk run_chunk) {
+  const Index sq = in.sq(), d = in.head_dim();
+  assert(in.sq() == in.sk() && "chunked prefill expects a standard prefill shape");
+  assert(chunk_size > 0);
+  ChunkedPrefillResult res;
+  res.out.resize(sq, d);
+  double density_sum = 0.0;
+  for (Index q_lo = 0; q_lo < sq; q_lo += chunk_size) {
+    const Index q_hi = std::min(sq, q_lo + chunk_size);
+    const AttentionInput chunk = make_chunk(in, q_lo, q_hi, q_hi);
+    Matrix chunk_out;
+    density_sum += run_chunk(chunk, chunk_out);
+    for (Index i = q_lo; i < q_hi; ++i) {
+      auto src = chunk_out.row(i - q_lo);
+      auto dst = res.out.row(i);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+    if (cache != nullptr) {
+      for (Index j = q_lo; j < q_hi; ++j) cache->append(j, in.k.row(j), in.v.row(j));
+    }
+    ++res.chunks;
+  }
+  res.mean_density = res.chunks > 0 ? density_sum / res.chunks : 1.0;
+  return res;
+}
+
+}  // namespace
+
+ChunkedPrefillResult chunked_flash_prefill(const AttentionInput& in, Index chunk_size,
+                                           KVCache* cache) {
+  return run_chunked(in, chunk_size, cache, [](const AttentionInput& chunk, Matrix& out) {
+    flash_attention(chunk, out);
+    return 1.0;
+  });
+}
+
+ChunkedPrefillResult chunked_sample_prefill(const AttentionInput& in, Index chunk_size,
+                                            const SampleAttentionConfig& cfg, KVCache* cache) {
+  return run_chunked(in, chunk_size, cache, [&cfg](const AttentionInput& chunk, Matrix& out) {
+    SamplePlan plan;
+    sample_attention(chunk, cfg, out, &plan);
+    return plan.density;
+  });
+}
+
+}  // namespace sattn

@@ -1,0 +1,37 @@
+// Chunked prefill along the sequence dimension — the memory-efficiency
+// measure the paper's serving discussion (Appendix A.6 and Table 4 setup)
+// relies on for >= 128K requests.
+//
+// Queries are processed in chunks of `chunk_size`; each chunk attends the
+// key prefix that exists by its end, so the result is mathematically
+// identical to one-shot causal attention while peak intermediate memory is
+// O(chunk * prefix) instead of O(S^2)-shaped worst cases. Optionally fills
+// a KVCache for the subsequent decode phase.
+//
+// Two variants: exact flash attention per chunk, and SampleAttention per
+// chunk (each chunk plans its own mask against the current prefix — the
+// natural way to run SampleAttention under chunked serving).
+#pragma once
+
+#include "attention/attention_method.h"
+#include "runtime/kv_cache.h"
+#include "sample_attention/sample_attention.h"
+
+namespace sattn {
+
+struct ChunkedPrefillResult {
+  Matrix out;          // [Sq x d], identical layout to one-shot attention
+  Index chunks = 0;
+  double mean_density = 1.0;  // mean kept density across chunks (sparse variant)
+};
+
+// Exact chunked prefill. If cache != nullptr, all K/V rows are appended.
+ChunkedPrefillResult chunked_flash_prefill(const AttentionInput& in, Index chunk_size,
+                                           KVCache* cache = nullptr);
+
+// Chunked SampleAttention prefill: Stage-1/2 run per chunk over the prefix.
+ChunkedPrefillResult chunked_sample_prefill(const AttentionInput& in, Index chunk_size,
+                                            const SampleAttentionConfig& cfg,
+                                            KVCache* cache = nullptr);
+
+}  // namespace sattn

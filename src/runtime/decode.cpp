@@ -1,0 +1,32 @@
+#include "runtime/decode.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/numerics.h"
+
+namespace sattn {
+
+void decode_attention(std::span<const float> q_row, const KVCache& cache,
+                      std::span<float> out_row, std::vector<float>* weights) {
+  const Index d = cache.head_dim();
+  assert(static_cast<Index>(q_row.size()) == d);
+  assert(static_cast<Index>(out_row.size()) == d);
+  std::fill(out_row.begin(), out_row.end(), 0.0f);
+  const Index n = cache.size();
+  if (n == 0) {
+    if (weights != nullptr) weights->clear();
+    return;
+  }
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  std::vector<float> logits(static_cast<std::size_t>(n));
+  for (Index s = 0; s < n; ++s) logits[static_cast<std::size_t>(s)] = scale * dot(q_row, cache.k(s));
+  softmax_inplace(logits);
+  for (Index s = 0; s < n; ++s) {
+    const float p = logits[static_cast<std::size_t>(s)];
+    if (p != 0.0f) axpy(p, cache.v(s), out_row);
+  }
+  if (weights != nullptr) *weights = std::move(logits);
+}
+
+}  // namespace sattn

@@ -1,0 +1,21 @@
+// Decode-phase attention: one new query against the KV cache.
+//
+// The paper leaves decode untouched (uncompressed cache, exact attention);
+// these helpers provide that exact path plus the per-slot softmax weights
+// that score-based eviction policies (H2O) need to observe.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "runtime/kv_cache.h"
+
+namespace sattn {
+
+// Exact softmax attention of q_row over every cached slot. out_row must
+// have cache.head_dim() entries. If weights != nullptr it receives the
+// per-slot attention probabilities (resized to cache.size()).
+void decode_attention(std::span<const float> q_row, const KVCache& cache,
+                      std::span<float> out_row, std::vector<float>* weights = nullptr);
+
+}  // namespace sattn

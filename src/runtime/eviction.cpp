@@ -1,0 +1,60 @@
+#include "runtime/eviction.h"
+
+#include <algorithm>
+
+#include "core/numerics.h"
+
+namespace sattn {
+
+void H2OPolicy::observe(const KVCache& cache, std::span<const float> weights) {
+  assert(static_cast<Index>(weights.size()) == cache.size());
+  for (Index s = 0; s < cache.size(); ++s) {
+    const Index pos = cache.position(s);
+    if (static_cast<std::size_t>(pos) >= score_by_pos_.size()) {
+      score_by_pos_.resize(static_cast<std::size_t>(pos) + 1, 0.0);
+    }
+    score_by_pos_[static_cast<std::size_t>(pos)] += weights[static_cast<std::size_t>(s)];
+  }
+}
+
+bool H2OPolicy::enforce(KVCache& cache) {
+  const Index n = cache.size();
+  if (n <= budget_) return false;
+  const Index n_recent = std::min(recent_, n);
+  const Index n_heavy = budget_ - n_recent;
+
+  // Rank the non-recent slots by accumulated score.
+  std::vector<float> scores(static_cast<std::size_t>(n - n_recent));
+  for (Index s = 0; s < n - n_recent; ++s) {
+    const Index pos = cache.position(s);
+    scores[static_cast<std::size_t>(s)] =
+        static_cast<std::size_t>(pos) < score_by_pos_.size()
+            ? static_cast<float>(score_by_pos_[static_cast<std::size_t>(pos)])
+            : 0.0f;
+  }
+  std::vector<Index> keep = topk_indices(scores, n_heavy);
+  for (Index s = n - n_recent; s < n; ++s) keep.push_back(s);
+  std::sort(keep.begin(), keep.end());
+  cache.keep_slots(keep);
+  return true;
+}
+
+double H2OPolicy::accumulated_score(const KVCache& cache, Index pos) const {
+  if (cache.slot_of(pos) < 0) return 0.0;
+  return static_cast<std::size_t>(pos) < score_by_pos_.size()
+             ? score_by_pos_[static_cast<std::size_t>(pos)]
+             : 0.0;
+}
+
+bool SinkRecentPolicy::enforce(KVCache& cache) {
+  const Index n = cache.size();
+  if (n <= sinks_ + recent_) return false;
+  std::vector<Index> keep;
+  for (Index s = 0; s < n; ++s) {
+    if (cache.position(s) < sinks_ || s >= n - recent_) keep.push_back(s);
+  }
+  cache.keep_slots(keep);
+  return true;
+}
+
+}  // namespace sattn

@@ -1,0 +1,70 @@
+// KV-cache eviction policies for the decode phase.
+//
+// SampleAttention reduces prefill computation; these policies reduce decode
+// memory — the two compose (Section 1: "orthogonal and can be combined with
+// existing KV cache eviction approaches"). Implemented policies:
+//
+//   * H2OPolicy — Heavy-Hitter Oracle (Zhang et al., 2024): keep the tokens
+//     with the largest accumulated attention scores plus the most recent
+//     ones, evicting the rest once the cache exceeds its budget.
+//   * SinkRecentPolicy — StreamingLLM-style: keep the first `sinks` tokens
+//     and the most recent `recent` tokens unconditionally.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "runtime/kv_cache.h"
+
+namespace sattn {
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  // Called after every decode step with the step's attention weights over
+  // the current slots (same indexing as the cache).
+  virtual void observe(const KVCache& cache, std::span<const float> weights) = 0;
+
+  // Compacts the cache if it exceeds the policy's budget. Returns true if
+  // anything was evicted.
+  virtual bool enforce(KVCache& cache) = 0;
+};
+
+class H2OPolicy final : public EvictionPolicy {
+ public:
+  // budget: max slots kept after enforcement; recent: slots always kept
+  // from the tail; the remainder goes to the heaviest hitters.
+  H2OPolicy(Index budget, Index recent) : budget_(budget), recent_(recent) {
+    assert(budget > 0 && recent >= 0 && recent < budget);
+  }
+
+  void observe(const KVCache& cache, std::span<const float> weights) override;
+  bool enforce(KVCache& cache) override;
+
+  // Accumulated score of the slot holding `pos`, or 0 if evicted.
+  double accumulated_score(const KVCache& cache, Index pos) const;
+
+ private:
+  Index budget_;
+  Index recent_;
+  // Accumulated scores indexed by ORIGINAL POSITION (stable across
+  // compactions); lazily grown.
+  std::vector<double> score_by_pos_;
+};
+
+class SinkRecentPolicy final : public EvictionPolicy {
+ public:
+  SinkRecentPolicy(Index sinks, Index recent) : sinks_(sinks), recent_(recent) {
+    assert(sinks >= 0 && recent > 0);
+  }
+
+  void observe(const KVCache&, std::span<const float>) override {}  // stateless
+  bool enforce(KVCache& cache) override;
+
+ private:
+  Index sinks_;
+  Index recent_;
+};
+
+}  // namespace sattn

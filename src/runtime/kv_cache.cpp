@@ -1,0 +1,47 @@
+#include "runtime/kv_cache.h"
+
+#include <algorithm>
+
+namespace sattn {
+
+void KVCache::append(Index pos, std::span<const float> k_row, std::span<const float> v_row) {
+  assert(static_cast<Index>(k_row.size()) == d_ && static_cast<Index>(v_row.size()) == d_);
+  assert(positions_.empty() || pos > positions_.back());
+  k_.insert(k_.end(), k_row.begin(), k_row.end());
+  v_.insert(v_.end(), v_row.begin(), v_row.end());
+  positions_.push_back(pos);
+}
+
+void KVCache::append_prefill(const AttentionInput& in) {
+  assert(in.head_dim() == d_);
+  for (Index j = 0; j < in.sk(); ++j) append(j, in.k.row(j), in.v.row(j));
+}
+
+Index KVCache::slot_of(Index pos) const {
+  const auto it = std::lower_bound(positions_.begin(), positions_.end(), pos);
+  if (it == positions_.end() || *it != pos) return -1;
+  return static_cast<Index>(it - positions_.begin());
+}
+
+void KVCache::keep_slots(std::span<const Index> sorted_slots) {
+  std::vector<float> nk, nv;
+  std::vector<Index> npos;
+  nk.reserve(sorted_slots.size() * static_cast<std::size_t>(d_));
+  nv.reserve(sorted_slots.size() * static_cast<std::size_t>(d_));
+  npos.reserve(sorted_slots.size());
+  Index prev = -1;
+  for (Index slot : sorted_slots) {
+    assert(slot > prev && slot < size());
+    prev = slot;
+    const auto kr = k(slot);
+    const auto vr = v(slot);
+    nk.insert(nk.end(), kr.begin(), kr.end());
+    nv.insert(nv.end(), vr.begin(), vr.end());
+    npos.push_back(positions_[static_cast<std::size_t>(slot)]);
+  }
+  k_ = std::move(nk);
+  v_ = std::move(nv);
+  positions_ = std::move(npos);
+}
+
+}  // namespace sattn

@@ -1,0 +1,62 @@
+// Per-head KV cache for the decode phase.
+//
+// The paper evaluates SampleAttention at the prefill stage "while
+// maintaining an uncompressed KV cache in the decode phase", and notes the
+// method is orthogonal to KV-eviction work (H2O, StreamingLLM, FastGen).
+// This cache is the substrate for demonstrating that composition: prefill
+// fills it, decode reads it, and an EvictionPolicy (eviction.h) may compact
+// it under a memory budget.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace sattn {
+
+class KVCache {
+ public:
+  explicit KVCache(Index head_dim) : d_(head_dim) { assert(head_dim > 0); }
+
+  Index size() const { return static_cast<Index>(positions_.size()); }
+  Index head_dim() const { return d_; }
+  bool empty() const { return positions_.empty(); }
+
+  // Appends one key/value row for the token at original position `pos`.
+  void append(Index pos, std::span<const float> k_row, std::span<const float> v_row);
+
+  // Bulk-appends positions [0, in.sk()) from a prefill input.
+  void append_prefill(const AttentionInput& in);
+
+  std::span<const float> k(Index slot) const {
+    assert(slot >= 0 && slot < size());
+    return {k_.data() + static_cast<std::size_t>(slot * d_), static_cast<std::size_t>(d_)};
+  }
+  std::span<const float> v(Index slot) const {
+    assert(slot >= 0 && slot < size());
+    return {v_.data() + static_cast<std::size_t>(slot * d_), static_cast<std::size_t>(d_)};
+  }
+
+  // Original token position held in a slot (eviction makes slots sparse in
+  // position space).
+  Index position(Index slot) const {
+    assert(slot >= 0 && slot < size());
+    return positions_[static_cast<std::size_t>(slot)];
+  }
+
+  // Slot currently holding the given original position, or -1.
+  Index slot_of(Index pos) const;
+
+  // Compacts the cache to exactly the given slots (ascending, deduped,
+  // in-range required). Everything else is discarded.
+  void keep_slots(std::span<const Index> sorted_slots);
+
+ private:
+  Index d_ = 0;
+  std::vector<float> k_;
+  std::vector<float> v_;
+  std::vector<Index> positions_;
+};
+
+}  // namespace sattn

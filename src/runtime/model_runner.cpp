@@ -1,0 +1,43 @@
+#include "runtime/model_runner.h"
+
+#include <algorithm>
+
+#include "perf/latency_report.h"
+
+namespace sattn {
+
+PrefillReport run_prefill(const ModelConfig& model, const ContentSpec& content,
+                          const AttentionMethod& method, const PrefillOptions& opts) {
+  assert(opts.heads_per_layer > 0 && opts.layer_stride > 0);
+  PrefillReport report;
+  report.method = method.name();
+
+  WallTimer timer;
+  for (Index layer = 0; layer < model.n_layers; layer += opts.layer_stride) {
+    double layer_density = 0.0;
+    Index layer_heads = 0;
+    for (Index t = 0; t < std::min(opts.heads_per_layer, model.n_heads); ++t) {
+      // Spread the sampled heads across the head axis deterministically.
+      const Index head = (t * model.n_heads) / std::min(opts.heads_per_layer, model.n_heads) +
+                         layer % std::max<Index>(1, model.n_heads / opts.heads_per_layer);
+      const Index h = std::min(head, model.n_heads - 1);
+      const AttentionInput in = generate_attention(model, content, layer, h);
+      const AttentionResult res = method.run(in);
+      layer_density += res.density;
+      report.mean_overhead += res.overhead_density;
+      ++layer_heads;
+    }
+    report.per_layer_density.push_back(layer_density / static_cast<double>(layer_heads));
+    report.layers.push_back(layer);
+    report.mean_density += layer_density;
+    report.heads_run += layer_heads;
+  }
+  report.seconds = timer.seconds();
+  if (report.heads_run > 0) {
+    report.mean_density /= static_cast<double>(report.heads_run);
+    report.mean_overhead /= static_cast<double>(report.heads_run);
+  }
+  return report;
+}
+
+}  // namespace sattn

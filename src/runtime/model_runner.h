@@ -1,0 +1,37 @@
+// Model-level prefill runner: executes an attention method over the whole
+// (layers x heads) grid of a model config on the substrate, aggregating
+// density / overhead / wall-clock statistics. This is the closest the
+// library gets to "replace the attention op inside the model": everything a
+// serving integration would observe per request is collected here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attention/attention_method.h"
+#include "model/synthetic_model.h"
+
+namespace sattn {
+
+struct PrefillOptions {
+  // Heads sampled per layer (running all 32 heads of all layers on CPU is
+  // possible but slow; the sampled statistics converge quickly).
+  Index heads_per_layer = 2;
+  // If >0, run only every stride-th layer.
+  Index layer_stride = 1;
+};
+
+struct PrefillReport {
+  std::string method;
+  Index heads_run = 0;
+  double seconds = 0.0;           // wall-clock across all heads run
+  double mean_density = 0.0;      // kept fraction of causal score entries
+  double mean_overhead = 0.0;     // planning overhead fraction
+  std::vector<double> per_layer_density;  // indexed by layer (run layers only)
+  std::vector<Index> layers;              // which layers were run
+};
+
+PrefillReport run_prefill(const ModelConfig& model, const ContentSpec& content,
+                          const AttentionMethod& method, const PrefillOptions& opts = {});
+
+}  // namespace sattn

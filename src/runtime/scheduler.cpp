@@ -1,0 +1,129 @@
+#include "runtime/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "core/rng.h"
+
+namespace sattn {
+
+double Engine::prefill_seconds(Index prompt_tokens) const {
+  const double linear = linear_parts_seconds(model, prompt_tokens, gpu);
+  switch (kind) {
+    case EngineKind::kSdpa:
+      return sdpa_seconds(model, prompt_tokens, gpu) + linear;
+    case EngineKind::kFlashAttention:
+      return flash_attention_seconds(model, prompt_tokens, gpu) + linear;
+    case EngineKind::kSampleAttention: {
+      const double wd_measured = window_band_density(density_measured_at, window_ratio);
+      const double stripes = std::max(0.0, kept_density - wd_measured);
+      const double wd = window_band_density(prompt_tokens, window_ratio);
+      const double kept =
+          wd + extrapolate_kept_fraction(stripes, density_measured_at, prompt_tokens);
+      return sample_attention_seconds(model, prompt_tokens, gpu, kept, overhead_density, wd)
+                 .total_seconds +
+             linear;
+    }
+  }
+  return linear;
+}
+
+std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> requests,
+                                             const Engine& engine, Index chunk_quantum_tokens) {
+  std::vector<ServingRequest> sorted(requests.begin(), requests.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ServingRequest& a, const ServingRequest& b) {
+                     return a.arrival_seconds < b.arrival_seconds;
+                   });
+
+  struct InFlight {
+    ServingRequest req;
+    double remaining = 0.0;  // prefill seconds left
+    double start = -1.0;
+  };
+
+  std::vector<CompletedRequest> done;
+  std::deque<InFlight> queue;
+  std::size_t next = 0;
+  double now = 0.0;
+
+  const auto admit_until = [&](double t) {
+    while (next < sorted.size() && sorted[next].arrival_seconds <= t) {
+      queue.push_back({sorted[next], engine.prefill_seconds(sorted[next].prompt_tokens), -1.0});
+      ++next;
+    }
+  };
+
+  while (next < sorted.size() || !queue.empty()) {
+    if (queue.empty()) {
+      now = std::max(now, sorted[next].arrival_seconds);
+      admit_until(now);
+      continue;
+    }
+    InFlight job = queue.front();
+    queue.pop_front();
+    if (job.start < 0.0) job.start = now;
+
+    double slice = job.remaining;
+    if (chunk_quantum_tokens > 0) {
+      // A chunk quantum's duration scales with the request's own prefill
+      // cost per token (quadratic requests get proportionally long quanta
+      // per chunk, which is how chunked prefill behaves in practice).
+      const double per_token =
+          job.remaining > 0.0 && job.req.prompt_tokens > 0
+              ? engine.prefill_seconds(job.req.prompt_tokens) /
+                    static_cast<double>(job.req.prompt_tokens)
+              : 0.0;
+      slice = std::min(job.remaining,
+                       per_token * static_cast<double>(chunk_quantum_tokens));
+      slice = std::max(slice, 1e-9);
+    }
+    now += slice;
+    job.remaining -= slice;
+    admit_until(now);
+    if (job.remaining <= 1e-12) {
+      done.push_back({job.req, job.start, now});
+    } else {
+      queue.push_back(job);  // round-robin
+    }
+  }
+  return done;
+}
+
+ServingSummary summarize(std::span<const CompletedRequest> completed) {
+  ServingSummary s;
+  if (completed.empty()) return s;
+  for (const CompletedRequest& c : completed) {
+    s.mean_ttft += c.ttft();
+    s.max_ttft = std::max(s.max_ttft, c.ttft());
+    s.mean_queueing += c.queueing();
+    s.makespan = std::max(s.makespan, c.finish_seconds);
+  }
+  s.mean_ttft /= static_cast<double>(completed.size());
+  s.mean_queueing /= static_cast<double>(completed.size());
+  return s;
+}
+
+std::vector<ServingRequest> synthetic_trace(Index count, Index min_tokens, Index max_tokens,
+                                            double mean_interarrival_seconds,
+                                            std::uint64_t seed) {
+  assert(min_tokens > 0 && max_tokens >= min_tokens && count > 0);
+  Rng rng(seed);
+  std::vector<ServingRequest> trace;
+  double t = 0.0;
+  const double lo = std::log(static_cast<double>(min_tokens));
+  const double hi = std::log(static_cast<double>(max_tokens));
+  for (Index r = 0; r < count; ++r) {
+    ServingRequest req;
+    req.id = "req-" + std::to_string(r);
+    req.prompt_tokens = static_cast<Index>(std::llround(std::exp(rng.uniform(lo, hi))));
+    // Exponential inter-arrivals.
+    t += -mean_interarrival_seconds * std::log(std::max(1e-12, rng.uniform()));
+    req.arrival_seconds = t;
+    trace.push_back(std::move(req));
+  }
+  return trace;
+}
+
+}  // namespace sattn

@@ -1,0 +1,80 @@
+// Serving-queue simulator: what SampleAttention's prefill speedup means for
+// a stream of long-context requests on one device.
+//
+// TTFT in production is queueing + prefill; because prefill time is
+// quadratic in prompt length, one 256K request parked in front of the queue
+// dominates everyone's TTFT. The simulator plays an arrival trace through a
+// FCFS (optionally chunk-preemptive round-robin) single-device queue whose
+// per-request prefill latency comes from the calibrated A100 cost model,
+// for either a FlashAttention2 engine or a SampleAttention engine with
+// measured densities. The serving bench uses it to extend the paper's
+// Table 4 / Fig 1 story from single requests to queues.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "perf/cost_model.h"
+#include "sample_attention/sample_attention.h"
+
+namespace sattn {
+
+struct ServingRequest {
+  std::string id;
+  Index prompt_tokens = 0;
+  double arrival_seconds = 0.0;
+};
+
+enum class EngineKind { kSdpa, kFlashAttention, kSampleAttention };
+
+// Latency model of one serving engine.
+struct Engine {
+  ModelConfig model = chatglm2_6b();
+  GpuSpec gpu = a100_single();
+  EngineKind kind = EngineKind::kFlashAttention;
+
+  // SampleAttention inputs, measured on the substrate (see bench_fig5):
+  // kept/window densities at `density_measured_at` tokens and the Stage-1
+  // overhead fraction.
+  double kept_density = 0.25;
+  double overhead_density = 0.05;
+  Index density_measured_at = 4096;
+  double window_ratio = 0.08;
+
+  // Prefill seconds for one request of the given prompt length.
+  double prefill_seconds(Index prompt_tokens) const;
+};
+
+struct CompletedRequest {
+  ServingRequest request;
+  double start_seconds = 0.0;    // when prefill began
+  double finish_seconds = 0.0;   // TTFT instant
+  double ttft() const { return finish_seconds - request.arrival_seconds; }
+  double queueing() const { return start_seconds - request.arrival_seconds; }
+};
+
+struct ServingSummary {
+  double mean_ttft = 0.0;
+  double max_ttft = 0.0;
+  double mean_queueing = 0.0;
+  double makespan = 0.0;  // finish of the last request
+};
+
+// FCFS single-device queue. If chunk_quantum_tokens > 0, prefill runs in
+// chunk-sized quanta with round-robin between queued requests (bounds the
+// head-of-line blocking a huge request causes).
+std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> requests,
+                                             const Engine& engine,
+                                             Index chunk_quantum_tokens = 0);
+
+ServingSummary summarize(std::span<const CompletedRequest> completed);
+
+// A reproducible arrival trace: `count` requests with lengths log-uniform in
+// [min_tokens, max_tokens] and exponential inter-arrival times of the given
+// mean.
+std::vector<ServingRequest> synthetic_trace(Index count, Index min_tokens, Index max_tokens,
+                                            double mean_interarrival_seconds,
+                                            std::uint64_t seed = 0x7e1ull);
+
+}  // namespace sattn

@@ -1,0 +1,47 @@
+#include "sample_attention/adaptive.h"
+
+#include <algorithm>
+
+#include "attention/sparse_flash_attention.h"
+
+namespace sattn {
+
+AdaptiveAlphaController::AdaptiveAlphaController(AdaptiveConfig cfg)
+    : cfg_(cfg), current_(cfg.base) {
+  assert(cfg_.alpha_min < cfg_.alpha_max);
+  current_.alpha = std::clamp(current_.alpha, cfg_.alpha_min, cfg_.alpha_max);
+}
+
+double AdaptiveAlphaController::estimated_cra(const SamplePlan& plan) {
+  const SampleStats& s = plan.stage1;
+  if (s.total_mass <= 0.0) return 1.0;
+  const double window_frac = s.window_mass / s.total_mass;
+  // filter.coverage is the selected columns' share of the residual (non-
+  // window) statistic; an empty selection means the window alone was enough.
+  const double stripe_frac = plan.filter.kv_indices.empty()
+                                 ? 0.0
+                                 : plan.filter.coverage * (1.0 - window_frac);
+  return std::min(1.0, window_frac + stripe_frac);
+}
+
+void AdaptiveAlphaController::feedback(const SamplePlan& plan) {
+  ++requests_;
+  const double est = estimated_cra(plan);
+  if (est < cfg_.target_cra - cfg_.band) {
+    current_.alpha = std::min(cfg_.alpha_max, current_.alpha + cfg_.step);
+  } else if (est > cfg_.target_cra + cfg_.band) {
+    current_.alpha = std::max(cfg_.alpha_min, current_.alpha - cfg_.step);
+  }
+}
+
+AttentionResult AdaptiveAlphaController::run(const AttentionInput& in) {
+  SamplePlan plan;
+  AttentionResult res;
+  sample_attention(in, current_, res.out, &plan);
+  res.density = plan.density;
+  res.overhead_density = plan.overhead_fraction;
+  feedback(plan);
+  return res;
+}
+
+}  // namespace sattn

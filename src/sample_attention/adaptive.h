@@ -1,0 +1,53 @@
+// Runtime hyperparameter autotuning — the paper's Appendix A.6 future-work
+// item ("implement autotuning of these hyperparameters during task runtime,
+// enabling SampleAttention to consistently achieve high accuracy and low
+// latency across diverse sequence lengths and scenarios").
+//
+// The controller closes the loop on alpha: after every request it estimates
+// the CRA its plan actually achieved (window mass measured in Stage-1 plus
+// the selected stripes' residual coverage) and nudges alpha so the estimate
+// tracks a target band — raising alpha when requests come in under target
+// (accuracy risk) and lowering it when the plan overshoots (latency waste).
+#pragma once
+
+#include "sample_attention/sample_attention.h"
+
+namespace sattn {
+
+struct AdaptiveConfig {
+  SampleAttentionConfig base;   // starting point (alpha is the tuned knob)
+  double target_cra = 0.95;     // coverage the controller steers toward
+  double band = 0.02;           // dead band around the target
+  double step = 0.01;           // alpha adjustment per request
+  double alpha_min = 0.70;
+  double alpha_max = 0.99;
+};
+
+class AdaptiveAlphaController {
+ public:
+  explicit AdaptiveAlphaController(AdaptiveConfig cfg = {});
+
+  // Current operating configuration.
+  const SampleAttentionConfig& config() const { return current_; }
+
+  // Estimated CRA of a plan from its own Stage-1 statistics: the measured
+  // window mass fraction plus the selected columns' share of the residual.
+  static double estimated_cra(const SamplePlan& plan);
+
+  // Runs SampleAttention with the current config and adapts alpha from the
+  // plan's estimated CRA. Returns the attention result.
+  AttentionResult run(const AttentionInput& in);
+
+  // Feedback path without running (e.g. when the caller executed the plan
+  // itself): adapts alpha from an externally produced plan.
+  void feedback(const SamplePlan& plan);
+
+  Index requests_seen() const { return requests_; }
+
+ private:
+  AdaptiveConfig cfg_;
+  SampleAttentionConfig current_;
+  Index requests_ = 0;
+};
+
+}  // namespace sattn

@@ -1,0 +1,71 @@
+#include "sample_attention/filtering.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/numerics.h"
+
+namespace sattn {
+
+FilterResult filter_kv_indices(std::span<const float> column_weight, const FilterConfig& cfg) {
+  FilterResult res;
+  const auto sk = static_cast<Index>(column_weight.size());
+  if (sk == 0) return res;
+  assert(cfg.alpha > 0.0 && cfg.alpha <= 1.0);
+  assert(cfg.pre_covered >= 0.0 && cfg.pre_covered <= 1.0);
+
+  // Residual coverage target after accounting for window-guaranteed mass.
+  double target = cfg.alpha;
+  if (cfg.pre_covered > 0.0) {
+    target = cfg.pre_covered >= 1.0
+                 ? 0.0
+                 : std::clamp((cfg.alpha - cfg.pre_covered) / (1.0 - cfg.pre_covered), 0.0, 1.0);
+  }
+  if (target <= 0.0) return res;  // window alone already meets alpha
+
+  // SortedWeight = SampleWeight.sort(descending); WeightSum = sum.
+  const std::vector<Index> order = argsort_desc(column_weight);
+  std::vector<float> sorted(static_cast<std::size_t>(sk));
+  for (Index r = 0; r < sk; ++r)
+    sorted[static_cast<std::size_t>(r)] = column_weight[static_cast<std::size_t>(order[static_cast<std::size_t>(r)])];
+  const std::vector<double> prefix = prefix_sum(sorted);
+  const double total = prefix.back();
+  if (total <= 0.0) {
+    // Degenerate (no mass sampled): keep nothing; the window mask still
+    // guarantees a non-empty row downstream.
+    return res;
+  }
+
+  Index keep = 0;
+  if (cfg.mode == FilterMode::kExact) {
+    // Minimal prefix whose coverage reaches alpha.
+    const double need = target * total;
+    const auto it = std::lower_bound(prefix.begin(), prefix.end(), need);
+    keep = static_cast<Index>(it - prefix.begin()) + 1;
+    keep = std::min(keep, sk);
+  } else {
+    // Algorithm 1: coverage at each bucket cut, then searchsorted(alpha).
+    assert(!cfg.bucket_ratios.empty());
+    std::vector<double> sd_sample_list;
+    sd_sample_list.reserve(cfg.bucket_ratios.size());
+    std::vector<Index> cuts;
+    cuts.reserve(cfg.bucket_ratios.size());
+    for (double ratio : cfg.bucket_ratios) {
+      Index cut = static_cast<Index>(std::llround(ratio * static_cast<double>(sk)));
+      cut = std::clamp<Index>(cut, 1, sk);
+      cuts.push_back(cut);
+      sd_sample_list.push_back(prefix[static_cast<std::size_t>(cut - 1)] / total);
+    }
+    const Index bucket = searchsorted(sd_sample_list, target);
+    keep = cuts[static_cast<std::size_t>(std::min<Index>(bucket, static_cast<Index>(cuts.size()) - 1))];
+  }
+
+  res.kv_indices.assign(order.begin(), order.begin() + keep);
+  std::sort(res.kv_indices.begin(), res.kv_indices.end());
+  res.kv_ratio = static_cast<double>(keep) / static_cast<double>(sk);
+  res.coverage = prefix[static_cast<std::size_t>(keep - 1)] / total;
+  return res;
+}
+
+}  // namespace sattn

@@ -1,0 +1,46 @@
+// Stage-2: Score-Based Key-Value Filtering (Section 4.2, Figure 3 step 2).
+//
+// Given the column-accumulated sampled scores from Stage-1, select the
+// minimum set of key columns I_KV whose retained mass meets the CRA
+// threshold alpha (Eq. 6, relaxed to the column statistic). The paper's
+// Algorithm 1 does this with a coarse bucket list: sort descending, compute
+// the coverage at a fixed list of prefix ratios, `searchsorted` the list for
+// alpha, and keep the corresponding top-k indices. We implement that
+// faithfully (kBucketed) and also the exact minimal prefix (kExact), which
+// DESIGN.md calls out as an ablation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace sattn {
+
+enum class FilterMode {
+  kBucketed,  // Algorithm 1's prefixsum_sample_list + searchsorted
+  kExact      // minimal k with coverage >= alpha
+};
+
+struct FilterConfig {
+  double alpha = 0.95;
+  // Fraction of each row's mass already guaranteed by the merged window
+  // mask (Stage-1's window_mass / total_mass). The effective coverage
+  // target on the residual column statistic becomes
+  // (alpha - pre_covered) / (1 - pre_covered), clamped to [0, 1].
+  double pre_covered = 0.0;
+  FilterMode mode = FilterMode::kBucketed;
+  // Algorithm 1's example list; fractions of Sk, ascending, last must be 1.
+  std::vector<double> bucket_ratios = {0.0125, 0.025, 0.05, 0.1, 0.2, 0.4, 0.8, 1.0};
+};
+
+struct FilterResult {
+  std::vector<Index> kv_indices;  // I_KV, sorted ascending
+  double kv_ratio = 0.0;          // |I_KV| / Sk
+  double coverage = 0.0;          // retained fraction of total column mass
+};
+
+// Selects I_KV from the Stage-1 column weights.
+FilterResult filter_kv_indices(std::span<const float> column_weight, const FilterConfig& cfg);
+
+}  // namespace sattn

@@ -1,0 +1,46 @@
+#include "sample_attention/layer_plan.h"
+
+#include "attention/sparse_flash_attention.h"
+
+namespace sattn {
+
+LayerPlan plan_layer(const ModelConfig& model, const ContentSpec& content, Index layer,
+                     const LayerPlanOptions& opts) {
+  LayerPlan plan;
+  plan.head_plans.reserve(static_cast<std::size_t>(model.n_heads));
+  const Index group = gqa_group_size(model);
+
+  for (Index head = 0; head < model.n_heads; ++head) {
+    const bool is_group_leader = !opts.share_within_kv_group || head % group == 0;
+    if (is_group_leader) {
+      const AttentionInput in = generate_attention(model, content, layer, head);
+      plan.head_plans.push_back(plan_sample_attention(in, opts.cfg));
+      plan.mean_overhead += plan.head_plans.back().overhead_fraction;
+      ++plan.planned_heads;
+    } else {
+      // Reuse the group leader's selection; the window is identical by
+      // construction and the leader's I_KV stands in for the group.
+      SamplePlan shared = plan.head_plans[static_cast<std::size_t>(head - head % group)];
+      shared.overhead_fraction = 0.0;  // amortized into the leader's stage-1
+      plan.head_plans.push_back(std::move(shared));
+    }
+    plan.mean_density += plan.head_plans.back().density;
+  }
+  plan.mean_density /= static_cast<double>(model.n_heads);
+  plan.mean_overhead /= static_cast<double>(model.n_heads);
+  return plan;
+}
+
+std::vector<Matrix> run_layer(const ModelConfig& model, const ContentSpec& content, Index layer,
+                              const LayerPlan& plan) {
+  assert(static_cast<Index>(plan.head_plans.size()) == model.n_heads);
+  std::vector<Matrix> outputs(static_cast<std::size_t>(model.n_heads));
+  for (Index head = 0; head < model.n_heads; ++head) {
+    const AttentionInput in = generate_attention(model, content, layer, head);
+    sparse_flash_attention(in, plan.head_plans[static_cast<std::size_t>(head)].mask,
+                           outputs[static_cast<std::size_t>(head)]);
+  }
+  return outputs;
+}
+
+}  // namespace sattn

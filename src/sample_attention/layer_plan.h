@@ -1,0 +1,45 @@
+// Layer-level planning: SampleAttention across all heads of one layer.
+//
+// The paper selects I_KV per head ("separately select top-k key-value
+// indices ... for each head"). Both evaluated models use grouped-query
+// attention, which enables a cheaper variant this module exposes as an
+// ablation: plan Stage-1/2 once per KV group (the group's query heads share
+// keys, so their column statistics are strongly correlated) and reuse the
+// selected I_KV across the group — cutting planning overhead by the group
+// size at a measurable accuracy cost.
+#pragma once
+
+#include <vector>
+
+#include "model/synthetic_model.h"
+#include "sample_attention/sample_attention.h"
+
+namespace sattn {
+
+struct LayerPlanOptions {
+  SampleAttentionConfig cfg;
+  // Plan once per KV group and share I_KV within the group.
+  bool share_within_kv_group = false;
+};
+
+struct LayerPlan {
+  std::vector<SamplePlan> head_plans;  // indexed by query head
+  double mean_density = 0.0;
+  double mean_overhead = 0.0;  // planning work per head, averaged
+  Index planned_heads = 0;     // heads that ran Stage-1/2 themselves
+};
+
+// Plans every head of `layer` for the given content.
+LayerPlan plan_layer(const ModelConfig& model, const ContentSpec& content, Index layer,
+                     const LayerPlanOptions& opts = {});
+
+// Executes the plan: sparse attention per head. outputs[h] is [S x d].
+std::vector<Matrix> run_layer(const ModelConfig& model, const ContentSpec& content, Index layer,
+                              const LayerPlan& plan);
+
+// Query heads per KV group for a model config.
+inline Index gqa_group_size(const ModelConfig& model) {
+  return model.n_kv_heads > 0 ? std::max<Index>(1, model.n_heads / model.n_kv_heads) : 1;
+}
+
+}  // namespace sattn

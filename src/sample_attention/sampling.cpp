@@ -1,0 +1,79 @@
+#include "sample_attention/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "attention/attention_method.h"
+#include "attention/score_utils.h"
+#include "core/rng.h"
+
+namespace sattn {
+namespace {
+
+std::vector<Index> pick_rows(Index sq, double row_ratio, SamplingPolicy policy,
+                             std::uint64_t rng_seed) {
+  row_ratio = std::clamp(row_ratio, 0.0, 1.0);
+  const Index l =
+      std::max<Index>(1, static_cast<Index>(std::llround(row_ratio * static_cast<double>(sq))));
+  switch (policy) {
+    case SamplingPolicy::kStride:
+      return stride_rows(sq, row_ratio);
+    case SamplingPolicy::kRandom: {
+      Rng rng(rng_seed ^ 0x53414d504c45ull);
+      auto rows = rng.sample_without_replacement(sq, std::min(l, sq));
+      std::sort(rows.begin(), rows.end());
+      return rows;
+    }
+    case SamplingPolicy::kTailOnly: {
+      std::vector<Index> rows;
+      for (Index i = std::max<Index>(0, sq - l); i < sq; ++i) rows.push_back(i);
+      return rows;
+    }
+  }
+  return stride_rows(sq, row_ratio);
+}
+
+}  // namespace
+
+SampleStats sample_column_weights(const AttentionInput& in, double row_ratio,
+                                  SamplingPolicy policy, Index exclude_window,
+                                  std::uint64_t rng_seed) {
+  const Index sq = in.sq(), sk = in.sk();
+  SampleStats st;
+  st.sampled_rows = pick_rows(sq, row_ratio, policy, rng_seed);
+
+  std::vector<double> acc(static_cast<std::size_t>(sk), 0.0);
+  st.distance_bucket_width = std::max<Index>(1, (sk + SampleStats::kDistanceBuckets - 1) /
+                                                    SampleStats::kDistanceBuckets);
+  st.distance_hist.assign(SampleStats::kDistanceBuckets, 0.0);
+  for_each_score_row(in, st.sampled_rows, [&](Index i, std::span<const float> p) {
+    const Index lim = causal_limit(i, sq, sk);
+    const Index win_lo =
+        exclude_window > 0 ? std::max<Index>(0, lim - exclude_window + 1) : lim + 1;
+    double row_total = 0.0, row_window = 0.0;
+    for (Index j = 0; j < win_lo; ++j) acc[static_cast<std::size_t>(j)] += p[static_cast<std::size_t>(j)];
+    for (Index j = 0; j <= lim; ++j) {
+      const float pj = p[static_cast<std::size_t>(j)];
+      row_total += pj;
+      st.distance_hist[static_cast<std::size_t>(
+          std::min<Index>(SampleStats::kDistanceBuckets - 1, (lim - j) / st.distance_bucket_width))] +=
+          pj;
+    }
+    for (Index j = win_lo; j <= lim; ++j) row_window += p[static_cast<std::size_t>(j)];
+    st.total_mass += row_total;
+    st.window_mass += row_window;
+    st.score_evals += static_cast<double>(lim + 1);
+  });
+
+  st.column_weight.resize(acc.size());
+  std::transform(acc.begin(), acc.end(), st.column_weight.begin(),
+                 [](double v) { return static_cast<float>(v); });
+  return st;
+}
+
+double sampling_overhead_fraction(const SampleStats& stats, Index sq, Index sk) {
+  const double denom = causal_pairs(sq, sk);
+  return denom > 0.0 ? stats.score_evals / denom : 0.0;
+}
+
+}  // namespace sattn

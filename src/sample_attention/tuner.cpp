@@ -1,0 +1,64 @@
+#include "sample_attention/tuner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "attention/full_attention.h"
+#include "metrics/recovery.h"
+
+namespace sattn {
+
+TunerReport tune_hyperparameters(std::span<const AttentionInput> profiling_requests,
+                                 const TunerOptions& opts) {
+  TunerReport report;
+
+  // Full-attention references, computed once per request.
+  std::vector<Matrix> references(profiling_requests.size());
+  for (std::size_t r = 0; r < profiling_requests.size(); ++r) {
+    full_attention(profiling_requests[r], references[r]);
+  }
+
+  for (double alpha : opts.alphas) {
+    for (double row_ratio : opts.row_ratios) {
+      for (double window_ratio : opts.window_ratios) {
+        TunerEntry entry;
+        entry.cfg.alpha = alpha;
+        entry.cfg.row_ratio = row_ratio;
+        entry.cfg.window_ratio = window_ratio;
+
+        double cost_sum = 0.0;
+        for (std::size_t r = 0; r < profiling_requests.size(); ++r) {
+          Matrix out;
+          SamplePlan plan;
+          sample_attention(profiling_requests[r], entry.cfg, out, &plan);
+          const RecoveryStats rec = recovery_stats(out, references[r]);
+          entry.worst_rel_l1 = std::max(entry.worst_rel_l1, rec.rel_l1);
+          cost_sum += plan.density + plan.overhead_fraction;
+        }
+        entry.mean_cost = profiling_requests.empty()
+                              ? 1.0
+                              : cost_sum / static_cast<double>(profiling_requests.size());
+        entry.feasible = entry.worst_rel_l1 <= opts.max_rel_l1;
+        report.entries.push_back(entry);
+      }
+    }
+  }
+
+  // Cheapest feasible; fall back to the most accurate if nothing qualifies.
+  double best_cost = std::numeric_limits<double>::infinity();
+  double best_err = std::numeric_limits<double>::infinity();
+  for (const TunerEntry& e : report.entries) {
+    if (e.feasible && e.mean_cost < best_cost) {
+      best_cost = e.mean_cost;
+      report.best = e.cfg;
+      report.found_feasible = true;
+    }
+    if (!report.found_feasible && e.worst_rel_l1 < best_err) {
+      best_err = e.worst_rel_l1;
+      report.best = e.cfg;
+    }
+  }
+  return report;
+}
+
+}  // namespace sattn

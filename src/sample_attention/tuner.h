@@ -1,0 +1,45 @@
+// Offline hyperparameter profiling (Section 4.2, Table 1).
+//
+// The paper fixes (alpha, r_row, r_w%) per model via lightweight offline
+// profiling over a small set of long-context requests (22 requests,
+// 25K–96K in the paper; the substrate's scaled-down profiling set lives in
+// model/workload.h). The tuner evaluates a grid of configurations against
+// the full-attention output on each profiling request, keeps those that are
+// near-lossless (relative L1 output error under a tolerance on every
+// request), and returns the cheapest — cost being the attention work
+// fraction: mask density + Stage-1 sampling overhead.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sample_attention/sample_attention.h"
+
+namespace sattn {
+
+struct TunerOptions {
+  std::vector<double> alphas = {0.80, 0.90, 0.95, 0.98};
+  std::vector<double> row_ratios = {0.02, 0.05, 0.10};
+  std::vector<double> window_ratios = {0.04, 0.08};
+  // Near-lossless criterion: worst-case relative L1 output error across the
+  // profiling requests must stay below this.
+  double max_rel_l1 = 0.05;
+};
+
+struct TunerEntry {
+  SampleAttentionConfig cfg;
+  double worst_rel_l1 = 0.0;  // max over requests
+  double mean_cost = 0.0;     // mean(density + overhead) over requests
+  bool feasible = false;
+};
+
+struct TunerReport {
+  SampleAttentionConfig best;   // cheapest feasible entry
+  bool found_feasible = false;  // false => best is the most accurate entry
+  std::vector<TunerEntry> entries;
+};
+
+TunerReport tune_hyperparameters(std::span<const AttentionInput> profiling_requests,
+                                 const TunerOptions& opts = {});
+
+}  // namespace sattn

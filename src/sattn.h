@@ -1,0 +1,62 @@
+// Umbrella header: the library's public API in one include.
+//
+//   #include "sattn.h"
+//
+// Fine-grained headers remain available for faster builds; this is the
+// convenience entry point used by downstream applications and the examples.
+#pragma once
+
+// Core substrate.
+#include "core/numerics.h"   // IWYU pragma: export
+#include "core/rng.h"        // IWYU pragma: export
+#include "core/tensor.h"     // IWYU pragma: export
+#include "core/thread_pool.h"  // IWYU pragma: export
+
+// Attention kernels and masks.
+#include "attention/attention_method.h"       // IWYU pragma: export
+#include "attention/block_sparse.h"           // IWYU pragma: export
+#include "attention/flash_attention.h"        // IWYU pragma: export
+#include "attention/full_attention.h"         // IWYU pragma: export
+#include "attention/masks.h"                  // IWYU pragma: export
+#include "attention/score_utils.h"            // IWYU pragma: export
+#include "attention/sparse_flash_attention.h" // IWYU pragma: export
+
+// SampleAttention.
+#include "sample_attention/adaptive.h"          // IWYU pragma: export
+#include "sample_attention/filtering.h"         // IWYU pragma: export
+#include "sample_attention/layer_plan.h"        // IWYU pragma: export
+#include "sample_attention/sample_attention.h"  // IWYU pragma: export
+#include "sample_attention/sampling.h"          // IWYU pragma: export
+#include "sample_attention/tuner.h"             // IWYU pragma: export
+
+// Baselines.
+#include "baselines/bigbird.h"          // IWYU pragma: export
+#include "baselines/hash_sparse.h"      // IWYU pragma: export
+#include "baselines/hyper_attention.h"  // IWYU pragma: export
+#include "baselines/streaming_llm.h"    // IWYU pragma: export
+
+// Model substrate, metrics, tasks.
+#include "metrics/cra.h"                 // IWYU pragma: export
+#include "metrics/recovery.h"            // IWYU pragma: export
+#include "metrics/sparsity.h"            // IWYU pragma: export
+#include "model/attention_structure.h"   // IWYU pragma: export
+#include "model/rope.h"                  // IWYU pragma: export
+#include "model/synthetic_model.h"       // IWYU pragma: export
+#include "model/workload.h"              // IWYU pragma: export
+#include "tasks/babilong.h"              // IWYU pragma: export
+#include "tasks/longbench.h"             // IWYU pragma: export
+#include "tasks/needle.h"                // IWYU pragma: export
+#include "tasks/scoring.h"               // IWYU pragma: export
+
+// Runtime, perf, I/O.
+#include "io/config_io.h"           // IWYU pragma: export
+#include "io/heatmap.h"             // IWYU pragma: export
+#include "io/report.h"              // IWYU pragma: export
+#include "perf/cost_model.h"        // IWYU pragma: export
+#include "perf/latency_report.h"    // IWYU pragma: export
+#include "runtime/chunked_prefill.h"  // IWYU pragma: export
+#include "runtime/decode.h"           // IWYU pragma: export
+#include "runtime/eviction.h"         // IWYU pragma: export
+#include "runtime/kv_cache.h"         // IWYU pragma: export
+#include "runtime/model_runner.h"     // IWYU pragma: export
+#include "runtime/scheduler.h"        // IWYU pragma: export

@@ -1,0 +1,38 @@
+#include "tasks/babilong.h"
+
+#include <algorithm>
+
+namespace sattn {
+
+std::vector<TaskInstance> make_babilong_suite(const BabiLongConfig& cfg) {
+  std::vector<TaskInstance> out;
+  for (std::size_t li = 0; li < cfg.lengths.size(); ++li) {
+    const Index length = cfg.lengths[li];
+    for (Index facts = 1; facts <= cfg.max_facts; ++facts) {
+      for (Index k = 0; k < cfg.instances_per_cell; ++k) {
+        const std::uint64_t seed = cfg.seed ^ (static_cast<std::uint64_t>(li) << 40) ^
+                                   (static_cast<std::uint64_t>(facts) << 20) ^
+                                   static_cast<std::uint64_t>(k);
+        Rng rng(seed);
+        TaskInstance inst;
+        inst.family = "babilong-qa" + std::to_string(facts);
+        inst.content = plain_prompt(seed, length);
+        inst.content.critical_span = std::clamp<Index>(length / 96, 4, 24);
+        for (Index f = 0; f < facts; ++f) {
+          inst.content.critical_positions.push_back(
+              std::min(length - 2, 4 + rng.uniform_index(std::max<Index>(1, length - 8))));
+        }
+        // Facts must be distinct positions.
+        auto& pos = inst.content.critical_positions;
+        std::sort(pos.begin(), pos.end());
+        pos.erase(std::unique(pos.begin(), pos.end()), pos.end());
+        inst.facts = pos;
+        inst.mode = ScoreMode::kStrictFacts;
+        out.push_back(std::move(inst));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sattn

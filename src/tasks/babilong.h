@@ -1,0 +1,28 @@
+// BABILong-style generative benchmark (Kuratov et al., 2024; paper §5.1).
+//
+// BABILong embeds bAbI-style reasoning tasks (single / two / three
+// supporting facts, counting, etc.) in long filler text. The substrate
+// mirrors the property that matters for sparse attention: an instance needs
+// ALL of its supporting facts retrieved to be answered, and facts sit at
+// independent random depths. Scoring is strict (all-or-nothing), which is
+// why weak sparse methods crater on this benchmark in Table 2.
+#pragma once
+
+#include <vector>
+
+#include "tasks/scoring.h"
+
+namespace sattn {
+
+struct BabiLongConfig {
+  std::vector<Index> lengths = {512, 1024, 2048};  // paper: 4K-88K
+  // Instances per (length, fact-count); fact counts are 1..3, mirroring
+  // qa1 (single supporting fact) through qa3 (three supporting facts).
+  Index instances_per_cell = 2;
+  Index max_facts = 3;
+  std::uint64_t seed = 0xbab1ull;
+};
+
+std::vector<TaskInstance> make_babilong_suite(const BabiLongConfig& cfg = {});
+
+}  // namespace sattn

@@ -1,0 +1,124 @@
+#include "tasks/longbench.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sattn {
+namespace {
+
+TaskInstance base_instance(const std::string& family, Index length, std::uint64_t seed) {
+  TaskInstance inst;
+  inst.family = family;
+  inst.content = plain_prompt(seed, length);
+  inst.content.critical_span = std::clamp<Index>(length / 96, 4, 24);
+  return inst;
+}
+
+TaskInstance single_doc_qa(Index length, std::uint64_t seed, Rng& rng) {
+  TaskInstance inst = base_instance("single_doc_qa", length, seed);
+  // One fact anywhere in the body of the document.
+  const Index pos = 8 + rng.uniform_index(std::max<Index>(1, length - 16));
+  inst.content.critical_positions = {pos};
+  inst.facts = inst.content.critical_positions;
+  inst.mode = ScoreMode::kFractionalFacts;
+  return inst;
+}
+
+TaskInstance multi_doc_qa(Index length, std::uint64_t seed, Rng& rng) {
+  TaskInstance inst = base_instance("multi_doc_qa", length, seed);
+  // Three facts, one per "document" third.
+  for (Index doc = 0; doc < 3; ++doc) {
+    const Index lo = doc * length / 3;
+    const Index span = std::max<Index>(1, length / 3 - 8);
+    inst.content.critical_positions.push_back(std::min(length - 2, lo + 4 + rng.uniform_index(span)));
+  }
+  inst.facts = inst.content.critical_positions;
+  inst.mode = ScoreMode::kFractionalFacts;
+  return inst;
+}
+
+TaskInstance summarization(Index length, std::uint64_t seed, Rng& rng) {
+  TaskInstance inst = base_instance("summarization", length, seed);
+  // Importance is diffuse: many moderately weighted positions, no needles.
+  const Index n = std::max<Index>(8, length / 24);
+  inst.content.diffuse_positions = rng.sample_without_replacement(length, std::min(n, length));
+  inst.content.diffuse_strength = 1.6;
+  inst.mode = ScoreMode::kFidelity;
+  return inst;
+}
+
+TaskInstance few_shot(Index length, std::uint64_t seed, Rng& rng) {
+  TaskInstance inst = base_instance("few_shot", length, seed);
+  // Four in-context examples at evenly spaced anchors, jittered slightly.
+  constexpr Index kShots = 4;
+  for (Index t = 0; t < kShots; ++t) {
+    const Index anchor = (2 * t + 1) * length / (2 * kShots);
+    const Index jitter = rng.uniform_index(std::max<Index>(1, length / 64)) -
+                         length / 128;
+    inst.content.critical_positions.push_back(std::clamp<Index>(anchor + jitter, 0, length - 2));
+  }
+  inst.facts = inst.content.critical_positions;
+  inst.mode = ScoreMode::kFractionalFacts;
+  return inst;
+}
+
+TaskInstance synthetic(Index length, std::uint64_t seed, Rng& rng) {
+  TaskInstance inst = base_instance("synthetic", length, seed);
+  // Strict retrieval of one mid-context token (depth 20%-80%): the stress
+  // case that separates content-aware from static sparse methods.
+  const Index lo = length / 5;
+  const Index hi = 4 * length / 5;
+  inst.content.critical_positions = {lo + rng.uniform_index(std::max<Index>(1, hi - lo))};
+  inst.facts = inst.content.critical_positions;
+  inst.mode = ScoreMode::kStrictFacts;
+  return inst;
+}
+
+TaskInstance code_completion(Index length, std::uint64_t seed, Rng& rng) {
+  TaskInstance inst = base_instance("code_completion", length, seed);
+  // The import block at the top (inside the sink region) and a recently
+  // defined symbol (inside any reasonable local window).
+  const Index import_pos = rng.uniform_index(4);
+  const Index recent_span = std::max<Index>(2, length / 32);
+  const Index recent_pos = length - 2 - rng.uniform_index(recent_span);
+  inst.content.critical_positions = {import_pos, recent_pos};
+  inst.facts = inst.content.critical_positions;
+  inst.mode = ScoreMode::kFractionalFacts;
+  return inst;
+}
+
+}  // namespace
+
+std::vector<TaskInstance> make_longbench_family(const std::string& family,
+                                                const LongBenchConfig& cfg) {
+  std::vector<TaskInstance> out;
+  std::uint64_t salt = 0;
+  for (char c : family) salt = salt * 131 + static_cast<unsigned char>(c);
+  for (std::size_t li = 0; li < cfg.lengths.size(); ++li) {
+    for (Index k = 0; k < cfg.instances_per_family_per_length; ++k) {
+      const std::uint64_t seed =
+          cfg.seed ^ (salt * 0x9e3779b97f4a7c15ull) ^ (static_cast<std::uint64_t>(li) << 32) ^
+          static_cast<std::uint64_t>(k);
+      Rng rng(seed);
+      const Index length = cfg.lengths[li];
+      if (family == "single_doc_qa") out.push_back(single_doc_qa(length, seed, rng));
+      else if (family == "multi_doc_qa") out.push_back(multi_doc_qa(length, seed, rng));
+      else if (family == "summarization") out.push_back(summarization(length, seed, rng));
+      else if (family == "few_shot") out.push_back(few_shot(length, seed, rng));
+      else if (family == "synthetic") out.push_back(synthetic(length, seed, rng));
+      else if (family == "code_completion") out.push_back(code_completion(length, seed, rng));
+      else assert(false && "unknown LongBench family");
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<TaskInstance>> make_longbench_suite(const LongBenchConfig& cfg) {
+  std::vector<std::vector<TaskInstance>> suite;
+  for (const std::string& family : longbench_families()) {
+    suite.push_back(make_longbench_family(family, cfg));
+  }
+  return suite;
+}
+
+}  // namespace sattn

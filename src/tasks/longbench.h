@@ -1,0 +1,46 @@
+// LongBench-style multi-task suite (Bai et al., 2023; paper Section 5.1).
+//
+// Six task families mirroring LongBench's categories, each built so its
+// difficulty profile under sparse attention matches the mechanism that
+// drives the paper's Table 2 spread:
+//
+//   single_doc_qa    — one buried fact; pure retrieval.
+//   multi_doc_qa     — several facts at independent depths; partial credit.
+//   summarization    — no facts, diffuse importance; fidelity-scored, so
+//                      methods keeping most attention mass score high.
+//   few_shot         — facts at evenly spaced "example" positions; static
+//                      evenly-spaced globals (BigBird) catch many of them.
+//   synthetic        — strict mid-context retrieval; the family that
+//                      collapses for window-only and hash methods.
+//   code_completion  — one fact among the sink tokens (the import block) and
+//                      one recent fact inside the local window, so
+//                      sink+window methods stay competitive.
+#pragma once
+
+#include <vector>
+
+#include "tasks/scoring.h"
+
+namespace sattn {
+
+struct LongBenchConfig {
+  std::vector<Index> lengths = {512, 1024, 2048};  // paper: 4K-35K
+  Index instances_per_family_per_length = 2;
+  std::uint64_t seed = 0x10b6ull;
+};
+
+inline const std::vector<std::string>& longbench_families() {
+  static const std::vector<std::string> kFamilies = {
+      "single_doc_qa", "multi_doc_qa", "summarization",
+      "few_shot",      "synthetic",    "code_completion"};
+  return kFamilies;
+}
+
+// All instances of one family.
+std::vector<TaskInstance> make_longbench_family(const std::string& family,
+                                                const LongBenchConfig& cfg = {});
+
+// The full suite, grouped per family (same order as longbench_families()).
+std::vector<std::vector<TaskInstance>> make_longbench_suite(const LongBenchConfig& cfg = {});
+
+}  // namespace sattn

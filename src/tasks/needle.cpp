@@ -1,0 +1,62 @@
+#include "tasks/needle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sattn {
+
+TaskInstance make_needle_instance(Index length, double depth_fraction, std::uint64_t seed) {
+  depth_fraction = std::clamp(depth_fraction, 0.0, 1.0);
+  TaskInstance inst;
+  inst.family = "needle";
+  inst.content = plain_prompt(seed, length);
+  // The needle is a short sentence, ~1-2% of the context.
+  inst.content.critical_span = std::clamp<Index>(length / 96, 4, 32);
+  // Keep the whole needle span clear of the question rows at the very end
+  // (it must be *retrieved*, not simply read from the diagonal).
+  const Index usable = std::max<Index>(1, length - 8 - inst.content.critical_span);
+  const auto pos = static_cast<Index>(depth_fraction * static_cast<double>(usable));
+  inst.content.critical_positions = {std::max<Index>(0, pos)};
+  inst.facts = inst.content.critical_positions;
+  inst.mode = ScoreMode::kStrictFacts;
+  return inst;
+}
+
+std::vector<TaskInstance> make_needle_suite(const NeedleConfig& cfg) {
+  std::vector<TaskInstance> out;
+  for (std::size_t li = 0; li < cfg.lengths.size(); ++li) {
+    for (Index d = 0; d < cfg.depth_intervals; ++d) {
+      const double frac = cfg.depth_intervals == 1
+                              ? 0.5
+                              : static_cast<double>(d) / static_cast<double>(cfg.depth_intervals - 1);
+      out.push_back(make_needle_instance(cfg.lengths[li], frac,
+                                         cfg.seed + static_cast<std::uint64_t>(li) * 1000003ull +
+                                             static_cast<std::uint64_t>(d) * 101ull));
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> needle_score_grid(const ModelConfig& model,
+                                                   const AttentionMethod& method,
+                                                   const NeedleConfig& cfg,
+                                                   const EvalOptions& opts) {
+  std::vector<std::vector<double>> grid;
+  for (std::size_t li = 0; li < cfg.lengths.size(); ++li) {
+    std::vector<double> row;
+    for (Index d = 0; d < cfg.depth_intervals; ++d) {
+      const double frac = cfg.depth_intervals == 1
+                              ? 0.5
+                              : static_cast<double>(d) / static_cast<double>(cfg.depth_intervals - 1);
+      const TaskInstance inst =
+          make_needle_instance(cfg.lengths[li], frac,
+                               cfg.seed + static_cast<std::uint64_t>(li) * 1000003ull +
+                                   static_cast<std::uint64_t>(d) * 101ull);
+      row.push_back(evaluate_instance(model, method, inst, opts));
+    }
+    grid.push_back(std::move(row));
+  }
+  return grid;
+}
+
+}  // namespace sattn

@@ -1,0 +1,34 @@
+// "Needle in a Haystack" stress test (Kamradt 2023; paper Section 5.1).
+//
+// A single fact is buried at one of `depth_intervals` evenly spaced depths
+// inside an otherwise plain prompt; the model must retrieve it from the
+// question at the end. The paper uses 32 depth intervals and lengths
+// 10K–96K; the builders here are parameterized so tests run at small
+// lengths and benches at larger ones.
+#pragma once
+
+#include <vector>
+
+#include "tasks/scoring.h"
+
+namespace sattn {
+
+struct NeedleConfig {
+  std::vector<Index> lengths = {512, 1024, 2048};
+  Index depth_intervals = 32;
+  std::uint64_t seed = 0x6e65656cull;
+};
+
+// One instance per (length, depth) cell, strict scoring.
+std::vector<TaskInstance> make_needle_suite(const NeedleConfig& cfg = {});
+
+// One instance at an explicit (length, depth fraction in [0,1]).
+TaskInstance make_needle_instance(Index length, double depth_fraction, std::uint64_t seed);
+
+// Score grid for one method: result[l][d] in {0,1} per (length, depth).
+std::vector<std::vector<double>> needle_score_grid(const ModelConfig& model,
+                                                   const AttentionMethod& method,
+                                                   const NeedleConfig& cfg = {},
+                                                   const EvalOptions& opts = {});
+
+}  // namespace sattn

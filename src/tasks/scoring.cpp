@@ -1,0 +1,193 @@
+#include "tasks/scoring.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "attention/full_attention.h"
+
+namespace sattn {
+namespace {
+
+double correlation(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  double num = 0.0;
+  for (std::size_t t = 0; t < a.size(); ++t) num += static_cast<double>(a[t]) * b[t];
+  return num;
+}
+
+double cosine(std::span<const float> a, std::span<const float> b) {
+  double num = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    num += static_cast<double>(a[t]) * b[t];
+    na += static_cast<double>(a[t]) * a[t];
+    nb += static_cast<double>(b[t]) * b[t];
+  }
+  const double denom = std::sqrt(na * nb);
+  return denom > 0.0 ? num / denom : 0.0;
+}
+
+}  // namespace
+
+bool fact_recovered(std::span<const float> out_row, const ContentSpec& content, Index fact_pos,
+                    const EvalOptions& opts) {
+  const auto d = static_cast<Index>(out_row.size());
+  const std::vector<float> sig =
+      signature_vector(d, content.seed, static_cast<std::uint64_t>(fact_pos));
+  const double true_corr = correlation(out_row, sig);
+  if (true_corr < opts.abs_threshold) return false;
+  for (Index t = 0; t < opts.num_distractors; ++t) {
+    const std::vector<float> distractor =
+        signature_vector(d, content.seed, 0xD157000ull + static_cast<std::uint64_t>(t));
+    if (correlation(out_row, distractor) >= true_corr) return false;
+  }
+  return true;
+}
+
+double evaluate_instance(const ModelConfig& model, const AttentionMethod& method,
+                         const TaskInstance& instance, const EvalOptions& opts) {
+  const auto heads = retrieval_heads(model, opts.num_heads);
+  assert(!heads.empty());
+  const Index s = instance.content.length;
+  const Index first_q = std::max<Index>(0, s - opts.question_rows);
+
+  if (instance.mode == ScoreMode::kFidelity) {
+    double total = 0.0;
+    for (const auto& [layer, head] : heads) {
+      const AttentionInput in = generate_attention(model, instance.content, layer, head);
+      const AttentionResult res = method.run(in);
+      Matrix exact;
+      full_attention(in, exact);
+      double head_score = 0.0;
+      Index n = 0;
+      for (Index i = first_q; i < s; ++i, ++n) {
+        head_score += std::clamp(cosine(res.out.row(i), exact.row(i)), 0.0, 1.0);
+      }
+      total += n > 0 ? head_score / static_cast<double>(n) : 0.0;
+    }
+    return total / static_cast<double>(heads.size());
+  }
+
+  // Fact modes: per head, a fact counts as recovered if any question row
+  // recovers it AND the head's question-row outputs pass the fidelity gate.
+  // Across heads, ONE recovering head suffices: different retrieval heads
+  // fetch different facts, and any of them writes the fact into the
+  // residual stream (the fidelity gate already suppresses lucky recoveries
+  // by methods that corrupt the outputs).
+  if (instance.facts.empty()) return 1.0;
+  std::vector<Index> votes(instance.facts.size(), 0);
+  double fidelity_mean = 0.0;
+  for (const auto& [layer, head] : heads) {
+    const AttentionInput in = generate_attention(model, instance.content, layer, head);
+    const AttentionResult res = method.run(in);
+    Matrix exact;
+    full_attention(in, exact);
+    double fidelity = 0.0;
+    Index n = 0;
+    for (Index i = first_q; i < s; ++i, ++n) fidelity += cosine(res.out.row(i), exact.row(i));
+    if (n > 0) fidelity /= static_cast<double>(n);
+    fidelity_mean += std::clamp(fidelity, 0.0, 1.0);
+    if (fidelity < opts.fidelity_floor) continue;
+    for (std::size_t f = 0; f < instance.facts.size(); ++f) {
+      for (Index i = first_q; i < s; ++i) {
+        if (fact_recovered(res.out.row(i), instance.content, instance.facts[f], opts)) {
+          ++votes[f];
+          break;
+        }
+      }
+    }
+  }
+  fidelity_mean /= static_cast<double>(heads.size());
+  Index recovered = 0;
+  for (Index v : votes) {
+    if (v >= 1) ++recovered;
+  }
+  if (instance.mode == ScoreMode::kStrictFacts) {
+    return recovered == static_cast<Index>(instance.facts.size()) ? 1.0 : 0.0;
+  }
+  const double frac =
+      static_cast<double>(recovered) / static_cast<double>(instance.facts.size());
+  // F1-style partial credit for the unrecovered fraction (see EvalOptions).
+  return frac + (1.0 - frac) * opts.partial_credit * fidelity_mean;
+}
+
+double evaluate_suite(const ModelConfig& model, const AttentionMethod& method,
+                      std::span<const TaskInstance> instances, const EvalOptions& opts) {
+  if (instances.empty()) return 0.0;
+  double total = 0.0;
+  for (const TaskInstance& inst : instances) {
+    total += evaluate_instance(model, method, inst, opts);
+  }
+  return total / static_cast<double>(instances.size());
+}
+
+std::vector<double> evaluate_suite_multi(const ModelConfig& model,
+                                         std::span<const AttentionMethod* const> methods,
+                                         std::span<const TaskInstance> instances,
+                                         const EvalOptions& opts) {
+  std::vector<double> totals(methods.size(), 0.0);
+  if (instances.empty()) return totals;
+  const auto heads = retrieval_heads(model, opts.num_heads);
+  assert(!heads.empty());
+
+  for (const TaskInstance& inst : instances) {
+    const Index s = inst.content.length;
+    const Index first_q = std::max<Index>(0, s - opts.question_rows);
+    // votes[m][f]: heads that recovered fact f under method m.
+    std::vector<std::vector<Index>> votes(methods.size(),
+                                          std::vector<Index>(inst.facts.size(), 0));
+    std::vector<double> fidelity_sum(methods.size(), 0.0);
+
+    for (const auto& [layer, head] : heads) {
+      const AttentionInput in = generate_attention(model, inst.content, layer, head);
+      Matrix exact;
+      full_attention(in, exact);
+
+      for (std::size_t m = 0; m < methods.size(); ++m) {
+        const AttentionResult res = methods[m]->run(in);
+        double fidelity = 0.0;
+        Index n = 0;
+        for (Index i = first_q; i < s; ++i, ++n) fidelity += cosine(res.out.row(i), exact.row(i));
+        if (n > 0) fidelity /= static_cast<double>(n);
+        fidelity_sum[m] += std::clamp(fidelity, 0.0, 1.0);
+
+        if (inst.mode == ScoreMode::kFidelity) continue;
+        if (fidelity < opts.fidelity_floor) continue;
+        for (std::size_t f = 0; f < inst.facts.size(); ++f) {
+          for (Index i = first_q; i < s; ++i) {
+            if (fact_recovered(res.out.row(i), inst.content, inst.facts[f], opts)) {
+              ++votes[m][f];
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    for (std::size_t m = 0; m < methods.size(); ++m) {
+      const double fidelity_mean = fidelity_sum[m] / static_cast<double>(heads.size());
+      if (inst.mode == ScoreMode::kFidelity) {
+        totals[m] += fidelity_mean;
+        continue;
+      }
+      if (inst.facts.empty()) {
+        totals[m] += 1.0;
+        continue;
+      }
+      Index recovered = 0;
+      for (Index v : votes[m]) {
+        if (v >= 1) ++recovered;  // any passing-fidelity head suffices
+      }
+      if (inst.mode == ScoreMode::kStrictFacts) {
+        totals[m] += recovered == static_cast<Index>(inst.facts.size()) ? 1.0 : 0.0;
+      } else {
+        const double frac =
+            static_cast<double>(recovered) / static_cast<double>(inst.facts.size());
+        totals[m] += frac + (1.0 - frac) * opts.partial_credit * fidelity_mean;
+      }
+    }
+  }
+  for (double& t : totals) t /= static_cast<double>(instances.size());
+  return totals;
+}
+
+}  // namespace sattn

@@ -1,0 +1,77 @@
+// Deterministic answer-recovery scoring — the stand-in for the paper's
+// GPT-4 / exact-match judging of generative outputs (DESIGN.md §1).
+//
+// Every task instance plants "facts" at known positions: the generator makes
+// those columns attention stripes (scaled by each head's retrieval affinity)
+// and writes a per-fact signature vector into V at the same position. If an
+// attention method's mask retains the fact column, the question rows' output
+// contains the signature and it wins a nearest-signature test against
+// distractors; if the mask drops the column, the signature is absent and
+// recovery fails. This makes task accuracy exactly the quantity the paper's
+// evaluation probes: does the sparse mask keep the content-critical KVs?
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "attention/attention_method.h"
+#include "model/synthetic_model.h"
+#include "model/workload.h"
+
+namespace sattn {
+
+enum class ScoreMode {
+  kFractionalFacts,  // fraction of facts recovered (QA-style partial credit)
+  kStrictFacts,      // 1.0 iff every fact is recovered (BABILong / Needle)
+  kFidelity          // mean cosine similarity to the full-attention output
+};
+
+struct TaskInstance {
+  std::string family;
+  ContentSpec content;
+  std::vector<Index> facts;  // positions that must be recoverable
+  ScoreMode mode = ScoreMode::kFractionalFacts;
+};
+
+struct EvalOptions {
+  Index num_heads = 3;        // retrieval heads consulted for answers
+  Index question_rows = 2;    // trailing query rows read as "the answer"
+  Index num_distractors = 8;  // competing signatures in the match test
+  double abs_threshold = 0.05;  // minimum signature correlation to count
+  // LongBench-style QA metrics (F1 / ROUGE) award token-overlap credit even
+  // when the key fact is missed; kFractionalFacts instances therefore earn
+  // partial_credit * fidelity for the unrecovered fraction. Strict modes
+  // (BABILong / Needle exact-match) stay all-or-nothing.
+  double partial_credit = 0.45;
+  // A head only contributes recoveries if its question-row outputs stay
+  // close to the full-attention outputs (mean cosine >= this floor). This
+  // stands in for multi-layer compounding: in a real model, a method that
+  // corrupts every layer's attention output garbles the residual stream, and
+  // no amount of luck at one head lets the model decode an answer from it.
+  double fidelity_floor = 0.62;
+};
+
+// Does this output row contain fact `fact_pos`'s signature? (nearest-
+// signature test against distractors + absolute threshold).
+bool fact_recovered(std::span<const float> out_row, const ContentSpec& content, Index fact_pos,
+                    const EvalOptions& opts);
+
+// Score of one method on one instance, in [0, 1]. Facts are recovered per
+// head and combined by majority vote across heads.
+double evaluate_instance(const ModelConfig& model, const AttentionMethod& method,
+                         const TaskInstance& instance, const EvalOptions& opts = {});
+
+// Mean score over a set of instances.
+double evaluate_suite(const ModelConfig& model, const AttentionMethod& method,
+                      std::span<const TaskInstance> instances, const EvalOptions& opts = {});
+
+// Batch evaluation of many methods over a suite: generates each (instance,
+// head) input and its full-attention reference ONCE and reuses them across
+// methods — the benches' workhorse. Returns one mean score per method, in
+// input order.
+std::vector<double> evaluate_suite_multi(const ModelConfig& model,
+                                         std::span<const AttentionMethod* const> methods,
+                                         std::span<const TaskInstance> instances,
+                                         const EvalOptions& opts = {});
+
+}  // namespace sattn

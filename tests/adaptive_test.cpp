@@ -1,0 +1,87 @@
+// Tests for the runtime alpha autotuner (Appendix A.6 extension).
+#include <gtest/gtest.h>
+
+#include "model/workload.h"
+#include "sample_attention/adaptive.h"
+
+namespace sattn {
+namespace {
+
+AttentionInput head_input(Index s, std::uint64_t seed) {
+  const ModelConfig model = chatglm2_6b();
+  return generate_attention(model, plain_prompt(seed, s), 8, 3);
+}
+
+TEST(Adaptive, EstimatedCraCombinesWindowAndStripes) {
+  const AttentionInput in = head_input(512, 1);
+  const SamplePlan plan = plan_sample_attention(in, SampleAttentionConfig{});
+  const double est = AdaptiveAlphaController::estimated_cra(plan);
+  EXPECT_GT(est, 0.3);
+  EXPECT_LE(est, 1.0);
+}
+
+TEST(Adaptive, AlphaStaysInBounds) {
+  AdaptiveConfig cfg;
+  cfg.alpha_min = 0.8;
+  cfg.alpha_max = 0.97;
+  cfg.base.alpha = 0.95;
+  AdaptiveAlphaController ctrl(cfg);
+  for (int r = 0; r < 30; ++r) {
+    ctrl.run(head_input(256, 10 + static_cast<std::uint64_t>(r)));
+    EXPECT_GE(ctrl.config().alpha, cfg.alpha_min);
+    EXPECT_LE(ctrl.config().alpha, cfg.alpha_max);
+  }
+  EXPECT_EQ(ctrl.requests_seen(), 30);
+}
+
+TEST(Adaptive, RaisesAlphaWhenUnderTarget) {
+  // Target coverage 0.999 is essentially unreachable: every request should
+  // push alpha upward toward the max.
+  AdaptiveConfig cfg;
+  cfg.base.alpha = 0.80;
+  cfg.target_cra = 0.999;
+  cfg.band = 0.0005;
+  cfg.step = 0.02;
+  AdaptiveAlphaController ctrl(cfg);
+  const double before = ctrl.config().alpha;
+  for (int r = 0; r < 8; ++r) ctrl.run(head_input(256, 40 + static_cast<std::uint64_t>(r)));
+  EXPECT_GT(ctrl.config().alpha, before);
+}
+
+TEST(Adaptive, LowersAlphaWhenOvershooting) {
+  // Target 0.5 is far below what any plan achieves: alpha should fall.
+  AdaptiveConfig cfg;
+  cfg.base.alpha = 0.95;
+  cfg.target_cra = 0.50;
+  cfg.step = 0.02;
+  AdaptiveAlphaController ctrl(cfg);
+  const double before = ctrl.config().alpha;
+  for (int r = 0; r < 8; ++r) ctrl.run(head_input(256, 60 + static_cast<std::uint64_t>(r)));
+  EXPECT_LT(ctrl.config().alpha, before);
+}
+
+TEST(Adaptive, FeedbackWithoutRunAdvancesController) {
+  AdaptiveAlphaController ctrl;
+  const AttentionInput in = head_input(256, 80);
+  const SamplePlan plan = plan_sample_attention(in, ctrl.config());
+  ctrl.feedback(plan);
+  EXPECT_EQ(ctrl.requests_seen(), 1);
+}
+
+TEST(Adaptive, ConvergesToStableBand) {
+  // After a burn-in on a stationary workload the controller should stop
+  // drifting: alpha changes between consecutive requests become small.
+  AdaptiveConfig cfg;
+  cfg.base.alpha = 0.80;
+  cfg.target_cra = 0.90;
+  cfg.band = 0.03;
+  AdaptiveAlphaController ctrl(cfg);
+  for (int r = 0; r < 25; ++r) ctrl.run(head_input(384, 100 + static_cast<std::uint64_t>(r % 5)));
+  const double a1 = ctrl.config().alpha;
+  for (int r = 0; r < 5; ++r) ctrl.run(head_input(384, 100 + static_cast<std::uint64_t>(r)));
+  const double a2 = ctrl.config().alpha;
+  EXPECT_LT(std::abs(a2 - a1), 3 * cfg.step + 1e-9);
+}
+
+}  // namespace
+}  // namespace sattn

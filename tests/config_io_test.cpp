@@ -1,0 +1,118 @@
+// Tests for properties parsing and SampleAttentionConfig persistence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "io/config_io.h"
+
+namespace sattn {
+namespace {
+
+TEST(Properties, SetGetTyped) {
+  Properties p;
+  p.set("alpha", 0.95);
+  p.set("count", Index{42});
+  p.set("flag", true);
+  p.set("name", std::string("glm"));
+  EXPECT_DOUBLE_EQ(*p.get_double("alpha"), 0.95);
+  EXPECT_EQ(*p.get_index("count"), 42);
+  EXPECT_TRUE(*p.get_bool("flag"));
+  EXPECT_EQ(*p.get("name"), "glm");
+  EXPECT_FALSE(p.get("missing").has_value());
+}
+
+TEST(Properties, ParseTolerantFormat) {
+  Properties p;
+  ASSERT_TRUE(p.parse("# comment\n\n  alpha =  0.9 \nname=chatglm\n"));
+  EXPECT_DOUBLE_EQ(*p.get_double("alpha"), 0.9);
+  EXPECT_EQ(*p.get("name"), "chatglm");
+}
+
+TEST(Properties, MalformedLineReported) {
+  Properties p;
+  EXPECT_FALSE(p.parse("good = 1\nthis line has no equals\n"));
+  EXPECT_EQ(*p.get_index("good"), 1);  // prior keys still land
+}
+
+TEST(Properties, BadTypedValuesAreNullopt) {
+  Properties p;
+  p.set("x", std::string("not-a-number"));
+  EXPECT_FALSE(p.get_double("x").has_value());
+  EXPECT_FALSE(p.get_index("x").has_value());
+  EXPECT_FALSE(p.get_bool("x").has_value());
+}
+
+TEST(Properties, SerializeParseRoundTrip) {
+  Properties p;
+  p.set("a", 1.5);
+  p.set("b", std::string("text with spaces"));
+  Properties q;
+  ASSERT_TRUE(q.parse(p.serialize()));
+  EXPECT_DOUBLE_EQ(*q.get_double("a"), 1.5);
+  EXPECT_EQ(*q.get("b"), "text with spaces");
+}
+
+TEST(ConfigIo, RoundTripPreservesEveryField) {
+  SampleAttentionConfig cfg;
+  cfg.alpha = 0.87;
+  cfg.row_ratio = 0.03;
+  cfg.window_ratio = 0.05;
+  cfg.sampling = SamplingPolicy::kRandom;
+  cfg.filter = FilterMode::kExact;
+  cfg.detect_diagonals = true;
+  cfg.diag_min_mass = 0.07;
+  cfg.seed = 123;
+
+  const auto back = config_from_properties(to_properties(cfg));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_DOUBLE_EQ(back->alpha, 0.87);
+  EXPECT_DOUBLE_EQ(back->row_ratio, 0.03);
+  EXPECT_DOUBLE_EQ(back->window_ratio, 0.05);
+  EXPECT_EQ(back->sampling, SamplingPolicy::kRandom);
+  EXPECT_EQ(back->filter, FilterMode::kExact);
+  EXPECT_TRUE(back->detect_diagonals);
+  EXPECT_DOUBLE_EQ(back->diag_min_mass, 0.07);
+  EXPECT_EQ(back->seed, 123u);
+}
+
+TEST(ConfigIo, MissingKeysKeepDefaults) {
+  Properties p;
+  p.set("alpha", 0.9);
+  const auto cfg = config_from_properties(p);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_DOUBLE_EQ(cfg->alpha, 0.9);
+  EXPECT_DOUBLE_EQ(cfg->row_ratio, SampleAttentionConfig{}.row_ratio);
+  EXPECT_EQ(cfg->sampling, SamplingPolicy::kStride);
+}
+
+TEST(ConfigIo, RejectsInvalidValues) {
+  Properties bad_alpha;
+  bad_alpha.set("alpha", 1.5);
+  EXPECT_FALSE(config_from_properties(bad_alpha).has_value());
+
+  Properties bad_enum;
+  bad_enum.set("sampling", std::string("bogus"));
+  EXPECT_FALSE(config_from_properties(bad_enum).has_value());
+
+  Properties bad_number;
+  bad_number.set("alpha", std::string("abc"));
+  EXPECT_FALSE(config_from_properties(bad_number).has_value());
+}
+
+TEST(ConfigIo, FileRoundTrip) {
+  SampleAttentionConfig cfg;
+  cfg.alpha = 0.92;
+  const std::string path = "/tmp/sattn_config_test.properties";
+  ASSERT_TRUE(save_config(cfg, path));
+  const auto loaded = load_config(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_DOUBLE_EQ(loaded->alpha, 0.92);
+  std::remove(path.c_str());
+}
+
+TEST(ConfigIo, LoadMissingFileFails) {
+  EXPECT_FALSE(load_config("/tmp/definitely_missing_sattn.properties").has_value());
+}
+
+}  // namespace
+}  // namespace sattn

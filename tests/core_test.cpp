@@ -1,0 +1,182 @@
+// Unit tests for the core substrate: Matrix, Rng, ThreadPool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "core/thread_pool.h"
+
+namespace sattn {
+namespace {
+
+TEST(Matrix, ConstructsWithFill) {
+  Matrix m(3, 4, 2.5f);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  for (Index i = 0; i < 3; ++i)
+    for (Index j = 0; j < 4; ++j) EXPECT_FLOAT_EQ(m(i, j), 2.5f);
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.size(), 0);
+}
+
+TEST(Matrix, RowViewAliasesStorage) {
+  Matrix m(2, 3);
+  auto r1 = m.row(1);
+  r1[2] = 7.0f;
+  EXPECT_FLOAT_EQ(m(1, 2), 7.0f);
+  EXPECT_EQ(m.row(0).size(), 3u);
+}
+
+TEST(Matrix, ResizeReplacesContents) {
+  Matrix m(2, 2, 1.0f);
+  m.resize(4, 5, -1.0f);
+  EXPECT_EQ(m.rows(), 4);
+  EXPECT_EQ(m.cols(), 5);
+  EXPECT_FLOAT_EQ(m(3, 4), -1.0f);
+}
+
+TEST(Matrix, RowMajorLayout) {
+  Matrix m(2, 3);
+  for (Index i = 0; i < 2; ++i)
+    for (Index j = 0; j < 3; ++j) m(i, j) = static_cast<float>(i * 3 + j);
+  auto f = m.flat();
+  for (std::size_t t = 0; t < 6; ++t) EXPECT_FLOAT_EQ(f[t], static_cast<float>(t));
+}
+
+TEST(Dot, MatchesManualComputation) {
+  std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  std::vector<float> b = {4.0f, -5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(dot(a, b), 4.0f - 10.0f + 18.0f);
+}
+
+TEST(Axpy, AccumulatesScaled) {
+  std::vector<float> x = {1.0f, 2.0f};
+  std::vector<float> y = {10.0f, 20.0f};
+  axpy(0.5f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 10.5f);
+  EXPECT_FLOAT_EQ(y[1], 21.0f);
+}
+
+TEST(MatmulNT, SmallExample) {
+  Matrix a(2, 2), b(3, 2), c(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  for (Index j = 0; j < 3; ++j) { b(j, 0) = static_cast<float>(j); b(j, 1) = 1.0f; }
+  matmul_nt(a, b, c);
+  // c[i][j] = a_i . b_j
+  EXPECT_FLOAT_EQ(c(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(c(0, 2), 4.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 7.0f);
+}
+
+TEST(MaxAbsDiff, DetectsLargestDeviation) {
+  Matrix a(2, 2, 0.0f), b(2, 2, 0.0f);
+  b(1, 0) = 0.25f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.25f);
+  EXPECT_NEAR(mean_abs_diff(a, b), 0.0625f, 1e-7f);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(9);
+  std::set<Index> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_index(10));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 9);
+}
+
+TEST(Rng, NormalHasApproxUnitMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(13);
+  for (Index k : {0, 1, 5, 20}) {
+    auto s = rng.sample_without_replacement(20, k);
+    std::set<Index> uniq(s.begin(), s.end());
+    EXPECT_EQ(static_cast<Index>(uniq.size()), k);
+    for (Index v : s) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 20);
+    }
+  }
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng base(99);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  Rng f1b = Rng(99).fork(1);
+  EXPECT_EQ(f1.next_u64(), f1b.next_u64());
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, FillNormalScalesByStddev) {
+  Rng rng(21);
+  Matrix m(100, 100);
+  rng.fill_normal(m, 2.0f);
+  double sum2 = 0.0;
+  for (float v : m.flat()) sum2 += static_cast<double>(v) * v;
+  EXPECT_NEAR(sum2 / static_cast<double>(m.size()), 4.0, 0.2);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(257, [&](Index i) { hits[static_cast<std::size_t>(i)].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](Index) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ExplicitPoolRuns) {
+  ThreadPool pool(2);
+  std::atomic<Index> sum{0};
+  pool.parallel_for(100, [&](Index i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+}  // namespace
+}  // namespace sattn

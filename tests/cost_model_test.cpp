@@ -1,0 +1,151 @@
+// Tests for the analytic A100 cost model: monotonicity, calibration against
+// the paper's Table 4, and the SampleAttention cost decomposition.
+#include <gtest/gtest.h>
+
+#include "perf/cost_model.h"
+#include "perf/latency_report.h"
+
+namespace sattn {
+namespace {
+
+TEST(CostModel, AttentionFlopsQuadratic) {
+  const ModelConfig m = chatglm2_6b();
+  const double f1 = attention_flops(m, 1024);
+  const double f2 = attention_flops(m, 2048);
+  EXPECT_NEAR(f2 / f1, 4.0, 1e-9);
+}
+
+TEST(CostModel, FlashFasterThanSdpaAtLongLengths) {
+  const ModelConfig m = chatglm2_6b();
+  const GpuSpec gpu = a100_single();
+  const Index s = 64 * 1024;
+  EXPECT_LT(flash_attention_seconds(m, s, gpu), sdpa_seconds(m, s, gpu));
+}
+
+TEST(CostModel, SdpaBandwidthBoundGrowsQuadratically) {
+  const ModelConfig m = chatglm2_6b();
+  const GpuSpec gpu = a100_single();
+  const double t1 = sdpa_seconds(m, 128 * 1024, gpu);
+  const double t2 = sdpa_seconds(m, 256 * 1024, gpu);
+  EXPECT_NEAR(t2 / t1, 4.0, 0.5);
+}
+
+TEST(CostModel, SampleAttentionBeatsFlashWhenSparse) {
+  const ModelConfig m = chatglm2_6b();
+  const GpuSpec gpu = a100_single();
+  const Index s = 96 * 1024;
+  const double flash = flash_attention_seconds(m, s, gpu);
+  // Paper-like operating point at 96K: ~5% kept, 5% sampling overhead.
+  const SampleAttentionCost c = sample_attention_seconds(m, s, gpu, 0.05, 0.05);
+  EXPECT_LT(c.total_seconds, flash);
+  EXPECT_GT(flash / c.total_seconds, 1.5);
+  EXPECT_LT(flash / c.total_seconds, 12.0);
+}
+
+TEST(CostModel, SampleAttentionDenseIsSlowerThanFlash) {
+  // With no sparsity the sampled pipeline must not beat the dense kernel.
+  const ModelConfig m = chatglm2_6b();
+  const GpuSpec gpu = a100_single();
+  const Index s = 8 * 1024;
+  const double flash = flash_attention_seconds(m, s, gpu);
+  const SampleAttentionCost c = sample_attention_seconds(m, s, gpu, 1.0, 0.05);
+  EXPECT_GT(c.total_seconds, flash);
+}
+
+TEST(CostModel, SamplingShareShrinksWithLength) {
+  // Fig 5(c): the sampling proportion decreases as sequences lengthen
+  // (because the kept density stays similar but Stage-2's O(Sk log Sk) and
+  // fixed costs amortize; here density also falls with length).
+  const ModelConfig m = chatglm2_6b();
+  const GpuSpec gpu = a100_single();
+  const double share_short =
+      sample_attention_seconds(m, 8 * 1024, gpu, 0.30, 0.05).sampling_share;
+  const double share_long =
+      sample_attention_seconds(m, 96 * 1024, gpu, 0.10, 0.05).sampling_share;
+  EXPECT_GT(share_short, share_long);
+}
+
+TEST(CostModel, Table4AttentionShareShape) {
+  // Paper Table 4: attention share of TTFT grows from ~32% at 32K to ~88%
+  // at 1M on the 8xA100 serving setup.
+  const ModelConfig m = chatglm2_6b();
+  const GpuSpec gpu = a100_cluster();
+  const double share_32k = [&] {
+    const double a = flash_attention_seconds(m, 32 * 1024, gpu);
+    return a / ttft_seconds(m, 32 * 1024, gpu, a);
+  }();
+  const double share_1m = [&] {
+    const double a = flash_attention_seconds(m, 1024 * 1024, gpu);
+    return a / ttft_seconds(m, 1024 * 1024, gpu, a);
+  }();
+  // The paper reports 32.2% at 32K; the pure-roofline model (no chunked-
+  // prefill fixed costs) lands lower but must stay clearly minority share.
+  EXPECT_GT(share_32k, 0.08);
+  EXPECT_LT(share_32k, 0.40);
+  EXPECT_NEAR(share_1m, 0.877, 0.06);
+}
+
+TEST(CostModel, Table4AbsoluteScale) {
+  // 1M attention on the paper's setup: 148.8s reported; the model should be
+  // within ~35%.
+  const ModelConfig m = chatglm2_6b();
+  const GpuSpec gpu = a100_cluster();
+  const double t = flash_attention_seconds(m, 1024 * 1024, gpu);
+  EXPECT_GT(t, 0.65 * 148.8);
+  EXPECT_LT(t, 1.35 * 148.8);
+}
+
+TEST(CostModel, ExtrapolationPerDoubling) {
+  EXPECT_NEAR(extrapolate_kept_fraction(0.10, 1024, 2048), 0.08, 1e-9);
+  EXPECT_NEAR(extrapolate_kept_fraction(0.10, 1024, 4096), 0.064, 1e-9);
+  // Never below floor, never extrapolates downward for shorter targets.
+  EXPECT_DOUBLE_EQ(extrapolate_kept_fraction(0.10, 1024, 512), 0.10);
+  EXPECT_DOUBLE_EQ(extrapolate_kept_fraction(0.01, 1024, 1 << 30, 0.5, 0.005), 0.005);
+}
+
+TEST(CostModel, TtftDecomposition) {
+  const ModelConfig m = chatglm2_6b();
+  const GpuSpec gpu = a100_single();
+  const double attn = 1.0;
+  EXPECT_NEAR(ttft_seconds(m, 8192, gpu, attn),
+              attn + linear_parts_seconds(m, 8192, gpu), 1e-12);
+  EXPECT_GT(linear_parts_seconds(m, 16384, gpu), linear_parts_seconds(m, 8192, gpu));
+}
+
+TEST(CostModel, PeakMemoryChunkingHelps) {
+  const ModelConfig m = chatglm2_6b();
+  const Index s = 256 * 1024;
+  const double unchunked = peak_prefill_bytes(m, s, 0, /*materialize_scores=*/true);
+  const double chunked = peak_prefill_bytes(m, s, 4096, /*materialize_scores=*/true);
+  EXPECT_LT(chunked, 0.25 * unchunked);
+  // Flash-style (no score materialization) is dominated by the KV cache,
+  // which chunking cannot reduce.
+  const double flash_full = peak_prefill_bytes(m, s, 0, false);
+  const double flash_chunked = peak_prefill_bytes(m, s, 4096, false);
+  EXPECT_GT(flash_chunked, 0.4 * flash_full);
+}
+
+TEST(CostModel, PeakMemoryScalesWithSequence) {
+  const ModelConfig m = chatglm2_6b();
+  EXPECT_GT(peak_prefill_bytes(m, 128 * 1024, 4096, false),
+            1.9 * peak_prefill_bytes(m, 64 * 1024, 4096, false));
+}
+
+TEST(TextTable, FormatsRows) {
+  TextTable t({"a", "bb"});
+  t.add_row({"1", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_NE(s.find('1'), std::string::npos);
+}
+
+TEST(Formatters, Basics) {
+  EXPECT_EQ(fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(fmt_pct(0.957, 1), "95.7%");
+  EXPECT_EQ(fmt_ms(0.0123, 1), "12.3");
+  EXPECT_EQ(fmt_speedup(2.2, 2), "2.20x");
+}
+
+}  // namespace
+}  // namespace sattn

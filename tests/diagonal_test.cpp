@@ -1,0 +1,212 @@
+// Tests for the diagonal-band mask extension (Appendix A.6 future work):
+// mask algebra, kernel correctness, generator support, and end-to-end
+// detection by the SampleAttention planner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/full_attention.h"
+#include "attention/score_utils.h"
+#include "attention/sparse_flash_attention.h"
+#include "core/numerics.h"
+#include "core/rng.h"
+#include "metrics/cra.h"
+#include "metrics/recovery.h"
+#include "model/workload.h"
+#include "sample_attention/sample_attention.h"
+
+namespace sattn {
+namespace {
+
+AttentionInput random_input(Index s, Index d, std::uint64_t seed) {
+  AttentionInput in;
+  in.q.resize(s, d);
+  in.k.resize(s, d);
+  in.v.resize(s, d);
+  Rng rng(seed);
+  rng.fill_normal(in.q);
+  rng.fill_normal(in.k);
+  rng.fill_normal(in.v);
+  return in;
+}
+
+Matrix masked_reference(const AttentionInput& in, const StructuredMask& mask) {
+  const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
+  Matrix out(sq, d);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+  for (Index i = 0; i < sq; ++i) {
+    std::vector<float> logits;
+    std::vector<Index> cols;
+    for (Index j = 0; j < sk; ++j) {
+      if (mask.contains(i, j)) {
+        cols.push_back(j);
+        logits.push_back(scale * dot(in.q.row(i), in.k.row(j)));
+      }
+    }
+    if (cols.empty()) continue;
+    softmax_inplace(logits);
+    auto oi = out.row(i);
+    for (std::size_t t = 0; t < cols.size(); ++t) axpy(logits[t], in.v.row(cols[t]), oi);
+  }
+  return out;
+}
+
+TEST(DiagonalBand, MembershipAtOffset) {
+  StructuredMask m(32, 32);
+  m.add_diagonal_band({8, 3});  // distances 8, 9, 10 from the causal limit
+  EXPECT_TRUE(m.contains(20, 12));   // distance 8
+  EXPECT_TRUE(m.contains(20, 10));   // distance 10
+  EXPECT_FALSE(m.contains(20, 13));  // distance 7
+  EXPECT_FALSE(m.contains(20, 9));   // distance 11
+}
+
+TEST(DiagonalBand, ZeroWidthOrNegativeOffsetIgnored) {
+  StructuredMask m(16, 16);
+  m.add_diagonal_band({4, 0});
+  m.add_diagonal_band({-1, 3});
+  EXPECT_TRUE(m.diagonal_bands().empty());
+}
+
+TEST(DiagonalBand, OverlappingBandsMerge) {
+  StructuredMask m(64, 64);
+  m.add_diagonal_band({4, 4});
+  m.add_diagonal_band({6, 6});
+  ASSERT_EQ(m.diagonal_bands().size(), 1u);
+  EXPECT_EQ(m.diagonal_bands()[0].offset, 4);
+  EXPECT_EQ(m.diagonal_bands()[0].width, 8);
+}
+
+TEST(DiagonalBand, BandRunsMergeWithWindow) {
+  StructuredMask m(64, 64);
+  m.set_window(4);
+  m.add_diagonal_band({4, 4});  // adjacent to the window -> one run
+  const auto runs = m.band_runs_for_row(40);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0], (ColumnRun{33, 41}));
+}
+
+TEST(DiagonalBand, DensityMatchesDense) {
+  StructuredMask m(24, 24);
+  m.set_window(2);
+  m.add_diagonal_band({6, 3});
+  m.set_stripe_columns({0, 10});
+  const Matrix dense = m.to_dense();
+  double kept = 0.0;
+  for (float v : dense.flat()) kept += v;
+  EXPECT_NEAR(m.density(), kept / causal_pairs(24, 24), 1e-9);
+}
+
+TEST(DiagonalBand, KernelMatchesMaskedReference) {
+  AttentionInput in = random_input(48, 8, 1);
+  StructuredMask m(48, 48);
+  m.set_window(3);
+  m.add_diagonal_band({10, 4});
+  m.add_diagonal_band({20, 2});
+  m.set_stripe_columns({0, 1, 15, 16, 30});
+  Matrix out;
+  sparse_flash_attention(in, m, out);
+  EXPECT_LT(max_abs_diff(out, masked_reference(in, m)), 3e-5f);
+}
+
+TEST(DiagonalBand, StripeInsideBandNotDoubleCounted) {
+  AttentionInput in = random_input(40, 8, 2);
+  StructuredMask m(40, 40);
+  m.set_window(2);
+  m.add_diagonal_band({5, 10});
+  // Stripes that fall inside the band for many rows.
+  m.set_stripe_columns({10, 11, 12, 13, 20, 21});
+  Matrix out;
+  sparse_flash_attention(in, m, out);
+  EXPECT_LT(max_abs_diff(out, masked_reference(in, m)), 3e-5f);
+}
+
+TEST(DiagonalBand, CraCountsBandMass) {
+  AttentionInput in = random_input(32, 8, 3);
+  StructuredMask narrow(32, 32), with_band(32, 32);
+  narrow.set_window(2);
+  with_band.set_window(2);
+  with_band.add_diagonal_band({2, 30});  // effectively everything
+  std::vector<Index> rows;
+  for (Index i = 0; i < 32; ++i) rows.push_back(i);
+  EXPECT_LT(cra(in, narrow, rows), cra(in, with_band, rows));
+  EXPECT_NEAR(cra(in, with_band, rows), 1.0, 1e-5);
+}
+
+TEST(DiagonalGenerator, ProducesOffDiagonalBump) {
+  // A head with a strong secondary diagonal: mass at distance ~offset must
+  // clearly exceed mass at unrelated distances.
+  HeadProfile prof;
+  prof.diag_strength = 4.0;
+  prof.diag_offset_frac = 0.25;
+  prof.diag_decay_tokens = 30.0;
+  prof.stripe_strength = 0.0;
+  prof.num_content_stripes = 0;
+  prof.sink_strength = 0.0;
+  const ContentSpec content = plain_prompt(5, 512);
+  const AttentionInput in = generate_head_input(content, prof, 128, 99);
+
+  const SampleStats st = sample_column_weights(in, 0.1);
+  const Index bw = st.distance_bucket_width;
+  const auto bucket_of = [bw](Index dist) {
+    return std::min<Index>(SampleStats::kDistanceBuckets - 1, dist / bw);
+  };
+  const double diag_mass = st.distance_hist[static_cast<std::size_t>(bucket_of(128))];
+  const double far_mass = st.distance_hist[static_cast<std::size_t>(bucket_of(320))];
+  EXPECT_GT(diag_mass, 2.0 * far_mass);
+}
+
+TEST(DiagonalDetection, PlannerAddsBandAndImprovesCra) {
+  HeadProfile prof;
+  prof.diag_strength = 4.5;
+  prof.diag_offset_frac = 0.3;
+  prof.diag_decay_tokens = 25.0;
+  const ContentSpec content = plain_prompt(6, 768);
+  const AttentionInput in = generate_head_input(content, prof, 128, 77);
+
+  SampleAttentionConfig off, on;
+  on.detect_diagonals = true;
+  const SamplePlan plan_off = plan_sample_attention(in, off);
+  const SamplePlan plan_on = plan_sample_attention(in, on);
+  EXPECT_TRUE(plan_off.mask.diagonal_bands().empty());
+  EXPECT_FALSE(plan_on.mask.diagonal_bands().empty())
+      << "detector missed a strong diagonal structure";
+
+  const auto rows = stride_rows(768, 0.1);
+  EXPECT_GT(cra(in, plan_on.mask, rows), cra(in, plan_off.mask, rows) + 0.02);
+}
+
+TEST(DiagonalDetection, NoFalsePositiveOnStripeOnlyHead) {
+  // A head without diagonal structure must not sprout bands beyond the
+  // window-adjacent bucket.
+  const ModelConfig model = chatglm2_6b();
+  const AttentionInput in = generate_attention(model, plain_prompt(7, 512), 8, 3);
+  SampleAttentionConfig cfg;
+  cfg.detect_diagonals = true;
+  const SamplePlan plan = plan_sample_attention(in, cfg);
+  const Index window = plan.mask.window();
+  for (const DiagonalBand& b : plan.mask.diagonal_bands()) {
+    EXPECT_LE(b.offset, window + plan.stage1.distance_bucket_width)
+        << "spurious far diagonal band at offset " << b.offset;
+  }
+}
+
+TEST(DiagonalDetection, OutputErrorImprovesOnDiagonalHead) {
+  HeadProfile prof;
+  prof.diag_strength = 4.5;
+  prof.diag_offset_frac = 0.3;
+  prof.diag_decay_tokens = 25.0;
+  const ContentSpec content = plain_prompt(8, 512);
+  const AttentionInput in = generate_head_input(content, prof, 128, 55);
+  Matrix exact;
+  full_attention(in, exact);
+
+  SampleAttentionConfig off, on;
+  on.detect_diagonals = true;
+  Matrix out_off, out_on;
+  sample_attention(in, off, out_off);
+  sample_attention(in, on, out_on);
+  EXPECT_LT(recovery_stats(out_on, exact).rel_l1, recovery_stats(out_off, exact).rel_l1);
+}
+
+}  // namespace
+}  // namespace sattn

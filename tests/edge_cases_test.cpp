@@ -1,0 +1,191 @@
+// Edge cases and stress inputs across the whole API surface: degenerate
+// shapes, decode-like Sq=1 inputs, extreme hyperparameters, and adversarial
+// numeric inputs (huge logits, identical keys). The library's contract is:
+// no NaNs/Infs out for finite inputs, and graceful behavior at boundaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/block_sparse.h"
+#include "attention/flash_attention.h"
+#include "attention/full_attention.h"
+#include "attention/sparse_flash_attention.h"
+#include "baselines/bigbird.h"
+#include "baselines/hash_sparse.h"
+#include "baselines/hyper_attention.h"
+#include "baselines/streaming_llm.h"
+#include "core/rng.h"
+#include "model/workload.h"
+#include "sample_attention/sample_attention.h"
+
+namespace sattn {
+namespace {
+
+AttentionInput random_input(Index sq, Index sk, Index d, std::uint64_t seed) {
+  AttentionInput in;
+  in.q.resize(sq, d);
+  in.k.resize(sk, d);
+  in.v.resize(sk, d);
+  Rng rng(seed);
+  rng.fill_normal(in.q);
+  rng.fill_normal(in.k);
+  rng.fill_normal(in.v);
+  return in;
+}
+
+void expect_all_finite(const Matrix& m, const char* what) {
+  for (float v : m.flat()) ASSERT_TRUE(std::isfinite(v)) << what;
+}
+
+TEST(EdgeCases, DecodeShapeSqOne) {
+  // Sq=1 against a long prefix — the decode shape — through every method.
+  AttentionInput in = random_input(1, 128, 16, 1);
+  const FullAttention full;
+  const FlashAttention flash;
+  const SampleAttention sample;
+  const BigBird bigbird;
+  const StreamingLLM streaming;
+  const HyperAttention hyper;
+  const HashSparse hash;
+  for (const AttentionMethod* m : std::initializer_list<const AttentionMethod*>{
+           &full, &flash, &sample, &bigbird, &streaming, &hyper, &hash}) {
+    const AttentionResult res = m->run(in);
+    ASSERT_EQ(res.out.rows(), 1) << m->name();
+    expect_all_finite(res.out, m->name().c_str());
+  }
+}
+
+TEST(EdgeCases, SequenceLengthOne) {
+  AttentionInput in = random_input(1, 1, 8, 2);
+  Matrix out;
+  sample_attention(in, SampleAttentionConfig{}, out);
+  for (Index t = 0; t < 8; ++t) EXPECT_FLOAT_EQ(out(0, t), in.v(0, t));
+}
+
+TEST(EdgeCases, SequenceLengthTwoAllMethods) {
+  AttentionInput in = random_input(2, 2, 4, 3);
+  for (double alpha : {0.5, 0.95, 1.0}) {
+    SampleAttentionConfig cfg;
+    cfg.alpha = alpha;
+    Matrix out;
+    sample_attention(in, cfg, out);
+    expect_all_finite(out, "tiny sample attention");
+  }
+}
+
+TEST(EdgeCases, HugeLogitsDoNotOverflow) {
+  AttentionInput in = random_input(16, 16, 8, 4);
+  for (float& v : in.q.flat()) v *= 1000.0f;
+  for (float& v : in.k.flat()) v *= 1000.0f;
+  Matrix dense, flash_out;
+  full_attention(in, dense);
+  flash_attention(in, flash_out);
+  expect_all_finite(dense, "full with huge logits");
+  expect_all_finite(flash_out, "flash with huge logits");
+  EXPECT_LT(max_abs_diff(dense, flash_out), 1e-3f);
+}
+
+TEST(EdgeCases, IdenticalKeysEverywhere) {
+  // All keys identical: uniform attention; sparse methods renormalize over
+  // their subset, producing the same (uniform) value average.
+  AttentionInput in;
+  in.q.resize(32, 8, 1.0f);
+  in.k.resize(32, 8, 1.0f);
+  in.v.resize(32, 8);
+  Rng rng(5);
+  rng.fill_normal(in.v);
+  Matrix out;
+  sample_attention(in, SampleAttentionConfig{}, out);
+  expect_all_finite(out, "identical keys");
+}
+
+TEST(EdgeCases, ZeroValuesGiveZeroOutput) {
+  AttentionInput in = random_input(16, 16, 4, 6);
+  in.v.fill(0.0f);
+  Matrix out;
+  full_attention(in, out);
+  for (float v : out.flat()) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(EdgeCases, AlphaOneKeepsMask) {
+  const ModelConfig model = chatglm2_6b();
+  const AttentionInput in = generate_attention(model, plain_prompt(7, 256), 8, 3);
+  SampleAttentionConfig cfg;
+  cfg.alpha = 1.0;
+  SamplePlan plan;
+  Matrix out;
+  sample_attention(in, cfg, out, &plan);
+  // alpha=1 demands full residual coverage: the filter keeps every column
+  // with mass (= the final bucket).
+  EXPECT_GT(plan.filter.kv_ratio, 0.9);
+  expect_all_finite(out, "alpha=1");
+}
+
+TEST(EdgeCases, RowRatioOneIsExactSampling) {
+  const ModelConfig model = chatglm2_6b();
+  const AttentionInput in = generate_attention(model, plain_prompt(8, 128), 8, 3);
+  SampleAttentionConfig cfg;
+  cfg.row_ratio = 1.0;
+  SamplePlan plan;
+  Matrix out;
+  sample_attention(in, cfg, out, &plan);
+  EXPECT_EQ(static_cast<Index>(plan.stage1.sampled_rows.size()), 128);
+  EXPECT_NEAR(plan.overhead_fraction, 1.0, 0.02);
+}
+
+TEST(EdgeCases, TinyWindowRatioClampsToOne) {
+  const AttentionInput in = random_input(64, 64, 4, 9);
+  SampleAttentionConfig cfg;
+  cfg.window_ratio = 1e-9;
+  SamplePlan plan;
+  Matrix out;
+  sample_attention(in, cfg, out, &plan);
+  EXPECT_EQ(plan.mask.window(), 1);  // always at least the diagonal
+  expect_all_finite(out, "tiny window");
+}
+
+TEST(EdgeCases, CrossLengthSparsePlansRejected) {
+  // plan_sample_attention supports sq == sk (prefill); masks for sq != sk
+  // must still behave via the kernel (used by chunked prefill).
+  AttentionInput in = random_input(8, 24, 4, 10);
+  StructuredMask mask(8, 24);
+  mask.set_window(4);
+  mask.set_stripe_columns({0, 5});
+  Matrix out;
+  sparse_flash_attention(in, mask, out);
+  expect_all_finite(out, "cross-length sparse");
+}
+
+TEST(EdgeCases, BlockLayoutOnEmptyMask) {
+  StructuredMask m(64, 64);  // nothing set
+  const BlockSparseLayout layout = BlockSparseLayout::from_mask(m, 16);
+  EXPECT_EQ(layout.active_tiles(), 0);
+  EXPECT_DOUBLE_EQ(layout.density(), 0.0);
+}
+
+TEST(EdgeCases, BaselinesAtMinimumLength) {
+  AttentionInput in = random_input(4, 4, 8, 11);
+  for (const AttentionMethod* m :
+       std::initializer_list<const AttentionMethod*>{new BigBird(), new StreamingLLM(),
+                                                     new HyperAttention(), new HashSparse()}) {
+    const AttentionResult res = m->run(in);
+    expect_all_finite(res.out, m->name().c_str());
+    delete m;
+  }
+}
+
+TEST(EdgeCases, NonPowerOfTwoEverything) {
+  AttentionInput in = random_input(97, 97, 24, 12);
+  Matrix dense, flash_out, sparse;
+  full_attention(in, dense);
+  flash_attention(in, flash_out, {17, 13});
+  EXPECT_LT(max_abs_diff(dense, flash_out), 3e-5f);
+  StructuredMask mask(97, 97);
+  mask.set_window(11);
+  mask.set_stripe_columns({0, 13, 14, 96});
+  sparse_flash_attention(in, mask, sparse);
+  expect_all_finite(sparse, "odd sizes");
+}
+
+}  // namespace
+}  // namespace sattn

@@ -1,0 +1,151 @@
+// Tests for Stage-2 score-based key-value filtering (Algorithm 1's sort +
+// bucket prefix-sum + searchsorted, and the exact variant).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sample_attention/filtering.h"
+
+namespace sattn {
+namespace {
+
+TEST(Filtering, ExactPicksMinimalPrefix) {
+  // Mass: 0.5, 0.3, 0.1, 0.1 (already descending by column 0..3).
+  std::vector<float> w = {0.5f, 0.3f, 0.1f, 0.1f};
+  FilterConfig cfg;
+  cfg.alpha = 0.75;
+  cfg.mode = FilterMode::kExact;
+  const FilterResult r = filter_kv_indices(w, cfg);
+  ASSERT_EQ(r.kv_indices.size(), 2u);  // 0.5 + 0.3 >= 0.75
+  EXPECT_EQ(r.kv_indices[0], 0);
+  EXPECT_EQ(r.kv_indices[1], 1);
+  EXPECT_NEAR(r.coverage, 0.8, 1e-6);
+  EXPECT_NEAR(r.kv_ratio, 0.5, 1e-9);
+}
+
+TEST(Filtering, ExactUnsortedInput) {
+  std::vector<float> w = {0.1f, 0.5f, 0.1f, 0.3f};
+  FilterConfig cfg;
+  cfg.alpha = 0.75;
+  cfg.mode = FilterMode::kExact;
+  const FilterResult r = filter_kv_indices(w, cfg);
+  ASSERT_EQ(r.kv_indices.size(), 2u);
+  EXPECT_EQ(r.kv_indices[0], 1);  // sorted ascending on output
+  EXPECT_EQ(r.kv_indices[1], 3);
+}
+
+TEST(Filtering, AlphaOneKeepsEverythingExact) {
+  std::vector<float> w = {0.25f, 0.25f, 0.25f, 0.25f};
+  FilterConfig cfg;
+  cfg.alpha = 1.0;
+  cfg.mode = FilterMode::kExact;
+  const FilterResult r = filter_kv_indices(w, cfg);
+  EXPECT_EQ(r.kv_indices.size(), 4u);
+  EXPECT_NEAR(r.coverage, 1.0, 1e-6);
+}
+
+TEST(Filtering, BucketedUsesAlgorithmOneCuts) {
+  // 100 columns; one dominant column carries 99% of the mass. The smallest
+  // bucket (1.25% -> ceil to 1 col? llround(1.25) = 1) should cover 0.95.
+  std::vector<float> w(100, 0.0001f);
+  w[42] = 1.0f;
+  FilterConfig cfg;
+  cfg.alpha = 0.95;
+  cfg.mode = FilterMode::kBucketed;
+  const FilterResult r = filter_kv_indices(w, cfg);
+  EXPECT_LE(r.kv_indices.size(), 2u);
+  EXPECT_EQ(r.kv_indices[0], 42);
+  EXPECT_GE(r.coverage, 0.95);
+}
+
+TEST(Filtering, BucketedFallsBackToFullWhenMassIsFlat) {
+  std::vector<float> w(64, 1.0f);
+  FilterConfig cfg;
+  cfg.alpha = 0.95;
+  cfg.mode = FilterMode::kBucketed;
+  const FilterResult r = filter_kv_indices(w, cfg);
+  // Uniform mass: needs the last bucket (100%) to reach 95% coverage.
+  EXPECT_EQ(r.kv_indices.size(), 64u);
+}
+
+TEST(Filtering, PreCoveredLowersTarget) {
+  std::vector<float> w = {0.6f, 0.2f, 0.1f, 0.1f};
+  FilterConfig cfg;
+  cfg.alpha = 0.9;
+  cfg.mode = FilterMode::kExact;
+  cfg.pre_covered = 0.8;  // window already covers 80% of row mass
+  // Effective residual target = (0.9 - 0.8) / 0.2 = 0.5 -> one column.
+  const FilterResult r = filter_kv_indices(w, cfg);
+  EXPECT_EQ(r.kv_indices.size(), 1u);
+}
+
+TEST(Filtering, PreCoveredAboveAlphaKeepsNothing) {
+  std::vector<float> w = {0.5f, 0.5f};
+  FilterConfig cfg;
+  cfg.alpha = 0.9;
+  cfg.pre_covered = 0.95;
+  const FilterResult r = filter_kv_indices(w, cfg);
+  EXPECT_TRUE(r.kv_indices.empty());
+  EXPECT_DOUBLE_EQ(r.kv_ratio, 0.0);
+}
+
+TEST(Filtering, ZeroMassKeepsNothing) {
+  std::vector<float> w(16, 0.0f);
+  const FilterResult r = filter_kv_indices(w, FilterConfig{});
+  EXPECT_TRUE(r.kv_indices.empty());
+}
+
+TEST(Filtering, EmptyInput) {
+  const FilterResult r = filter_kv_indices({}, FilterConfig{});
+  EXPECT_TRUE(r.kv_indices.empty());
+  EXPECT_DOUBLE_EQ(r.kv_ratio, 0.0);
+}
+
+TEST(Filtering, IndicesAlwaysSortedAndUnique) {
+  std::vector<float> w = {0.3f, 0.1f, 0.4f, 0.2f};
+  FilterConfig cfg;
+  cfg.alpha = 0.99;
+  cfg.mode = FilterMode::kExact;
+  const FilterResult r = filter_kv_indices(w, cfg);
+  EXPECT_TRUE(std::is_sorted(r.kv_indices.begin(), r.kv_indices.end()));
+  EXPECT_EQ(std::adjacent_find(r.kv_indices.begin(), r.kv_indices.end()), r.kv_indices.end());
+}
+
+// Property: exact mode is minimal — removing its least-weighted selected
+// column drops coverage below the target; bucketed mode never selects fewer
+// columns' coverage than the target (when reachable).
+class FilterMinimality : public ::testing::TestWithParam<double> {};
+
+TEST_P(FilterMinimality, ExactIsMinimalAndSufficient) {
+  const double alpha = GetParam();
+  std::vector<float> w;
+  unsigned seed = 99;
+  for (int i = 0; i < 200; ++i) {
+    seed = seed * 1664525u + 1013904223u;
+    w.push_back(static_cast<float>(seed % 1000) / 1000.0f + 0.001f);
+  }
+  // Make it skewed like real column statistics.
+  for (int i = 0; i < 10; ++i) w[static_cast<std::size_t>(i * 17 % 200)] *= 50.0f;
+
+  FilterConfig cfg;
+  cfg.alpha = alpha;
+  cfg.mode = FilterMode::kExact;
+  const FilterResult r = filter_kv_indices(w, cfg);
+  EXPECT_GE(r.coverage, alpha - 1e-9);
+
+  // Coverage of one fewer (best) column must be below alpha.
+  if (r.kv_indices.size() > 1) {
+    double total = 0.0, kept = 0.0;
+    for (float v : w) total += v;
+    for (Index c : r.kv_indices) kept += w[static_cast<std::size_t>(c)];
+    double min_selected = 1e30;
+    for (Index c : r.kv_indices)
+      min_selected = std::min(min_selected, static_cast<double>(w[static_cast<std::size_t>(c)]));
+    EXPECT_LT((kept - min_selected) / total, alpha);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, FilterMinimality, ::testing::Values(0.5, 0.8, 0.9, 0.95, 0.99));
+
+}  // namespace
+}  // namespace sattn

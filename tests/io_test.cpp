@@ -1,0 +1,120 @@
+// Tests for the I/O layer: heatmap downsampling/rendering and CSV/JSON
+// report writing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/heatmap.h"
+#include "io/report.h"
+#include "model/workload.h"
+
+namespace sattn {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(Heatmap, ScoreDownsampleIsCausal) {
+  const ModelConfig model = chatglm2_6b();
+  const AttentionInput in = generate_attention(model, plain_prompt(1, 256), 8, 3);
+  HeatmapOptions opts;
+  opts.cells = 16;
+  const Matrix hm = downsample_scores(in, opts);
+  ASSERT_EQ(hm.rows(), 16);
+  ASSERT_EQ(hm.cols(), 16);
+  // Strictly above-diagonal tiles carry no mass.
+  for (Index r = 0; r < 16; ++r) {
+    for (Index c = r + 2; c < 16; ++c) EXPECT_FLOAT_EQ(hm(r, c), 0.0f);
+  }
+  // The diagonal tiles do.
+  double diag = 0.0;
+  for (Index r = 0; r < 16; ++r) diag += hm(r, r);
+  EXPECT_GT(diag, 0.0);
+}
+
+TEST(Heatmap, WindowAndSinkShowUp) {
+  const ModelConfig model = chatglm2_6b();
+  const AttentionInput in = generate_attention(model, plain_prompt(2, 512), 12, 5);
+  HeatmapOptions opts;
+  opts.cells = 16;
+  const Matrix hm = downsample_scores(in, opts);
+  // Column 0 (sinks) must hold visible mass deep into the sequence.
+  EXPECT_GT(hm(12, 0), 0.0f);
+}
+
+TEST(Heatmap, MaskDownsampleReflectsStructure) {
+  StructuredMask mask(256, 256);
+  mask.set_window(16);
+  mask.set_stripe_columns({64, 65, 66, 67});
+  HeatmapOptions opts;
+  opts.cells = 16;
+  const Matrix hm = downsample_mask(mask, opts);
+  // The stripe column tile (64/256 * 16 = tile 4) is populated for late rows.
+  EXPECT_GT(hm(15, 4), 0.0f);
+  // A mid-tile far from diagonal, stripes and sinks is empty.
+  EXPECT_FLOAT_EQ(hm(15, 8), 0.0f);
+}
+
+TEST(Heatmap, AsciiRenderHasExpectedShape) {
+  Matrix m(4, 6, 0.0f);
+  m(1, 2) = 1.0f;
+  const std::string art = render_ascii(m, 1.0);
+  // 4 lines of 6 chars.
+  EXPECT_EQ(art.size(), 4u * 7u);
+  EXPECT_EQ(art[0], ' ');
+  EXPECT_EQ(art[1 * 7 + 2], '@');  // the hot cell renders at max ramp level
+}
+
+TEST(Heatmap, AsciiAllZeroIsBlank) {
+  Matrix m(2, 2, 0.0f);
+  const std::string art = render_ascii(m);
+  for (char c : art) EXPECT_TRUE(c == ' ' || c == '\n');
+}
+
+TEST(Heatmap, PgmRoundTripHeader) {
+  Matrix m(3, 5, 0.5f);
+  const std::string path = "/tmp/sattn_heatmap_test.pgm";
+  ASSERT_TRUE(write_pgm(m, path));
+  const std::string content = slurp(path);
+  EXPECT_EQ(content.rfind("P5\n5 3\n255\n", 0), 0u);
+  EXPECT_EQ(content.size(), std::string("P5\n5 3\n255\n").size() + 15u);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EscapesSpecials) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"plain", "with,comma"});
+  csv.add_row({"has \"quote\"", "multi\nline"});
+  const std::string s = csv.to_string();
+  EXPECT_NE(s.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has \"\"quote\"\"\""), std::string::npos);
+  EXPECT_EQ(csv.rows(), 2u);
+}
+
+TEST(Csv, WritesFile) {
+  CsvWriter csv({"x"});
+  csv.add_row({"1"});
+  const std::string path = "/tmp/sattn_csv_test.csv";
+  ASSERT_TRUE(csv.write(path));
+  EXPECT_EQ(slurp(path), "x\n1\n");
+  std::remove(path.c_str());
+}
+
+TEST(Json, EmitsNumbersAndStrings) {
+  JsonReport r;
+  r.set("speedup", 2.25);
+  r.set("method", "SampleAttention \"v1\"");
+  const std::string s = r.to_string();
+  EXPECT_NE(s.find("\"speedup\": 2.25"), std::string::npos);
+  EXPECT_NE(s.find("\\\"v1\\\""), std::string::npos);
+  EXPECT_EQ(s.front(), '{');
+}
+
+}  // namespace
+}  // namespace sattn

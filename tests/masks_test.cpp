@@ -1,0 +1,152 @@
+// Tests for StructuredMask: membership, run compression, density math, and
+// the convenience constructors.
+#include <gtest/gtest.h>
+
+#include "attention/masks.h"
+
+namespace sattn {
+namespace {
+
+TEST(StructuredMask, WindowMembership) {
+  StructuredMask m(8, 8);
+  m.set_window(3);
+  // Row 5: causal limit 5, window covers {3, 4, 5}.
+  EXPECT_TRUE(m.contains(5, 5));
+  EXPECT_TRUE(m.contains(5, 3));
+  EXPECT_FALSE(m.contains(5, 2));
+  EXPECT_FALSE(m.contains(5, 6));  // future
+}
+
+TEST(StructuredMask, CausalOverridesEverything) {
+  StructuredMask m(4, 4);
+  m.set_window(4);
+  m.set_stripe_columns({3});
+  EXPECT_FALSE(m.contains(0, 1));
+  EXPECT_FALSE(m.contains(2, 3));
+  EXPECT_TRUE(m.contains(3, 3));
+}
+
+TEST(StructuredMask, StripeColumnsSortedDeduped) {
+  StructuredMask m(10, 10);
+  m.set_stripe_columns({7, 2, 2, 5, -1, 100});
+  const auto& cols = m.stripe_columns();
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], 2);
+  EXPECT_EQ(cols[1], 5);
+  EXPECT_EQ(cols[2], 7);
+}
+
+TEST(StructuredMask, RunCompression) {
+  StructuredMask m(10, 10);
+  m.set_stripe_columns({1, 2, 3, 7, 9});
+  const auto& runs = m.stripe_runs();
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (ColumnRun{1, 4}));
+  EXPECT_EQ(runs[1], (ColumnRun{7, 8}));
+  EXPECT_EQ(runs[2], (ColumnRun{9, 10}));
+}
+
+TEST(StructuredMask, OutOfRangeQueriesAreFalse) {
+  StructuredMask m(4, 4);
+  m.set_window(4);
+  EXPECT_FALSE(m.contains(-1, 0));
+  EXPECT_FALSE(m.contains(0, -1));
+  EXPECT_FALSE(m.contains(4, 0));
+  EXPECT_FALSE(m.contains(0, 4));
+}
+
+TEST(StructuredMask, BlocksAreClippedAndChecked) {
+  StructuredMask m(8, 8);
+  m.add_block({2, 4, 0, 2});
+  EXPECT_TRUE(m.contains(2, 1));
+  EXPECT_TRUE(m.contains(3, 0));
+  EXPECT_FALSE(m.contains(4, 0));
+  EXPECT_FALSE(m.contains(1, 0));
+  // Degenerate block is dropped.
+  m.add_block({5, 5, 0, 8});
+  EXPECT_EQ(m.blocks().size(), 1u);
+}
+
+TEST(StructuredMask, DensityMatchesDenseCount) {
+  StructuredMask m(16, 16);
+  m.set_window(3);
+  m.set_stripe_columns({0, 5, 6});
+  m.add_block({8, 12, 2, 5});
+  const Matrix dense = m.to_dense();
+  double kept = 0.0;
+  for (float v : dense.flat()) kept += v;
+  EXPECT_NEAR(m.density(), kept / causal_pairs(16, 16), 1e-9);
+}
+
+TEST(StructuredMask, FullWindowDensityIsOne) {
+  StructuredMask m(12, 12);
+  m.set_window(12);
+  EXPECT_NEAR(m.density(), 1.0, 1e-12);
+}
+
+TEST(StructuredMask, EmptyMaskDensityIsZero) {
+  StructuredMask m(6, 6);
+  EXPECT_DOUBLE_EQ(m.density(), 0.0);
+}
+
+TEST(StructuredMask, DensityWithCrossLengths) {
+  StructuredMask m(4, 10);
+  m.set_window(2);
+  m.set_stripe_columns({0});
+  const Matrix dense = m.to_dense();
+  double kept = 0.0;
+  for (float v : dense.flat()) kept += v;
+  EXPECT_NEAR(m.density(), kept / causal_pairs(4, 10), 1e-9);
+}
+
+TEST(WindowWidthFromRatio, CeilAndClamp) {
+  EXPECT_EQ(window_width_from_ratio(100, 0.08), 8);
+  EXPECT_EQ(window_width_from_ratio(100, 0.081), 9);   // ceil
+  EXPECT_EQ(window_width_from_ratio(100, 0.0), 1);     // at least 1
+  EXPECT_EQ(window_width_from_ratio(100, 2.0), 100);   // at most Sk
+}
+
+TEST(MakeWindowMask, UsesRatio) {
+  const StructuredMask m = make_window_mask(50, 50, 0.1);
+  EXPECT_EQ(m.window(), 5);
+  EXPECT_TRUE(m.stripe_columns().empty());
+}
+
+TEST(MakeStreamingMask, SinksPlusWindow) {
+  const StructuredMask m = make_streaming_mask(100, 100, 4, 10);
+  EXPECT_EQ(m.window(), 10);
+  ASSERT_EQ(m.stripe_columns().size(), 4u);
+  EXPECT_TRUE(m.contains(50, 0));   // sink visible from anywhere
+  EXPECT_TRUE(m.contains(50, 45));  // window
+  EXPECT_FALSE(m.contains(50, 20)); // middle dropped
+}
+
+TEST(CausalPairs, CountsLowerTriangle) {
+  EXPECT_DOUBLE_EQ(causal_pairs(3, 3), 6.0);   // 1+2+3
+  EXPECT_DOUBLE_EQ(causal_pairs(2, 4), 7.0);   // 3+4
+}
+
+// Density must always lie in [0, 1] for random masks (property sweep).
+class MaskDensityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaskDensityProperty, DensityInUnitInterval) {
+  const int seed = GetParam();
+  const Index s = 20 + seed * 7;
+  StructuredMask m(s, s);
+  m.set_window(1 + seed % 5);
+  std::vector<Index> cols;
+  for (Index c = seed % 3; c < s; c += 3 + seed % 4) cols.push_back(c);
+  m.set_stripe_columns(cols);
+  m.add_block({seed % 5, seed % 5 + 4, 0, 3});
+  EXPECT_GE(m.density(), 0.0);
+  EXPECT_LE(m.density(), 1.0);
+  const Matrix dense = m.to_dense();
+  double kept = 0.0;
+  for (float v : dense.flat()) kept += v;
+  EXPECT_NEAR(m.density(), kept / causal_pairs(s, s), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskDensityProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace sattn

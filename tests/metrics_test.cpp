@@ -1,0 +1,189 @@
+// Tests for the theory-side metrics: CRA (Def. 2), SD oracle (Def. 1),
+// recovery stats, and the Theorem 1 error bound.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/full_attention.h"
+#include "attention/score_utils.h"
+#include "attention/sparse_flash_attention.h"
+#include "core/rng.h"
+#include "metrics/cra.h"
+#include "metrics/recovery.h"
+#include "metrics/sparsity.h"
+
+namespace sattn {
+namespace {
+
+AttentionInput random_input(Index s, Index d, std::uint64_t seed) {
+  AttentionInput in;
+  in.q.resize(s, d);
+  in.k.resize(s, d);
+  in.v.resize(s, d);
+  Rng rng(seed);
+  rng.fill_normal(in.q);
+  rng.fill_normal(in.k);
+  rng.fill_normal(in.v);
+  return in;
+}
+
+TEST(Cra, FullMaskGivesOne) {
+  AttentionInput in = random_input(32, 8, 1);
+  StructuredMask mask(32, 32);
+  mask.set_window(32);
+  const auto rows = all_rows(32);
+  EXPECT_NEAR(cra(in, mask, rows), 1.0, 1e-5);
+}
+
+TEST(Cra, EmptyStripeMaskWithTinyWindow) {
+  AttentionInput in = random_input(64, 8, 2);
+  StructuredMask mask(64, 64);
+  mask.set_window(1);  // only the diagonal
+  const auto rows = all_rows(64);
+  const double c = cra(in, mask, rows);
+  EXPECT_GT(c, 0.0);
+  EXPECT_LT(c, 0.8);
+}
+
+TEST(Cra, IsMinOverRows) {
+  // Construct a case where one row retains much less than others: row 10's
+  // mass concentrated on column 2 which the mask drops.
+  AttentionInput in = random_input(16, 4, 3);
+  for (Index t = 0; t < 4; ++t) in.k(2, t) = 20.0f * in.q(10, t);
+  StructuredMask mask(16, 16);
+  mask.set_window(2);
+  const auto rows = all_rows(16);
+  const double worst = cra(in, mask, rows);
+  // Row 10 lost almost everything; CRA must reflect it.
+  EXPECT_LT(worst, 0.3);
+}
+
+TEST(Cra, MatchesManualComputationOnDenseScores) {
+  AttentionInput in = random_input(12, 4, 4);
+  StructuredMask mask(12, 12);
+  mask.set_window(3);
+  mask.set_stripe_columns({0, 5});
+  const Matrix p = full_attention_scores(in);
+  double manual = 1.0;
+  for (Index i = 0; i < 12; ++i) {
+    double kept = 0.0;
+    for (Index j = 0; j <= i; ++j) {
+      if (mask.contains(i, j)) kept += p(i, j);
+    }
+    manual = std::min(manual, kept);
+  }
+  const auto rows = all_rows(12);
+  EXPECT_NEAR(cra(in, mask, rows), manual, 1e-6);
+}
+
+TEST(Cra, ColumnsWindowHelperAgreesWithMask) {
+  AttentionInput in = random_input(24, 4, 5);
+  std::vector<Index> cols = {0, 1, 7};
+  StructuredMask mask(24, 24);
+  mask.set_window(4);
+  mask.set_stripe_columns(cols);
+  const auto rows = all_rows(24);
+  EXPECT_NEAR(cra_columns_window(in, cols, 4, rows), cra(in, mask, rows), 1e-9);
+}
+
+TEST(SdOracle, RowMinKeptBasics) {
+  std::vector<float> row = {0.5f, 0.3f, 0.15f, 0.05f};
+  EXPECT_EQ(row_min_kept(row, 4, 0.5), 1);
+  EXPECT_EQ(row_min_kept(row, 4, 0.79), 2);
+  EXPECT_EQ(row_min_kept(row, 4, 0.81), 3);
+  EXPECT_EQ(row_min_kept(row, 4, 1.0), 4);
+  EXPECT_EQ(row_min_kept(row, 0, 0.9), 0);
+}
+
+TEST(SdOracle, UniformScoresHaveLowSd) {
+  // Identical keys => uniform rows => need alpha fraction of each row.
+  AttentionInput in;
+  in.q.resize(64, 4, 1.0f);
+  in.k.resize(64, 4, 1.0f);
+  in.v.resize(64, 4, 1.0f);
+  const auto rows = all_rows(64);
+  const SparsityStats st = sd_oracle(in, 0.95, rows);
+  EXPECT_LT(st.sd, 0.10);
+  EXPECT_EQ(st.rows_measured, 64);
+}
+
+TEST(SdOracle, PeakedScoresHaveHighSd) {
+  // Each query strongly matches exactly one key (the diagonal).
+  AttentionInput in = random_input(64, 8, 6);
+  in.k = in.q;
+  for (Index i = 0; i < 64; ++i)
+    for (Index t = 0; t < 8; ++t) in.k(i, t) *= 8.0f;
+  const auto rows = all_rows(64);
+  const SparsityStats st = sd_oracle(in, 0.95, rows);
+  EXPECT_GT(st.sd, 0.5);
+}
+
+TEST(SdOracle, MonotoneInAlpha) {
+  AttentionInput in = random_input(64, 8, 7);
+  const auto rows = all_rows(64);
+  const double sd_90 = sd_oracle(in, 0.90, rows).sd;
+  const double sd_95 = sd_oracle(in, 0.95, rows).sd;
+  const double sd_98 = sd_oracle(in, 0.98, rows).sd;
+  EXPECT_GE(sd_90, sd_95);
+  EXPECT_GE(sd_95, sd_98);
+}
+
+TEST(Recovery, ZeroForIdenticalMatrices) {
+  Matrix a(4, 4, 1.5f);
+  const RecoveryStats s = recovery_stats(a, a);
+  EXPECT_DOUBLE_EQ(s.max_abs_err, 0.0);
+  EXPECT_DOUBLE_EQ(s.rel_l1, 0.0);
+}
+
+TEST(Recovery, ComputesRowL1) {
+  Matrix a(2, 2, 0.0f), b(2, 2, 0.0f);
+  a(1, 0) = 0.3f;
+  a(1, 1) = 0.2f;
+  const RecoveryStats s = recovery_stats(a, b);
+  EXPECT_NEAR(s.max_row_l1, 0.5, 1e-6);
+  EXPECT_NEAR(s.max_abs_err, 0.3, 1e-6);
+}
+
+TEST(Recovery, ValueBoundIsMaxRowL1OfV) {
+  Matrix v(3, 2);
+  v(0, 0) = 1.0f; v(0, 1) = -2.0f;   // L1 = 3
+  v(1, 0) = 0.5f; v(1, 1) = 0.5f;    // L1 = 1
+  v(2, 0) = -4.0f; v(2, 1) = 0.0f;   // L1 = 4
+  EXPECT_DOUBLE_EQ(value_l1_bound(v), 4.0);
+}
+
+TEST(Recovery, NearLosslessCriterion) {
+  EXPECT_TRUE(near_lossless(99.1, 100.0));
+  EXPECT_FALSE(near_lossless(98.9, 100.0));
+  EXPECT_TRUE(near_lossless(0.0, 0.0));
+}
+
+// Theorem 1 (with softmax renormalization): the sparse output error is
+// bounded by 2 * (1 - CRA) * R where R = max ||V_j||_1. Verified on random
+// masks (property sweep).
+class TheoremBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(TheoremBound, ErrorWithinCraBound) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  AttentionInput in = random_input(48, 8, seed + 50);
+  StructuredMask mask(48, 48);
+  mask.set_window(4 + static_cast<Index>(seed % 5));
+  std::vector<Index> cols;
+  for (Index c = seed % 7; c < 48; c += 5) cols.push_back(c);
+  mask.set_stripe_columns(cols);
+
+  Matrix exact, sparse;
+  full_attention(in, exact);
+  sparse_flash_attention(in, mask, sparse);
+  const auto rows = all_rows(48);
+  const double c = cra(in, mask, rows);
+  const double r_bound = value_l1_bound(in.v);
+  const RecoveryStats rec = recovery_stats(sparse, exact);
+  EXPECT_LE(rec.max_row_l1, 2.0 * (1.0 - c) * r_bound + 1e-4)
+      << "CRA=" << c << " R=" << r_bound;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremBound, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace sattn

@@ -1,0 +1,211 @@
+// Tests for the synthetic model substrate: configs, head profiles, the
+// structured generator's statistical properties, and workloads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "attention/score_utils.h"
+#include "metrics/sparsity.h"
+#include "model/workload.h"
+
+namespace sattn {
+namespace {
+
+TEST(ModelConfig, PresetsMatchPaperArchitectures) {
+  const ModelConfig glm = chatglm2_6b();
+  EXPECT_EQ(glm.n_layers, 28);
+  EXPECT_EQ(glm.n_heads, 32);
+  EXPECT_EQ(glm.head_dim, 128);
+  EXPECT_EQ(glm.context_window, 96 * 1024);
+
+  const ModelConfig intern = internlm2_7b();
+  EXPECT_EQ(intern.n_layers, 32);
+  EXPECT_EQ(intern.n_heads, 32);
+  EXPECT_EQ(intern.context_window, 200 * 1024);
+  EXPECT_NE(glm.seed, intern.seed);
+}
+
+TEST(HeadProfile, DeterministicPerHead) {
+  const ModelConfig model = chatglm2_6b();
+  const HeadProfile a = head_profile(model, 5, 7);
+  const HeadProfile b = head_profile(model, 5, 7);
+  EXPECT_DOUBLE_EQ(a.stripe_strength, b.stripe_strength);
+  EXPECT_DOUBLE_EQ(a.window_decay_tokens, b.window_decay_tokens);
+  const HeadProfile c = head_profile(model, 5, 8);
+  EXPECT_NE(a.stripe_strength, c.stripe_strength);
+}
+
+TEST(HeadProfile, LayerZeroIsWeaker) {
+  const ModelConfig model = chatglm2_6b();
+  double l0 = 0.0, l8 = 0.0;
+  for (Index h = 0; h < model.n_heads; ++h) {
+    l0 += head_profile(model, 0, h).stripe_strength;
+    l8 += head_profile(model, 8, h).stripe_strength;
+  }
+  EXPECT_LT(l0, 0.7 * l8);
+}
+
+TEST(HeadKinds, MixtureRoughlyMatchesDesign) {
+  const ModelConfig model = chatglm2_6b();
+  int dense = 0, retrieval = 0, standard = 0;
+  for (Index l = 0; l < model.n_layers; ++l) {
+    for (Index h = 0; h < model.n_heads; ++h) {
+      switch (head_kind(model, l, h)) {
+        case HeadKind::kDense: ++dense; break;
+        case HeadKind::kRetrieval: ++retrieval; break;
+        case HeadKind::kStandard: ++standard; break;
+      }
+    }
+  }
+  const int total = dense + retrieval + standard;
+  EXPECT_EQ(total, 28 * 32);
+  EXPECT_NEAR(static_cast<double>(dense) / total, 0.08, 0.04);
+  EXPECT_NEAR(static_cast<double>(retrieval) / total, 0.22, 0.06);
+}
+
+TEST(Generator, ShapesAndDeterminism) {
+  const ModelConfig model = chatglm2_6b();
+  const ContentSpec content = plain_prompt(1, 128);
+  const AttentionInput a = generate_attention(model, content, 3, 4);
+  EXPECT_EQ(a.sq(), 128);
+  EXPECT_EQ(a.sk(), 128);
+  EXPECT_EQ(a.head_dim(), 128);
+  const AttentionInput b = generate_attention(model, content, 3, 4);
+  EXPECT_FLOAT_EQ(max_abs_diff(a.q, b.q), 0.0f);
+  EXPECT_FLOAT_EQ(max_abs_diff(a.k, b.k), 0.0f);
+  EXPECT_FLOAT_EQ(max_abs_diff(a.v, b.v), 0.0f);
+}
+
+TEST(Generator, ContentAwareness) {
+  // Same head, different content seeds -> different K structure (Fig 2(d)).
+  const ModelConfig model = chatglm2_6b();
+  const AttentionInput a = generate_attention(model, plain_prompt(1, 128), 3, 4);
+  const AttentionInput b = generate_attention(model, plain_prompt(2, 128), 3, 4);
+  EXPECT_GT(max_abs_diff(a.k, b.k), 0.1f);
+}
+
+TEST(Generator, LocalWindowPattern) {
+  // Diagonal-adjacent scores should exceed distant scores on a standard
+  // head, on average.
+  const ModelConfig model = chatglm2_6b();
+  const AttentionInput in = generate_attention(model, plain_prompt(3, 256), 8, 3);
+  const auto rows = stride_rows(256, 0.2);
+  double near = 0.0, far = 0.0;
+  Index n_near = 0, n_far = 0;
+  for_each_score_row(in, rows, [&](Index i, std::span<const float> p) {
+    if (i < 64) return;
+    for (Index j = i - 3; j <= i; ++j) {
+      near += p[static_cast<std::size_t>(j)];
+      ++n_near;
+    }
+    for (Index j = i / 2 - 2; j <= i / 2; ++j) {
+      far += p[static_cast<std::size_t>(j)];
+      ++n_far;
+    }
+  });
+  EXPECT_GT(near / static_cast<double>(n_near), 2.0 * far / static_cast<double>(n_far));
+}
+
+TEST(Generator, CriticalSpanIsStripe) {
+  const ModelConfig model = chatglm2_6b();
+  ContentSpec content = plain_prompt(4, 256);
+  content.critical_positions = {100};
+  content.critical_span = 4;
+  const auto heads = retrieval_heads(model, 1);
+  const AttentionInput in = generate_attention(model, content, heads[0].first, heads[0].second);
+  // Column 100 should collect far more mass than a random mid column.
+  const auto rows = stride_rows(256, 0.25);
+  const auto colsum = column_score_sum(in, rows);
+  EXPECT_GT(colsum[100], 10.0f * colsum[90]);
+}
+
+TEST(Generator, SignatureVectorsAreUnitAndDistinct) {
+  const auto a = signature_vector(64, 1, 10);
+  const auto b = signature_vector(64, 1, 11);
+  double na = 0.0, ab = 0.0;
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    na += static_cast<double>(a[t]) * a[t];
+    ab += static_cast<double>(a[t]) * b[t];
+  }
+  EXPECT_NEAR(na, 1.0, 1e-5);
+  EXPECT_LT(std::fabs(ab), 0.5);
+}
+
+TEST(Generator, HeadSpecificSparsity) {
+  // Dense-kind heads must show materially lower SD than retrieval heads
+  // (Fig 2(c)).
+  const ModelConfig model = chatglm2_6b();
+  const ContentSpec content = plain_prompt(5, 512);
+  const auto rows = stride_rows(512, 0.1);
+
+  double dense_sd = -1.0, retrieval_sd = -1.0;
+  for (Index l = 1; l < model.n_layers && (dense_sd < 0 || retrieval_sd < 0); ++l) {
+    for (Index h = 0; h < model.n_heads && (dense_sd < 0 || retrieval_sd < 0); ++h) {
+      const HeadKind kind = head_kind(model, l, h);
+      if (kind == HeadKind::kDense && dense_sd < 0) {
+        dense_sd = sd_oracle(generate_attention(model, content, l, h), 0.95, rows).sd;
+      } else if (kind == HeadKind::kRetrieval && retrieval_sd < 0) {
+        retrieval_sd = sd_oracle(generate_attention(model, content, l, h), 0.95, rows).sd;
+      }
+    }
+  }
+  ASSERT_GE(dense_sd, 0.0);
+  ASSERT_GE(retrieval_sd, 0.0);
+  EXPECT_GT(retrieval_sd, dense_sd + 0.15);
+}
+
+TEST(RetrievalHeads, AreRetrievalKindAndSpreadOverLayers) {
+  const ModelConfig model = chatglm2_6b();
+  const auto heads = retrieval_heads(model, 5);
+  ASSERT_EQ(heads.size(), 5u);
+  std::set<Index> layers;
+  for (const auto& [l, h] : heads) {
+    EXPECT_EQ(head_kind(model, l, h), HeadKind::kRetrieval);
+    EXPECT_GT(l, 0);
+    layers.insert(l);
+  }
+  EXPECT_EQ(layers.size(), 5u);
+}
+
+TEST(Workload, ProfilingSetMatchesPaperShape) {
+  const auto requests = profiling_set(256, 1024);
+  EXPECT_EQ(requests.size(), 22u);  // the paper's 22 requests
+  EXPECT_EQ(requests.front().content.length, 256);
+  EXPECT_EQ(requests.back().content.length, 1024);
+  for (std::size_t r = 1; r < requests.size(); ++r) {
+    EXPECT_GE(requests[r].content.length, requests[r - 1].content.length);
+  }
+}
+
+TEST(Workload, ProfilingInputsMaterialize) {
+  const ModelConfig model = chatglm2_6b();
+  const auto requests = profiling_set(64, 128, 3);
+  const auto inputs = profiling_inputs(model, requests, 4, 2);
+  ASSERT_EQ(inputs.size(), 3u);
+  EXPECT_EQ(inputs[0].sq(), 64);
+  EXPECT_EQ(inputs[2].sq(), 128);
+}
+
+// Property: SD grows with sequence length on the same head (Fig 2(b),
+// Table 5).
+TEST(Generator, SparsityGrowsWithLength) {
+  // Averaged over two heads to suppress per-head stripe-draw noise; small
+  // tolerance since the trend, not strict per-sample monotonicity, is the
+  // property (paper Table 5 reports averages over all heads).
+  const ModelConfig model = chatglm2_6b();
+  double prev = -1.0;
+  for (Index s : {512, 2048, 8192}) {
+    double sd = 0.0;
+    for (Index head : {3, 9}) {
+      const AttentionInput in = generate_attention(model, plain_prompt(9, s), 8, head);
+      sd += sd_oracle(in, 0.95, stride_rows(s, 48.0 / s)).sd;
+    }
+    sd /= 2.0;
+    EXPECT_GT(sd, prev - 0.005) << "S=" << s;
+    prev = sd;
+  }
+}
+
+}  // namespace
+}  // namespace sattn

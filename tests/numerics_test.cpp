@@ -1,0 +1,134 @@
+// Unit tests for softmax / top-k / searchsorted / prefix-sum primitives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/numerics.h"
+
+namespace sattn {
+namespace {
+
+TEST(Softmax, SumsToOne) {
+  std::vector<float> x = {0.1f, 2.0f, -1.0f, 0.5f};
+  softmax_inplace(x);
+  double s = 0.0;
+  for (float v : x) s += v;
+  EXPECT_NEAR(s, 1.0, 1e-6);
+}
+
+TEST(Softmax, IsStableForLargeLogits) {
+  std::vector<float> x = {1000.0f, 1000.0f, 999.0f};
+  softmax_inplace(x);
+  EXPECT_FALSE(std::isnan(x[0]));
+  EXPECT_NEAR(x[0], x[1], 1e-6f);
+  EXPECT_GT(x[0], x[2]);
+}
+
+TEST(Softmax, UniformLogitsGiveUniformProbs) {
+  std::vector<float> x(10, 3.0f);
+  softmax_inplace(x);
+  for (float v : x) EXPECT_NEAR(v, 0.1f, 1e-6f);
+}
+
+TEST(Softmax, ReturnsLogSumExp) {
+  std::vector<float> x = {0.0f, 0.0f};
+  const double lse = softmax_inplace(x);
+  EXPECT_NEAR(lse, std::log(2.0), 1e-6);
+}
+
+TEST(SoftmaxPrefix, ZeroesTail) {
+  std::vector<float> x = {1.0f, 2.0f, 100.0f, 100.0f};
+  softmax_prefix_inplace(x, 2);
+  EXPECT_FLOAT_EQ(x[2], 0.0f);
+  EXPECT_FLOAT_EQ(x[3], 0.0f);
+  EXPECT_NEAR(x[0] + x[1], 1.0, 1e-6);
+  EXPECT_GT(x[1], x[0]);
+}
+
+TEST(SoftmaxPrefix, EmptyPrefixIsAllZero) {
+  std::vector<float> x = {1.0f, 2.0f};
+  const double lse = softmax_prefix_inplace(x, 0);
+  EXPECT_FLOAT_EQ(x[0], 0.0f);
+  EXPECT_FLOAT_EQ(x[1], 0.0f);
+  EXPECT_TRUE(std::isinf(lse));
+}
+
+TEST(TopK, ReturnsLargestInOrder) {
+  std::vector<float> x = {0.5f, 3.0f, -1.0f, 2.0f, 2.5f};
+  auto idx = topk_indices(x, 3);
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 4);
+  EXPECT_EQ(idx[2], 3);
+}
+
+TEST(TopK, ClampsK) {
+  std::vector<float> x = {1.0f, 2.0f};
+  EXPECT_EQ(topk_indices(x, 100).size(), 2u);
+  EXPECT_TRUE(topk_indices(x, 0).empty());
+}
+
+TEST(TopK, TieBreaksByLowerIndex) {
+  std::vector<float> x = {2.0f, 2.0f, 2.0f};
+  auto idx = topk_indices(x, 2);
+  EXPECT_EQ(idx[0], 0);
+  EXPECT_EQ(idx[1], 1);
+}
+
+TEST(ArgsortDesc, SortsDescending) {
+  std::vector<float> x = {1.0f, 5.0f, 3.0f};
+  auto idx = argsort_desc(x);
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 2);
+  EXPECT_EQ(idx[2], 0);
+}
+
+TEST(PrefixSum, Accumulates) {
+  std::vector<float> x = {1.0f, 2.0f, 3.0f};
+  auto p = prefix_sum(x);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], 3.0);
+  EXPECT_DOUBLE_EQ(p[2], 6.0);
+}
+
+TEST(SearchSorted, FindsLowerBound) {
+  std::vector<double> a = {0.1, 0.4, 0.7, 1.0};
+  EXPECT_EQ(searchsorted(a, 0.05), 0);
+  EXPECT_EQ(searchsorted(a, 0.4), 1);
+  EXPECT_EQ(searchsorted(a, 0.5), 2);
+  EXPECT_EQ(searchsorted(a, 2.0), 4);
+}
+
+TEST(Dsum, DoublePrecisionAccumulation) {
+  std::vector<float> x(1000, 0.1f);
+  EXPECT_NEAR(dsum(x), 100.0, 0.01);
+}
+
+// Property sweep: softmax output is a probability distribution for random
+// logit vectors of varying sizes.
+class SoftmaxProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxProperty, ProducesDistribution) {
+  const int n = GetParam();
+  std::vector<float> x(static_cast<std::size_t>(n));
+  unsigned seed = 12345u + static_cast<unsigned>(n);
+  for (float& v : x) {
+    seed = seed * 1664525u + 1013904223u;
+    v = static_cast<float>(static_cast<double>(seed) / 4294967296.0 * 20.0 - 10.0);
+  }
+  softmax_inplace(x);
+  double s = 0.0;
+  for (float v : x) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+    s += v;
+  }
+  EXPECT_NEAR(s, 1.0, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SoftmaxProperty, ::testing::Values(1, 2, 3, 17, 100, 1024, 4096));
+
+}  // namespace
+}  // namespace sattn

@@ -1,0 +1,170 @@
+// Library-wide property tests, parameterized over seeds and shapes:
+// invariants that must hold for any input, not just hand-picked cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/full_attention.h"
+#include "attention/score_utils.h"
+#include "attention/sparse_flash_attention.h"
+#include "core/rng.h"
+#include "metrics/cra.h"
+#include "metrics/recovery.h"
+#include "metrics/sparsity.h"
+#include "model/workload.h"
+#include "sample_attention/sample_attention.h"
+
+namespace sattn {
+namespace {
+
+AttentionInput random_input(Index s, Index d, std::uint64_t seed) {
+  AttentionInput in;
+  in.q.resize(s, d);
+  in.k.resize(s, d);
+  in.v.resize(s, d);
+  Rng rng(seed);
+  rng.fill_normal(in.q);
+  rng.fill_normal(in.k);
+  rng.fill_normal(in.v);
+  return in;
+}
+
+struct Shape {
+  Index s;
+  Index d;
+};
+
+class AttentionInvariants : public ::testing::TestWithParam<Shape> {};
+
+// Attention output rows are convex combinations of value rows: each output
+// coordinate lies within [min_j V_jt, max_j V_jt] over the causal prefix.
+TEST_P(AttentionInvariants, OutputIsConvexCombinationOfValues) {
+  const auto [s, d] = GetParam();
+  AttentionInput in = random_input(s, d, 11);
+  Matrix out;
+  full_attention(in, out);
+  for (Index i = 0; i < s; ++i) {
+    for (Index t = 0; t < d; ++t) {
+      float lo = in.v(0, t), hi = in.v(0, t);
+      for (Index j = 1; j <= i; ++j) {
+        lo = std::min(lo, in.v(j, t));
+        hi = std::max(hi, in.v(j, t));
+      }
+      EXPECT_GE(out(i, t), lo - 1e-4f);
+      EXPECT_LE(out(i, t), hi + 1e-4f);
+    }
+  }
+}
+
+// Permutation equivariance in V: scaling V scales O linearly.
+TEST_P(AttentionInvariants, LinearInValues) {
+  const auto [s, d] = GetParam();
+  AttentionInput in = random_input(s, d, 12);
+  Matrix out1;
+  full_attention(in, out1);
+  for (float& v : in.v.flat()) v *= 2.5f;
+  Matrix out2;
+  full_attention(in, out2);
+  for (Index i = 0; i < s; ++i)
+    for (Index t = 0; t < d; ++t) EXPECT_NEAR(out2(i, t), 2.5f * out1(i, t), 5e-4f);
+}
+
+// Softmax shift invariance: adding a constant vector to all keys shifts all
+// logits of a row equally (through the query dot product)... only when the
+// query is fixed; instead test: duplicating a key's logit scale by adding
+// the same constant to every LOGIT leaves attention unchanged. We emulate
+// by appending a shared direction to queries only — scores shift per-row
+// uniformly, so P is invariant.
+TEST_P(AttentionInvariants, RowUniformLogitShiftInvariance) {
+  const auto [s, d] = GetParam();
+  AttentionInput in = random_input(s, d, 13);
+  // All keys get +c in a direction orthogonalized against nothing: adding
+  // the SAME vector u to every key shifts row i's logits by q_i . u / sqrt(d)
+  // — constant within the row => softmax unchanged.
+  Matrix out1;
+  full_attention(in, out1);
+  Rng rng(99);
+  std::vector<float> u(static_cast<std::size_t>(d));
+  for (float& x : u) x = static_cast<float>(rng.normal());
+  for (Index j = 0; j < s; ++j) {
+    auto k = in.k.row(j);
+    for (Index t = 0; t < d; ++t) k[static_cast<std::size_t>(t)] += u[static_cast<std::size_t>(t)];
+  }
+  Matrix out2;
+  full_attention(in, out2);
+  EXPECT_LT(max_abs_diff(out1, out2), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, AttentionInvariants,
+                         ::testing::Values(Shape{8, 4}, Shape{33, 8}, Shape{64, 16},
+                                           Shape{100, 8}));
+
+class PlanInvariants : public ::testing::TestWithParam<int> {};
+
+// For any structured input: plan density in (0, 1], overhead ~ r_row,
+// sparse output finite, CRA in [0, 1], SD in [0, 1).
+TEST_P(PlanInvariants, PlanAndMetricsWellFormed) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const ModelConfig model = chatglm2_6b();
+  const Index s = 256 + static_cast<Index>(seed % 3) * 128;
+  const Index layer = static_cast<Index>(seed % 28);
+  const Index head = static_cast<Index>((seed * 13) % 32);
+  const AttentionInput in = generate_attention(model, plain_prompt(seed, s), layer, head);
+
+  SampleAttentionConfig cfg;
+  Matrix out;
+  SamplePlan plan;
+  sample_attention(in, cfg, out, &plan);
+
+  EXPECT_GT(plan.density, 0.0);
+  EXPECT_LE(plan.density, 1.0);
+  EXPECT_NEAR(plan.overhead_fraction, cfg.row_ratio, 0.06);
+  for (float v : out.flat()) EXPECT_TRUE(std::isfinite(v));
+
+  const auto rows = stride_rows(s, 0.1);
+  const double c = cra(in, plan.mask, rows);
+  EXPECT_GE(c, 0.0);
+  EXPECT_LE(c, 1.0);
+
+  const SparsityStats sd = sd_oracle(in, 0.95, rows);
+  EXPECT_GE(sd.sd, 0.0);
+  EXPECT_LT(sd.sd, 1.0);
+}
+
+// Theorem 2 regression: the structured mask's sparse output converges to the
+// exact output as the window grows to cover everything.
+TEST_P(PlanInvariants, StructuredMaskConvergesToExact) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  AttentionInput in = random_input(96, 8, seed + 500);
+  Matrix exact;
+  full_attention(in, exact);
+  double prev_err = 1e30;
+  for (Index w : {8, 32, 96}) {
+    StructuredMask mask(96, 96);
+    mask.set_window(w);
+    Matrix out;
+    sparse_flash_attention(in, mask, out);
+    const double err = recovery_stats(out, exact).rel_l1;
+    EXPECT_LE(err, prev_err + 1e-9);
+    prev_err = err;
+  }
+  EXPECT_NEAR(prev_err, 0.0, 1e-5);
+}
+
+// Stage-1 statistic is exact at r_row = 1.
+TEST_P(PlanInvariants, FullSamplingMatchesExactColumnSums) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  AttentionInput in = random_input(64, 8, seed + 900);
+  const SampleStats st = sample_column_weights(in, 1.0);
+  const auto exact_rows = all_rows(64);
+  const auto exact = column_score_sum(in, exact_rows);
+  ASSERT_EQ(st.column_weight.size(), exact.size());
+  for (std::size_t j = 0; j < exact.size(); ++j) {
+    EXPECT_NEAR(st.column_weight[j], exact[j], 1e-4f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanInvariants, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace sattn

@@ -1,0 +1,88 @@
+// Tests for rotary positional embedding: norm preservation, relative
+// position property, and the rope-scaling (position interpolation) variant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "model/rope.h"
+
+namespace sattn {
+namespace {
+
+double norm(std::span<const float> v) {
+  double n = 0.0;
+  for (float x : v) n += static_cast<double>(x) * x;
+  return std::sqrt(n);
+}
+
+TEST(Rope, PositionZeroIsIdentity) {
+  std::vector<float> v = {1.0f, 2.0f, 3.0f, 4.0f};
+  auto w = v;
+  apply_rope_row(w, 0);
+  for (std::size_t t = 0; t < v.size(); ++t) EXPECT_FLOAT_EQ(w[t], v[t]);
+}
+
+TEST(Rope, PreservesNorm) {
+  Rng rng(1);
+  Matrix m(16, 64);
+  rng.fill_normal(m);
+  std::vector<double> before;
+  for (Index r = 0; r < 16; ++r) before.push_back(norm(m.row(r)));
+  apply_rope(m, 100);
+  for (Index r = 0; r < 16; ++r) EXPECT_NEAR(norm(m.row(r)), before[static_cast<std::size_t>(r)], 1e-4);
+}
+
+TEST(Rope, RelativePositionProperty) {
+  // <R(i)q, R(j)k> depends only on i - j.
+  Rng rng(2);
+  std::vector<float> q(32), k(32);
+  for (float& x : q) x = static_cast<float>(rng.normal());
+  for (float& x : k) x = static_cast<float>(rng.normal());
+
+  auto score_at = [&](Index i, Index j) {
+    auto qr = q;
+    auto kr = k;
+    apply_rope_row(qr, i);
+    apply_rope_row(kr, j);
+    return dot(qr, kr);
+  };
+  EXPECT_NEAR(score_at(10, 7), score_at(110, 107), 1e-4);
+  EXPECT_NEAR(score_at(5, 0), score_at(905, 900), 1e-4);
+}
+
+TEST(Rope, ScalingCompressesPositions) {
+  // With scaling = 2, position 2t behaves like position t unscaled.
+  Rng rng(3);
+  std::vector<float> v(16);
+  for (float& x : v) x = static_cast<float>(rng.normal());
+  auto a = v;
+  auto b = v;
+  apply_rope_row(a, 10, {10000.0, 2.0});
+  apply_rope_row(b, 5, {10000.0, 1.0});
+  for (std::size_t t = 0; t < v.size(); ++t) EXPECT_NEAR(a[t], b[t], 1e-5f);
+}
+
+TEST(Rope, MatrixOffsetMatchesRowCalls) {
+  Rng rng(4);
+  Matrix m(4, 8);
+  rng.fill_normal(m);
+  Matrix rows = m;
+  apply_rope(m, 3);
+  for (Index r = 0; r < 4; ++r) {
+    auto row = rows.row(r);
+    apply_rope_row(row, 3 + r);
+    for (Index t = 0; t < 8; ++t) EXPECT_FLOAT_EQ(m(r, t), rows(r, t));
+  }
+}
+
+TEST(Rope, LowFrequencyChannelsRotateSlowly) {
+  std::vector<float> v(64, 1.0f);
+  apply_rope_row(v, 1);
+  // First pair rotates at angle 1 (fast); last pair rotates ~theta^-1 ~ 1e-4.
+  EXPECT_LT(v[0], 0.99f);
+  EXPECT_NEAR(v[62], 1.0f, 1e-3f);
+}
+
+}  // namespace
+}  // namespace sattn

@@ -1,0 +1,223 @@
+// Tests for the runtime layer: KV cache, decode attention, eviction
+// policies, chunked prefill, and the model-level prefill runner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/flash_attention.h"
+#include "attention/full_attention.h"
+#include "core/rng.h"
+#include "model/workload.h"
+#include "runtime/chunked_prefill.h"
+#include "runtime/decode.h"
+#include "runtime/eviction.h"
+#include "runtime/kv_cache.h"
+#include "runtime/model_runner.h"
+#include "sample_attention/sample_attention.h"
+
+namespace sattn {
+namespace {
+
+AttentionInput random_input(Index s, Index d, std::uint64_t seed) {
+  AttentionInput in;
+  in.q.resize(s, d);
+  in.k.resize(s, d);
+  in.v.resize(s, d);
+  Rng rng(seed);
+  rng.fill_normal(in.q);
+  rng.fill_normal(in.k);
+  rng.fill_normal(in.v);
+  return in;
+}
+
+TEST(KvCache, AppendAndViews) {
+  KVCache cache(4);
+  std::vector<float> k = {1, 2, 3, 4}, v = {5, 6, 7, 8};
+  cache.append(0, k, v);
+  ASSERT_EQ(cache.size(), 1);
+  EXPECT_FLOAT_EQ(cache.k(0)[2], 3.0f);
+  EXPECT_FLOAT_EQ(cache.v(0)[0], 5.0f);
+  EXPECT_EQ(cache.position(0), 0);
+}
+
+TEST(KvCache, AppendPrefillCopiesAllRows) {
+  const AttentionInput in = random_input(16, 8, 1);
+  KVCache cache(8);
+  cache.append_prefill(in);
+  ASSERT_EQ(cache.size(), 16);
+  for (Index j = 0; j < 16; ++j) {
+    EXPECT_FLOAT_EQ(cache.k(j)[0], in.k(j, 0));
+    EXPECT_FLOAT_EQ(cache.v(j)[7], in.v(j, 7));
+    EXPECT_EQ(cache.position(j), j);
+  }
+}
+
+TEST(KvCache, KeepSlotsCompacts) {
+  const AttentionInput in = random_input(8, 4, 2);
+  KVCache cache(4);
+  cache.append_prefill(in);
+  std::vector<Index> keep = {0, 3, 7};
+  cache.keep_slots(keep);
+  ASSERT_EQ(cache.size(), 3);
+  EXPECT_EQ(cache.position(1), 3);
+  EXPECT_FLOAT_EQ(cache.k(2)[0], in.k(7, 0));
+  EXPECT_EQ(cache.slot_of(3), 1);
+  EXPECT_EQ(cache.slot_of(4), -1);
+}
+
+TEST(Decode, MatchesFullAttentionLastRow) {
+  // Decoding position S-1 against the cache of positions 0..S-1 must equal
+  // the last row of one-shot causal prefill.
+  const AttentionInput in = random_input(32, 8, 3);
+  Matrix exact;
+  full_attention(in, exact);
+
+  KVCache cache(8);
+  cache.append_prefill(in);
+  std::vector<float> out(8);
+  decode_attention(in.q.row(31), cache, out);
+  for (Index t = 0; t < 8; ++t) EXPECT_NEAR(out[static_cast<std::size_t>(t)], exact(31, t), 2e-5f);
+}
+
+TEST(Decode, WeightsSumToOne) {
+  const AttentionInput in = random_input(16, 4, 4);
+  KVCache cache(4);
+  cache.append_prefill(in);
+  std::vector<float> out(4), weights;
+  decode_attention(in.q.row(15), cache, out, &weights);
+  ASSERT_EQ(weights.size(), 16u);
+  double s = 0.0;
+  for (float w : weights) s += w;
+  EXPECT_NEAR(s, 1.0, 1e-5);
+}
+
+TEST(Decode, EmptyCacheYieldsZeros) {
+  KVCache cache(4);
+  std::vector<float> q = {1, 2, 3, 4}, out(4, 9.0f);
+  decode_attention(q, cache, out);
+  for (float x : out) EXPECT_FLOAT_EQ(x, 0.0f);
+}
+
+TEST(H2O, KeepsHeavyHittersAndRecent) {
+  const AttentionInput in = random_input(32, 4, 5);
+  KVCache cache(4);
+  cache.append_prefill(in);
+  H2OPolicy policy(/*budget=*/8, /*recent=*/4);
+  // Observe weights that make positions 2 and 10 heavy.
+  std::vector<float> w(32, 0.001f);
+  w[2] = 0.5f;
+  w[10] = 0.4f;
+  policy.observe(cache, w);
+  EXPECT_TRUE(policy.enforce(cache));
+  EXPECT_EQ(cache.size(), 8);
+  EXPECT_GE(cache.slot_of(2), 0);
+  EXPECT_GE(cache.slot_of(10), 0);
+  // The 4 most recent positions survive.
+  for (Index pos : {28, 29, 30, 31}) EXPECT_GE(cache.slot_of(pos), 0);
+}
+
+TEST(H2O, NoEvictionUnderBudget) {
+  const AttentionInput in = random_input(8, 4, 6);
+  KVCache cache(4);
+  cache.append_prefill(in);
+  H2OPolicy policy(16, 4);
+  EXPECT_FALSE(policy.enforce(cache));
+  EXPECT_EQ(cache.size(), 8);
+}
+
+TEST(H2O, ScoresAccumulateAcrossSteps) {
+  const AttentionInput in = random_input(8, 4, 7);
+  KVCache cache(4);
+  cache.append_prefill(in);
+  H2OPolicy policy(6, 2);
+  std::vector<float> w(8, 0.125f);
+  policy.observe(cache, w);
+  policy.observe(cache, w);
+  EXPECT_NEAR(policy.accumulated_score(cache, 3), 0.25, 1e-6);
+}
+
+TEST(SinkRecent, KeepsExactlySinksAndTail) {
+  const AttentionInput in = random_input(32, 4, 8);
+  KVCache cache(4);
+  cache.append_prefill(in);
+  SinkRecentPolicy policy(/*sinks=*/4, /*recent=*/8);
+  EXPECT_TRUE(policy.enforce(cache));
+  EXPECT_EQ(cache.size(), 12);
+  EXPECT_GE(cache.slot_of(0), 0);
+  EXPECT_GE(cache.slot_of(3), 0);
+  EXPECT_EQ(cache.slot_of(10), -1);
+  EXPECT_GE(cache.slot_of(31), 0);
+}
+
+TEST(ChunkedPrefill, ExactlyMatchesOneShot) {
+  const AttentionInput in = random_input(50, 8, 9);
+  Matrix one_shot;
+  flash_attention(in, one_shot);
+  for (Index chunk : {1, 7, 16, 50, 64}) {
+    const ChunkedPrefillResult res = chunked_flash_prefill(in, chunk);
+    EXPECT_LT(max_abs_diff(res.out, one_shot), 3e-5f) << "chunk=" << chunk;
+  }
+}
+
+TEST(ChunkedPrefill, FillsCache) {
+  const AttentionInput in = random_input(20, 4, 10);
+  KVCache cache(4);
+  chunked_flash_prefill(in, 6, &cache);
+  ASSERT_EQ(cache.size(), 20);
+  EXPECT_FLOAT_EQ(cache.k(13)[1], in.k(13, 1));
+}
+
+TEST(ChunkedPrefill, SampleVariantIsNearLossless) {
+  const ModelConfig model = chatglm2_6b();
+  const AttentionInput in = generate_attention(model, plain_prompt(11, 512), 8, 3);
+  Matrix exact;
+  full_attention(in, exact);
+  const ChunkedPrefillResult res = chunked_sample_prefill(in, 128, SampleAttentionConfig{});
+  EXPECT_EQ(res.chunks, 4);
+  EXPECT_LT(res.mean_density, 1.0);
+  EXPECT_LT(mean_abs_diff(res.out, exact), 0.05f);
+}
+
+TEST(ChunkedPrefill, DecodeAfterChunkedPrefillIsExact) {
+  const AttentionInput in = random_input(24, 8, 12);
+  Matrix exact;
+  full_attention(in, exact);
+  KVCache cache(8);
+  chunked_flash_prefill(in, 8, &cache);
+  std::vector<float> out(8);
+  decode_attention(in.q.row(23), cache, out);
+  for (Index t = 0; t < 8; ++t) EXPECT_NEAR(out[static_cast<std::size_t>(t)], exact(23, t), 2e-5f);
+}
+
+TEST(ModelRunner, ReportsSaneAggregates) {
+  const ModelConfig model = chatglm2_6b();
+  const ContentSpec content = plain_prompt(13, 256);
+  PrefillOptions opts;
+  opts.heads_per_layer = 1;
+  opts.layer_stride = 7;
+  const PrefillReport full = run_prefill(model, content, FullAttention{}, opts);
+  const PrefillReport sample = run_prefill(model, content, SampleAttention{}, opts);
+  EXPECT_EQ(full.method, "FullAttention");
+  EXPECT_EQ(full.heads_run, sample.heads_run);
+  EXPECT_EQ(full.layers.size(), full.per_layer_density.size());
+  EXPECT_NEAR(full.mean_density, 1.0, 1e-9);
+  EXPECT_LT(sample.mean_density, 0.8);
+  EXPECT_GT(sample.mean_overhead, 0.0);
+  EXPECT_GT(sample.seconds, 0.0);
+}
+
+TEST(ModelRunner, LayerZeroDensityHigherForSample) {
+  // Layer 0's weak structure means SampleAttention must keep more there —
+  // the per-layer density profile should show it.
+  const ModelConfig model = chatglm2_6b();
+  const ContentSpec content = plain_prompt(14, 512);
+  PrefillOptions opts;
+  opts.heads_per_layer = 2;
+  opts.layer_stride = 9;  // layers 0, 9, 18, 27
+  const PrefillReport report = run_prefill(model, content, SampleAttention{}, opts);
+  ASSERT_GE(report.per_layer_density.size(), 2u);
+  EXPECT_GT(report.per_layer_density.front(), report.per_layer_density.back());
+}
+
+}  // namespace
+}  // namespace sattn

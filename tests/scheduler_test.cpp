@@ -1,0 +1,161 @@
+// Tests for the serving-queue simulator and layer-level planning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/full_attention.h"
+#include "metrics/recovery.h"
+#include "model/workload.h"
+#include "runtime/scheduler.h"
+#include "sample_attention/layer_plan.h"
+
+namespace sattn {
+namespace {
+
+TEST(Engine, PrefillLatencyOrdering) {
+  Engine sdpa, fa2, sa;
+  sdpa.kind = EngineKind::kSdpa;
+  fa2.kind = EngineKind::kFlashAttention;
+  sa.kind = EngineKind::kSampleAttention;
+  sa.kept_density = 0.20;
+  const Index s = 96 * 1024;
+  EXPECT_GT(sdpa.prefill_seconds(s), fa2.prefill_seconds(s));
+  EXPECT_GT(fa2.prefill_seconds(s), sa.prefill_seconds(s));
+}
+
+TEST(Engine, QuadraticGrowth) {
+  Engine fa2;
+  fa2.kind = EngineKind::kFlashAttention;
+  const double t1 = fa2.prefill_seconds(64 * 1024);
+  const double t2 = fa2.prefill_seconds(128 * 1024);
+  EXPECT_GT(t2, 2.5 * t1);
+}
+
+TEST(Scheduler, SingleRequestNoQueueing) {
+  Engine fa2;
+  std::vector<ServingRequest> reqs = {{"r0", 32768, 1.0}};
+  const auto done = simulate_queue(reqs, fa2);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_DOUBLE_EQ(done[0].queueing(), 0.0);
+  EXPECT_NEAR(done[0].ttft(), fa2.prefill_seconds(32768), 1e-9);
+}
+
+TEST(Scheduler, FcfsQueueingAccumulates) {
+  Engine fa2;
+  // Two requests arriving together: the second waits for the first.
+  std::vector<ServingRequest> reqs = {{"r0", 65536, 0.0}, {"r1", 8192, 0.0}};
+  const auto done = simulate_queue(reqs, fa2);
+  ASSERT_EQ(done.size(), 2u);
+  const CompletedRequest& second = done[1];
+  EXPECT_EQ(second.request.id, "r1");
+  EXPECT_NEAR(second.queueing(), fa2.prefill_seconds(65536), 1e-9);
+}
+
+TEST(Scheduler, ChunkQuantumBoundsHeadOfLineBlocking) {
+  Engine fa2;
+  // A monster request followed shortly by a tiny one: with chunked
+  // round-robin the tiny one's TTFT is far smaller than FCFS.
+  std::vector<ServingRequest> reqs = {{"big", 262144, 0.0}, {"small", 4096, 0.01}};
+  const auto fcfs = simulate_queue(reqs, fa2, 0);
+  const auto rr = simulate_queue(reqs, fa2, 8192);
+  const auto find = [](const std::vector<CompletedRequest>& v, const std::string& id) {
+    for (const auto& c : v) {
+      if (c.request.id == id) return c.ttft();
+    }
+    return -1.0;
+  };
+  EXPECT_LT(find(rr, "small"), 0.25 * find(fcfs, "small"));
+  // Total work is conserved: makespans match closely.
+  EXPECT_NEAR(summarize(fcfs).makespan, summarize(rr).makespan, 1e-6);
+}
+
+TEST(Scheduler, SampleEngineImprovesMeanTtft) {
+  const auto trace = synthetic_trace(12, 16 * 1024, 128 * 1024, 5.0);
+  Engine fa2, sa;
+  fa2.kind = EngineKind::kFlashAttention;
+  sa.kind = EngineKind::kSampleAttention;
+  sa.kept_density = 0.25;
+  const ServingSummary s_fa2 = summarize(simulate_queue(trace, fa2));
+  const ServingSummary s_sa = summarize(simulate_queue(trace, sa));
+  EXPECT_LT(s_sa.mean_ttft, s_fa2.mean_ttft);
+  EXPECT_LT(s_sa.makespan, s_fa2.makespan);
+  // Queueing amplification: the TTFT gain exceeds the raw prefill gain on a
+  // busy queue.
+  EXPECT_GT(s_fa2.mean_ttft / s_sa.mean_ttft, 1.0);
+}
+
+TEST(Scheduler, TraceIsDeterministicAndSorted) {
+  const auto a = synthetic_trace(20, 1024, 65536, 2.0, 7);
+  const auto b = synthetic_trace(20, 1024, 65536, 2.0, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    EXPECT_EQ(a[r].prompt_tokens, b[r].prompt_tokens);
+    EXPECT_DOUBLE_EQ(a[r].arrival_seconds, b[r].arrival_seconds);
+    if (r > 0) EXPECT_GE(a[r].arrival_seconds, a[r - 1].arrival_seconds);
+    EXPECT_GE(a[r].prompt_tokens, 1024);
+    EXPECT_LE(a[r].prompt_tokens, 65536 + 1);
+  }
+}
+
+TEST(LayerPlan, PlansEveryHead) {
+  const ModelConfig model = chatglm2_6b();
+  const ContentSpec content = plain_prompt(3, 256);
+  const LayerPlan plan = plan_layer(model, content, 8);
+  EXPECT_EQ(static_cast<Index>(plan.head_plans.size()), model.n_heads);
+  EXPECT_EQ(plan.planned_heads, model.n_heads);
+  EXPECT_GT(plan.mean_density, 0.0);
+  EXPECT_LT(plan.mean_density, 1.0);
+}
+
+TEST(LayerPlan, GroupSharingCutsPlanningWork) {
+  const ModelConfig model = chatglm2_6b();  // 32 heads, 2 KV groups
+  const ContentSpec content = plain_prompt(4, 256);
+  LayerPlanOptions shared;
+  shared.share_within_kv_group = true;
+  const LayerPlan per_head = plan_layer(model, content, 8);
+  const LayerPlan grouped = plan_layer(model, content, 8, shared);
+  EXPECT_EQ(grouped.planned_heads, model.n_kv_heads);
+  EXPECT_LT(grouped.mean_overhead, 0.25 * per_head.mean_overhead);
+}
+
+TEST(LayerPlan, RunLayerOutputsAreNearLossless) {
+  const ModelConfig model = chatglm2_6b();
+  const ContentSpec content = plain_prompt(5, 256);
+  const Index layer = 8;
+  const LayerPlan plan = plan_layer(model, content, layer);
+  const auto outputs = run_layer(model, content, layer, plan);
+  ASSERT_EQ(static_cast<Index>(outputs.size()), model.n_heads);
+  double worst = 0.0;
+  for (Index head = 0; head < model.n_heads; head += 8) {
+    const AttentionInput in = generate_attention(model, content, layer, head);
+    Matrix exact;
+    full_attention(in, exact);
+    worst = std::max(worst,
+                     recovery_stats(outputs[static_cast<std::size_t>(head)], exact).rel_l1);
+  }
+  EXPECT_LT(worst, 0.15);
+}
+
+TEST(LayerPlan, SharedPlansLoseLittleOnGroupedModel) {
+  // InternLM2-like config has 8 KV groups of 4 query heads; sharing I_KV
+  // within a group should cost only a modest accuracy delta.
+  const ModelConfig model = internlm2_7b();
+  const ContentSpec content = plain_prompt(6, 256);
+  const Index layer = 8;
+  LayerPlanOptions shared;
+  shared.share_within_kv_group = true;
+  const LayerPlan grouped = plan_layer(model, content, layer, shared);
+  const auto outputs = run_layer(model, content, layer, grouped);
+  double worst = 0.0;
+  for (Index head = 0; head < model.n_heads; head += 8) {
+    const AttentionInput in = generate_attention(model, content, layer, head);
+    Matrix exact;
+    full_attention(in, exact);
+    worst = std::max(worst,
+                     recovery_stats(outputs[static_cast<std::size_t>(head)], exact).rel_l1);
+  }
+  EXPECT_LT(worst, 0.35) << "group-shared plans degraded too much";
+}
+
+}  // namespace
+}  // namespace sattn

@@ -1,0 +1,124 @@
+// Tests for the scoring harness internals: fidelity gating, partial credit,
+// the multi-method batch evaluator, and the umbrella header.
+#include <gtest/gtest.h>
+
+#include "sattn.h"  // umbrella header must compile standalone
+
+namespace sattn {
+namespace {
+
+// An AttentionMethod returning garbage (orthogonal noise) — must be gated
+// by the fidelity floor and earn no partial credit beyond ~0.
+class GarbageAttention final : public AttentionMethod {
+ public:
+  std::string name() const override { return "Garbage"; }
+  AttentionResult run(const AttentionInput& in) const override {
+    AttentionResult r;
+    r.out.resize(in.sq(), in.head_dim());
+    Rng rng(0xbad);
+    rng.fill_normal(r.out, 1.0f);
+    r.density = 0.0;
+    return r;
+  }
+};
+
+// A method that returns the exact output — must score identically to
+// FullAttention through every path.
+class ExactCopy final : public AttentionMethod {
+ public:
+  std::string name() const override { return "ExactCopy"; }
+  AttentionResult run(const AttentionInput& in) const override {
+    AttentionResult r;
+    full_attention(in, r.out);
+    return r;
+  }
+};
+
+TaskInstance fact_instance(Index length, std::uint64_t seed) {
+  TaskInstance inst;
+  inst.family = "test";
+  inst.content = plain_prompt(seed, length);
+  inst.content.critical_positions = {length / 2};
+  inst.content.critical_span = 4;
+  inst.facts = inst.content.critical_positions;
+  inst.mode = ScoreMode::kFractionalFacts;
+  return inst;
+}
+
+TEST(Scoring, GarbageIsGatedToPartialCreditZero) {
+  const ModelConfig model = chatglm2_6b();
+  const TaskInstance inst = fact_instance(256, 1);
+  EvalOptions opts;
+  const double garbage = evaluate_instance(model, GarbageAttention{}, inst, opts);
+  // Fidelity of noise output ~0 => gate blocks recovery AND partial credit
+  // (which is fidelity-proportional) stays near zero.
+  EXPECT_LT(garbage, 0.1);
+}
+
+TEST(Scoring, ExactCopyMatchesFullAttention) {
+  const ModelConfig model = chatglm2_6b();
+  const TaskInstance inst = fact_instance(256, 2);
+  EvalOptions opts;
+  EXPECT_DOUBLE_EQ(evaluate_instance(model, ExactCopy{}, inst, opts),
+                   evaluate_instance(model, FullAttention{}, inst, opts));
+}
+
+TEST(Scoring, PartialCreditIsFidelityScaled) {
+  // StreamingLLM on a mid-context fact: no recovery, but fidelity-scaled
+  // partial credit in fractional mode — strictly between 0 and
+  // partial_credit.
+  const ModelConfig model = chatglm2_6b();
+  const TaskInstance inst = fact_instance(512, 3);
+  EvalOptions opts;
+  const double score = evaluate_instance(model, StreamingLLM{}, inst, opts);
+  EXPECT_GT(score, 0.0);
+  EXPECT_LT(score, opts.partial_credit + 1e-9);
+}
+
+TEST(Scoring, StrictModeHasNoPartialCredit) {
+  const ModelConfig model = chatglm2_6b();
+  TaskInstance inst = fact_instance(512, 4);
+  inst.mode = ScoreMode::kStrictFacts;
+  EXPECT_DOUBLE_EQ(evaluate_instance(model, StreamingLLM{}, inst), 0.0);
+}
+
+TEST(Scoring, MultiEvaluatorMatchesSingleEvaluator) {
+  const ModelConfig model = chatglm2_6b();
+  std::vector<TaskInstance> suite = {fact_instance(256, 5), fact_instance(256, 6)};
+  const FullAttention full;
+  const StreamingLLM streaming;
+  const std::vector<const AttentionMethod*> methods = {&full, &streaming};
+  EvalOptions opts;
+  const auto batch = evaluate_suite_multi(model, methods, suite, opts);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_NEAR(batch[0], evaluate_suite(model, full, suite, opts), 1e-12);
+  EXPECT_NEAR(batch[1], evaluate_suite(model, streaming, suite, opts), 1e-12);
+}
+
+TEST(Scoring, ZeroPartialCreditDisablesFloor) {
+  const ModelConfig model = chatglm2_6b();
+  const TaskInstance inst = fact_instance(512, 7);
+  EvalOptions opts;
+  opts.partial_credit = 0.0;
+  EXPECT_DOUBLE_EQ(evaluate_instance(model, StreamingLLM{}, inst, opts), 0.0);
+}
+
+TEST(Scoring, FidelityFloorGatesLuckyMethods) {
+  // With the floor at 0 a garbage method could in principle register
+  // accidental recoveries across many tries; with the default floor it
+  // cannot register any.
+  const ModelConfig model = chatglm2_6b();
+  EvalOptions gated;
+  EvalOptions open;
+  open.fidelity_floor = 0.0;
+  double gated_total = 0.0, open_total = 0.0;
+  for (std::uint64_t r = 0; r < 4; ++r) {
+    const TaskInstance inst = fact_instance(256, 100 + r);
+    gated_total += evaluate_instance(model, GarbageAttention{}, inst, gated);
+    open_total += evaluate_instance(model, GarbageAttention{}, inst, open);
+  }
+  EXPECT_LE(gated_total, open_total + 1e-12);
+}
+
+}  // namespace
+}  // namespace sattn

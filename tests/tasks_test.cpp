@@ -1,0 +1,191 @@
+// Tests for the task suites and the signature-retrieval scoring harness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "attention/full_attention.h"
+#include "baselines/streaming_llm.h"
+#include "sample_attention/sample_attention.h"
+#include "tasks/babilong.h"
+#include "tasks/longbench.h"
+#include "tasks/needle.h"
+
+namespace sattn {
+namespace {
+
+EvalOptions fast_opts() {
+  EvalOptions o;
+  o.num_heads = 3;
+  return o;
+}
+
+TEST(Needle, InstanceRespectsDepth) {
+  const TaskInstance shallow = make_needle_instance(256, 0.0, 1);
+  const TaskInstance deep = make_needle_instance(256, 1.0, 1);
+  ASSERT_EQ(shallow.facts.size(), 1u);
+  ASSERT_EQ(deep.facts.size(), 1u);
+  EXPECT_EQ(shallow.facts[0], 0);
+  EXPECT_GT(deep.facts[0], 200);
+  EXPECT_LT(deep.facts[0], 256);
+  EXPECT_EQ(shallow.mode, ScoreMode::kStrictFacts);
+}
+
+TEST(Needle, SuiteHasLengthTimesDepthInstances) {
+  NeedleConfig cfg;
+  cfg.lengths = {128, 256};
+  cfg.depth_intervals = 4;
+  const auto suite = make_needle_suite(cfg);
+  EXPECT_EQ(suite.size(), 8u);
+}
+
+TEST(Needle, FullAttentionRecoversEverywhere) {
+  const ModelConfig model = chatglm2_6b();
+  NeedleConfig cfg;
+  cfg.lengths = {384};
+  cfg.depth_intervals = 5;
+  const auto grid = needle_score_grid(model, FullAttention{}, cfg, fast_opts());
+  ASSERT_EQ(grid.size(), 1u);
+  double avg = 0.0;
+  for (double v : grid[0]) avg += v;
+  avg /= static_cast<double>(grid[0].size());
+  EXPECT_GE(avg, 0.8) << "full attention should retrieve nearly all needles";
+}
+
+TEST(Needle, StreamingLLMFailsMidContext) {
+  const ModelConfig model = chatglm2_6b();
+  // Depth 0.5: needle far outside sinks and window.
+  const TaskInstance inst = make_needle_instance(384, 0.5, 3);
+  const double full_score = evaluate_instance(model, FullAttention{}, inst, fast_opts());
+  const double stream_score = evaluate_instance(model, StreamingLLM{}, inst, fast_opts());
+  EXPECT_EQ(full_score, 1.0);
+  EXPECT_EQ(stream_score, 0.0);
+}
+
+TEST(Needle, SampleAttentionMatchesFullAttention) {
+  const ModelConfig model = chatglm2_6b();
+  NeedleConfig cfg;
+  cfg.lengths = {384};
+  cfg.depth_intervals = 5;
+  const auto full = needle_score_grid(model, FullAttention{}, cfg, fast_opts());
+  const auto sample = needle_score_grid(model, SampleAttention{}, cfg, fast_opts());
+  double f = 0.0, s = 0.0;
+  for (std::size_t d = 0; d < full[0].size(); ++d) {
+    f += full[0][d];
+    s += sample[0][d];
+  }
+  EXPECT_GE(s, 0.99 * f) << "SampleAttention must be near-lossless on needle";
+}
+
+TEST(LongBench, SuiteCoversAllFamilies) {
+  LongBenchConfig cfg;
+  cfg.lengths = {128};
+  cfg.instances_per_family_per_length = 1;
+  const auto suite = make_longbench_suite(cfg);
+  ASSERT_EQ(suite.size(), longbench_families().size());
+  for (std::size_t f = 0; f < suite.size(); ++f) {
+    ASSERT_EQ(suite[f].size(), 1u);
+    EXPECT_EQ(suite[f][0].family, longbench_families()[f]);
+  }
+}
+
+TEST(LongBench, FamiliesHaveExpectedModes) {
+  LongBenchConfig cfg;
+  cfg.lengths = {128};
+  cfg.instances_per_family_per_length = 1;
+  const auto suite = make_longbench_suite(cfg);
+  EXPECT_EQ(suite[0][0].mode, ScoreMode::kFractionalFacts);  // single_doc_qa
+  EXPECT_EQ(suite[2][0].mode, ScoreMode::kFidelity);         // summarization
+  EXPECT_EQ(suite[4][0].mode, ScoreMode::kStrictFacts);      // synthetic
+  EXPECT_EQ(suite[1][0].facts.size(), 3u);                   // multi_doc_qa
+  EXPECT_EQ(suite[3][0].facts.size(), 4u);                   // few_shot
+  EXPECT_EQ(suite[5][0].facts.size(), 2u);                   // code_completion
+}
+
+TEST(LongBench, InstancesAreDeterministic) {
+  LongBenchConfig cfg;
+  cfg.lengths = {128};
+  const auto a = make_longbench_family("single_doc_qa", cfg);
+  const auto b = make_longbench_family("single_doc_qa", cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) EXPECT_EQ(a[t].facts, b[t].facts);
+}
+
+TEST(LongBench, CodeCompletionFactsAtSinkAndRecent) {
+  LongBenchConfig cfg;
+  cfg.lengths = {256};
+  cfg.instances_per_family_per_length = 2;
+  const auto fam = make_longbench_family("code_completion", cfg);
+  for (const TaskInstance& inst : fam) {
+    ASSERT_EQ(inst.facts.size(), 2u);
+    EXPECT_LT(std::min(inst.facts[0], inst.facts[1]), 4);
+    EXPECT_GT(std::max(inst.facts[0], inst.facts[1]), 256 - 24);
+  }
+}
+
+TEST(BabiLong, SuiteShape) {
+  BabiLongConfig cfg;
+  cfg.lengths = {128, 256};
+  cfg.instances_per_cell = 2;
+  cfg.max_facts = 3;
+  const auto suite = make_babilong_suite(cfg);
+  EXPECT_EQ(suite.size(), 2u * 3u * 2u);
+  for (const TaskInstance& inst : suite) {
+    EXPECT_EQ(inst.mode, ScoreMode::kStrictFacts);
+    EXPECT_GE(inst.facts.size(), 1u);
+    EXPECT_LE(inst.facts.size(), 3u);
+  }
+}
+
+TEST(BabiLong, FactsAreDistinct) {
+  BabiLongConfig cfg;
+  cfg.lengths = {512};
+  cfg.instances_per_cell = 3;
+  for (const TaskInstance& inst : make_babilong_suite(cfg)) {
+    std::set<Index> uniq(inst.facts.begin(), inst.facts.end());
+    EXPECT_EQ(uniq.size(), inst.facts.size());
+  }
+}
+
+TEST(Scoring, FidelityOfExactMethodIsOne) {
+  const ModelConfig model = chatglm2_6b();
+  TaskInstance inst;
+  inst.family = "summarization";
+  inst.content = plain_prompt(11, 192);
+  inst.mode = ScoreMode::kFidelity;
+  const double score = evaluate_instance(model, FullAttention{}, inst, fast_opts());
+  EXPECT_NEAR(score, 1.0, 1e-5);
+}
+
+TEST(Scoring, EmptyFactsScoreOne) {
+  const ModelConfig model = chatglm2_6b();
+  TaskInstance inst;
+  inst.content = plain_prompt(12, 128);
+  inst.mode = ScoreMode::kStrictFacts;
+  EXPECT_DOUBLE_EQ(evaluate_instance(model, FullAttention{}, inst, fast_opts()), 1.0);
+}
+
+TEST(Scoring, SuiteMeanIsAverage) {
+  const ModelConfig model = chatglm2_6b();
+  std::vector<TaskInstance> suite = {make_needle_instance(192, 0.1, 13),
+                                     make_needle_instance(192, 0.9, 14)};
+  const double mean = evaluate_suite(model, FullAttention{}, suite, fast_opts());
+  const double a = evaluate_instance(model, FullAttention{}, suite[0], fast_opts());
+  const double b = evaluate_instance(model, FullAttention{}, suite[1], fast_opts());
+  EXPECT_NEAR(mean, 0.5 * (a + b), 1e-9);
+}
+
+TEST(Scoring, FactRecoveredDetectsPlantedSignature) {
+  ContentSpec content = plain_prompt(15, 64);
+  const Index pos = 20;
+  const auto sig = signature_vector(32, content.seed, pos);
+  std::vector<float> out(32);
+  for (std::size_t t = 0; t < 32; ++t) out[t] = 0.5f * sig[t];
+  EXPECT_TRUE(fact_recovered(out, content, pos, EvalOptions{}));
+  // Orthogonal output: not recovered.
+  std::vector<float> zero(32, 0.01f);
+  EXPECT_FALSE(fact_recovered(zero, content, pos, EvalOptions{}));
+}
+
+}  // namespace
+}  // namespace sattn

@@ -1,0 +1,88 @@
+// Tests for the offline hyperparameter tuner.
+#include <gtest/gtest.h>
+
+#include "model/workload.h"
+#include "sample_attention/tuner.h"
+
+namespace sattn {
+namespace {
+
+std::vector<AttentionInput> small_profiling_inputs() {
+  const ModelConfig model = chatglm2_6b();
+  const auto requests = profiling_set(192, 384, 3);
+  return profiling_inputs(model, requests, 8, 3);
+}
+
+TEST(Tuner, EvaluatesFullGrid) {
+  const auto inputs = small_profiling_inputs();
+  TunerOptions opts;
+  opts.alphas = {0.9, 0.95};
+  opts.row_ratios = {0.05};
+  opts.window_ratios = {0.08};
+  const TunerReport report = tune_hyperparameters(inputs, opts);
+  EXPECT_EQ(report.entries.size(), 2u);
+}
+
+TEST(Tuner, PicksCheapestFeasible) {
+  const auto inputs = small_profiling_inputs();
+  TunerOptions opts;
+  opts.alphas = {0.80, 0.95};
+  opts.row_ratios = {0.05};
+  opts.window_ratios = {0.08};
+  opts.max_rel_l1 = 0.5;  // everything feasible
+  const TunerReport report = tune_hyperparameters(inputs, opts);
+  ASSERT_TRUE(report.found_feasible);
+  // Lower alpha keeps fewer KVs => cheaper => should win when all feasible.
+  EXPECT_DOUBLE_EQ(report.best.alpha, 0.80);
+}
+
+TEST(Tuner, InfeasibleFallsBackToMostAccurate) {
+  const auto inputs = small_profiling_inputs();
+  TunerOptions opts;
+  opts.alphas = {0.80, 0.98};
+  opts.row_ratios = {0.05};
+  opts.window_ratios = {0.08};
+  opts.max_rel_l1 = 0.0;  // nothing feasible
+  const TunerReport report = tune_hyperparameters(inputs, opts);
+  EXPECT_FALSE(report.found_feasible);
+  double best_err = 1e30;
+  for (const TunerEntry& e : report.entries) best_err = std::min(best_err, e.worst_rel_l1);
+  bool matches = false;
+  for (const TunerEntry& e : report.entries) {
+    if (e.cfg.alpha == report.best.alpha && e.cfg.row_ratio == report.best.row_ratio &&
+        e.cfg.window_ratio == report.best.window_ratio) {
+      matches = e.worst_rel_l1 == best_err;
+    }
+  }
+  EXPECT_TRUE(matches);
+}
+
+TEST(Tuner, CostIncreasesWithAlpha) {
+  const auto inputs = small_profiling_inputs();
+  TunerOptions opts;
+  opts.alphas = {0.80, 0.98};
+  opts.row_ratios = {0.05};
+  opts.window_ratios = {0.08};
+  const TunerReport report = tune_hyperparameters(inputs, opts);
+  ASSERT_EQ(report.entries.size(), 2u);
+  EXPECT_LE(report.entries[0].mean_cost, report.entries[1].mean_cost + 1e-9);
+}
+
+TEST(Tuner, DefaultGridMirrorsPaperTable3) {
+  const TunerOptions opts;
+  EXPECT_EQ(opts.alphas.size(), 4u);   // 0.80 / 0.90 / 0.95 / 0.98
+  EXPECT_EQ(opts.row_ratios.size(), 3u);   // 2% / 5% / 10%
+  EXPECT_EQ(opts.window_ratios.size(), 2u);  // 4% / 8%
+}
+
+TEST(Tuner, EmptyRequestSetDoesNotCrash) {
+  TunerOptions opts;
+  opts.alphas = {0.95};
+  opts.row_ratios = {0.05};
+  opts.window_ratios = {0.08};
+  const TunerReport report = tune_hyperparameters({}, opts);
+  EXPECT_EQ(report.entries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sattn

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_extensions.dir/bench_appendix_extensions.cpp.o"
+  "CMakeFiles/bench_appendix_extensions.dir/bench_appendix_extensions.cpp.o.d"
+  "bench_appendix_extensions"
+  "bench_appendix_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_needle.dir/bench_fig4_needle.cpp.o"
+  "CMakeFiles/bench_fig4_needle.dir/bench_fig4_needle.cpp.o.d"
+  "bench_fig4_needle"
+  "bench_fig4_needle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_needle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_babilong.dir/bench_fig7_babilong.cpp.o"
+  "CMakeFiles/bench_fig7_babilong.dir/bench_fig7_babilong.cpp.o.d"
+  "bench_fig7_babilong"
+  "bench_fig7_babilong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_babilong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

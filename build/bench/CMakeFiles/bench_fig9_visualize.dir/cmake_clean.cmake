@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_visualize.dir/bench_fig9_visualize.cpp.o"
+  "CMakeFiles/bench_fig9_visualize.dir/bench_fig9_visualize.cpp.o.d"
+  "bench_fig9_visualize"
+  "bench_fig9_visualize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_visualize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decode_demo.dir/decode_demo.cpp.o"
+  "CMakeFiles/decode_demo.dir/decode_demo.cpp.o.d"
+  "decode_demo"
+  "decode_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decode_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

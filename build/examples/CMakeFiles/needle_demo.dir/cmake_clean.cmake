@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/needle_demo.dir/needle_demo.cpp.o"
+  "CMakeFiles/needle_demo.dir/needle_demo.cpp.o.d"
+  "needle_demo"
+  "needle_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/needle_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

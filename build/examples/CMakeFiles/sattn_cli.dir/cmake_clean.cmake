@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sattn_cli.dir/sattn_cli.cpp.o"
+  "CMakeFiles/sattn_cli.dir/sattn_cli.cpp.o.d"
+  "sattn_cli"
+  "sattn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sattn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

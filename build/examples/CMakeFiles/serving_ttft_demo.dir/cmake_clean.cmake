@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_ttft_demo.dir/serving_ttft_demo.cpp.o"
+  "CMakeFiles/serving_ttft_demo.dir/serving_ttft_demo.cpp.o.d"
+  "serving_ttft_demo"
+  "serving_ttft_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_ttft_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

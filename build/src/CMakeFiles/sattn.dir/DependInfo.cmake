@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attention/block_sparse.cpp" "src/CMakeFiles/sattn.dir/attention/block_sparse.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/attention/block_sparse.cpp.o.d"
+  "/root/repo/src/attention/flash_attention.cpp" "src/CMakeFiles/sattn.dir/attention/flash_attention.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/attention/flash_attention.cpp.o.d"
+  "/root/repo/src/attention/full_attention.cpp" "src/CMakeFiles/sattn.dir/attention/full_attention.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/attention/full_attention.cpp.o.d"
+  "/root/repo/src/attention/masks.cpp" "src/CMakeFiles/sattn.dir/attention/masks.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/attention/masks.cpp.o.d"
+  "/root/repo/src/attention/score_utils.cpp" "src/CMakeFiles/sattn.dir/attention/score_utils.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/attention/score_utils.cpp.o.d"
+  "/root/repo/src/attention/sparse_flash_attention.cpp" "src/CMakeFiles/sattn.dir/attention/sparse_flash_attention.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/attention/sparse_flash_attention.cpp.o.d"
+  "/root/repo/src/baselines/bigbird.cpp" "src/CMakeFiles/sattn.dir/baselines/bigbird.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/baselines/bigbird.cpp.o.d"
+  "/root/repo/src/baselines/hash_sparse.cpp" "src/CMakeFiles/sattn.dir/baselines/hash_sparse.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/baselines/hash_sparse.cpp.o.d"
+  "/root/repo/src/baselines/hyper_attention.cpp" "src/CMakeFiles/sattn.dir/baselines/hyper_attention.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/baselines/hyper_attention.cpp.o.d"
+  "/root/repo/src/baselines/streaming_llm.cpp" "src/CMakeFiles/sattn.dir/baselines/streaming_llm.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/baselines/streaming_llm.cpp.o.d"
+  "/root/repo/src/core/numerics.cpp" "src/CMakeFiles/sattn.dir/core/numerics.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/core/numerics.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/CMakeFiles/sattn.dir/core/rng.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/core/rng.cpp.o.d"
+  "/root/repo/src/core/tensor.cpp" "src/CMakeFiles/sattn.dir/core/tensor.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/core/tensor.cpp.o.d"
+  "/root/repo/src/core/thread_pool.cpp" "src/CMakeFiles/sattn.dir/core/thread_pool.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/core/thread_pool.cpp.o.d"
+  "/root/repo/src/io/config_io.cpp" "src/CMakeFiles/sattn.dir/io/config_io.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/io/config_io.cpp.o.d"
+  "/root/repo/src/io/heatmap.cpp" "src/CMakeFiles/sattn.dir/io/heatmap.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/io/heatmap.cpp.o.d"
+  "/root/repo/src/io/report.cpp" "src/CMakeFiles/sattn.dir/io/report.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/io/report.cpp.o.d"
+  "/root/repo/src/metrics/cra.cpp" "src/CMakeFiles/sattn.dir/metrics/cra.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/metrics/cra.cpp.o.d"
+  "/root/repo/src/metrics/recovery.cpp" "src/CMakeFiles/sattn.dir/metrics/recovery.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/metrics/recovery.cpp.o.d"
+  "/root/repo/src/metrics/sparsity.cpp" "src/CMakeFiles/sattn.dir/metrics/sparsity.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/metrics/sparsity.cpp.o.d"
+  "/root/repo/src/model/attention_structure.cpp" "src/CMakeFiles/sattn.dir/model/attention_structure.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/model/attention_structure.cpp.o.d"
+  "/root/repo/src/model/rope.cpp" "src/CMakeFiles/sattn.dir/model/rope.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/model/rope.cpp.o.d"
+  "/root/repo/src/model/synthetic_model.cpp" "src/CMakeFiles/sattn.dir/model/synthetic_model.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/model/synthetic_model.cpp.o.d"
+  "/root/repo/src/model/workload.cpp" "src/CMakeFiles/sattn.dir/model/workload.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/model/workload.cpp.o.d"
+  "/root/repo/src/perf/cost_model.cpp" "src/CMakeFiles/sattn.dir/perf/cost_model.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/perf/cost_model.cpp.o.d"
+  "/root/repo/src/perf/latency_report.cpp" "src/CMakeFiles/sattn.dir/perf/latency_report.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/perf/latency_report.cpp.o.d"
+  "/root/repo/src/runtime/chunked_prefill.cpp" "src/CMakeFiles/sattn.dir/runtime/chunked_prefill.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/runtime/chunked_prefill.cpp.o.d"
+  "/root/repo/src/runtime/decode.cpp" "src/CMakeFiles/sattn.dir/runtime/decode.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/runtime/decode.cpp.o.d"
+  "/root/repo/src/runtime/eviction.cpp" "src/CMakeFiles/sattn.dir/runtime/eviction.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/runtime/eviction.cpp.o.d"
+  "/root/repo/src/runtime/kv_cache.cpp" "src/CMakeFiles/sattn.dir/runtime/kv_cache.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/runtime/kv_cache.cpp.o.d"
+  "/root/repo/src/runtime/model_runner.cpp" "src/CMakeFiles/sattn.dir/runtime/model_runner.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/runtime/model_runner.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/CMakeFiles/sattn.dir/runtime/scheduler.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/runtime/scheduler.cpp.o.d"
+  "/root/repo/src/sample_attention/adaptive.cpp" "src/CMakeFiles/sattn.dir/sample_attention/adaptive.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/sample_attention/adaptive.cpp.o.d"
+  "/root/repo/src/sample_attention/filtering.cpp" "src/CMakeFiles/sattn.dir/sample_attention/filtering.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/sample_attention/filtering.cpp.o.d"
+  "/root/repo/src/sample_attention/layer_plan.cpp" "src/CMakeFiles/sattn.dir/sample_attention/layer_plan.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/sample_attention/layer_plan.cpp.o.d"
+  "/root/repo/src/sample_attention/sample_attention.cpp" "src/CMakeFiles/sattn.dir/sample_attention/sample_attention.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/sample_attention/sample_attention.cpp.o.d"
+  "/root/repo/src/sample_attention/sampling.cpp" "src/CMakeFiles/sattn.dir/sample_attention/sampling.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/sample_attention/sampling.cpp.o.d"
+  "/root/repo/src/sample_attention/tuner.cpp" "src/CMakeFiles/sattn.dir/sample_attention/tuner.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/sample_attention/tuner.cpp.o.d"
+  "/root/repo/src/tasks/babilong.cpp" "src/CMakeFiles/sattn.dir/tasks/babilong.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/tasks/babilong.cpp.o.d"
+  "/root/repo/src/tasks/longbench.cpp" "src/CMakeFiles/sattn.dir/tasks/longbench.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/tasks/longbench.cpp.o.d"
+  "/root/repo/src/tasks/needle.cpp" "src/CMakeFiles/sattn.dir/tasks/needle.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/tasks/needle.cpp.o.d"
+  "/root/repo/src/tasks/scoring.cpp" "src/CMakeFiles/sattn.dir/tasks/scoring.cpp.o" "gcc" "src/CMakeFiles/sattn.dir/tasks/scoring.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_sparse_test.dir/block_sparse_test.cpp.o"
+  "CMakeFiles/block_sparse_test.dir/block_sparse_test.cpp.o.d"
+  "block_sparse_test"
+  "block_sparse_test.pdb"
+  "block_sparse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_sparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagonal_test.dir/diagonal_test.cpp.o"
+  "CMakeFiles/diagonal_test.dir/diagonal_test.cpp.o.d"
+  "diagonal_test"
+  "diagonal_test.pdb"
+  "diagonal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagonal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/more_coverage_test.dir/more_coverage_test.cpp.o"
+  "CMakeFiles/more_coverage_test.dir/more_coverage_test.cpp.o.d"
+  "more_coverage_test"
+  "more_coverage_test.pdb"
+  "more_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/more_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

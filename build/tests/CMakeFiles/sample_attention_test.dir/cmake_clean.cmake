@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_attention_test.dir/sample_attention_test.cpp.o"
+  "CMakeFiles/sample_attention_test.dir/sample_attention_test.cpp.o.d"
+  "sample_attention_test"
+  "sample_attention_test.pdb"
+  "sample_attention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_attention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_kernel_test.dir/sparse_kernel_test.cpp.o"
+  "CMakeFiles/sparse_kernel_test.dir/sparse_kernel_test.cpp.o.d"
+  "sparse_kernel_test"
+  "sparse_kernel_test.pdb"
+  "sparse_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -6,6 +6,7 @@
 //   3. runtime alpha autotuning — controller trajectory on a mixed workload.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "attention/full_attention.h"
 #include "attention/score_utils.h"
 #include "metrics/cra.h"
@@ -17,7 +18,8 @@
 
 using namespace sattn;
 
-int main() {
+int main(int argc, char** argv) {
+  sattn::bench::TraceSession trace_session(argc, argv);
   const ModelConfig model = chatglm2_6b();
 
   // --- 1. diagonal detection ----------------------------------------------

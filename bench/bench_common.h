@@ -1,8 +1,10 @@
 // Shared helpers for the paper-reproduction bench binaries.
 #pragma once
 
+#include <cstdio>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "attention/full_attention.h"
@@ -10,10 +12,70 @@
 #include "baselines/hash_sparse.h"
 #include "baselines/hyper_attention.h"
 #include "baselines/streaming_llm.h"
+#include "io/trace_export.h"
+#include "obs/summary.h"
+#include "obs/trace.h"
 #include "perf/latency_report.h"
 #include "sample_attention/sample_attention.h"
 
 namespace sattn::bench {
+
+// Every bench binary constructs one of these first thing in main(). It
+// parses and strips `--trace-out=<file>.json` from argv (so binaries with
+// their own flag handling, e.g. google-benchmark, never see it), enables
+// span/counter collection when the flag is present or SATTN_TRACE=1, and on
+// destruction writes the Chrome trace and prints the hierarchical span
+// summary. See docs/OBSERVABILITY.md.
+class TraceSession {
+ public:
+  TraceSession(int& argc, char** argv) {
+    int kept = 1;
+    for (int a = 1; a < argc; ++a) {
+      const std::string_view arg = argv[a];
+      if (arg.rfind("--trace-out=", 0) == 0) {
+        trace_out_ = std::string(arg.substr(std::string_view("--trace-out=").size()));
+      } else {
+        argv[kept++] = argv[a];
+      }
+    }
+    argc = kept;
+    if (!trace_out_.empty()) {
+      if (!obs::set_enabled(true)) {
+        std::fprintf(stderr,
+                     "warning: --trace-out given but SATTN_TRACE=0 is set; "
+                     "the trace will be empty\n");
+      }
+    }
+  }
+
+  ~TraceSession() {
+    const obs::Collector& col = obs::Collector::global();
+    if (obs::enabled()) {
+      const auto spans = col.spans();
+      const auto counters = col.counters();
+      if (!spans.empty() || !counters.empty()) {
+        std::printf("\n--- trace summary ---\n%s",
+                    obs::render_summary(spans, counters).c_str());
+      }
+    }
+    if (!trace_out_.empty()) {
+      if (write_chrome_trace(trace_out_)) {
+        std::printf("chrome trace written to %s (open in chrome://tracing)\n",
+                    trace_out_.c_str());
+      } else {
+        std::fprintf(stderr, "error: could not write trace to %s\n", trace_out_.c_str());
+      }
+    }
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  const std::string& trace_out() const { return trace_out_; }
+
+ private:
+  std::string trace_out_;
+};
 
 // The method lineup of the paper's Table 2, in table order: full attention
 // (gold), SampleAttention(alpha=0.95), BigBird, StreamingLLM,

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_common.h"
 #include "attention/full_attention.h"
 #include "model/workload.h"
 #include "perf/cost_model.h"
@@ -14,7 +15,8 @@
 
 using namespace sattn;
 
-int main() {
+int main(int argc, char** argv) {
+  sattn::bench::TraceSession trace_session(argc, argv);
   const ModelConfig model = chatglm2_6b();
   const GpuSpec gpu = a100_single();
 

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 
+#include "bench_common.h"
 #include "attention/score_utils.h"
 #include "core/numerics.h"
 #include "metrics/cra.h"
@@ -34,7 +35,8 @@ double layer_sd(const ModelConfig& model, const ContentSpec& content, Index laye
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sattn::bench::TraceSession trace_session(argc, argv);
   const ModelConfig model = chatglm2_6b();
   const ModelConfig model2 = internlm2_7b();
 

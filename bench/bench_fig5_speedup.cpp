@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_common.h"
 #include "attention/flash_attention.h"
 #include "attention/full_attention.h"
 #include "attention/sparse_flash_attention.h"
@@ -22,7 +23,8 @@
 
 using namespace sattn;
 
-int main() {
+int main(int argc, char** argv) {
+  sattn::bench::TraceSession trace_session(argc, argv);
   const ModelConfig model = chatglm2_6b();
 
   // ---- Part 1: measured CPU kernel wall-clock ----------------------------

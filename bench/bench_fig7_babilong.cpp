@@ -9,7 +9,8 @@
 
 using namespace sattn;
 
-int main() {
+int main(int argc, char** argv) {
+  sattn::bench::TraceSession trace_session(argc, argv);
   const auto methods = bench::table2_methods();
   const auto ptrs = bench::raw_pointers(methods);
 

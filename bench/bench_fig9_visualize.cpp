@@ -7,6 +7,7 @@
 // for pixel-accurate inspection.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "attention/score_utils.h"
 #include "core/numerics.h"
 #include "io/heatmap.h"
@@ -16,7 +17,8 @@
 
 using namespace sattn;
 
-int main() {
+int main(int argc, char** argv) {
+  sattn::bench::TraceSession trace_session(argc, argv);
   const ModelConfig model = chatglm2_6b();
   const ContentSpec content = plain_prompt(130, 1024);  // stand-in for the paper's 61K
 

@@ -4,6 +4,7 @@
 // equal density).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "attention/block_sparse.h"
 #include "attention/flash_attention.h"
 #include "attention/full_attention.h"
@@ -165,4 +166,12 @@ BENCHMARK(BM_StreamingLLM)->Arg(1024);
 }  // namespace
 }  // namespace sattn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // TraceSession strips --trace-out before google-benchmark parses flags.
+  sattn::bench::TraceSession trace_session(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_common.h"
 #include "io/report.h"
 #include "model/workload.h"
 #include "perf/latency_report.h"
@@ -17,7 +18,8 @@
 
 using namespace sattn;
 
-int main() {
+int main(int argc, char** argv) {
+  sattn::bench::TraceSession trace_session(argc, argv);
   const ModelConfig model = chatglm2_6b();
 
   // Measure SampleAttention densities on the substrate (as bench_fig5).

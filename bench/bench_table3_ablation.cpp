@@ -28,7 +28,8 @@ SampleAttentionConfig variant(double alpha, double rw, double rrow) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sattn::bench::TraceSession trace_session(argc, argv);
   const ModelConfig model = chatglm2_6b();
 
   struct Variant {

@@ -7,6 +7,7 @@
 // rises. Lengths here are substrate-scaled.
 #include <cstdio>
 
+#include "bench_common.h"
 #include "attention/score_utils.h"
 #include "metrics/sparsity.h"
 #include "perf/latency_report.h"
@@ -14,7 +15,8 @@
 
 using namespace sattn;
 
-int main() {
+int main(int argc, char** argv) {
+  sattn::bench::TraceSession trace_session(argc, argv);
   const ModelConfig model = chatglm2_6b();
 
   std::printf("Table 5 — average SD vs sequence length (Needle task, substrate-scaled)\n\n");

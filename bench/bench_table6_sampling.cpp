@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "bench_common.h"
 #include "attention/score_utils.h"
 #include "core/numerics.h"
 #include "metrics/cra.h"
@@ -40,7 +41,8 @@ double cra_of_topk(const AttentionInput& in, std::span<const float> colsum, doub
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sattn::bench::TraceSession trace_session(argc, argv);
   const ModelConfig model = chatglm2_6b();
   const Index s = 2048;  // substrate-scaled stand-in for the paper's 61K
   const ContentSpec content = plain_prompt(80, s);

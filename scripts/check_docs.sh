@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Doc link/target checker, run as a ctest entry (`check_docs`).
+#
+# Scans README.md and docs/*.md for backticked references and fails when:
+#   1. a path-like token (`src/...`, `docs/...`, `tests/...`, `bench/...`,
+#      `examples/...`, `scripts/...`) does not exist in the repo, or
+#   2. a build-target-like token (`bench_*`, `*_test`, `*_demo`, `sattn_cli`)
+#      is not declared in any CMakeLists.txt.
+#
+# Usage: check_docs.sh <repo-root>
+set -u
+
+root="${1:-.}"
+cd "$root" || exit 2
+
+fail=0
+
+docs=(README.md)
+while IFS= read -r f; do docs+=("$f"); done < <(find docs -name '*.md' | sort)
+
+# All backticked tokens across the doc set, one per line.
+tokens="$(grep -ho '`[^`]*`' "${docs[@]}" 2>/dev/null | tr -d '\`' | sort -u)"
+
+# --- 1. path-like tokens must exist -----------------------------------------
+while IFS= read -r tok; do
+  [ -z "$tok" ] && continue
+  case "$tok" in
+    src/*|docs/*|tests/*|bench/*|examples/*|scripts/*)
+      # Strip trailing punctuation and any :line suffix.
+      path="${tok%%:*}"
+      path="${path%/}"
+      # Skip tokens with shell/glob metacharacters (command lines, patterns).
+      case "$path" in
+        *' '*|*'*'*|*'<'*|*'>'*|*'$'*) continue ;;
+      esac
+      if [ ! -e "$path" ]; then
+        echo "check_docs: missing path referenced in docs: $tok" >&2
+        fail=1
+      fi
+      ;;
+  esac
+done <<< "$tokens"
+
+# --- 2. target-like tokens must be declared in CMake ------------------------
+cmake_text="$(cat CMakeLists.txt ./*/CMakeLists.txt 2>/dev/null)"
+while IFS= read -r tok; do
+  [ -z "$tok" ] && continue
+  # Only bare single-word targets, no paths/spaces/flags.
+  case "$tok" in
+    *' '*|*/*|*-*|*=*|*.*) continue ;;
+  esac
+  case "$tok" in
+    bench_*|*_test|*_demo|sattn_cli|quickstart)
+      if ! printf '%s\n' "$cmake_text" | grep -q "(${tok}[ )]"; then
+        echo "check_docs: docs mention target '$tok' not declared in any CMakeLists.txt" >&2
+        fail=1
+      fi
+      ;;
+  esac
+done <<< "$tokens"
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED" >&2
+  exit 1
+fi
+echo "check_docs: OK (${#docs[@]} files checked)"

@@ -1,0 +1,22 @@
+#include "attention/attention_method.h"
+
+#include "obs/trace.h"
+
+namespace sattn {
+
+AttentionResult AttentionMethod::run(const AttentionInput& in) const {
+  if (!obs::enabled()) return run_impl(in);
+
+  obs::ScopedSpan span("method/" + name());
+  AttentionResult r = run_impl(in);
+
+  // Shared accounting: every method reports the causal score entries it
+  // evaluated (final pass + planning overhead), so Table-2 comparisons get
+  // uniform work counters for free.
+  const double pairs = causal_pairs(in.sq(), in.sk());
+  SATTN_COUNTER_ADD("attn.score_evals", r.density * pairs);
+  SATTN_COUNTER_ADD("attn.overhead_evals", r.overhead_density * pairs);
+  return r;
+}
+
+}  // namespace sattn

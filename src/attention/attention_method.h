@@ -43,7 +43,17 @@ class AttentionMethod {
  public:
   virtual ~AttentionMethod() = default;
   virtual std::string name() const = 0;
-  virtual AttentionResult run(const AttentionInput& in) const = 0;
+
+  // Runs the method. Non-virtual wrapper: when tracing is enabled
+  // (obs/trace.h) it opens a "method/<name>" span and charges the shared
+  // attention counters from the result's densities, so every method —
+  // including all Table-2 baselines — is observable without per-method
+  // instrumentation.
+  AttentionResult run(const AttentionInput& in) const;
+
+ protected:
+  // The actual algorithm, implemented by each method.
+  virtual AttentionResult run_impl(const AttentionInput& in) const = 0;
 };
 
 }  // namespace sattn

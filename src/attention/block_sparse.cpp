@@ -5,6 +5,7 @@
 
 #include "attention/flash_attention.h"
 #include "core/thread_pool.h"
+#include "obs/trace.h"
 
 namespace sattn {
 
@@ -88,6 +89,14 @@ void block_sparse_attention(const AttentionInput& in, const BlockSparseLayout& l
                             Matrix& out) {
   const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
   assert(layout.sq() == sq && layout.sk() == sk);
+  SATTN_SPAN("kernel/block_sparse");
+  if (obs::enabled()) {
+    const double evals = layout.density() * causal_pairs(sq, sk);
+    SATTN_COUNTER_ADD("attn.kernel_score_evals", evals);
+    SATTN_COUNTER_ADD("attn.kernel_flops", 4.0 * static_cast<double>(d) * evals);
+    SATTN_COUNTER_ADD("attn.kernel_bytes", 8.0 * static_cast<double>(d) * evals);
+    SATTN_COUNTER_ADD("attn.block_sparse_tiles", layout.active_tiles());
+  }
   out.resize(sq, d);
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
   const Index block = layout.block();

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/thread_pool.h"
+#include "obs/trace.h"
 
 namespace sattn {
 
@@ -58,6 +59,10 @@ void OnlineSoftmaxRow::finalize(std::span<float> out_row) const {
 void flash_attention(const AttentionInput& in, Matrix& out, const FlashConfig& cfg) {
   const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
   assert(cfg.tile_q > 0 && cfg.tile_k > 0);
+  SATTN_SPAN("kernel/flash");
+  SATTN_COUNTER_ADD("attn.kernel_score_evals", causal_pairs(sq, sk));
+  SATTN_COUNTER_ADD("attn.kernel_flops", 4.0 * static_cast<double>(d) * causal_pairs(sq, sk));
+  SATTN_COUNTER_ADD("attn.kernel_bytes", 8.0 * static_cast<double>(d) * causal_pairs(sq, sk));
   out.resize(sq, d);
 
   const Index n_qtiles = (sq + cfg.tile_q - 1) / cfg.tile_q;
@@ -118,7 +123,7 @@ void flash_attention(const AttentionInput& in, Matrix& out, const FlashConfig& c
   });
 }
 
-AttentionResult FlashAttention::run(const AttentionInput& in) const {
+AttentionResult FlashAttention::run_impl(const AttentionInput& in) const {
   AttentionResult r;
   flash_attention(in, r.out, cfg_);
   r.density = 1.0;

@@ -28,7 +28,9 @@ class FlashAttention final : public AttentionMethod {
  public:
   explicit FlashAttention(FlashConfig cfg = {}) : cfg_(cfg) {}
   std::string name() const override { return "FlashAttention2"; }
-  AttentionResult run(const AttentionInput& in) const override;
+
+ protected:
+  AttentionResult run_impl(const AttentionInput& in) const override;
 
  private:
   FlashConfig cfg_;

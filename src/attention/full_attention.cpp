@@ -6,6 +6,7 @@
 
 #include "core/numerics.h"
 #include "core/thread_pool.h"
+#include "obs/trace.h"
 
 namespace sattn {
 
@@ -23,6 +24,10 @@ void logits_row(const AttentionInput& in, Index i, std::span<float> row) {
 void full_attention(const AttentionInput& in, Matrix& out) {
   const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
   assert(in.k.rows() == in.v.rows() && in.k.cols() == d && in.v.cols() == d);
+  SATTN_SPAN("kernel/full");
+  SATTN_COUNTER_ADD("attn.kernel_score_evals", causal_pairs(sq, sk));
+  SATTN_COUNTER_ADD("attn.kernel_flops", 4.0 * static_cast<double>(d) * causal_pairs(sq, sk));
+  SATTN_COUNTER_ADD("attn.kernel_bytes", 8.0 * static_cast<double>(d) * causal_pairs(sq, sk));
   out.resize(sq, d);
   parallel_for(sq, [&](Index i) {
     std::vector<float> row(static_cast<std::size_t>(sk));
@@ -48,7 +53,7 @@ Matrix full_attention_scores(const AttentionInput& in) {
   return p;
 }
 
-AttentionResult FullAttention::run(const AttentionInput& in) const {
+AttentionResult FullAttention::run_impl(const AttentionInput& in) const {
   AttentionResult r;
   full_attention(in, r.out);
   r.density = 1.0;

@@ -26,7 +26,9 @@ void logits_row(const AttentionInput& in, Index i, std::span<float> row);
 class FullAttention final : public AttentionMethod {
  public:
   std::string name() const override { return "FullAttention"; }
-  AttentionResult run(const AttentionInput& in) const override;
+
+ protected:
+  AttentionResult run_impl(const AttentionInput& in) const override;
 };
 
 }  // namespace sattn

@@ -5,6 +5,7 @@
 
 #include "attention/flash_attention.h"
 #include "core/thread_pool.h"
+#include "obs/trace.h"
 
 namespace sattn {
 namespace {
@@ -22,6 +23,16 @@ bool runs_contain(const std::vector<ColumnRun>& runs, Index j) {
 void sparse_flash_attention(const AttentionInput& in, const StructuredMask& mask, Matrix& out) {
   const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
   assert(mask.sq() == sq && mask.sk() == sk);
+  SATTN_SPAN("kernel/sparse_flash");
+  if (obs::enabled()) {
+    // mask.density() walks the structure per row, so only pay for it when
+    // the counters are live.
+    const double evals = sparse_flash_work(mask);
+    SATTN_COUNTER_ADD("attn.kernel_score_evals", evals);
+    SATTN_COUNTER_ADD("attn.kernel_flops", 4.0 * static_cast<double>(d) * evals);
+    SATTN_COUNTER_ADD("attn.kernel_bytes", 8.0 * static_cast<double>(d) * evals);
+    SATTN_COUNTER_ADD("sattn.mask_stripe_columns", mask.stripe_columns().size());
+  }
   out.resize(sq, d);
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
   const auto& stripe_runs = mask.stripe_runs();
@@ -80,7 +91,7 @@ double sparse_flash_work(const StructuredMask& mask) {
   return mask.density() * causal_pairs(mask.sq(), mask.sk());
 }
 
-AttentionResult MaskedAttention::run(const AttentionInput& in) const {
+AttentionResult MaskedAttention::run_impl(const AttentionInput& in) const {
   const StructuredMask mask = builder_(in);
   AttentionResult r;
   sparse_flash_attention(in, mask, r.out);

@@ -37,7 +37,9 @@ class MaskedAttention final : public AttentionMethod {
       : name_(std::move(name)), builder_(std::move(builder)) {}
 
   std::string name() const override { return name_; }
-  AttentionResult run(const AttentionInput& in) const override;
+
+ protected:
+  AttentionResult run_impl(const AttentionInput& in) const override;
 
  private:
   std::string name_;

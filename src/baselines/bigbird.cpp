@@ -43,7 +43,7 @@ StructuredMask make_bigbird_mask(Index sq, Index sk, const BigBirdConfig& cfg) {
   return mask;
 }
 
-AttentionResult BigBird::run(const AttentionInput& in) const {
+AttentionResult BigBird::run_impl(const AttentionInput& in) const {
   const StructuredMask mask = make_bigbird_mask(in.sq(), in.sk(), cfg_);
   AttentionResult r;
   sparse_flash_attention(in, mask, r.out);

@@ -33,7 +33,9 @@ class BigBird final : public AttentionMethod {
  public:
   explicit BigBird(BigBirdConfig cfg = {}) : cfg_(cfg) {}
   std::string name() const override { return "BigBird"; }
-  AttentionResult run(const AttentionInput& in) const override;
+
+ protected:
+  AttentionResult run_impl(const AttentionInput& in) const override;
 
  private:
   BigBirdConfig cfg_;

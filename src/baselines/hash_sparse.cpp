@@ -65,7 +65,7 @@ std::vector<Index> bucket_assignment(const Matrix& m, const Matrix& directions,
 
 }  // namespace
 
-AttentionResult HashSparse::run(const AttentionInput& in) const {
+AttentionResult HashSparse::run_impl(const AttentionInput& in) const {
   const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
   AttentionResult res;
   res.out.resize(sq, d);

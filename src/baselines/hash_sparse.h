@@ -24,7 +24,9 @@ class HashSparse final : public AttentionMethod {
  public:
   explicit HashSparse(HashSparseConfig cfg = {}) : cfg_(cfg) {}
   std::string name() const override { return "Hash-Sparse"; }
-  AttentionResult run(const AttentionInput& in) const override;
+
+ protected:
+  AttentionResult run_impl(const AttentionInput& in) const override;
 
  private:
   HashSparseConfig cfg_;

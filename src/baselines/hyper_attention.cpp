@@ -30,7 +30,7 @@ std::vector<std::uint32_t> simhash_codes(const Matrix& m, Index bits, Rng rng) {
 
 }  // namespace
 
-AttentionResult HyperAttention::run(const AttentionInput& in) const {
+AttentionResult HyperAttention::run_impl(const AttentionInput& in) const {
   const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
   AttentionResult res;
   res.out.resize(sq, d);

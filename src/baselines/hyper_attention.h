@@ -36,7 +36,9 @@ class HyperAttention final : public AttentionMethod {
  public:
   explicit HyperAttention(HyperAttentionConfig cfg = {}) : cfg_(cfg) {}
   std::string name() const override { return "HyperAttention"; }
-  AttentionResult run(const AttentionInput& in) const override;
+
+ protected:
+  AttentionResult run_impl(const AttentionInput& in) const override;
 
  private:
   HyperAttentionConfig cfg_;

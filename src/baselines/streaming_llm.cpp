@@ -4,7 +4,7 @@
 
 namespace sattn {
 
-AttentionResult StreamingLLM::run(const AttentionInput& in) const {
+AttentionResult StreamingLLM::run_impl(const AttentionInput& in) const {
   const Index window = window_width_from_ratio(in.sk(), cfg_.window_ratio);
   const StructuredMask mask = make_streaming_mask(in.sq(), in.sk(), cfg_.sink_tokens, window);
   AttentionResult r;

@@ -20,7 +20,9 @@ class StreamingLLM final : public AttentionMethod {
  public:
   explicit StreamingLLM(StreamingLLMConfig cfg = {}) : cfg_(cfg) {}
   std::string name() const override { return "StreamingLLM"; }
-  AttentionResult run(const AttentionInput& in) const override;
+
+ protected:
+  AttentionResult run_impl(const AttentionInput& in) const override;
 
  private:
   StreamingLLMConfig cfg_;

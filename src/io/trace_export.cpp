@@ -1,0 +1,86 @@
+#include "io/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sattn {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_number(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(std::span<const obs::SpanRecord> spans,
+                              std::span<const obs::CounterValue> counters) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    out << (first ? "\n" : ",\n") << event;
+    first = false;
+  };
+
+  emit(R"({"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"sattn"}})");
+
+  double end_ts = 0.0;
+  for (const obs::SpanRecord& s : spans) {
+    std::ostringstream ev;
+    ev << "{\"name\":\"" << json_escape(s.name) << "\",\"cat\":\"sattn\",\"ph\":\"X\""
+       << ",\"pid\":1,\"tid\":" << s.tid << ",\"ts\":" << fmt_number(s.start_us)
+       << ",\"dur\":" << fmt_number(s.dur_us) << "}";
+    emit(ev.str());
+    end_ts = std::max(end_ts, s.start_us + s.dur_us);
+  }
+
+  // Counter totals as one trailing counter sample per counter; Chrome draws
+  // them as a track each.
+  for (const obs::CounterValue& c : counters) {
+    std::ostringstream ev;
+    ev << "{\"name\":\"" << json_escape(c.name) << "\",\"cat\":\"sattn\",\"ph\":\"C\""
+       << ",\"pid\":1,\"tid\":0,\"ts\":" << fmt_number(end_ts) << ",\"args\":{\"value\":"
+       << fmt_number(c.value) << "}}";
+    emit(ev.str());
+  }
+
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool write_chrome_trace(const std::string& path) {
+  const obs::Collector& col = obs::Collector::global();
+  const std::string json = chrome_trace_json(col.spans(), col.counters());
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = n == json.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+}  // namespace sattn

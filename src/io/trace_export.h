@@ -1,0 +1,24 @@
+// Chrome trace-event export (the `chrome://tracing` / Perfetto "JSON Array
+// with metadata" format): spans become "ph":"X" complete events, counters
+// become a final "ph":"C" counter sample. Load the written file in
+// chrome://tracing or https://ui.perfetto.dev to see the per-thread span
+// timeline of a bench run.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "obs/trace.h"
+
+namespace sattn {
+
+// Serializes the given spans/counters as a Chrome trace-events JSON object.
+std::string chrome_trace_json(std::span<const obs::SpanRecord> spans,
+                              std::span<const obs::CounterValue> counters);
+
+// Snapshots the global obs::Collector and writes it to `path`. Returns false
+// if the file could not be written. The file is valid JSON even when no
+// spans were recorded.
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace sattn

@@ -1,0 +1,154 @@
+#include "obs/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace sattn::obs {
+namespace {
+
+// Nearest-rank percentile over an ascending-sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  const std::size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct PathAgg {
+  std::vector<double> durations_us;
+  int depth = 0;
+  std::string name;
+};
+
+// Reconstructs each span's nesting path from per-thread interval enclosure:
+// spans were recorded with strict stack discipline per thread, so sorting a
+// thread's records by (start asc, dur desc) and sweeping with a stack
+// recovers parent/child relations.
+std::map<std::string, PathAgg> aggregate(std::span<const SpanRecord> spans) {
+  std::map<std::uint32_t, std::vector<const SpanRecord*>> by_tid;
+  for (const SpanRecord& r : spans) by_tid[r.tid].push_back(&r);
+
+  std::map<std::string, PathAgg> agg;
+  for (auto& [tid, recs] : by_tid) {
+    std::sort(recs.begin(), recs.end(), [](const SpanRecord* a, const SpanRecord* b) {
+      if (a->start_us != b->start_us) return a->start_us < b->start_us;
+      return a->dur_us > b->dur_us;
+    });
+    struct Frame {
+      double end_us;
+      std::string path;
+    };
+    std::vector<Frame> stack;
+    for (const SpanRecord* r : recs) {
+      while (!stack.empty() && stack.back().end_us <= r->start_us) stack.pop_back();
+      std::string path = stack.empty() ? r->name : stack.back().path + " > " + r->name;
+      PathAgg& a = agg[path];
+      a.durations_us.push_back(r->dur_us);
+      a.depth = static_cast<int>(stack.size());
+      a.name = r->name;
+      stack.push_back({r->start_us + r->dur_us, std::move(path)});
+    }
+  }
+  return agg;
+}
+
+}  // namespace
+
+std::vector<SpanStat> summarize_spans(std::span<const SpanRecord> spans) {
+  std::map<std::string, PathAgg> agg = aggregate(spans);
+
+  std::vector<SpanStat> stats;
+  stats.reserve(agg.size());
+  for (auto& [path, a] : agg) {
+    SpanStat s;
+    s.path = path;
+    s.name = a.name;
+    s.depth = a.depth;
+    s.count = a.durations_us.size();
+    std::sort(a.durations_us.begin(), a.durations_us.end());
+    for (double d : a.durations_us) s.total_us += d;
+    s.mean_us = s.total_us / static_cast<double>(s.count);
+    s.p50_us = percentile(a.durations_us, 0.50);
+    s.p99_us = percentile(a.durations_us, 0.99);
+    stats.push_back(std::move(s));
+  }
+
+  // Preorder walk with siblings by descending total: sort by path prefix
+  // chains. Build a sort key of each ancestor's (negative total) so children
+  // stay under their parent.
+  std::map<std::string, double> total_by_path;
+  for (const SpanStat& s : stats) total_by_path[s.path] = s.total_us;
+  std::sort(stats.begin(), stats.end(), [&](const SpanStat& a, const SpanStat& b) {
+    // Compare the two paths component-wise on (total desc, path asc).
+    std::string_view pa = a.path, pb = b.path;
+    std::string prefix_a, prefix_b;
+    std::size_t ia = 0, ib = 0;
+    while (true) {
+      const std::size_t na = pa.find(" > ", ia);
+      const std::size_t nb = pb.find(" > ", ib);
+      prefix_a = std::string(pa.substr(0, na));
+      prefix_b = std::string(pb.substr(0, nb));
+      if (prefix_a != prefix_b) {
+        const double ta = total_by_path.count(prefix_a) ? total_by_path[prefix_a] : 0.0;
+        const double tb = total_by_path.count(prefix_b) ? total_by_path[prefix_b] : 0.0;
+        if (ta != tb) return ta > tb;
+        return prefix_a < prefix_b;
+      }
+      if (na == std::string_view::npos || nb == std::string_view::npos) {
+        // One path is a prefix of the other: the parent sorts first.
+        return na == std::string_view::npos && nb != std::string_view::npos;
+      }
+      ia = na + 3;
+      ib = nb + 3;
+    }
+  });
+  return stats;
+}
+
+double total_seconds(std::span<const SpanRecord> spans, std::string_view name) {
+  double total_us = 0.0;
+  for (const SpanRecord& r : spans) {
+    if (r.name == name) total_us += r.dur_us;
+  }
+  return total_us * 1e-6;
+}
+
+std::size_t span_count(std::span<const SpanRecord> spans, std::string_view name) {
+  std::size_t n = 0;
+  for (const SpanRecord& r : spans) {
+    if (r.name == name) ++n;
+  }
+  return n;
+}
+
+std::string render_summary(std::span<const SpanRecord> spans,
+                           std::span<const CounterValue> counters) {
+  std::ostringstream out;
+  const std::vector<SpanStat> stats = summarize_spans(spans);
+  if (!stats.empty()) {
+    out << "spans (count / total ms / mean ms / p50 ms / p99 ms):\n";
+    char buf[192];
+    for (const SpanStat& s : stats) {
+      std::snprintf(buf, sizeof(buf), "  %*s%-40s %8zu %10.3f %10.4f %10.4f %10.4f\n",
+                    2 * s.depth, "", s.name.c_str(), s.count, s.total_us * 1e-3,
+                    s.mean_us * 1e-3, s.p50_us * 1e-3, s.p99_us * 1e-3);
+      out << buf;
+    }
+  }
+  if (!counters.empty()) {
+    out << "counters:\n";
+    char buf[160];
+    for (const CounterValue& c : counters) {
+      std::snprintf(buf, sizeof(buf), "  %-40s %18.6g\n", c.name.c_str(), c.value);
+      out << buf;
+    }
+  }
+  if (stats.empty() && counters.empty()) out << "(no spans or counters recorded)\n";
+  return out.str();
+}
+
+}  // namespace sattn::obs

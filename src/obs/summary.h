@@ -1,0 +1,46 @@
+// Hierarchical span summaries: aggregates completed SpanRecords into
+// per-path statistics (count / total / mean / p50 / p99) where a span's path
+// is its chain of enclosing spans on the same thread, e.g.
+// "method/SampleAttention(a=0.95)/sattn/plan/sattn/stage1_sampling" renders
+// as the nested tree the bench binaries print next to the cost model.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace sattn::obs {
+
+struct SpanStat {
+  std::string path;   // parent names joined with " > ", leaf last
+  std::string name;   // leaf span name
+  int depth = 0;      // nesting depth (0 = root)
+  std::size_t count = 0;
+  double total_us = 0.0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+// Groups spans by nesting path (derived per thread from interval enclosure)
+// and aggregates. Result is ordered as a preorder walk of the path tree,
+// siblings sorted by descending total time.
+std::vector<SpanStat> summarize_spans(std::span<const SpanRecord> spans);
+
+// Total time (seconds) spent in spans with the given leaf name. Nested
+// same-name spans would double count; the library's span names never
+// self-nest.
+double total_seconds(std::span<const SpanRecord> spans, std::string_view name);
+
+// Number of spans with the given leaf name.
+std::size_t span_count(std::span<const SpanRecord> spans, std::string_view name);
+
+// Human-readable report: the span tree with count/total/mean/p50/p99 plus a
+// table of counter values. Used by the bench binaries' trace sessions.
+std::string render_summary(std::span<const SpanRecord> spans,
+                           std::span<const CounterValue> counters);
+
+}  // namespace sattn::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "attention/flash_attention.h"
+#include "obs/trace.h"
 
 namespace sattn {
 namespace {
@@ -38,10 +39,13 @@ ChunkedPrefillResult run_chunked(const AttentionInput& in, Index chunk_size, KVC
   const Index sq = in.sq(), d = in.head_dim();
   assert(in.sq() == in.sk() && "chunked prefill expects a standard prefill shape");
   assert(chunk_size > 0);
+  SATTN_SPAN("runtime/chunked_prefill");
   ChunkedPrefillResult res;
   res.out.resize(sq, d);
   double density_sum = 0.0;
   for (Index q_lo = 0; q_lo < sq; q_lo += chunk_size) {
+    SATTN_SPAN("runtime/prefill_chunk");
+    SATTN_COUNTER_ADD("runtime.prefill_chunks", 1);
     const Index q_hi = std::min(sq, q_lo + chunk_size);
     const AttentionInput chunk = make_chunk(in, q_lo, q_hi, q_hi);
     Matrix chunk_out;

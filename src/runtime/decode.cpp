@@ -4,11 +4,15 @@
 #include <cmath>
 
 #include "core/numerics.h"
+#include "obs/trace.h"
 
 namespace sattn {
 
 void decode_attention(std::span<const float> q_row, const KVCache& cache,
                       std::span<float> out_row, std::vector<float>* weights) {
+  SATTN_SPAN("kernel/decode");
+  SATTN_COUNTER_ADD("runtime.decode_tokens", 1);
+  SATTN_COUNTER_ADD("kv_cache.rows_read", cache.size());
   const Index d = cache.head_dim();
   assert(static_cast<Index>(q_row.size()) == d);
   assert(static_cast<Index>(out_row.size()) == d);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/numerics.h"
+#include "obs/trace.h"
 
 namespace sattn {
 
@@ -20,6 +21,8 @@ void H2OPolicy::observe(const KVCache& cache, std::span<const float> weights) {
 bool H2OPolicy::enforce(KVCache& cache) {
   const Index n = cache.size();
   if (n <= budget_) return false;
+  SATTN_SPAN("runtime/eviction");
+  SATTN_COUNTER_ADD("kv_cache.eviction_passes", 1);
   const Index n_recent = std::min(recent_, n);
   const Index n_heavy = budget_ - n_recent;
 
@@ -49,6 +52,8 @@ double H2OPolicy::accumulated_score(const KVCache& cache, Index pos) const {
 bool SinkRecentPolicy::enforce(KVCache& cache) {
   const Index n = cache.size();
   if (n <= sinks_ + recent_) return false;
+  SATTN_SPAN("runtime/eviction");
+  SATTN_COUNTER_ADD("kv_cache.eviction_passes", 1);
   std::vector<Index> keep;
   for (Index s = 0; s < n; ++s) {
     if (cache.position(s) < sinks_ || s >= n - recent_) keep.push_back(s);

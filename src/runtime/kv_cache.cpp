@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace sattn {
 
 void KVCache::append(Index pos, std::span<const float> k_row, std::span<const float> v_row) {
@@ -10,6 +12,7 @@ void KVCache::append(Index pos, std::span<const float> k_row, std::span<const fl
   k_.insert(k_.end(), k_row.begin(), k_row.end());
   v_.insert(v_.end(), v_row.begin(), v_row.end());
   positions_.push_back(pos);
+  SATTN_COUNTER_ADD("kv_cache.appended_rows", 1);
 }
 
 void KVCache::append_prefill(const AttentionInput& in) {
@@ -19,11 +22,17 @@ void KVCache::append_prefill(const AttentionInput& in) {
 
 Index KVCache::slot_of(Index pos) const {
   const auto it = std::lower_bound(positions_.begin(), positions_.end(), pos);
-  if (it == positions_.end() || *it != pos) return -1;
+  if (it == positions_.end() || *it != pos) {
+    SATTN_COUNTER_ADD("kv_cache.lookup_misses", 1);
+    return -1;
+  }
+  SATTN_COUNTER_ADD("kv_cache.lookup_hits", 1);
   return static_cast<Index>(it - positions_.begin());
 }
 
 void KVCache::keep_slots(std::span<const Index> sorted_slots) {
+  SATTN_COUNTER_ADD("kv_cache.evicted_rows",
+                    size() - static_cast<Index>(sorted_slots.size()));
   std::vector<float> nk, nv;
   std::vector<Index> npos;
   nk.reserve(sorted_slots.size() * static_cast<std::size_t>(d_));

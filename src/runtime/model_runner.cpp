@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "perf/latency_report.h"
 
 namespace sattn {
@@ -9,6 +10,7 @@ namespace sattn {
 PrefillReport run_prefill(const ModelConfig& model, const ContentSpec& content,
                           const AttentionMethod& method, const PrefillOptions& opts) {
   assert(opts.heads_per_layer > 0 && opts.layer_stride > 0);
+  SATTN_SPAN("runtime/model_prefill");
   PrefillReport report;
   report.method = method.name();
 
@@ -33,6 +35,7 @@ PrefillReport run_prefill(const ModelConfig& model, const ContentSpec& content,
     report.heads_run += layer_heads;
   }
   report.seconds = timer.seconds();
+  SATTN_COUNTER_ADD("runtime.prefill_heads_run", report.heads_run);
   if (report.heads_run > 0) {
     report.mean_density /= static_cast<double>(report.heads_run);
     report.mean_overhead /= static_cast<double>(report.heads_run);

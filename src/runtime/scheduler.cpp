@@ -5,6 +5,7 @@
 #include <deque>
 
 #include "core/rng.h"
+#include "obs/trace.h"
 
 namespace sattn {
 
@@ -31,6 +32,7 @@ double Engine::prefill_seconds(Index prompt_tokens) const {
 
 std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> requests,
                                              const Engine& engine, Index chunk_quantum_tokens) {
+  SATTN_SPAN("runtime/scheduler");
   std::vector<ServingRequest> sorted(requests.begin(), requests.end());
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const ServingRequest& a, const ServingRequest& b) {
@@ -52,6 +54,8 @@ std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> req
     while (next < sorted.size() && sorted[next].arrival_seconds <= t) {
       queue.push_back({sorted[next], engine.prefill_seconds(sorted[next].prompt_tokens), -1.0});
       ++next;
+      SATTN_COUNTER_ADD("sched.requests_enqueued", 1);
+      SATTN_COUNTER_MAX("sched.queue_depth_peak", queue.size());
     }
   };
 
@@ -84,8 +88,10 @@ std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> req
     admit_until(now);
     if (job.remaining <= 1e-12) {
       done.push_back({job.req, job.start, now});
+      SATTN_COUNTER_ADD("sched.requests_completed", 1);
     } else {
       queue.push_back(job);  // round-robin
+      SATTN_COUNTER_ADD("sched.preemptions", 1);
     }
   }
   return done;

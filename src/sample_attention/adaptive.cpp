@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "attention/sparse_flash_attention.h"
+#include "obs/trace.h"
 
 namespace sattn {
 
@@ -29,12 +30,15 @@ void AdaptiveAlphaController::feedback(const SamplePlan& plan) {
   const double est = estimated_cra(plan);
   if (est < cfg_.target_cra - cfg_.band) {
     current_.alpha = std::min(cfg_.alpha_max, current_.alpha + cfg_.step);
+    SATTN_COUNTER_ADD("sattn.adaptive_alpha_steps", 1);
   } else if (est > cfg_.target_cra + cfg_.band) {
     current_.alpha = std::max(cfg_.alpha_min, current_.alpha - cfg_.step);
+    SATTN_COUNTER_ADD("sattn.adaptive_alpha_steps", 1);
   }
 }
 
 AttentionResult AdaptiveAlphaController::run(const AttentionInput& in) {
+  SATTN_SPAN("sattn/adaptive");
   SamplePlan plan;
   AttentionResult res;
   sample_attention(in, current_, res.out, &plan);

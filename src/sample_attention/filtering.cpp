@@ -5,10 +5,12 @@
 #include <cmath>
 
 #include "core/numerics.h"
+#include "obs/trace.h"
 
 namespace sattn {
 
 FilterResult filter_kv_indices(std::span<const float> column_weight, const FilterConfig& cfg) {
+  SATTN_SPAN("sattn/stage2_filtering");
   FilterResult res;
   const auto sk = static_cast<Index>(column_weight.size());
   if (sk == 0) return res;
@@ -65,6 +67,7 @@ FilterResult filter_kv_indices(std::span<const float> column_weight, const Filte
   std::sort(res.kv_indices.begin(), res.kv_indices.end());
   res.kv_ratio = static_cast<double>(keep) / static_cast<double>(sk);
   res.coverage = prefix[static_cast<std::size_t>(keep - 1)] / total;
+  SATTN_COUNTER_ADD("sattn.retained_kv_columns", keep);
   return res;
 }
 

@@ -1,11 +1,13 @@
 #include "sample_attention/layer_plan.h"
 
 #include "attention/sparse_flash_attention.h"
+#include "obs/trace.h"
 
 namespace sattn {
 
 LayerPlan plan_layer(const ModelConfig& model, const ContentSpec& content, Index layer,
                      const LayerPlanOptions& opts) {
+  SATTN_SPAN("sattn/layer_plan");
   LayerPlan plan;
   plan.head_plans.reserve(static_cast<std::size_t>(model.n_heads));
   const Index group = gqa_group_size(model);
@@ -28,11 +30,14 @@ LayerPlan plan_layer(const ModelConfig& model, const ContentSpec& content, Index
   }
   plan.mean_density /= static_cast<double>(model.n_heads);
   plan.mean_overhead /= static_cast<double>(model.n_heads);
+  SATTN_COUNTER_ADD("sattn.planned_heads", plan.planned_heads);
+  SATTN_COUNTER_ADD("sattn.shared_heads", model.n_heads - plan.planned_heads);
   return plan;
 }
 
 std::vector<Matrix> run_layer(const ModelConfig& model, const ContentSpec& content, Index layer,
                               const LayerPlan& plan) {
+  SATTN_SPAN("sattn/layer_run");
   assert(static_cast<Index>(plan.head_plans.size()) == model.n_heads);
   std::vector<Matrix> outputs(static_cast<std::size_t>(model.n_heads));
   for (Index head = 0; head < model.n_heads; ++head) {

@@ -4,10 +4,12 @@
 #include <utility>
 
 #include "attention/sparse_flash_attention.h"
+#include "obs/trace.h"
 
 namespace sattn {
 
 SamplePlan plan_sample_attention(const AttentionInput& in, const SampleAttentionConfig& cfg) {
+  SATTN_SPAN("sattn/plan");
   const Index sq = in.sq(), sk = in.sk();
 
   const Index window = window_width_from_ratio(sk, cfg.window_ratio);
@@ -24,6 +26,7 @@ SamplePlan plan_sample_attention(const AttentionInput& in, const SampleAttention
   FilterResult filtered = filter_kv_indices(stage1.column_weight, fcfg);
 
   // Merge: I_KV stripes ∪ tuned local window (Figure 3, "M_Merged").
+  SATTN_SPAN("sattn/merge");
   StructuredMask mask(sq, sk);
   mask.set_window(window);
   mask.set_stripe_columns(filtered.kv_indices);
@@ -60,7 +63,7 @@ std::string SampleAttention::name() const {
   return buf;
 }
 
-AttentionResult SampleAttention::run(const AttentionInput& in) const {
+AttentionResult SampleAttention::run_impl(const AttentionInput& in) const {
   AttentionResult r;
   SamplePlan plan;
   sample_attention(in, cfg_, r.out, &plan);

@@ -62,9 +62,11 @@ class SampleAttention final : public AttentionMethod {
   explicit SampleAttention(SampleAttentionConfig cfg = {}) : cfg_(cfg) {}
 
   std::string name() const override;
-  AttentionResult run(const AttentionInput& in) const override;
 
   const SampleAttentionConfig& config() const { return cfg_; }
+
+ protected:
+  AttentionResult run_impl(const AttentionInput& in) const override;
 
  private:
   SampleAttentionConfig cfg_;

@@ -6,6 +6,7 @@
 #include "attention/attention_method.h"
 #include "attention/score_utils.h"
 #include "core/rng.h"
+#include "obs/trace.h"
 
 namespace sattn {
 namespace {
@@ -38,9 +39,11 @@ std::vector<Index> pick_rows(Index sq, double row_ratio, SamplingPolicy policy,
 SampleStats sample_column_weights(const AttentionInput& in, double row_ratio,
                                   SamplingPolicy policy, Index exclude_window,
                                   std::uint64_t rng_seed) {
+  SATTN_SPAN("sattn/stage1_sampling");
   const Index sq = in.sq(), sk = in.sk();
   SampleStats st;
   st.sampled_rows = pick_rows(sq, row_ratio, policy, rng_seed);
+  SATTN_COUNTER_ADD("sattn.sampled_rows", st.sampled_rows.size());
 
   std::vector<double> acc(static_cast<std::size_t>(sk), 0.0);
   st.distance_bucket_width = std::max<Index>(1, (sk + SampleStats::kDistanceBuckets - 1) /

@@ -5,11 +5,13 @@
 
 #include "attention/full_attention.h"
 #include "metrics/recovery.h"
+#include "obs/trace.h"
 
 namespace sattn {
 
 TunerReport tune_hyperparameters(std::span<const AttentionInput> profiling_requests,
                                  const TunerOptions& opts) {
+  SATTN_SPAN("sattn/tuner");
   TunerReport report;
 
   // Full-attention references, computed once per request.
@@ -21,6 +23,8 @@ TunerReport tune_hyperparameters(std::span<const AttentionInput> profiling_reque
   for (double alpha : opts.alphas) {
     for (double row_ratio : opts.row_ratios) {
       for (double window_ratio : opts.window_ratios) {
+        SATTN_SPAN("sattn/tuner_config");
+        SATTN_COUNTER_ADD("sattn.tuner_configs_evaluated", 1);
         TunerEntry entry;
         entry.cfg.alpha = alpha;
         entry.cfg.row_ratio = row_ratio;

@@ -1,0 +1,368 @@
+// Tests for the observability layer (obs/trace.h, obs/summary.h,
+// io/trace_export.h): span nesting, counter aggregation under ThreadPool
+// concurrency, Chrome-trace JSON validity, and disabled-mode no-op
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "io/trace_export.h"
+#include "model/workload.h"
+#include "obs/summary.h"
+#include "obs/trace.h"
+#include "sample_attention/sample_attention.h"
+
+namespace sattn {
+namespace {
+
+using obs::Collector;
+using obs::CounterValue;
+using obs::ScopedSpan;
+using obs::SpanRecord;
+using obs::SpanStat;
+
+// Each test starts from a clean, enabled collector and leaves tracing off.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Collector::global().reset();
+    ASSERT_TRUE(obs::set_enabled(true)) << "SATTN_TRACE=0 in the test environment";
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    Collector::global().reset();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator, enough to assert the Chrome
+// trace output is well-formed (objects, arrays, strings with escapes,
+// numbers, literals).
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+  bool array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+  bool string() {
+    if (!consume('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return consume('"');
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+double counter_value(const std::vector<CounterValue>& counters, const std::string& name) {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return -1.0;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, ScopedSpansRecordOnDestruction) {
+  {
+    ScopedSpan outer("outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto spans = Collector::global().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_GT(spans[0].dur_us, 0.0);
+}
+
+TEST_F(ObsTest, SpanNestingReconstructsPaths) {
+  {
+    ScopedSpan outer("outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    {
+      ScopedSpan mid("mid");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ScopedSpan inner("inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    {
+      ScopedSpan mid2("mid");  // second instance of the same child
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const auto spans = Collector::global().spans();
+  ASSERT_EQ(spans.size(), 4u);
+
+  const std::vector<SpanStat> stats = obs::summarize_spans(spans);
+  ASSERT_EQ(stats.size(), 3u);  // outer, outer>mid (x2), outer>mid>inner
+  EXPECT_EQ(stats[0].path, "outer");
+  EXPECT_EQ(stats[0].depth, 0);
+  EXPECT_EQ(stats[0].count, 1u);
+  EXPECT_EQ(stats[1].path, "outer > mid");
+  EXPECT_EQ(stats[1].depth, 1);
+  EXPECT_EQ(stats[1].count, 2u);
+  EXPECT_EQ(stats[2].path, "outer > mid > inner");
+  EXPECT_EQ(stats[2].depth, 2);
+
+  // A child's total cannot exceed its parent's.
+  EXPECT_LE(stats[1].total_us, stats[0].total_us);
+  EXPECT_LE(stats[2].total_us, stats[1].total_us);
+  // Mean/percentiles are consistent with total.
+  EXPECT_NEAR(stats[1].mean_us, stats[1].total_us / 2.0, 1e-9);
+  EXPECT_LE(stats[1].p50_us, stats[1].p99_us);
+}
+
+TEST_F(ObsTest, SiblingSpansDoNotNest) {
+  {
+    ScopedSpan a("a");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    ScopedSpan b("b");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::vector<SpanStat> stats = obs::summarize_spans(Collector::global().spans());
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].depth, 0);
+  EXPECT_EQ(stats[1].depth, 0);
+}
+
+TEST_F(ObsTest, TotalSecondsSumsByLeafName) {
+  {
+    ScopedSpan a("x");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    ScopedSpan b("x");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto spans = Collector::global().spans();
+  EXPECT_EQ(obs::span_count(spans, "x"), 2u);
+  EXPECT_GT(obs::total_seconds(spans, "x"), 0.0);
+  EXPECT_EQ(obs::span_count(spans, "y"), 0u);
+  EXPECT_EQ(obs::total_seconds(spans, "y"), 0.0);
+}
+
+TEST_F(ObsTest, SpansFromWorkerThreadsCarryDistinctTids) {
+  ThreadPool pool(3);
+  pool.parallel_for(64, [](Index) {
+    ScopedSpan s("worker_span");
+    std::this_thread::sleep_for(std::chrono::microseconds(10));
+  });
+  const auto spans = Collector::global().spans();
+  EXPECT_EQ(spans.size(), 64u);
+  for (const SpanRecord& r : spans) EXPECT_EQ(r.name, "worker_span");
+}
+
+TEST_F(ObsTest, CounterAggregationIsRaceFreeAcrossWorkers) {
+  ThreadPool pool(4);
+  pool.parallel_for(10000, [](Index i) {
+    SATTN_COUNTER_ADD("obs_test.adds", 1);
+    SATTN_COUNTER_ADD("obs_test.weighted", static_cast<double>(i % 2));
+  });
+  const auto counters = Collector::global().counters();
+  EXPECT_DOUBLE_EQ(counter_value(counters, "obs_test.adds"), 10000.0);
+  EXPECT_DOUBLE_EQ(counter_value(counters, "obs_test.weighted"), 5000.0);
+}
+
+TEST_F(ObsTest, CounterMaxKeepsRunningMaximum) {
+  ThreadPool pool(4);
+  pool.parallel_for(1000, [](Index i) { SATTN_COUNTER_MAX("obs_test.peak", i); });
+  EXPECT_DOUBLE_EQ(Collector::global().counter("obs_test.peak").value(), 999.0);
+  // Lower values never decrease it.
+  SATTN_COUNTER_MAX("obs_test.peak", 5);
+  EXPECT_DOUBLE_EQ(Collector::global().counter("obs_test.peak").value(), 999.0);
+}
+
+TEST_F(ObsTest, DisabledModeRecordsNothing) {
+  obs::set_enabled(false);
+  {
+    ScopedSpan s("ghost");
+    SATTN_COUNTER_ADD("obs_test.ghost", 1);
+  }
+  EXPECT_TRUE(Collector::global().spans().empty());
+  const auto counters = Collector::global().counters();
+  EXPECT_EQ(counter_value(counters, "obs_test.ghost"), -1.0);
+}
+
+TEST_F(ObsTest, SpanOpenedWhileEnabledClosesCleanlyAfterDisable) {
+  auto span = std::make_unique<ScopedSpan>("toggle");
+  obs::set_enabled(false);
+  span.reset();  // must still pop its stack entry without crashing
+  obs::set_enabled(true);
+  const auto spans = Collector::global().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "toggle");
+}
+
+TEST_F(ObsTest, ResetClearsSpansAndZeroesCounters) {
+  {
+    ScopedSpan s("gone");
+  }
+  SATTN_COUNTER_ADD("obs_test.reset_me", 7);
+  Collector::global().reset();
+  EXPECT_TRUE(Collector::global().spans().empty());
+  EXPECT_DOUBLE_EQ(Collector::global().counter("obs_test.reset_me").value(), 0.0);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonIsParsable) {
+  {
+    ScopedSpan outer("outer \"quoted\" name\n");  // exercises escaping
+    ScopedSpan inner("inner");
+    SATTN_COUNTER_ADD("obs_test.count", 3);
+  }
+  const std::string json =
+      chrome_trace_json(Collector::global().spans(), Collector::global().counters());
+  JsonValidator v(json);
+  EXPECT_TRUE(v.valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("obs_test.count"), std::string::npos);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonValidWhenEmpty) {
+  const std::string json = chrome_trace_json({}, {});
+  JsonValidator v(json);
+  EXPECT_TRUE(v.valid()) << json;
+}
+
+TEST_F(ObsTest, WriteChromeTraceRoundTrips) {
+  {
+    ScopedSpan s("file_span");
+  }
+  const std::string path = ::testing::TempDir() + "/obs_test_trace.json";
+  ASSERT_TRUE(write_chrome_trace(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  JsonValidator v(content);
+  EXPECT_TRUE(v.valid());
+  EXPECT_NE(content.find("file_span"), std::string::npos);
+}
+
+TEST_F(ObsTest, RenderSummaryMentionsSpansAndCounters) {
+  {
+    ScopedSpan s("visible_span");
+  }
+  SATTN_COUNTER_ADD("obs_test.visible_counter", 42);
+  const std::string text = obs::render_summary(Collector::global().spans(),
+                                               Collector::global().counters());
+  EXPECT_NE(text.find("visible_span"), std::string::npos);
+  EXPECT_NE(text.find("obs_test.visible_counter"), std::string::npos);
+}
+
+TEST_F(ObsTest, InstrumentedLibraryEmitsExpectedSpanNames) {
+  // End-to-end: running the SampleAttention pipeline under tracing produces
+  // the stage spans and counters docs/OBSERVABILITY.md promises.
+  const ModelConfig model = chatglm2_6b();
+  const AttentionInput in = generate_attention(model, plain_prompt(7, 512), 8, 3);
+  const SampleAttention method;
+  const AttentionResult res = method.run(in);
+  EXPECT_GT(res.density, 0.0);
+
+  const auto spans = Collector::global().spans();
+  EXPECT_EQ(obs::span_count(spans, "method/SampleAttention(a=0.95)"), 1u);
+  EXPECT_GE(obs::span_count(spans, "sattn/stage1_sampling"), 1u);
+  EXPECT_GE(obs::span_count(spans, "sattn/stage2_filtering"), 1u);
+  EXPECT_GE(obs::span_count(spans, "kernel/sparse_flash"), 1u);
+  const auto counters = Collector::global().counters();
+  EXPECT_GT(counter_value(counters, "sattn.sampled_rows"), 0.0);
+  EXPECT_GT(counter_value(counters, "sattn.retained_kv_columns"), 0.0);
+}
+
+TEST_F(ObsTest, UnbalancedEndSpanIsDefensivelyIgnored) {
+  Collector::global().end_span();  // no matching begin: must not crash
+  EXPECT_TRUE(Collector::global().spans().empty());
+}
+
+}  // namespace
+}  // namespace sattn

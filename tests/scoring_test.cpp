@@ -12,7 +12,9 @@ namespace {
 class GarbageAttention final : public AttentionMethod {
  public:
   std::string name() const override { return "Garbage"; }
-  AttentionResult run(const AttentionInput& in) const override {
+
+ protected:
+  AttentionResult run_impl(const AttentionInput& in) const override {
     AttentionResult r;
     r.out.resize(in.sq(), in.head_dim());
     Rng rng(0xbad);
@@ -27,7 +29,9 @@ class GarbageAttention final : public AttentionMethod {
 class ExactCopy final : public AttentionMethod {
  public:
   std::string name() const override { return "ExactCopy"; }
-  AttentionResult run(const AttentionInput& in) const override {
+
+ protected:
+  AttentionResult run_impl(const AttentionInput& in) const override {
     AttentionResult r;
     full_attention(in, r.out);
     return r;

@@ -65,8 +65,8 @@ int main(int argc, char** argv) {
     TextTable t({"chunk size", "chunks", "exact max err", "SampleAttention mean density",
                  "SA rel L1"});
     for (Index chunk : {128, 256, 512, 1024}) {
-      const ChunkedPrefillResult dense = chunked_flash_prefill(in, chunk);
-      const ChunkedPrefillResult sparse = chunked_sample_prefill(in, chunk, {});
+      const ChunkedPrefillResult dense = chunked_flash_prefill(in, chunk).value();
+      const ChunkedPrefillResult sparse = chunked_sample_prefill(in, chunk, {}).value();
       t.add_row({std::to_string(chunk), std::to_string(dense.chunks),
                  fmt(max_abs_diff(dense.out, exact), 6), fmt_pct(sparse.mean_density),
                  fmt(recovery_stats(sparse.out, exact).rel_l1, 4)});

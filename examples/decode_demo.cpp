@@ -34,13 +34,16 @@ int main() {
   const auto run_with = [&](const char* label, EvictionPolicy& policy, Index budget_note) {
     // Prefill (chunked SampleAttention) fills the cache.
     KVCache cache(model.head_dim);
-    chunked_sample_prefill(in, 256, SampleAttentionConfig{}, &cache);
+    if (!chunked_sample_prefill(in, 256, SampleAttentionConfig{}, &cache).ok()) {
+      std::printf("  %-22s prefill failed\n", label);
+      return;
+    }
 
     // Decode: the question is re-asked while the policy trims the cache.
     bool answered = true;
     for (int step = 0; step < 6; ++step) {
       std::vector<float> out(static_cast<std::size_t>(model.head_dim)), weights;
-      decode_attention(in.q.row(s - 1), cache, out, &weights);
+      if (!decode_attention(in.q.row(s - 1), cache, out, &weights).ok()) break;
       policy.observe(cache, weights);
       policy.enforce(cache);
       answered = fact_recovered(out, inst.content, needle, opts);

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 tests under AddressSanitizer + UndefinedBehaviorSanitizer
+# (docs/ROBUSTNESS.md). Builds a side tree with -DSATTN_SANITIZE and runs
+# the full ctest suite; any ASan/UBSan report fails the run.
+#
+# Usage: check_sanitizers.sh [repo-root] [build-dir]
+# Opt-in ctest entry: configure with -DSATTN_SANITIZER_CTEST=ON.
+set -eu
+
+root="${1:-.}"
+build="${2:-$root/build-sanitize}"
+
+cmake -B "$build" -S "$root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSATTN_SANITIZE=address,undefined >/dev/null
+cmake --build "$build" -j "$(nproc)" >/dev/null
+
+# halt_on_error so a UBSan report is a test failure, not a log line.
+export ASAN_OPTIONS="detect_leaks=1:abort_on_error=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+# The sanitizer tree would recurse into this script if the opt-in ctest
+# entry is ON there; it never is (fresh configure above), but exclude it
+# defensively alongside the docs check, which is sanitizer-independent.
+ctest --test-dir "$build" -j "$(nproc)" --output-on-failure \
+  -E "^(check_docs|check_sanitizers)$"
+
+echo "sanitizer suite passed: address,undefined"

@@ -1,0 +1,165 @@
+// Error taxonomy for recoverable failures: sattn::Status / sattn::StatusOr.
+//
+// The library distinguishes two failure families:
+//
+//   * Programmer invariants on hot paths (matrix element access, span
+//     indexing) stay `assert` — they are unreachable given correct code and
+//     must cost nothing in release builds.
+//   * Data-dependent, *recoverable* conditions (a non-monotone KV append, a
+//     corrupted tensor, an invalid scheduler option, a degenerate sparse
+//     plan) return a message-carrying Status that propagates to a layer
+//     that can recover — retry, fall back to dense attention, or shed the
+//     request. These checks are ALWAYS ON: SATTN_CHECK is a plain branch,
+//     never compiled out by NDEBUG, so release servers fail loudly instead
+//     of silently running past a vanished assert.
+//
+// See docs/ROBUSTNESS.md for the taxonomy and which layer handles what.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace sattn {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // caller passed a malformed value (bad shape, ratio)
+  kFailedPrecondition,  // object state forbids the call (non-monotone append)
+  kOutOfRange,          // index/slot outside the valid range
+  kDataCorruption,      // NaN/Inf or otherwise poisoned payload data
+  kResourceExhausted,   // budget/queue/capacity exceeded (admission control)
+  kDeadlineExceeded,    // SLO/deadline missed
+  kUnavailable,         // transient failure; retry may succeed
+  kInternal,            // invariant violated inside the library
+};
+
+// Stable upper-case name ("INVALID_ARGUMENT") for logs and tests.
+const char* status_code_name(StatusCode code);
+
+// Value-type status: OK or (code, message). [[nodiscard]] so dropped errors
+// are compile-time warnings at every call site.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    if (code_ == StatusCode::kOk) message_.clear();
+  }
+
+  static Status Ok() { return {}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "DATA_CORRUPTION: NaN at K[3,7]" (or "OK").
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+namespace detail {
+
+template <typename... Args>
+std::string status_msg(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+[[noreturn]] inline void die_on_bad_access(const Status& s) {
+  std::fprintf(stderr, "StatusOr::value() on error status: %s\n", s.to_string().c_str());
+  std::abort();
+}
+
+}  // namespace detail
+
+// Status-or-value. Construction from a T yields OK; construction from a
+// non-OK Status yields the error. value()/operator* on an error status
+// aborts with the message (tests should gate on ok() first).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status(StatusCode::kInternal, "StatusOr constructed from OK status without value");
+    }
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    if (!ok()) detail::die_on_bad_access(status_);
+    return *value_;
+  }
+  T& value() & {
+    if (!ok()) detail::die_on_bad_access(status_);
+    return *value_;
+  }
+  T&& value() && {
+    if (!ok()) detail::die_on_bad_access(status_);
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sattn
+
+// Returns an error Status from the enclosing function when `cond` is false.
+// Always on — this is a plain branch, not an assert; the message arguments
+// are streamed only on failure. `code` is a bare StatusCode member name.
+//
+//   SATTN_CHECK(pos > last, kFailedPrecondition,
+//               "append position ", pos, " <= last position ", last);
+#define SATTN_CHECK(cond, code, ...)                                     \
+  do {                                                                   \
+    if (!(cond)) [[unlikely]] {                                          \
+      return ::sattn::Status(::sattn::StatusCode::code,                  \
+                             ::sattn::detail::status_msg(__VA_ARGS__));  \
+    }                                                                    \
+  } while (0)
+
+// Propagates a non-OK Status from the enclosing function.
+#define SATTN_RETURN_IF_ERROR(expr)             \
+  do {                                          \
+    ::sattn::Status sattn_status_ = (expr);     \
+    if (!sattn_status_.ok()) [[unlikely]] {     \
+      return sattn_status_;                     \
+    }                                           \
+  } while (0)
+
+// Unwraps a StatusOr into `lhs`, propagating the error otherwise.
+//   SATTN_ASSIGN_OR_RETURN(const auto trace, synthetic_trace(...));
+#define SATTN_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  SATTN_ASSIGN_OR_RETURN_IMPL_(                                         \
+      SATTN_STATUS_CONCAT_(sattn_statusor_, __LINE__), lhs, rexpr)
+
+#define SATTN_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                 \
+  if (!statusor.ok()) [[unlikely]] {                       \
+    return statusor.status();                              \
+  }                                                        \
+  lhs = std::move(statusor).value()
+
+#define SATTN_STATUS_CONCAT_INNER_(a, b) a##b
+#define SATTN_STATUS_CONCAT_(a, b) SATTN_STATUS_CONCAT_INNER_(a, b)

@@ -1,0 +1,157 @@
+#include "robust/fault_injection.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/trace.h"
+#include "runtime/scheduler.h"
+
+namespace sattn {
+
+const char* fault_class_name(FaultClass kind) {
+  switch (kind) {
+    case FaultClass::kNone: return "none";
+    case FaultClass::kTensorNaN: return "tensor_nan";
+    case FaultClass::kTensorInf: return "tensor_inf";
+    case FaultClass::kTensorZeroRows: return "tensor_zero_rows";
+    case FaultClass::kPlanEmptyStripes: return "plan_empty_stripes";
+    case FaultClass::kPlanTruncatedMask: return "plan_truncated_mask";
+    case FaultClass::kPlanPoisonedStats: return "plan_poisoned_stats";
+    case FaultClass::kTraceOversizedArrival: return "trace_oversized_arrival";
+    case FaultClass::kTraceBurstArrival: return "trace_burst_arrival";
+  }
+  return "unknown";
+}
+
+const std::vector<FaultClass>& tensor_fault_classes() {
+  static const std::vector<FaultClass> kClasses = {
+      FaultClass::kTensorNaN, FaultClass::kTensorInf, FaultClass::kTensorZeroRows};
+  return kClasses;
+}
+
+const std::vector<FaultClass>& plan_fault_classes() {
+  static const std::vector<FaultClass> kClasses = {
+      FaultClass::kPlanEmptyStripes, FaultClass::kPlanTruncatedMask,
+      FaultClass::kPlanPoisonedStats};
+  return kClasses;
+}
+
+const std::vector<FaultClass>& trace_fault_classes() {
+  static const std::vector<FaultClass> kClasses = {
+      FaultClass::kTraceOversizedArrival, FaultClass::kTraceBurstArrival};
+  return kClasses;
+}
+
+FaultInjector::FaultInjector(FaultSpec spec) : spec_(spec), rng_(spec.seed) {
+  spec_.rate = std::clamp(spec_.rate, 0.0, 1.0);
+}
+
+bool FaultInjector::should_fire() {
+  if (spec_.kind == FaultClass::kNone) return false;
+  if (spec_.max_fires >= 0 && fires_ >= spec_.max_fires) return false;
+  // Draw unconditionally so the stream stays aligned across rate changes.
+  const bool fire = rng_.uniform() < spec_.rate;
+  if (fire) {
+    ++fires_;
+    SATTN_COUNTER_ADD("fault.injected", 1);
+  }
+  return fire;
+}
+
+void FaultInjector::corrupt_matrix(Matrix& m) {
+  if (m.rows() == 0 || m.cols() == 0) return;
+  if (!should_fire()) return;
+  const Index r = rng_.uniform_index(m.rows());
+  switch (spec_.kind) {
+    case FaultClass::kTensorNaN: {
+      const Index hits = std::max<Index>(1, m.cols() / 8);
+      for (Index h = 0; h < hits; ++h) {
+        m(r, rng_.uniform_index(m.cols())) = std::numeric_limits<float>::quiet_NaN();
+      }
+      break;
+    }
+    case FaultClass::kTensorInf: {
+      const Index hits = std::max<Index>(1, m.cols() / 8);
+      for (Index h = 0; h < hits; ++h) {
+        const float sign = rng_.uniform() < 0.5 ? 1.0f : -1.0f;
+        m(r, rng_.uniform_index(m.cols())) = sign * std::numeric_limits<float>::infinity();
+      }
+      break;
+    }
+    case FaultClass::kTensorZeroRows: {
+      const Index rows = std::max<Index>(1, m.rows() / 4);
+      for (Index h = 0; h < rows; ++h) {
+        auto row = m.row(rng_.uniform_index(m.rows()));
+        std::fill(row.begin(), row.end(), 0.0f);
+      }
+      break;
+    }
+    default:
+      break;  // not a tensor fault
+  }
+}
+
+void FaultInjector::corrupt_input(AttentionInput& in) {
+  switch (rng_.uniform_index(3)) {
+    case 0: corrupt_matrix(in.q); break;
+    case 1: corrupt_matrix(in.k); break;
+    default: corrupt_matrix(in.v); break;
+  }
+}
+
+void FaultInjector::corrupt_plan(SamplePlan& plan) {
+  if (!should_fire()) return;
+  switch (spec_.kind) {
+    case FaultClass::kPlanEmptyStripes:
+      plan.mask.set_stripe_columns({});
+      plan.filter.kv_indices.clear();
+      plan.filter.kv_ratio = 0.0;
+      break;
+    case FaultClass::kPlanTruncatedMask: {
+      plan.mask.set_window(0);
+      std::vector<Index> cols = plan.mask.stripe_columns();
+      cols.resize(cols.size() / 2);
+      plan.mask.set_stripe_columns(std::move(cols));
+      break;
+    }
+    case FaultClass::kPlanPoisonedStats: {
+      const float nan = std::numeric_limits<float>::quiet_NaN();
+      if (!plan.stage1.column_weight.empty()) {
+        plan.stage1.column_weight[static_cast<std::size_t>(
+            rng_.uniform_index(static_cast<Index>(plan.stage1.column_weight.size())))] = nan;
+      }
+      plan.stage1.total_mass = std::numeric_limits<double>::quiet_NaN();
+      break;
+    }
+    default:
+      break;  // not a plan fault
+  }
+  plan.density = plan.mask.density();
+}
+
+void FaultInjector::corrupt_trace(std::vector<ServingRequest>& trace, Index oversize_to) {
+  if (trace.empty()) return;
+  switch (spec_.kind) {
+    case FaultClass::kTraceOversizedArrival:
+      for (ServingRequest& req : trace) {
+        if (should_fire()) req.prompt_tokens = std::max(req.prompt_tokens, oversize_to);
+      }
+      break;
+    case FaultClass::kTraceBurstArrival: {
+      if (!should_fire()) return;
+      // Collapse a contiguous run of arrivals onto the earliest instant.
+      const Index n = static_cast<Index>(trace.size());
+      const Index lo = rng_.uniform_index(n);
+      const Index hi = std::min<Index>(n, lo + std::max<Index>(2, n / 4));
+      for (Index r = lo; r < hi; ++r) {
+        trace[static_cast<std::size_t>(r)].arrival_seconds =
+            trace[static_cast<std::size_t>(lo)].arrival_seconds;
+      }
+      break;
+    }
+    default:
+      break;  // not a trace fault
+  }
+}
+
+}  // namespace sattn

@@ -1,0 +1,95 @@
+// Deterministic, seedable fault injection — the test harness for the
+// robustness subsystem (docs/ROBUSTNESS.md).
+//
+// Guards that are never exercised rot. The injector corrupts the three
+// payload kinds the guarded paths defend against, each reproducibly from a
+// seed:
+//
+//   * tensors  — NaN / Inf elements, zeroed rows in Q/K/V;
+//   * plans    — emptied stripe sets, truncated masks (window removed),
+//                NaN-poisoned Stage-1 statistics;
+//   * traces   — oversized arrivals and arrival bursts for the serving
+//                simulator (scheduler-level transient failures and chunk
+//                stalls are injected by SloOptions::fault_rate/stall_rate,
+//                which share this determinism contract).
+//
+// The property test (tests/robust_test.cpp) iterates every FaultClass and
+// asserts the guarded pipeline either returns a clean Status or recovers to
+// within the recovery-metric tolerance of dense attention.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "sample_attention/sample_attention.h"
+
+namespace sattn {
+
+struct ServingRequest;  // runtime/scheduler.h
+
+enum class FaultClass {
+  kNone = 0,
+  // Tensor corruption.
+  kTensorNaN,        // NaN elements scattered into one row
+  kTensorInf,        // +/-Inf elements scattered into one row
+  kTensorZeroRows,   // whole rows zeroed (degenerate but finite)
+  // Plan corruption.
+  kPlanEmptyStripes,    // I_KV emptied; mask keeps only the window
+  kPlanTruncatedMask,   // window removed and stripes halved
+  kPlanPoisonedStats,   // Stage-1 column statistic NaN-poisoned
+  // Serving-trace corruption.
+  kTraceOversizedArrival,  // prompt lengths inflated past any budget
+  kTraceBurstArrival,      // a run of arrivals collapsed onto one instant
+};
+
+const char* fault_class_name(FaultClass kind);
+
+// Enumerations for "for every fault class" test loops.
+const std::vector<FaultClass>& tensor_fault_classes();
+const std::vector<FaultClass>& plan_fault_classes();
+const std::vector<FaultClass>& trace_fault_classes();
+
+struct FaultSpec {
+  FaultClass kind = FaultClass::kNone;
+  double rate = 1.0;         // P(fire) per opportunity, in [0, 1]
+  std::uint64_t seed = 0x0f417ull;
+  Index max_fires = -1;      // stop firing after this many; -1 = unlimited
+};
+
+// Deterministic injector: identical (spec, call sequence) always produces
+// identical corruption. Each corrupt_* call is one "opportunity" — it draws
+// from the RNG and fires with probability `rate` until `max_fires` is
+// reached.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec);
+
+  const FaultSpec& spec() const { return spec_; }
+  Index fires() const { return fires_; }
+
+  // One Bernoulli(rate) opportunity; counts and caps fires.
+  bool should_fire();
+
+  // Tensor faults (kTensor*): corrupts one deterministic row of `m`.
+  // No-op unless this opportunity fires and the spec is a tensor fault.
+  void corrupt_matrix(Matrix& m);
+
+  // Picks Q, K, or V deterministically and corrupts it.
+  void corrupt_input(AttentionInput& in);
+
+  // Plan faults (kPlan*). No-op unless fired and the spec is a plan fault.
+  void corrupt_plan(SamplePlan& plan);
+
+  // Trace faults (kTrace*): mutates arrivals in place. `oversize_to` is the
+  // prompt length oversized arrivals are inflated to.
+  void corrupt_trace(std::vector<ServingRequest>& trace, Index oversize_to);
+
+ private:
+  FaultSpec spec_;
+  Rng rng_;
+  Index fires_ = 0;
+};
+
+}  // namespace sattn

@@ -1,0 +1,45 @@
+#include "robust/validate.h"
+
+#include <cmath>
+
+namespace sattn {
+
+bool all_finite(std::span<const float> x) {
+  for (float v : x) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+Status validate_matrix_finite(const Matrix& m, const char* name) {
+  // Scan row-wise so the error can name the offending row.
+  for (Index r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    for (Index c = 0; c < m.cols(); ++c) {
+      const float v = row[static_cast<std::size_t>(c)];
+      if (!std::isfinite(v)) {
+        const char* kind = std::isnan(v) ? "NaN" : "Inf";
+        return Status(StatusCode::kDataCorruption,
+                      detail::status_msg(kind, " in ", name, " at [", r, ",", c, "]"));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status validate_attention_input(const AttentionInput& in) {
+  SATTN_CHECK(in.sq() > 0 && in.sk() > 0, kInvalidArgument,
+              "empty attention input: Sq=", in.sq(), " Sk=", in.sk());
+  SATTN_CHECK(in.head_dim() > 0, kInvalidArgument, "head_dim must be > 0, got ", in.head_dim());
+  SATTN_CHECK(in.k.cols() == in.head_dim() && in.v.cols() == in.head_dim(), kInvalidArgument,
+              "head_dim mismatch: Q has ", in.head_dim(), ", K has ", in.k.cols(), ", V has ",
+              in.v.cols());
+  SATTN_CHECK(in.k.rows() == in.v.rows(), kInvalidArgument,
+              "K has ", in.k.rows(), " rows but V has ", in.v.rows());
+  SATTN_RETURN_IF_ERROR(validate_matrix_finite(in.q, "Q"));
+  SATTN_RETURN_IF_ERROR(validate_matrix_finite(in.k, "K"));
+  SATTN_RETURN_IF_ERROR(validate_matrix_finite(in.v, "V"));
+  return Status::Ok();
+}
+
+}  // namespace sattn

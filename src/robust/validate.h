@@ -1,0 +1,28 @@
+// Payload validation: the checks the guarded attention path and the runtime
+// run on untrusted data (tensors from upstream layers, cached KV rows).
+//
+// Shape violations are kInvalidArgument; NaN/Inf payloads are
+// kDataCorruption. Both are recoverable upstream (reject the request, fall
+// back), which is why they are Status and not assert — see
+// docs/ROBUSTNESS.md.
+#pragma once
+
+#include <span>
+
+#include "core/status.h"
+#include "core/tensor.h"
+
+namespace sattn {
+
+// True when every element is finite (no NaN, no +/-Inf).
+bool all_finite(std::span<const float> x);
+
+// kDataCorruption naming the first bad element, e.g. "NaN in K at row 3".
+// `name` labels the tensor in the message ("Q", "K", ...).
+Status validate_matrix_finite(const Matrix& m, const char* name);
+
+// Full input contract for one attention head: non-empty Q/K/V, consistent
+// head_dim, K/V row counts equal, all payloads finite.
+Status validate_attention_input(const AttentionInput& in);
+
+}  // namespace sattn

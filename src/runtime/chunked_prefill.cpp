@@ -34,11 +34,16 @@ AttentionInput make_chunk(const AttentionInput& in, Index q_lo, Index q_hi, Inde
 }
 
 template <typename RunChunk>
-ChunkedPrefillResult run_chunked(const AttentionInput& in, Index chunk_size, KVCache* cache,
-                                 RunChunk run_chunk) {
+StatusOr<ChunkedPrefillResult> run_chunked(const AttentionInput& in, Index chunk_size,
+                                           KVCache* cache, RunChunk run_chunk) {
   const Index sq = in.sq(), d = in.head_dim();
-  assert(in.sq() == in.sk() && "chunked prefill expects a standard prefill shape");
-  assert(chunk_size > 0);
+  SATTN_CHECK(in.sq() == in.sk(), kInvalidArgument,
+              "chunked prefill expects a standard prefill shape, got Sq=", in.sq(),
+              " Sk=", in.sk());
+  SATTN_CHECK(chunk_size > 0, kInvalidArgument, "chunk_size must be > 0, got ", chunk_size);
+  SATTN_CHECK(cache == nullptr || cache->head_dim() == d, kInvalidArgument,
+              "cache head_dim ", cache == nullptr ? 0 : cache->head_dim(),
+              " does not match input head_dim ", d);
   SATTN_SPAN("runtime/chunked_prefill");
   ChunkedPrefillResult res;
   res.out.resize(sq, d);
@@ -56,7 +61,9 @@ ChunkedPrefillResult run_chunked(const AttentionInput& in, Index chunk_size, KVC
       std::copy(src.begin(), src.end(), dst.begin());
     }
     if (cache != nullptr) {
-      for (Index j = q_lo; j < q_hi; ++j) cache->append(j, in.k.row(j), in.v.row(j));
+      for (Index j = q_lo; j < q_hi; ++j) {
+        SATTN_RETURN_IF_ERROR(cache->append(j, in.k.row(j), in.v.row(j)));
+      }
     }
     ++res.chunks;
   }
@@ -66,16 +73,17 @@ ChunkedPrefillResult run_chunked(const AttentionInput& in, Index chunk_size, KVC
 
 }  // namespace
 
-ChunkedPrefillResult chunked_flash_prefill(const AttentionInput& in, Index chunk_size,
-                                           KVCache* cache) {
+StatusOr<ChunkedPrefillResult> chunked_flash_prefill(const AttentionInput& in, Index chunk_size,
+                                                     KVCache* cache) {
   return run_chunked(in, chunk_size, cache, [](const AttentionInput& chunk, Matrix& out) {
     flash_attention(chunk, out);
     return 1.0;
   });
 }
 
-ChunkedPrefillResult chunked_sample_prefill(const AttentionInput& in, Index chunk_size,
-                                            const SampleAttentionConfig& cfg, KVCache* cache) {
+StatusOr<ChunkedPrefillResult> chunked_sample_prefill(const AttentionInput& in, Index chunk_size,
+                                                      const SampleAttentionConfig& cfg,
+                                                      KVCache* cache) {
   return run_chunked(in, chunk_size, cache, [&cfg](const AttentionInput& chunk, Matrix& out) {
     SamplePlan plan;
     sample_attention(chunk, cfg, out, &plan);

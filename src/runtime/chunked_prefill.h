@@ -11,9 +11,13 @@
 // Two variants: exact flash attention per chunk, and SampleAttention per
 // chunk (each chunk plans its own mask against the current prefix — the
 // natural way to run SampleAttention under chunked serving).
+//
+// Malformed requests (non-square prefill, chunk_size <= 0, cache head_dim
+// mismatch) return a checked Status instead of asserting.
 #pragma once
 
 #include "attention/attention_method.h"
+#include "core/status.h"
 #include "runtime/kv_cache.h"
 #include "sample_attention/sample_attention.h"
 
@@ -26,12 +30,12 @@ struct ChunkedPrefillResult {
 };
 
 // Exact chunked prefill. If cache != nullptr, all K/V rows are appended.
-ChunkedPrefillResult chunked_flash_prefill(const AttentionInput& in, Index chunk_size,
-                                           KVCache* cache = nullptr);
+StatusOr<ChunkedPrefillResult> chunked_flash_prefill(const AttentionInput& in, Index chunk_size,
+                                                     KVCache* cache = nullptr);
 
 // Chunked SampleAttention prefill: Stage-1/2 run per chunk over the prefix.
-ChunkedPrefillResult chunked_sample_prefill(const AttentionInput& in, Index chunk_size,
-                                            const SampleAttentionConfig& cfg,
-                                            KVCache* cache = nullptr);
+StatusOr<ChunkedPrefillResult> chunked_sample_prefill(const AttentionInput& in, Index chunk_size,
+                                                      const SampleAttentionConfig& cfg,
+                                                      KVCache* cache = nullptr);
 
 }  // namespace sattn

@@ -5,22 +5,26 @@
 
 #include "core/numerics.h"
 #include "obs/trace.h"
+#include "robust/validate.h"
 
 namespace sattn {
 
-void decode_attention(std::span<const float> q_row, const KVCache& cache,
-                      std::span<float> out_row, std::vector<float>* weights) {
+Status decode_attention(std::span<const float> q_row, const KVCache& cache,
+                        std::span<float> out_row, std::vector<float>* weights) {
   SATTN_SPAN("kernel/decode");
+  const Index d = cache.head_dim();
+  SATTN_CHECK(static_cast<Index>(q_row.size()) == d, kInvalidArgument, "decode q_row has ",
+              q_row.size(), " entries, cache head_dim is ", d);
+  SATTN_CHECK(static_cast<Index>(out_row.size()) == d, kInvalidArgument, "decode out_row has ",
+              out_row.size(), " entries, cache head_dim is ", d);
+  SATTN_CHECK(all_finite(q_row), kDataCorruption, "non-finite value in decode query row");
   SATTN_COUNTER_ADD("runtime.decode_tokens", 1);
   SATTN_COUNTER_ADD("kv_cache.rows_read", cache.size());
-  const Index d = cache.head_dim();
-  assert(static_cast<Index>(q_row.size()) == d);
-  assert(static_cast<Index>(out_row.size()) == d);
   std::fill(out_row.begin(), out_row.end(), 0.0f);
   const Index n = cache.size();
   if (n == 0) {
     if (weights != nullptr) weights->clear();
-    return;
+    return Status::Ok();
   }
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
   std::vector<float> logits(static_cast<std::size_t>(n));
@@ -31,6 +35,7 @@ void decode_attention(std::span<const float> q_row, const KVCache& cache,
     if (p != 0.0f) axpy(p, cache.v(s), out_row);
   }
   if (weights != nullptr) *weights = std::move(logits);
+  return Status::Ok();
 }
 
 }  // namespace sattn

@@ -8,14 +8,17 @@
 #include <span>
 #include <vector>
 
+#include "core/status.h"
 #include "runtime/kv_cache.h"
 
 namespace sattn {
 
 // Exact softmax attention of q_row over every cached slot. out_row must
-// have cache.head_dim() entries. If weights != nullptr it receives the
-// per-slot attention probabilities (resized to cache.size()).
-void decode_attention(std::span<const float> q_row, const KVCache& cache,
-                      std::span<float> out_row, std::vector<float>* weights = nullptr);
+// have cache.head_dim() entries (kInvalidArgument otherwise) and q_row must
+// be finite (kDataCorruption — one corrupted decode token must not poison
+// the output stream). If weights != nullptr it receives the per-slot
+// attention probabilities (resized to cache.size()).
+Status decode_attention(std::span<const float> q_row, const KVCache& cache,
+                        std::span<float> out_row, std::vector<float>* weights = nullptr);
 
 }  // namespace sattn

@@ -38,7 +38,10 @@ bool H2OPolicy::enforce(KVCache& cache) {
   std::vector<Index> keep = topk_indices(scores, n_heavy);
   for (Index s = n - n_recent; s < n; ++s) keep.push_back(s);
   std::sort(keep.begin(), keep.end());
-  cache.keep_slots(keep);
+  // Slots are sorted, deduped and in-range by construction.
+  const Status kept = cache.keep_slots(keep);
+  assert(kept.ok());
+  (void)kept;
   return true;
 }
 
@@ -58,7 +61,9 @@ bool SinkRecentPolicy::enforce(KVCache& cache) {
   for (Index s = 0; s < n; ++s) {
     if (cache.position(s) < sinks_ || s >= n - recent_) keep.push_back(s);
   }
-  cache.keep_slots(keep);
+  const Status kept = cache.keep_slots(keep);
+  assert(kept.ok());
+  (void)kept;
   return true;
 }
 

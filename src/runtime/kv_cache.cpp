@@ -6,18 +6,29 @@
 
 namespace sattn {
 
-void KVCache::append(Index pos, std::span<const float> k_row, std::span<const float> v_row) {
-  assert(static_cast<Index>(k_row.size()) == d_ && static_cast<Index>(v_row.size()) == d_);
-  assert(positions_.empty() || pos > positions_.back());
+Status KVCache::append(Index pos, std::span<const float> k_row, std::span<const float> v_row) {
+  SATTN_CHECK(static_cast<Index>(k_row.size()) == d_ && static_cast<Index>(v_row.size()) == d_,
+              kInvalidArgument, "KV row dim mismatch: cache head_dim=", d_, ", k_row=",
+              k_row.size(), ", v_row=", v_row.size());
+  SATTN_CHECK(positions_.empty() || pos > positions_.back(), kFailedPrecondition,
+              "KV append position ", pos, " breaks position monotonicity (last appended position ",
+              positions_.empty() ? -1 : positions_.back(), ")");
   k_.insert(k_.end(), k_row.begin(), k_row.end());
   v_.insert(v_.end(), v_row.begin(), v_row.end());
   positions_.push_back(pos);
   SATTN_COUNTER_ADD("kv_cache.appended_rows", 1);
+  return Status::Ok();
 }
 
-void KVCache::append_prefill(const AttentionInput& in) {
-  assert(in.head_dim() == d_);
-  for (Index j = 0; j < in.sk(); ++j) append(j, in.k.row(j), in.v.row(j));
+Status KVCache::append_prefill(const AttentionInput& in) {
+  SATTN_CHECK(in.head_dim() == d_, kInvalidArgument, "prefill head_dim ", in.head_dim(),
+              " does not match cache head_dim ", d_);
+  SATTN_CHECK(in.k.rows() == in.v.rows(), kInvalidArgument, "prefill K has ", in.k.rows(),
+              " rows but V has ", in.v.rows());
+  for (Index j = 0; j < in.sk(); ++j) {
+    SATTN_RETURN_IF_ERROR(append(j, in.k.row(j), in.v.row(j)));
+  }
+  return Status::Ok();
 }
 
 Index KVCache::slot_of(Index pos) const {
@@ -30,7 +41,17 @@ Index KVCache::slot_of(Index pos) const {
   return static_cast<Index>(it - positions_.begin());
 }
 
-void KVCache::keep_slots(std::span<const Index> sorted_slots) {
+Status KVCache::keep_slots(std::span<const Index> sorted_slots) {
+  // Validate the whole list before touching any storage so a rejected call
+  // leaves the cache untouched.
+  Index prev = -1;
+  for (Index slot : sorted_slots) {
+    SATTN_CHECK(slot > prev, kInvalidArgument, "keep_slots list not strictly ascending at slot ",
+                slot, " after ", prev);
+    SATTN_CHECK(slot < size(), kOutOfRange, "keep_slots slot ", slot,
+                " out of range for cache of size ", size());
+    prev = slot;
+  }
   SATTN_COUNTER_ADD("kv_cache.evicted_rows",
                     size() - static_cast<Index>(sorted_slots.size()));
   std::vector<float> nk, nv;
@@ -38,10 +59,7 @@ void KVCache::keep_slots(std::span<const Index> sorted_slots) {
   nk.reserve(sorted_slots.size() * static_cast<std::size_t>(d_));
   nv.reserve(sorted_slots.size() * static_cast<std::size_t>(d_));
   npos.reserve(sorted_slots.size());
-  Index prev = -1;
   for (Index slot : sorted_slots) {
-    assert(slot > prev && slot < size());
-    prev = slot;
     const auto kr = k(slot);
     const auto vr = v(slot);
     nk.insert(nk.end(), kr.begin(), kr.end());
@@ -51,6 +69,7 @@ void KVCache::keep_slots(std::span<const Index> sorted_slots) {
   k_ = std::move(nk);
   v_ = std::move(nv);
   positions_ = std::move(npos);
+  return Status::Ok();
 }
 
 }  // namespace sattn

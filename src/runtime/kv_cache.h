@@ -6,11 +6,18 @@
 // This cache is the substrate for demonstrating that composition: prefill
 // fills it, decode reads it, and an EvictionPolicy (eviction.h) may compact
 // it under a memory budget.
+//
+// Mutations take data-dependent input (positions, row payloads, slot lists)
+// and return a checked sattn::Status instead of asserting: a non-monotone
+// append or a malformed slot list is rejected with the cache unchanged,
+// in release builds too (docs/ROBUSTNESS.md). Slot accessors stay
+// assert-guarded — they are hot-path reads with caller-proven indices.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "core/status.h"
 #include "core/tensor.h"
 
 namespace sattn {
@@ -24,10 +31,14 @@ class KVCache {
   bool empty() const { return positions_.empty(); }
 
   // Appends one key/value row for the token at original position `pos`.
-  void append(Index pos, std::span<const float> k_row, std::span<const float> v_row);
+  // Positions must be strictly increasing (kFailedPrecondition) and the rows
+  // must have head_dim entries (kInvalidArgument); on error nothing is
+  // appended.
+  Status append(Index pos, std::span<const float> k_row, std::span<const float> v_row);
 
-  // Bulk-appends positions [0, in.sk()) from a prefill input.
-  void append_prefill(const AttentionInput& in);
+  // Bulk-appends positions [0, in.sk()) from a prefill input. The cache must
+  // be empty or end before position 0's predecessor — in practice: empty.
+  Status append_prefill(const AttentionInput& in);
 
   std::span<const float> k(Index slot) const {
     assert(slot >= 0 && slot < size());
@@ -48,9 +59,10 @@ class KVCache {
   // Slot currently holding the given original position, or -1.
   Index slot_of(Index pos) const;
 
-  // Compacts the cache to exactly the given slots (ascending, deduped,
-  // in-range required). Everything else is discarded.
-  void keep_slots(std::span<const Index> sorted_slots);
+  // Compacts the cache to exactly the given slots. The list must be strictly
+  // ascending and in-range (kInvalidArgument otherwise; cache unchanged).
+  // Everything else is discarded.
+  Status keep_slots(std::span<const Index> sorted_slots);
 
  private:
   Index d_ = 0;

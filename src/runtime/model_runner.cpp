@@ -7,9 +7,15 @@
 
 namespace sattn {
 
-PrefillReport run_prefill(const ModelConfig& model, const ContentSpec& content,
-                          const AttentionMethod& method, const PrefillOptions& opts) {
-  assert(opts.heads_per_layer > 0 && opts.layer_stride > 0);
+StatusOr<PrefillReport> run_prefill(const ModelConfig& model, const ContentSpec& content,
+                                    const AttentionMethod& method, const PrefillOptions& opts) {
+  SATTN_CHECK(opts.heads_per_layer > 0, kInvalidArgument, "heads_per_layer must be > 0, got ",
+              opts.heads_per_layer);
+  SATTN_CHECK(opts.layer_stride > 0, kInvalidArgument, "layer_stride must be > 0, got ",
+              opts.layer_stride);
+  SATTN_CHECK(model.n_layers > 0 && model.n_heads > 0, kInvalidArgument,
+              "model must have layers and heads, got ", model.n_layers, " layers / ",
+              model.n_heads, " heads");
   SATTN_SPAN("runtime/model_prefill");
   PrefillReport report;
   report.method = method.name();

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "attention/attention_method.h"
+#include "core/status.h"
 #include "model/synthetic_model.h"
 
 namespace sattn {
@@ -31,7 +32,10 @@ struct PrefillReport {
   std::vector<Index> layers;              // which layers were run
 };
 
-PrefillReport run_prefill(const ModelConfig& model, const ContentSpec& content,
-                          const AttentionMethod& method, const PrefillOptions& opts = {});
+// Runs the method over the sampled (layer, head) grid. Malformed options or
+// model configs are kInvalidArgument rather than an assert.
+StatusOr<PrefillReport> run_prefill(const ModelConfig& model, const ContentSpec& content,
+                                    const AttentionMethod& method,
+                                    const PrefillOptions& opts = {});
 
 }  // namespace sattn

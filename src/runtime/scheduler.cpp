@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 
 #include "core/rng.h"
 #include "obs/trace.h"
 
 namespace sattn {
 
-double Engine::prefill_seconds(Index prompt_tokens) const {
+double Engine::prefill_seconds(Index prompt_tokens, double density_scale) const {
+  if (prompt_tokens <= 0) return 0.0;
   const double linear = linear_parts_seconds(model, prompt_tokens, gpu);
   switch (kind) {
     case EngineKind::kSdpa:
@@ -19,16 +21,31 @@ double Engine::prefill_seconds(Index prompt_tokens) const {
     case EngineKind::kSampleAttention: {
       const double wd_measured = window_band_density(density_measured_at, window_ratio);
       const double stripes = std::max(0.0, kept_density - wd_measured);
-      const double wd = window_band_density(prompt_tokens, window_ratio);
+      const double wd = window_band_density(prompt_tokens, window_ratio) * density_scale;
       const double kept =
-          wd + extrapolate_kept_fraction(stripes, density_measured_at, prompt_tokens);
-      return sample_attention_seconds(model, prompt_tokens, gpu, kept, overhead_density, wd)
+          wd + extrapolate_kept_fraction(stripes, density_measured_at, prompt_tokens) *
+                   density_scale;
+      return sample_attention_seconds(model, prompt_tokens, gpu, kept,
+                                      overhead_density * density_scale, wd)
                  .total_seconds +
              linear;
     }
   }
   return linear;
 }
+
+namespace {
+
+// Cumulative cost of prefilling the first `tokens` tokens of a request: the
+// cost of a prompt of that length. Billing quantum i at
+// prefix(i+1) - prefix(i) telescopes to the exact full prefill time while
+// charging early chunks their true (short-prefix) cost.
+double prefix_cost(const Engine& engine, Index tokens, double density_scale) {
+  if (tokens <= 0) return 0.0;
+  return engine.prefill_seconds(tokens, density_scale);
+}
+
+}  // namespace
 
 std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> requests,
                                              const Engine& engine, Index chunk_quantum_tokens) {
@@ -41,7 +58,8 @@ std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> req
 
   struct InFlight {
     ServingRequest req;
-    double remaining = 0.0;  // prefill seconds left
+    Index tokens_done = 0;
+    double cost_done = 0.0;  // prefix_cost at tokens_done (cached)
     double start = -1.0;
   };
 
@@ -52,7 +70,7 @@ std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> req
 
   const auto admit_until = [&](double t) {
     while (next < sorted.size() && sorted[next].arrival_seconds <= t) {
-      queue.push_back({sorted[next], engine.prefill_seconds(sorted[next].prompt_tokens), -1.0});
+      queue.push_back({sorted[next], 0, 0.0, -1.0});
       ++next;
       SATTN_COUNTER_ADD("sched.requests_enqueued", 1);
       SATTN_COUNTER_MAX("sched.queue_depth_peak", queue.size());
@@ -69,25 +87,23 @@ std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> req
     queue.pop_front();
     if (job.start < 0.0) job.start = now;
 
-    double slice = job.remaining;
-    if (chunk_quantum_tokens > 0) {
-      // A chunk quantum's duration scales with the request's own prefill
-      // cost per token (quadratic requests get proportionally long quanta
-      // per chunk, which is how chunked prefill behaves in practice).
-      const double per_token =
-          job.remaining > 0.0 && job.req.prompt_tokens > 0
-              ? engine.prefill_seconds(job.req.prompt_tokens) /
-                    static_cast<double>(job.req.prompt_tokens)
-              : 0.0;
-      slice = std::min(job.remaining,
-                       per_token * static_cast<double>(chunk_quantum_tokens));
-      slice = std::max(slice, 1e-9);
+    bool finished;
+    double slice;
+    if (chunk_quantum_tokens > 0 && job.req.prompt_tokens > 0) {
+      const Index target = std::min(job.req.prompt_tokens, job.tokens_done + chunk_quantum_tokens);
+      const double target_cost = prefix_cost(engine, target, 1.0);
+      slice = std::max(0.0, target_cost - job.cost_done);
+      job.tokens_done = target;
+      job.cost_done = target_cost;
+      finished = job.tokens_done >= job.req.prompt_tokens;
+    } else {
+      slice = prefix_cost(engine, job.req.prompt_tokens, 1.0);
+      finished = true;
     }
     now += slice;
-    job.remaining -= slice;
     admit_until(now);
-    if (job.remaining <= 1e-12) {
-      done.push_back({job.req, job.start, now});
+    if (finished) {
+      done.push_back({job.req, job.start, now, 0, 1});
       SATTN_COUNTER_ADD("sched.requests_completed", 1);
     } else {
       queue.push_back(job);  // round-robin
@@ -97,10 +113,206 @@ std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> req
   return done;
 }
 
+StatusOr<SloServingResult> simulate_queue_slo(std::span<const ServingRequest> requests,
+                                              const Engine& engine, const SloOptions& opts) {
+  SATTN_CHECK(opts.deadline_seconds >= 0.0 && opts.slo_ttft_seconds >= 0.0, kInvalidArgument,
+              "deadline/SLO must be >= 0, got deadline=", opts.deadline_seconds,
+              " slo=", opts.slo_ttft_seconds);
+  SATTN_CHECK(opts.fault_rate >= 0.0 && opts.fault_rate <= 1.0, kInvalidArgument,
+              "fault_rate must be in [0,1], got ", opts.fault_rate);
+  SATTN_CHECK(opts.stall_rate >= 0.0 && opts.stall_rate <= 1.0, kInvalidArgument,
+              "stall_rate must be in [0,1], got ", opts.stall_rate);
+  SATTN_CHECK(opts.stall_factor >= 1.0, kInvalidArgument, "stall_factor must be >= 1, got ",
+              opts.stall_factor);
+  SATTN_CHECK(opts.max_retries >= 0 && opts.retry_backoff_seconds >= 0.0, kInvalidArgument,
+              "retry settings must be non-negative");
+  SATTN_CHECK(opts.max_queue_depth >= 0 && opts.max_prompt_tokens >= 0 &&
+                  opts.chunk_quantum_tokens >= 0,
+              kInvalidArgument, "queue/prompt/quantum limits must be >= 0");
+  SATTN_CHECK(!opts.degrade_density_scale.empty() && opts.degrade_density_scale[0] == 1.0,
+              kInvalidArgument, "degrade ladder must start at 1.0 (full quality)");
+  for (double s : opts.degrade_density_scale) {
+    SATTN_CHECK(s > 0.0 && s <= 1.0, kInvalidArgument, "degrade scale ", s, " not in (0,1]");
+  }
+
+  SATTN_SPAN("runtime/scheduler_slo");
+  std::vector<ServingRequest> sorted(requests.begin(), requests.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ServingRequest& a, const ServingRequest& b) {
+                     return a.arrival_seconds < b.arrival_seconds;
+                   });
+
+  struct InFlight {
+    ServingRequest req;
+    Index tokens_done = 0;
+    double cost_done = 0.0;
+    double start = -1.0;          // first instant of service, across attempts
+    double available_at = 0.0;    // backoff gate after a transient failure
+    int level = 0;                // degrade ladder level (fixed at first service)
+    int attempts = 1;
+  };
+
+  const int levels = static_cast<int>(opts.degrade_density_scale.size());
+  const auto scale_of = [&](int level) {
+    return opts.degrade_density_scale[static_cast<std::size_t>(level)];
+  };
+
+  SloServingResult result;
+  result.served_per_level.assign(static_cast<std::size_t>(levels), 0);
+  Rng rng(opts.seed);
+  std::deque<InFlight> queue;
+  std::size_t next = 0;
+  double now = 0.0;
+
+  const auto shed = [&](ServingRequest req, const char* reason, double t) {
+    result.shed.push_back({std::move(req), reason, t});
+    SATTN_COUNTER_ADD("sched.requests_shed", 1);
+  };
+
+  const auto admit_until = [&](double t) {
+    while (next < sorted.size() && sorted[next].arrival_seconds <= t) {
+      ServingRequest req = sorted[next];
+      ++next;
+      if (opts.max_prompt_tokens > 0 && req.prompt_tokens > opts.max_prompt_tokens) {
+        SATTN_COUNTER_ADD("sched.oversized_rejects", 1);
+        shed(std::move(req), "oversized", req.arrival_seconds);
+        continue;
+      }
+      if (opts.max_queue_depth > 0 &&
+          static_cast<Index>(queue.size()) >= opts.max_queue_depth) {
+        SATTN_COUNTER_ADD("sched.admission_rejects", 1);
+        shed(std::move(req), "admission", req.arrival_seconds);
+        continue;
+      }
+      queue.push_back({std::move(req), 0, 0.0, -1.0, 0.0, 0, 1});
+      SATTN_COUNTER_ADD("sched.requests_enqueued", 1);
+      SATTN_COUNTER_MAX("sched.queue_depth_peak", queue.size());
+    }
+  };
+
+  while (next < sorted.size() || !queue.empty()) {
+    if (queue.empty()) {
+      now = std::max(now, sorted[next].arrival_seconds);
+      admit_until(now);
+      continue;
+    }
+    // First queued job already past its backoff gate, in queue order.
+    std::size_t pick = queue.size();
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (queue[i].available_at <= now) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == queue.size()) {
+      // Everyone is backing off; jump to the earliest gate or arrival.
+      double wake = std::numeric_limits<double>::infinity();
+      for (const InFlight& j : queue) wake = std::min(wake, j.available_at);
+      if (next < sorted.size()) wake = std::min(wake, sorted[next].arrival_seconds);
+      now = std::max(now, wake);
+      admit_until(now);
+      continue;
+    }
+    InFlight job = queue[pick];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    if (job.start < 0.0) {
+      // Service is starting: steer the degrade ladder against the SLO and
+      // shed what cannot make the hard deadline even fully degraded.
+      job.start = now;
+      const double waited = now - job.req.arrival_seconds;
+      const double target = opts.slo_ttft_seconds > 0.0   ? opts.slo_ttft_seconds
+                            : opts.deadline_seconds > 0.0 ? opts.deadline_seconds
+                                                          : std::numeric_limits<double>::infinity();
+      while (job.level + 1 < levels) {
+        const double cur = engine.prefill_seconds(job.req.prompt_tokens, scale_of(job.level));
+        if (waited + cur <= target) break;
+        // Take the next rung only if it actually buys time — for exact
+        // engines the ladder is a no-op and must not be reported as
+        // degradation.
+        if (engine.prefill_seconds(job.req.prompt_tokens, scale_of(job.level + 1)) >= cur) break;
+        ++job.level;
+      }
+      if (opts.deadline_seconds > 0.0 &&
+          waited + engine.prefill_seconds(job.req.prompt_tokens, scale_of(job.level)) >
+              opts.deadline_seconds) {
+        SATTN_COUNTER_ADD("sched.deadline_sheds", 1);
+        shed(std::move(job.req), "deadline", now);
+        continue;
+      }
+    }
+
+    const double scale = scale_of(job.level);
+    bool finished;
+    double slice;
+    if (opts.chunk_quantum_tokens > 0 && job.req.prompt_tokens > 0) {
+      const Index target_tokens =
+          std::min(job.req.prompt_tokens, job.tokens_done + opts.chunk_quantum_tokens);
+      const double target_cost = prefix_cost(engine, target_tokens, scale);
+      slice = std::max(0.0, target_cost - job.cost_done);
+      job.tokens_done = target_tokens;
+      job.cost_done = target_cost;
+      finished = job.tokens_done >= job.req.prompt_tokens;
+    } else {
+      slice = prefix_cost(engine, job.req.prompt_tokens, scale);
+      finished = true;
+    }
+    if (opts.stall_rate > 0.0 && rng.uniform() < opts.stall_rate) {
+      slice *= opts.stall_factor;
+      ++result.stalls;
+      SATTN_COUNTER_ADD("sched.chunk_stalls", 1);
+    }
+    now += slice;
+    admit_until(now);
+
+    if (!finished) {
+      queue.push_back(job);  // round-robin
+      SATTN_COUNTER_ADD("sched.preemptions", 1);
+      continue;
+    }
+    if (opts.fault_rate > 0.0 && rng.uniform() < opts.fault_rate) {
+      // Transient failure: the attempt's work is lost.
+      if (job.attempts > opts.max_retries) {
+        SATTN_COUNTER_ADD("sched.retry_exhausted_sheds", 1);
+        shed(std::move(job.req), "retries_exhausted", now);
+        continue;
+      }
+      ++result.retries;
+      SATTN_COUNTER_ADD("sched.request_retries", 1);
+      job.available_at =
+          now + opts.retry_backoff_seconds * static_cast<double>(1 << (job.attempts - 1));
+      ++job.attempts;
+      job.tokens_done = 0;
+      job.cost_done = 0.0;
+      queue.push_back(job);
+      continue;
+    }
+    const double ttft = now - job.req.arrival_seconds;
+    if (opts.deadline_seconds > 0.0 && ttft > opts.deadline_seconds) {
+      // Finished late (stalls/retries ate the margin): counts as a
+      // deadline violation, not a serve.
+      SATTN_COUNTER_ADD("sched.deadline_sheds", 1);
+      shed(std::move(job.req), "deadline", now);
+      continue;
+    }
+    if (job.level > 0) {
+      ++result.degraded;
+      SATTN_COUNTER_ADD("sched.requests_degraded", 1);
+    }
+    ++result.served_per_level[static_cast<std::size_t>(job.level)];
+    result.completed.push_back({std::move(job.req), job.start, now, job.level, job.attempts});
+    SATTN_COUNTER_ADD("sched.requests_completed", 1);
+  }
+  return result;
+}
+
 ServingSummary summarize(std::span<const CompletedRequest> completed) {
   ServingSummary s;
   if (completed.empty()) return s;
+  std::vector<double> ttfts;
+  ttfts.reserve(completed.size());
   for (const CompletedRequest& c : completed) {
+    ttfts.push_back(c.ttft());
     s.mean_ttft += c.ttft();
     s.max_ttft = std::max(s.max_ttft, c.ttft());
     s.mean_queueing += c.queueing();
@@ -108,13 +320,28 @@ ServingSummary summarize(std::span<const CompletedRequest> completed) {
   }
   s.mean_ttft /= static_cast<double>(completed.size());
   s.mean_queueing /= static_cast<double>(completed.size());
+  std::sort(ttfts.begin(), ttfts.end());
+  const auto percentile = [&](double q) {
+    const std::size_t n = ttfts.size();
+    const std::size_t idx = std::min(
+        n - 1, static_cast<std::size_t>(std::ceil(q * static_cast<double>(n))) -
+                   (q > 0.0 ? 1 : 0));
+    return ttfts[idx];
+  };
+  s.p50_ttft = percentile(0.50);
+  s.p99_ttft = percentile(0.99);
   return s;
 }
 
-std::vector<ServingRequest> synthetic_trace(Index count, Index min_tokens, Index max_tokens,
-                                            double mean_interarrival_seconds,
-                                            std::uint64_t seed) {
-  assert(min_tokens > 0 && max_tokens >= min_tokens && count > 0);
+StatusOr<std::vector<ServingRequest>> synthetic_trace(Index count, Index min_tokens,
+                                                      Index max_tokens,
+                                                      double mean_interarrival_seconds,
+                                                      std::uint64_t seed) {
+  SATTN_CHECK(count > 0, kInvalidArgument, "trace count must be > 0, got ", count);
+  SATTN_CHECK(min_tokens > 0 && max_tokens >= min_tokens, kInvalidArgument,
+              "token range invalid: [", min_tokens, ", ", max_tokens, "]");
+  SATTN_CHECK(mean_interarrival_seconds >= 0.0, kInvalidArgument,
+              "mean inter-arrival must be >= 0, got ", mean_interarrival_seconds);
   Rng rng(seed);
   std::vector<ServingRequest> trace;
   double t = 0.0;

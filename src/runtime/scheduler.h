@@ -9,12 +9,22 @@
 // for either a FlashAttention2 engine or a SampleAttention engine with
 // measured densities. The serving bench uses it to extend the paper's
 // Table 4 / Fig 1 story from single requests to queues.
+//
+// simulate_queue_slo adds the production guardrails (docs/ROBUSTNESS.md):
+// admission control, per-request TTFT deadlines with shedding, retry with
+// exponential backoff for injected transient failures, and SLO-aware
+// graceful degradation — under overload the SampleAttention engine's
+// density budget is lowered per the cost model (lower alpha / window
+// budget) to keep p99 TTFT inside the target instead of letting the queue
+// blow through it.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "perf/cost_model.h"
 #include "sample_attention/sample_attention.h"
 
@@ -43,13 +53,18 @@ struct Engine {
   double window_ratio = 0.08;
 
   // Prefill seconds for one request of the given prompt length.
-  double prefill_seconds(Index prompt_tokens) const;
+  // `density_scale` models graceful degradation: the SampleAttention
+  // engine's kept/overhead densities are multiplied by it (a lower alpha
+  // and window budget per the cost model); exact engines ignore it.
+  double prefill_seconds(Index prompt_tokens, double density_scale = 1.0) const;
 };
 
 struct CompletedRequest {
   ServingRequest request;
   double start_seconds = 0.0;    // when prefill began
   double finish_seconds = 0.0;   // TTFT instant
+  int degrade_level = 0;         // ladder level served at (0 = full quality)
+  int attempts = 1;              // 1 + transient-failure retries
   double ttft() const { return finish_seconds - request.arrival_seconds; }
   double queueing() const { return start_seconds - request.arrival_seconds; }
 };
@@ -57,24 +72,92 @@ struct CompletedRequest {
 struct ServingSummary {
   double mean_ttft = 0.0;
   double max_ttft = 0.0;
+  double p50_ttft = 0.0;
+  double p99_ttft = 0.0;
   double mean_queueing = 0.0;
   double makespan = 0.0;  // finish of the last request
 };
 
 // FCFS single-device queue. If chunk_quantum_tokens > 0, prefill runs in
 // chunk-sized quanta with round-robin between queued requests (bounds the
-// head-of-line blocking a huge request causes).
+// head-of-line blocking a huge request causes). Quanta are billed at the
+// *progressive* prefix cost — chunk i of a long request costs
+// prefix_cost(i+1) - prefix_cost(i), matching real chunked prefill where
+// early chunks attend short prefixes — so a request arriving mid-stream is
+// not overcharged by a freshly started long request (the quanta telescope:
+// total service time is exactly prefill_seconds(prompt)).
 std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> requests,
                                              const Engine& engine,
                                              Index chunk_quantum_tokens = 0);
+
+// ---- SLO-aware serving ----
+
+struct SloOptions {
+  // Per-request hard TTFT deadline; a request whose projected or actual
+  // TTFT exceeds it is shed. 0 disables deadlines.
+  double deadline_seconds = 0.0;
+
+  // Target TTFT the degrader steers toward: before service starts, the
+  // degrade ladder is walked until the projected TTFT fits (or the ladder
+  // is exhausted). 0 disables degradation steering.
+  double slo_ttft_seconds = 0.0;
+
+  // Admission control: arrivals beyond this many waiting requests are shed
+  // at the door. 0 = unlimited.
+  Index max_queue_depth = 0;
+
+  // Arrivals longer than this are shed at the door (the serving-simulator
+  // "oversized arrival" fault class). 0 = unlimited.
+  Index max_prompt_tokens = 0;
+
+  // Injected transient faults, deterministic in `seed`: each service
+  // attempt fails with probability fault_rate (the work is lost and the
+  // request retries after backoff doubling per attempt, up to max_retries);
+  // each service slice stalls with probability stall_rate, running
+  // stall_factor x slower.
+  double fault_rate = 0.0;
+  double stall_rate = 0.0;
+  double stall_factor = 4.0;
+  int max_retries = 2;
+  double retry_backoff_seconds = 1.0;
+  std::uint64_t seed = 0x510ull;
+
+  // Graceful-degradation ladder: density multipliers applied to the engine
+  // (level 0 must be 1.0 = full quality). Only the SampleAttention engine
+  // can actually trade quality for time; for exact engines the ladder is a
+  // no-op and overload resolves by shedding.
+  std::vector<double> degrade_density_scale = {1.0, 0.6, 0.35};
+
+  // Round-robin chunk quantum, as in simulate_queue. 0 = FCFS.
+  Index chunk_quantum_tokens = 0;
+};
+
+struct ShedRequest {
+  ServingRequest request;
+  std::string reason;  // "admission" | "oversized" | "deadline" | "retries_exhausted"
+  double shed_seconds = 0.0;
+};
+
+struct SloServingResult {
+  std::vector<CompletedRequest> completed;
+  std::vector<ShedRequest> shed;
+  Index degraded = 0;   // completed requests served below full quality
+  Index retries = 0;    // transient-failure retries performed
+  Index stalls = 0;     // stalled service slices
+  std::vector<Index> served_per_level;  // completed count per ladder level
+};
+
+StatusOr<SloServingResult> simulate_queue_slo(std::span<const ServingRequest> requests,
+                                              const Engine& engine, const SloOptions& opts);
 
 ServingSummary summarize(std::span<const CompletedRequest> completed);
 
 // A reproducible arrival trace: `count` requests with lengths log-uniform in
 // [min_tokens, max_tokens] and exponential inter-arrival times of the given
-// mean.
-std::vector<ServingRequest> synthetic_trace(Index count, Index min_tokens, Index max_tokens,
-                                            double mean_interarrival_seconds,
-                                            std::uint64_t seed = 0x7e1ull);
+// mean. Invalid parameters are kInvalidArgument.
+StatusOr<std::vector<ServingRequest>> synthetic_trace(Index count, Index min_tokens,
+                                                      Index max_tokens,
+                                                      double mean_interarrival_seconds,
+                                                      std::uint64_t seed = 0x7e1ull);
 
 }  // namespace sattn

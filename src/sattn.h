@@ -9,6 +9,7 @@
 // Core substrate.
 #include "core/numerics.h"   // IWYU pragma: export
 #include "core/rng.h"        // IWYU pragma: export
+#include "core/status.h"     // IWYU pragma: export
 #include "core/tensor.h"     // IWYU pragma: export
 #include "core/thread_pool.h"  // IWYU pragma: export
 
@@ -24,6 +25,7 @@
 // SampleAttention.
 #include "sample_attention/adaptive.h"          // IWYU pragma: export
 #include "sample_attention/filtering.h"         // IWYU pragma: export
+#include "sample_attention/guarded.h"           // IWYU pragma: export
 #include "sample_attention/layer_plan.h"        // IWYU pragma: export
 #include "sample_attention/sample_attention.h"  // IWYU pragma: export
 #include "sample_attention/sampling.h"          // IWYU pragma: export
@@ -60,3 +62,7 @@
 #include "runtime/kv_cache.h"         // IWYU pragma: export
 #include "runtime/model_runner.h"     // IWYU pragma: export
 #include "runtime/scheduler.h"        // IWYU pragma: export
+
+// Robustness: validation and fault injection (docs/ROBUSTNESS.md).
+#include "robust/fault_injection.h"  // IWYU pragma: export
+#include "robust/validate.h"         // IWYU pragma: export

@@ -33,7 +33,7 @@ TEST(MoreCoverage, H2OBudgetSmallerThanRecentIsRejectedByContract) {
   const ModelConfig model = chatglm2_6b();
   const AttentionInput in = generate_attention(model, plain_prompt(2, 64), 8, 3);
   KVCache cache(model.head_dim);
-  cache.append_prefill(in);
+  ASSERT_TRUE(cache.append_prefill(in).ok());
   H2OPolicy policy(9, 8);
   std::vector<float> w(64, 1.0f / 64.0f);
   policy.observe(cache, w);
@@ -44,7 +44,7 @@ TEST(MoreCoverage, H2OBudgetSmallerThanRecentIsRejectedByContract) {
 TEST(MoreCoverage, SinkRecentNoopWhenSmall) {
   KVCache cache(4);
   std::vector<float> row = {1, 2, 3, 4};
-  cache.append(0, row, row);
+  ASSERT_TRUE(cache.append(0, row, row).ok());
   SinkRecentPolicy policy(4, 8);
   EXPECT_FALSE(policy.enforce(cache));
   EXPECT_EQ(cache.size(), 1);
@@ -61,7 +61,7 @@ TEST(MoreCoverage, WallTimerMeasuresElapsed) {
 TEST(MoreCoverage, ChunkedSampleDensityBelowOne) {
   const ModelConfig model = chatglm2_6b();
   const AttentionInput in = generate_attention(model, plain_prompt(3, 384), 8, 3);
-  const ChunkedPrefillResult res = chunked_sample_prefill(in, 128, SampleAttentionConfig{});
+  const ChunkedPrefillResult res = chunked_sample_prefill(in, 128, SampleAttentionConfig{}).value();
   EXPECT_EQ(res.chunks, 3);
   EXPECT_GT(res.mean_density, 0.0);
   EXPECT_LT(res.mean_density, 1.0);
@@ -84,7 +84,7 @@ TEST(MoreCoverage, PrefillReportLayerStride) {
   PrefillOptions opts;
   opts.heads_per_layer = 1;
   opts.layer_stride = 13;  // layers 0, 13, 26
-  const PrefillReport r = run_prefill(model, plain_prompt(4, 128), FlashAttention{}, opts);
+  const PrefillReport r = run_prefill(model, plain_prompt(4, 128), FlashAttention{}, opts).value();
   ASSERT_EQ(r.layers.size(), 3u);
   EXPECT_EQ(r.layers[1], 13);
   EXPECT_EQ(r.heads_run, 3);

@@ -33,7 +33,7 @@ AttentionInput random_input(Index s, Index d, std::uint64_t seed) {
 TEST(KvCache, AppendAndViews) {
   KVCache cache(4);
   std::vector<float> k = {1, 2, 3, 4}, v = {5, 6, 7, 8};
-  cache.append(0, k, v);
+  ASSERT_TRUE(cache.append(0, k, v).ok());
   ASSERT_EQ(cache.size(), 1);
   EXPECT_FLOAT_EQ(cache.k(0)[2], 3.0f);
   EXPECT_FLOAT_EQ(cache.v(0)[0], 5.0f);
@@ -43,7 +43,7 @@ TEST(KvCache, AppendAndViews) {
 TEST(KvCache, AppendPrefillCopiesAllRows) {
   const AttentionInput in = random_input(16, 8, 1);
   KVCache cache(8);
-  cache.append_prefill(in);
+  ASSERT_TRUE(cache.append_prefill(in).ok());
   ASSERT_EQ(cache.size(), 16);
   for (Index j = 0; j < 16; ++j) {
     EXPECT_FLOAT_EQ(cache.k(j)[0], in.k(j, 0));
@@ -55,14 +55,62 @@ TEST(KvCache, AppendPrefillCopiesAllRows) {
 TEST(KvCache, KeepSlotsCompacts) {
   const AttentionInput in = random_input(8, 4, 2);
   KVCache cache(4);
-  cache.append_prefill(in);
+  ASSERT_TRUE(cache.append_prefill(in).ok());
   std::vector<Index> keep = {0, 3, 7};
-  cache.keep_slots(keep);
+  ASSERT_TRUE(cache.keep_slots(keep).ok());
   ASSERT_EQ(cache.size(), 3);
   EXPECT_EQ(cache.position(1), 3);
   EXPECT_FLOAT_EQ(cache.k(2)[0], in.k(7, 0));
   EXPECT_EQ(cache.slot_of(3), 1);
   EXPECT_EQ(cache.slot_of(4), -1);
+}
+
+// Satellite regression (docs/ROBUSTNESS.md): violations of the cache's
+// append contract are checked errors, not asserts, so they surface in
+// release builds too (SATTN_CHECK never compiles out — this test runs
+// identically under -DNDEBUG).
+TEST(KvCache, AppendViolationsAreCheckedErrors) {
+  KVCache cache(4);
+  std::vector<float> k = {1, 2, 3, 4}, v = {5, 6, 7, 8};
+  ASSERT_TRUE(cache.append(5, k, v).ok());
+
+  // Non-monotone position: rejected, cache untouched.
+  const Status backwards = cache.append(5, k, v);
+  EXPECT_EQ(backwards.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(backwards.message().find("monoton"), std::string::npos);
+  EXPECT_EQ(cache.size(), 1);
+
+  // Dimension mismatch: rejected, cache untouched.
+  std::vector<float> short_row = {1, 2};
+  const Status bad_k = cache.append(6, short_row, v);
+  EXPECT_EQ(bad_k.code(), StatusCode::kInvalidArgument);
+  const Status bad_v = cache.append(6, k, short_row);
+  EXPECT_EQ(bad_v.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(cache.size(), 1);
+
+  // The cache still works after rejected appends.
+  ASSERT_TRUE(cache.append(6, k, v).ok());
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.position(1), 6);
+}
+
+TEST(KvCache, KeepSlotsRejectsBadListsWithoutMutating) {
+  const AttentionInput in = random_input(8, 4, 21);
+  KVCache cache(4);
+  ASSERT_TRUE(cache.append_prefill(in).ok());
+  EXPECT_EQ(cache.keep_slots(std::vector<Index>{3, 1}).code(),
+            StatusCode::kInvalidArgument);  // not ascending
+  EXPECT_EQ(cache.keep_slots(std::vector<Index>{0, 99}).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(cache.size(), 8);  // nothing was dropped by the failed calls
+  for (Index j = 0; j < 8; ++j) EXPECT_FLOAT_EQ(cache.k(j)[0], in.k(j, 0));
+}
+
+TEST(KvCache, AppendPrefillRejectsMismatchedInput) {
+  AttentionInput in = random_input(8, 4, 22);
+  KVCache cache(8);  // head_dim 8 != input's 4
+  EXPECT_EQ(cache.append_prefill(in).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(cache.size(), 0);
 }
 
 TEST(Decode, MatchesFullAttentionLastRow) {
@@ -73,18 +121,18 @@ TEST(Decode, MatchesFullAttentionLastRow) {
   full_attention(in, exact);
 
   KVCache cache(8);
-  cache.append_prefill(in);
+  ASSERT_TRUE(cache.append_prefill(in).ok());
   std::vector<float> out(8);
-  decode_attention(in.q.row(31), cache, out);
+  ASSERT_TRUE(decode_attention(in.q.row(31), cache, out).ok());
   for (Index t = 0; t < 8; ++t) EXPECT_NEAR(out[static_cast<std::size_t>(t)], exact(31, t), 2e-5f);
 }
 
 TEST(Decode, WeightsSumToOne) {
   const AttentionInput in = random_input(16, 4, 4);
   KVCache cache(4);
-  cache.append_prefill(in);
+  ASSERT_TRUE(cache.append_prefill(in).ok());
   std::vector<float> out(4), weights;
-  decode_attention(in.q.row(15), cache, out, &weights);
+  ASSERT_TRUE(decode_attention(in.q.row(15), cache, out, &weights).ok());
   ASSERT_EQ(weights.size(), 16u);
   double s = 0.0;
   for (float w : weights) s += w;
@@ -94,14 +142,14 @@ TEST(Decode, WeightsSumToOne) {
 TEST(Decode, EmptyCacheYieldsZeros) {
   KVCache cache(4);
   std::vector<float> q = {1, 2, 3, 4}, out(4, 9.0f);
-  decode_attention(q, cache, out);
+  ASSERT_TRUE(decode_attention(q, cache, out).ok());
   for (float x : out) EXPECT_FLOAT_EQ(x, 0.0f);
 }
 
 TEST(H2O, KeepsHeavyHittersAndRecent) {
   const AttentionInput in = random_input(32, 4, 5);
   KVCache cache(4);
-  cache.append_prefill(in);
+  ASSERT_TRUE(cache.append_prefill(in).ok());
   H2OPolicy policy(/*budget=*/8, /*recent=*/4);
   // Observe weights that make positions 2 and 10 heavy.
   std::vector<float> w(32, 0.001f);
@@ -119,7 +167,7 @@ TEST(H2O, KeepsHeavyHittersAndRecent) {
 TEST(H2O, NoEvictionUnderBudget) {
   const AttentionInput in = random_input(8, 4, 6);
   KVCache cache(4);
-  cache.append_prefill(in);
+  ASSERT_TRUE(cache.append_prefill(in).ok());
   H2OPolicy policy(16, 4);
   EXPECT_FALSE(policy.enforce(cache));
   EXPECT_EQ(cache.size(), 8);
@@ -128,7 +176,7 @@ TEST(H2O, NoEvictionUnderBudget) {
 TEST(H2O, ScoresAccumulateAcrossSteps) {
   const AttentionInput in = random_input(8, 4, 7);
   KVCache cache(4);
-  cache.append_prefill(in);
+  ASSERT_TRUE(cache.append_prefill(in).ok());
   H2OPolicy policy(6, 2);
   std::vector<float> w(8, 0.125f);
   policy.observe(cache, w);
@@ -139,7 +187,7 @@ TEST(H2O, ScoresAccumulateAcrossSteps) {
 TEST(SinkRecent, KeepsExactlySinksAndTail) {
   const AttentionInput in = random_input(32, 4, 8);
   KVCache cache(4);
-  cache.append_prefill(in);
+  ASSERT_TRUE(cache.append_prefill(in).ok());
   SinkRecentPolicy policy(/*sinks=*/4, /*recent=*/8);
   EXPECT_TRUE(policy.enforce(cache));
   EXPECT_EQ(cache.size(), 12);
@@ -154,7 +202,7 @@ TEST(ChunkedPrefill, ExactlyMatchesOneShot) {
   Matrix one_shot;
   flash_attention(in, one_shot);
   for (Index chunk : {1, 7, 16, 50, 64}) {
-    const ChunkedPrefillResult res = chunked_flash_prefill(in, chunk);
+    const ChunkedPrefillResult res = chunked_flash_prefill(in, chunk).value();
     EXPECT_LT(max_abs_diff(res.out, one_shot), 3e-5f) << "chunk=" << chunk;
   }
 }
@@ -162,7 +210,7 @@ TEST(ChunkedPrefill, ExactlyMatchesOneShot) {
 TEST(ChunkedPrefill, FillsCache) {
   const AttentionInput in = random_input(20, 4, 10);
   KVCache cache(4);
-  chunked_flash_prefill(in, 6, &cache);
+  ASSERT_TRUE(chunked_flash_prefill(in, 6, &cache).ok());
   ASSERT_EQ(cache.size(), 20);
   EXPECT_FLOAT_EQ(cache.k(13)[1], in.k(13, 1));
 }
@@ -172,7 +220,7 @@ TEST(ChunkedPrefill, SampleVariantIsNearLossless) {
   const AttentionInput in = generate_attention(model, plain_prompt(11, 512), 8, 3);
   Matrix exact;
   full_attention(in, exact);
-  const ChunkedPrefillResult res = chunked_sample_prefill(in, 128, SampleAttentionConfig{});
+  const ChunkedPrefillResult res = chunked_sample_prefill(in, 128, SampleAttentionConfig{}).value();
   EXPECT_EQ(res.chunks, 4);
   EXPECT_LT(res.mean_density, 1.0);
   EXPECT_LT(mean_abs_diff(res.out, exact), 0.05f);
@@ -183,9 +231,9 @@ TEST(ChunkedPrefill, DecodeAfterChunkedPrefillIsExact) {
   Matrix exact;
   full_attention(in, exact);
   KVCache cache(8);
-  chunked_flash_prefill(in, 8, &cache);
+  ASSERT_TRUE(chunked_flash_prefill(in, 8, &cache).ok());
   std::vector<float> out(8);
-  decode_attention(in.q.row(23), cache, out);
+  ASSERT_TRUE(decode_attention(in.q.row(23), cache, out).ok());
   for (Index t = 0; t < 8; ++t) EXPECT_NEAR(out[static_cast<std::size_t>(t)], exact(23, t), 2e-5f);
 }
 
@@ -195,8 +243,8 @@ TEST(ModelRunner, ReportsSaneAggregates) {
   PrefillOptions opts;
   opts.heads_per_layer = 1;
   opts.layer_stride = 7;
-  const PrefillReport full = run_prefill(model, content, FullAttention{}, opts);
-  const PrefillReport sample = run_prefill(model, content, SampleAttention{}, opts);
+  const PrefillReport full = run_prefill(model, content, FullAttention{}, opts).value();
+  const PrefillReport sample = run_prefill(model, content, SampleAttention{}, opts).value();
   EXPECT_EQ(full.method, "FullAttention");
   EXPECT_EQ(full.heads_run, sample.heads_run);
   EXPECT_EQ(full.layers.size(), full.per_layer_density.size());
@@ -214,7 +262,7 @@ TEST(ModelRunner, LayerZeroDensityHigherForSample) {
   PrefillOptions opts;
   opts.heads_per_layer = 2;
   opts.layer_stride = 9;  // layers 0, 9, 18, 27
-  const PrefillReport report = run_prefill(model, content, SampleAttention{}, opts);
+  const PrefillReport report = run_prefill(model, content, SampleAttention{}, opts).value();
   ASSERT_GE(report.per_layer_density.size(), 2u);
   EXPECT_GT(report.per_layer_density.front(), report.per_layer_density.back());
 }

@@ -69,8 +69,208 @@ TEST(Scheduler, ChunkQuantumBoundsHeadOfLineBlocking) {
   EXPECT_NEAR(summarize(fcfs).makespan, summarize(rr).makespan, 1e-6);
 }
 
+// Satellite regression (docs/ROBUSTNESS.md): chunk_quantum_tokens = 0 must
+// be exactly FCFS — every request's finish time equals the analytic fold of
+// arrival-sorted prefill times.
+TEST(Scheduler, ZeroQuantumIsExactlyFcfs) {
+  Engine fa2;
+  std::vector<ServingRequest> reqs = {
+      {"a", 65536, 0.0}, {"b", 8192, 0.5}, {"c", 131072, 0.6}, {"d", 4096, 0.7}};
+  const auto done = simulate_queue(reqs, fa2, 0);
+  ASSERT_EQ(done.size(), 4u);
+  double clock = 0.0;
+  for (std::size_t r = 0; r < done.size(); ++r) {
+    EXPECT_EQ(done[r].request.id, reqs[r].id) << "FCFS must preserve arrival order";
+    clock = std::max(clock, reqs[r].arrival_seconds) + fa2.prefill_seconds(reqs[r].prompt_tokens);
+    EXPECT_NEAR(done[r].finish_seconds, clock, 1e-9);
+  }
+}
+
+// Fairness audit regression: quanta are billed at the progressive prefix
+// cost, so a request arriving just after a monster request started waits
+// roughly one (cheap, early) chunk — not a chunk billed at the monster's
+// average per-token cost, which for quadratic prefill front-loads cost that
+// real chunked prefill pays at the end.
+TEST(Scheduler, MidQuantumArrivalNotOvercharged) {
+  Engine fa2;
+  const Index quantum = 8192;
+  std::vector<ServingRequest> reqs = {{"big", 262144, 0.0}, {"small", 4096, 0.01}};
+  const auto done = simulate_queue(reqs, fa2, quantum);
+  double small_queueing = -1.0;
+  for (const auto& c : done) {
+    if (c.request.id == "small") small_queueing = c.queueing();
+  }
+  ASSERT_GE(small_queueing, 0.0);
+  // Early chunks of "big" attend short prefixes: the worst case for "small"
+  // is a couple of short-prefix quanta, far below one average-cost quantum
+  // (prefill(262144) / 262144 * 8192, which front-loads the quadratic tail).
+  const double avg_cost_quantum =
+      fa2.prefill_seconds(262144) / 262144.0 * static_cast<double>(quantum);
+  EXPECT_LT(small_queueing, 0.5 * avg_cost_quantum);
+  EXPECT_LE(small_queueing, 1.05 * fa2.prefill_seconds(2 * quantum));
+}
+
+TEST(Scheduler, SummaryPercentiles) {
+  std::vector<CompletedRequest> done;
+  for (int r = 0; r < 100; ++r) {
+    CompletedRequest c;
+    c.request.arrival_seconds = 0.0;
+    c.start_seconds = 0.0;
+    c.finish_seconds = static_cast<double>(r + 1);
+    done.push_back(c);
+  }
+  const ServingSummary s = summarize(done);
+  EXPECT_DOUBLE_EQ(s.p50_ttft, 50.0);
+  EXPECT_DOUBLE_EQ(s.p99_ttft, 99.0);
+  EXPECT_DOUBLE_EQ(s.max_ttft, 100.0);
+}
+
+TEST(SloServing, DegradationKeepsP99InsideSlo) {
+  // Overload trace: SampleAttention engine with SLO steering keeps every
+  // completed request inside the deadline by degrading the density budget,
+  // and serves more than shedding-only FCFS at full quality would.
+  Engine sa;
+  sa.kind = EngineKind::kSampleAttention;
+  sa.kept_density = 0.25;
+  const auto trace = synthetic_trace(32, 64 * 1024, 256 * 1024, 4.0, 11).value();
+  SloOptions opts;
+  opts.slo_ttft_seconds = 60.0;
+  opts.deadline_seconds = 60.0;
+  const SloServingResult res = simulate_queue_slo(trace, sa, opts).value();
+  EXPECT_EQ(res.completed.size() + res.shed.size(), trace.size());
+  ASSERT_FALSE(res.completed.empty());
+  const ServingSummary s = summarize(res.completed);
+  EXPECT_LE(s.p99_ttft, opts.slo_ttft_seconds + 1e-9);
+  EXPECT_GT(res.degraded, 0) << "overload should trigger the degrade ladder";
+}
+
+TEST(SloServing, DegradeLadderEarnsThroughputWhenPaced) {
+  // Arrival rate between the degraded and full-quality service rates: the
+  // degrading queue keeps pace and serves (almost) everything; the rigid
+  // single-level queue falls behind and sheds every other request.
+  Engine sa;
+  sa.kind = EngineKind::kSampleAttention;
+  sa.kept_density = 0.25;
+  const Index prompt = 262144;
+  const double c_full = sa.prefill_seconds(prompt, 1.0);
+  const double c_min = sa.prefill_seconds(prompt, 0.35);
+  ASSERT_LT(c_min, 0.75 * c_full) << "ladder must buy real time for this scenario";
+  const double gap = 0.5 * (c_full + c_min);  // between the two service rates
+  std::vector<ServingRequest> reqs;
+  for (int r = 0; r < 16; ++r) {
+    reqs.push_back({"r" + std::to_string(r), prompt, gap * r});
+  }
+  SloOptions opts;
+  opts.slo_ttft_seconds = opts.deadline_seconds = 1.2 * c_full;
+
+  const SloServingResult adaptive = simulate_queue_slo(reqs, sa, opts).value();
+  SloOptions rigid_opts = opts;
+  rigid_opts.degrade_density_scale = {1.0};
+  const SloServingResult rigid = simulate_queue_slo(reqs, sa, rigid_opts).value();
+
+  EXPECT_GT(adaptive.completed.size(), rigid.completed.size());
+  EXPECT_LT(adaptive.shed.size(), rigid.shed.size());
+  EXPECT_GT(adaptive.degraded, 0);
+  EXPECT_LE(summarize(adaptive.completed).p99_ttft, opts.deadline_seconds + 1e-9);
+  EXPECT_LE(summarize(rigid.completed).p99_ttft, opts.deadline_seconds + 1e-9);
+}
+
+TEST(SloServing, AdmissionAndOversizedShedding) {
+  Engine fa2;
+  std::vector<ServingRequest> reqs;
+  for (int r = 0; r < 8; ++r) {
+    reqs.push_back({"r" + std::to_string(r), 65536, 0.0});
+  }
+  reqs.push_back({"huge", 1 << 20, 0.0});
+  SloOptions opts;
+  opts.max_queue_depth = 3;
+  opts.max_prompt_tokens = 512 * 1024;
+  const SloServingResult res = simulate_queue_slo(reqs, fa2, opts).value();
+  EXPECT_EQ(res.completed.size() + res.shed.size(), reqs.size());
+  bool saw_admission = false, saw_oversized = false;
+  for (const ShedRequest& s : res.shed) {
+    saw_admission = saw_admission || s.reason == "admission";
+    if (s.request.id == "huge") {
+      saw_oversized = true;
+      EXPECT_EQ(s.reason, "oversized");
+    }
+  }
+  EXPECT_TRUE(saw_admission);
+  EXPECT_TRUE(saw_oversized);
+}
+
+TEST(SloServing, RetriesWithBackoffThenExhaustion) {
+  Engine fa2;
+  std::vector<ServingRequest> reqs = {{"r0", 32768, 0.0}, {"r1", 32768, 1.0}};
+  SloOptions opts;
+  opts.fault_rate = 1.0;  // every attempt fails deterministically
+  opts.max_retries = 2;
+  opts.retry_backoff_seconds = 1.0;
+  const SloServingResult res = simulate_queue_slo(reqs, fa2, opts).value();
+  EXPECT_TRUE(res.completed.empty());
+  ASSERT_EQ(res.shed.size(), 2u);
+  for (const ShedRequest& s : res.shed) EXPECT_EQ(s.reason, "retries_exhausted");
+  EXPECT_EQ(res.retries, 4);  // 2 retries per request before exhaustion
+
+  // With a moderate fault rate requests eventually complete, having
+  // recorded their attempts.
+  opts.fault_rate = 0.5;
+  opts.max_retries = 8;
+  const SloServingResult partial = simulate_queue_slo(reqs, fa2, opts).value();
+  EXPECT_EQ(partial.completed.size() + partial.shed.size(), reqs.size());
+  for (const CompletedRequest& c : partial.completed) EXPECT_GE(c.attempts, 1);
+}
+
+TEST(SloServing, DeterministicInSeed) {
+  Engine sa;
+  sa.kind = EngineKind::kSampleAttention;
+  const auto trace = synthetic_trace(24, 32 * 1024, 192 * 1024, 3.0, 13).value();
+  SloOptions opts;
+  opts.slo_ttft_seconds = 80.0;
+  opts.deadline_seconds = 100.0;
+  opts.fault_rate = 0.2;
+  opts.stall_rate = 0.1;
+  opts.chunk_quantum_tokens = 8192;
+  const SloServingResult a = simulate_queue_slo(trace, sa, opts).value();
+  const SloServingResult b = simulate_queue_slo(trace, sa, opts).value();
+  ASSERT_EQ(a.completed.size(), b.completed.size());
+  ASSERT_EQ(a.shed.size(), b.shed.size());
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.stalls, b.stalls);
+  for (std::size_t r = 0; r < a.completed.size(); ++r) {
+    EXPECT_DOUBLE_EQ(a.completed[r].finish_seconds, b.completed[r].finish_seconds);
+    EXPECT_EQ(a.completed[r].degrade_level, b.completed[r].degrade_level);
+  }
+}
+
+TEST(SloServing, RejectsInvalidOptions) {
+  Engine fa2;
+  std::vector<ServingRequest> reqs = {{"r0", 1024, 0.0}};
+  SloOptions bad;
+  bad.fault_rate = 1.5;
+  EXPECT_EQ(simulate_queue_slo(reqs, fa2, bad).status().code(), StatusCode::kInvalidArgument);
+  SloOptions ladder;
+  ladder.degrade_density_scale = {0.5, 0.25};  // must start at 1.0
+  EXPECT_EQ(simulate_queue_slo(reqs, fa2, ladder).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(synthetic_trace(0, 16, 32, 1.0).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(synthetic_trace(4, 32, 16, 1.0).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SloServing, DegradedEngineIsFaster) {
+  Engine sa;
+  sa.kind = EngineKind::kSampleAttention;
+  sa.kept_density = 0.25;
+  const Index s = 128 * 1024;
+  EXPECT_LT(sa.prefill_seconds(s, 0.35), sa.prefill_seconds(s, 0.6));
+  EXPECT_LT(sa.prefill_seconds(s, 0.6), sa.prefill_seconds(s, 1.0));
+  // Exact engines ignore the scale.
+  Engine fa2;
+  EXPECT_DOUBLE_EQ(fa2.prefill_seconds(s, 0.35), fa2.prefill_seconds(s, 1.0));
+}
+
 TEST(Scheduler, SampleEngineImprovesMeanTtft) {
-  const auto trace = synthetic_trace(12, 16 * 1024, 128 * 1024, 5.0);
+  const auto trace = synthetic_trace(12, 16 * 1024, 128 * 1024, 5.0).value();
   Engine fa2, sa;
   fa2.kind = EngineKind::kFlashAttention;
   sa.kind = EngineKind::kSampleAttention;
@@ -85,8 +285,8 @@ TEST(Scheduler, SampleEngineImprovesMeanTtft) {
 }
 
 TEST(Scheduler, TraceIsDeterministicAndSorted) {
-  const auto a = synthetic_trace(20, 1024, 65536, 2.0, 7);
-  const auto b = synthetic_trace(20, 1024, 65536, 2.0, 7);
+  const auto a = synthetic_trace(20, 1024, 65536, 2.0, 7).value();
+  const auto b = synthetic_trace(20, 1024, 65536, 2.0, 7).value();
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t r = 0; r < a.size(); ++r) {
     EXPECT_EQ(a[r].prompt_tokens, b[r].prompt_tokens);

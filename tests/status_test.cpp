@@ -1,0 +1,108 @@
+// Tests for the error taxonomy: Status, StatusOr, and the SATTN_CHECK /
+// SATTN_RETURN_IF_ERROR / SATTN_ASSIGN_OR_RETURN macros. The checks are
+// always on — these tests behave identically in Release/NDEBUG builds.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/status.h"
+
+namespace sattn {
+namespace {
+
+TEST(Status, OkIsDefaultAndCheap) {
+  const Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_TRUE(ok.message().empty());
+  EXPECT_EQ(Status{}, ok);
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status s(StatusCode::kInvalidArgument, "bad alpha 1.7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad alpha 1.7");
+  EXPECT_NE(s.to_string().find("INVALID_ARGUMENT"), std::string::npos);
+  EXPECT_NE(s.to_string().find("bad alpha 1.7"), std::string::npos);
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kFailedPrecondition,
+        StatusCode::kOutOfRange, StatusCode::kDataCorruption, StatusCode::kResourceExhausted,
+        StatusCode::kDeadlineExceeded, StatusCode::kUnavailable, StatusCode::kInternal}) {
+    EXPECT_STRNE(status_code_name(code), "");
+  }
+}
+
+Status checked_ratio(double r) {
+  SATTN_CHECK(r > 0.0 && r <= 1.0, kInvalidArgument, "ratio must be in (0,1], got ", r);
+  return Status::Ok();
+}
+
+TEST(Status, CheckMacroFormatsStreamedMessage) {
+  EXPECT_TRUE(checked_ratio(0.5).ok());
+  const Status bad = checked_ratio(2.5);
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.message(), "ratio must be in (0,1], got 2.5");
+}
+
+TEST(Status, CheckSurvivesReleaseBuilds) {
+  // Unlike assert, SATTN_CHECK is a plain branch: it must fire regardless
+  // of NDEBUG. (This test is compiled in both configurations.)
+  const Status s = checked_ratio(-1.0);
+  EXPECT_FALSE(s.ok());
+}
+
+StatusOr<int> parse_positive(int x) {
+  SATTN_CHECK(x > 0, kOutOfRange, "need positive, got ", x);
+  return x * 10;
+}
+
+Status use_parsed(int x, int* out) {
+  SATTN_ASSIGN_OR_RETURN(const int v, parse_positive(x));
+  *out = v;
+  return Status::Ok();
+}
+
+TEST(StatusOr, HoldsValueOrError) {
+  const StatusOr<int> good = parse_positive(4);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 40);
+
+  const StatusOr<int> bad = parse_positive(-2);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOr, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(use_parsed(7, &out).ok());
+  EXPECT_EQ(out, 70);
+  out = -1;
+  const Status err = use_parsed(0, &out);
+  EXPECT_EQ(err.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(out, -1);  // untouched on error
+}
+
+Status outer_returns_inner() {
+  SATTN_RETURN_IF_ERROR(checked_ratio(9.0));
+  return Status(StatusCode::kInternal, "should not get here");
+}
+
+TEST(Status, ReturnIfErrorShortCircuits) {
+  EXPECT_EQ(outer_returns_inner().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOr, ImplicitFromStatusAndValue) {
+  const auto make = [](bool fail) -> StatusOr<std::string> {
+    if (fail) return Status(StatusCode::kUnavailable, "down");
+    return std::string("up");
+  };
+  EXPECT_EQ(make(true).status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(make(false).value(), "up");
+}
+
+}  // namespace
+}  // namespace sattn

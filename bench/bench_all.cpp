@@ -1,0 +1,113 @@
+// Runs the full paper-reproduction bench suite and merges every binary's
+// structured run report into a single BENCH_sattn.json — the per-PR bench
+// trajectory file that tools/bench_diff gates against (see
+// docs/OBSERVABILITY.md, "Run reports & regression gating").
+//
+// Each sibling bench binary is invoked as a subprocess with
+// --report-out=out/<name>.report.json; its console output goes to
+// out/<name>.log. bench_kernels (google-benchmark, by far the slowest) is
+// skipped unless --include-kernels is given.
+//
+// Flags:
+//   --report-out=<file>    merged report path (default BENCH_sattn.json)
+//   --only=<name>[,...]    run only the named benches
+//   --include-kernels      also run bench_kernels
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "io/run_report.h"
+
+namespace fs = std::filesystem;
+using namespace sattn;
+
+namespace {
+
+const char* const kBenches[] = {
+    "bench_fig1_overview",   "bench_fig2_sparsity",    "bench_table2_accuracy",
+    "bench_table3_ablation", "bench_fig4_needle",      "bench_fig5_speedup",
+    "bench_fig6_scaling",    "bench_table4_breakdown", "bench_table5_sd_scaling",
+    "bench_table6_sampling", "bench_appendix_extensions", "bench_fig9_visualize",
+    "bench_serving",         "bench_fig7_babilong",
+};
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::FlagParser flags(argc, argv);
+  const std::string merged_path = flags.string_flag("--report-out", "BENCH_sattn.json");
+  const std::vector<std::string> only = split_csv(flags.string_flag("--only"));
+  const bool include_kernels = flags.has_flag("--include-kernels");
+
+  const fs::path self(argc > 0 ? argv[0] : "bench_all");
+  const fs::path bin_dir = self.has_parent_path() ? self.parent_path() : fs::path(".");
+
+  std::vector<std::string> to_run(std::begin(kBenches), std::end(kBenches));
+  if (include_kernels) to_run.push_back("bench_kernels");
+  if (!only.empty()) to_run = only;
+
+  std::vector<RunReport> reports;
+  int failures = 0;
+  for (const std::string& name : to_run) {
+    const fs::path bin = bin_dir / name;
+    std::error_code ec;
+    if (!fs::exists(bin, ec)) {
+      std::fprintf(stderr, "bench_all: %s not found next to bench_all — skipping\n",
+                   bin.string().c_str());
+      ++failures;
+      continue;
+    }
+    const std::string report_path = bench::out_path(name + ".report.json");
+    const std::string log_path = bench::out_path(name + ".log");
+    const std::string cmd = "\"" + bin.string() + "\" --report-out=" + report_path + " > " +
+                            log_path + " 2>&1";
+    std::printf("bench_all: running %s ...\n", name.c_str());
+    std::fflush(stdout);
+    const int rc = std::system(cmd.c_str());
+    if (rc != 0) {
+      std::fprintf(stderr, "bench_all: %s exited with status %d (see %s) — skipping\n",
+                   name.c_str(), rc, log_path.c_str());
+      ++failures;
+      continue;
+    }
+    auto report = load_run_report(report_path);
+    if (!report.ok()) {
+      std::fprintf(stderr, "bench_all: could not load %s: %s\n", report_path.c_str(),
+                   report.status().to_string().c_str());
+      ++failures;
+      continue;
+    }
+    reports.push_back(std::move(report).value());
+  }
+
+  if (reports.empty()) {
+    std::fprintf(stderr, "bench_all: no reports collected — nothing to merge\n");
+    return 1;
+  }
+  auto merged = merge_run_reports(reports);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "bench_all: merge failed: %s\n", merged.status().to_string().c_str());
+    return 1;
+  }
+  if (!write_run_report(merged_path, merged.value())) {
+    std::fprintf(stderr, "bench_all: could not write %s\n", merged_path.c_str());
+    return 1;
+  }
+  std::printf("bench_all: merged %zu bench report(s) into %s (%d failure(s))\n",
+              reports.size(), merged_path.c_str(), failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -12,7 +14,9 @@
 #include "baselines/hash_sparse.h"
 #include "baselines/hyper_attention.h"
 #include "baselines/streaming_llm.h"
+#include "io/run_report.h"
 #include "io/trace_export.h"
+#include "obs/metrics.h"
 #include "obs/summary.h"
 #include "obs/trace.h"
 #include "perf/latency_report.h"
@@ -20,30 +24,102 @@
 
 namespace sattn::bench {
 
+// Tiny shared `--name=value` flag parser, so bench binaries stop
+// hand-rolling argv scans next to TraceSession's stripping. Construction
+// records argc/argv; accessors look a flag up by its full `--name` and
+// consume() removes recognized flags from argv (so binaries with their own
+// flag handling, e.g. google-benchmark, never see them).
+class FlagParser {
+ public:
+  FlagParser(int& argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  // Value of `--name=...`, or the fallback when absent.
+  std::string string_flag(std::string_view name, std::string fallback = "") const {
+    const std::string* v = find(name);
+    return v != nullptr ? *v : fallback;
+  }
+  double double_flag(std::string_view name, double fallback) const {
+    const std::string* v = find(name);
+    return v != nullptr ? std::atof(v->c_str()) : fallback;
+  }
+  long long int_flag(std::string_view name, long long fallback) const {
+    const std::string* v = find(name);
+    return v != nullptr ? std::atoll(v->c_str()) : fallback;
+  }
+  bool has_flag(std::string_view name) const {
+    for (int a = 1; a < argc_; ++a) {
+      if (std::string_view(argv_[a]) == name || find_in(argv_[a], name) != nullptr) return true;
+    }
+    return false;
+  }
+
+  // Strips every `--name` / `--name=...` occurrence from argv.
+  void consume(std::string_view name) {
+    int kept = 1;
+    for (int a = 1; a < argc_; ++a) {
+      const std::string_view arg = argv_[a];
+      if (arg == name || find_in(argv_[a], name) != nullptr) continue;
+      argv_[kept++] = argv_[a];
+    }
+    argc_ = kept;
+  }
+
+ private:
+  // Returns the value part when `arg` is exactly `--name=<value>`.
+  static const char* find_in(const char* arg, std::string_view name) {
+    const std::string_view a = arg;
+    if (a.size() > name.size() + 1 && a.substr(0, name.size()) == name &&
+        a[name.size()] == '=') {
+      return arg + name.size() + 1;
+    }
+    return nullptr;
+  }
+  const std::string* find(std::string_view name) const {
+    static thread_local std::string value;
+    for (int a = argc_ - 1; a >= 1; --a) {  // last occurrence wins
+      const char* v = find_in(argv_[a], name);
+      if (v != nullptr) {
+        value = v;
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+
+  int& argc_;
+  char** argv_;
+};
+
+// Default artifact directory: bench outputs (PGM heatmaps, CSVs, per-bench
+// run reports) land under out/ instead of littering the CWD — out/ is
+// git-ignored. Returns "out/<filename>", creating the directory on first
+// use.
+inline std::string out_path(const std::string& filename) {
+  std::error_code ec;
+  std::filesystem::create_directories("out", ec);  // best-effort
+  return "out/" + filename;
+}
+
 // Every bench binary constructs one of these first thing in main(). It
-// parses and strips `--trace-out=<file>.json` from argv (so binaries with
-// their own flag handling, e.g. google-benchmark, never see it), enables
-// span/counter collection when the flag is present or SATTN_TRACE=1, and on
-// destruction writes the Chrome trace and prints the hierarchical span
-// summary. See docs/OBSERVABILITY.md.
+// parses and strips `--trace-out=<file>.json` and `--report-out=<file>.json`
+// from argv, enables span/counter collection when either flag is present or
+// SATTN_TRACE=1, and on destruction prints the hierarchical span summary,
+// writes the Chrome trace (--trace-out) and the structured JSON run report
+// (--report-out, schema in io/run_report.h). See docs/OBSERVABILITY.md.
 class TraceSession {
  public:
   TraceSession(int& argc, char** argv) {
-    int kept = 1;
-    for (int a = 1; a < argc; ++a) {
-      const std::string_view arg = argv[a];
-      if (arg.rfind("--trace-out=", 0) == 0) {
-        trace_out_ = std::string(arg.substr(std::string_view("--trace-out=").size()));
-      } else {
-        argv[kept++] = argv[a];
-      }
-    }
-    argc = kept;
-    if (!trace_out_.empty()) {
+    bench_name_ = argc > 0 ? std::filesystem::path(argv[0]).filename().string() : "bench";
+    FlagParser flags(argc, argv);
+    trace_out_ = flags.string_flag("--trace-out");
+    report_out_ = flags.string_flag("--report-out");
+    flags.consume("--trace-out");
+    flags.consume("--report-out");
+    if (!trace_out_.empty() || !report_out_.empty()) {
       if (!obs::set_enabled(true)) {
         std::fprintf(stderr,
-                     "warning: --trace-out given but SATTN_TRACE=0 is set; "
-                     "the trace will be empty\n");
+                     "warning: --trace-out/--report-out given but SATTN_TRACE=0 is set; "
+                     "the output will be empty\n");
       }
     }
   }
@@ -66,15 +142,26 @@ class TraceSession {
         std::fprintf(stderr, "error: could not write trace to %s\n", trace_out_.c_str());
       }
     }
+    if (!report_out_.empty()) {
+      if (write_run_report(report_out_, collect_run_report(bench_name_))) {
+        std::printf("run report written to %s\n", report_out_.c_str());
+      } else {
+        std::fprintf(stderr, "error: could not write run report to %s\n", report_out_.c_str());
+      }
+    }
   }
 
   TraceSession(const TraceSession&) = delete;
   TraceSession& operator=(const TraceSession&) = delete;
 
   const std::string& trace_out() const { return trace_out_; }
+  const std::string& report_out() const { return report_out_; }
+  const std::string& bench_name() const { return bench_name_; }
 
  private:
+  std::string bench_name_;
   std::string trace_out_;
+  std::string report_out_;
 };
 
 // The method lineup of the paper's Table 2, in table order: full attention

@@ -3,8 +3,9 @@
 // Figure 11's frequency statistics of retained KV elements along the Sk
 // dimension (Appendix A.4).
 //
-// Also writes PGM images next to the binary (sattn_fig9_L<層>H<head>.pgm)
-// for pixel-accurate inspection.
+// Also writes PGM images under out/ (out/sattn_fig9_L<layer>H<head>.pgm)
+// for pixel-accurate inspection, and records per-head retained-KV fraction
+// and CRA gauges so --report-out captures the quality map.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -33,10 +34,12 @@ int main(int argc, char** argv) {
     std::printf("\nlayer %lld head %lld   SD(0.95) = %.1f%%\n", static_cast<long long>(layer),
                 static_cast<long long>(head), 100.0 * sd);
     std::fputs(render_ascii(hm).c_str(), stdout);
-    char path[64];
-    std::snprintf(path, sizeof(path), "sattn_fig9_L%lldH%lld.pgm", static_cast<long long>(layer),
+    const SamplePlan plan = plan_sample_attention(in, SampleAttentionConfig{});
+    obs::record_head_quality(layer, head, plan.density, plan.filter.coverage);
+    char name[64];
+    std::snprintf(name, sizeof(name), "sattn_fig9_L%lldH%lld.pgm", static_cast<long long>(layer),
                   static_cast<long long>(head));
-    write_pgm(hm, path);
+    write_pgm(hm, sattn::bench::out_path(name));
   }
 
   // Fig 11: frequency of retained KV columns along Sk for a sparse and a

@@ -167,7 +167,8 @@ BENCHMARK(BM_StreamingLLM)->Arg(1024);
 }  // namespace sattn
 
 int main(int argc, char** argv) {
-  // TraceSession strips --trace-out before google-benchmark parses flags.
+  // TraceSession strips --trace-out/--report-out before google-benchmark
+  // parses flags.
   sattn::bench::TraceSession trace_session(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

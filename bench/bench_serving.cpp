@@ -15,8 +15,6 @@
 // make the deadline. Flags: --fault-rate=F --deadline-s=D --slo-ttft-s=T.
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <string_view>
 
 #include "bench_common.h"
 #include "io/report.h"
@@ -26,27 +24,14 @@
 
 using namespace sattn;
 
-namespace {
-
-double flag_or(int argc, char** argv, std::string_view name, double fallback) {
-  for (int a = 1; a < argc; ++a) {
-    const std::string_view arg = argv[a];
-    if (arg.rfind(name, 0) == 0 && arg.size() > name.size() && arg[name.size()] == '=') {
-      return std::atof(arg.data() + name.size() + 1);
-    }
-  }
-  return fallback;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   sattn::bench::TraceSession trace_session(argc, argv);
   // SLO-section knobs; defaults sized to the overload trace below, where
   // full-quality FCFS mean TTFT is ~100s.
-  const double fault_rate = flag_or(argc, argv, "--fault-rate", 0.05);
-  const double deadline_s = flag_or(argc, argv, "--deadline-s", 150.0);
-  const double slo_ttft_s = flag_or(argc, argv, "--slo-ttft-s", 120.0);
+  const sattn::bench::FlagParser flags(argc, argv);
+  const double fault_rate = flags.double_flag("--fault-rate", 0.05);
+  const double deadline_s = flags.double_flag("--deadline-s", 150.0);
+  const double slo_ttft_s = flags.double_flag("--slo-ttft-s", 120.0);
   const ModelConfig model = chatglm2_6b();
 
   // Measure SampleAttention densities on the substrate (as bench_fig5).
@@ -98,7 +83,8 @@ int main(int argc, char** argv) {
     }
   }
   t.print();
-  csv.write("sattn_serving.csv");
+  const std::string csv_path = sattn::bench::out_path("sattn_serving.csv");
+  csv.write(csv_path);
 
   std::printf("\nqueueing-amplified mean-TTFT gain (FCFS, SampleAttention vs FA2): %s\n",
               fmt_speedup(fcfs_fa2_mean / std::max(1e-9, fcfs_sa_mean)).c_str());
@@ -136,6 +122,6 @@ int main(int argc, char** argv) {
       "\nOnly SampleAttention can trade density for latency: under overload it degrades\n"
       "(lower alpha / window budget per the cost model) instead of shedding, keeping\n"
       "p99 TTFT inside the SLO with more requests served than the exact engine.\n");
-  std::printf("results also written to sattn_serving.csv\n");
+  std::printf("results also written to %s\n", csv_path.c_str());
   return 0;
 }

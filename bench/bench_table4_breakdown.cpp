@@ -55,6 +55,15 @@ void measured_breakdown_rows(TextTable& t, const ModelConfig& model, Index s) {
   // density, both in units of full-attention work.
   const double predicted_share = pred_overhead / (pred_overhead + pred_density);
 
+  // Feed the run report's "breakdown" section (io/run_report.h): predicted
+  // vs measured Stage-1/Stage-2 overhead at this substrate length.
+  const std::string prefix = "breakdown.S" + std::to_string(s) + ".";
+  SATTN_GAUGE_SET(prefix + "stage1_us", s1 * 1e6);
+  SATTN_GAUGE_SET(prefix + "stage2_us", s2 * 1e6);
+  SATTN_GAUGE_SET(prefix + "kernel_us", kn * 1e6);
+  SATTN_GAUGE_SET(prefix + "measured_overhead_share", measured_share);
+  SATTN_GAUGE_SET(prefix + "predicted_overhead_share", predicted_share);
+
   t.add_row({std::to_string(s / 1024) + "K", fmt_ms(s1, 2), fmt_ms(s2, 2), fmt_ms(kn, 2),
              fmt_pct(measured_share, 1), fmt_pct(predicted_share, 1)});
 }

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Bench regression gate (docs/OBSERVABILITY.md, "Run reports & regression
+# gating"). Reruns the bench suite via bench_all, then diffs the merged run
+# report against the committed baseline with tools/bench_diff.
+#
+# By default the gate is quality-only (--ignore-latency): the committed
+# baseline was produced on a different machine, so wall-clock numbers are
+# not comparable, but CRA / coverage / recovery metrics are deterministic
+# on the substrate and must not drop. Pass a third argument to override the
+# bench_diff flags, e.g.
+#
+#   check_bench_regression.sh . build "--latency-threshold=0.5"
+#
+# for a same-machine latency comparison against a locally refreshed
+# baseline.
+#
+# Usage: check_bench_regression.sh [repo-root] [build-dir] [bench_diff-flags]
+# Opt-in ctest entry: configure with -DSATTN_BENCH_REGRESSION_CTEST=ON.
+set -eu
+
+root="${1:-.}"
+build="${2:-$root/build}"
+diff_flags="${3:---ignore-latency}"
+
+baseline="$root/bench/baselines/BENCH_sattn.json"
+[ -f "$baseline" ] || { echo "missing baseline: $baseline" >&2; exit 2; }
+[ -x "$build/bench/bench_all" ] || { echo "missing $build/bench/bench_all (build first)" >&2; exit 2; }
+[ -x "$build/tools/bench_diff" ] || { echo "missing $build/tools/bench_diff (build first)" >&2; exit 2; }
+
+workdir="$build/bench_regression"
+mkdir -p "$workdir"
+candidate="$workdir/BENCH_sattn.json"
+
+# bench_all writes per-bench artifacts under ./out — keep them in workdir.
+(cd "$workdir" && "$build/bench/bench_all" --report-out="$candidate" >/dev/null)
+
+# shellcheck disable=SC2086  # diff_flags is intentionally word-split
+"$build/tools/bench_diff" $diff_flags "$baseline" "$candidate"
+
+echo "bench regression gate passed against $baseline"

@@ -3,9 +3,12 @@
 #
 # Scans README.md and docs/*.md for backticked references and fails when:
 #   1. a path-like token (`src/...`, `docs/...`, `tests/...`, `bench/...`,
-#      `examples/...`, `scripts/...`) does not exist in the repo, or
+#      `examples/...`, `scripts/...`, `tools/...`) does not exist in the
+#      repo, or
 #   2. a build-target-like token (`bench_*`, `*_test`, `*_demo`, `sattn_cli`)
-#      is not declared in any CMakeLists.txt.
+#      is not declared in any CMakeLists.txt, or
+#   3. a required doc section is missing (the regression-gate workflow in
+#      docs/OBSERVABILITY.md).
 #
 # Usage: check_docs.sh <repo-root>
 set -u
@@ -25,7 +28,7 @@ tokens="$(grep -ho '`[^`]*`' "${docs[@]}" 2>/dev/null | tr -d '\`' | sort -u)"
 while IFS= read -r tok; do
   [ -z "$tok" ] && continue
   case "$tok" in
-    src/*|docs/*|tests/*|bench/*|examples/*|scripts/*)
+    src/*|docs/*|tests/*|bench/*|examples/*|scripts/*|tools/*)
       # Strip trailing punctuation and any :line suffix.
       path="${tok%%:*}"
       path="${path%/}"
@@ -58,6 +61,12 @@ while IFS= read -r tok; do
       ;;
   esac
 done <<< "$tokens"
+
+# --- 3. required sections ----------------------------------------------------
+if ! grep -q '^## Run reports & regression gating' docs/OBSERVABILITY.md; then
+  echo "check_docs: docs/OBSERVABILITY.md is missing the 'Run reports & regression gating' section" >&2
+  fail=1
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED" >&2

@@ -1,5 +1,6 @@
 #include "attention/attention_method.h"
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace sattn {
@@ -7,15 +8,21 @@ namespace sattn {
 AttentionResult AttentionMethod::run(const AttentionInput& in) const {
   if (!obs::enabled()) return run_impl(in);
 
-  obs::ScopedSpan span("method/" + name());
+  const std::string method = name();
+  obs::ScopedSpan span("method/" + method);
+  const double t0_us = obs::Collector::global().now_us();
   AttentionResult r = run_impl(in);
+  const double elapsed_us = obs::Collector::global().now_us() - t0_us;
 
   // Shared accounting: every method reports the causal score entries it
   // evaluated (final pass + planning overhead), so Table-2 comparisons get
-  // uniform work counters for free.
+  // uniform work counters for free. The histograms feed the run report's
+  // per-method latency/density distributions (io/run_report.h).
   const double pairs = causal_pairs(in.sq(), in.sk());
   SATTN_COUNTER_ADD("attn.score_evals", r.density * pairs);
   SATTN_COUNTER_ADD("attn.overhead_evals", r.overhead_density * pairs);
+  SATTN_HISTOGRAM("method.latency_us." + method, elapsed_us);
+  SATTN_HISTOGRAM("method.density." + method, r.density);
   return r;
 }
 

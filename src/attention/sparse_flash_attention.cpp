@@ -5,6 +5,7 @@
 
 #include "attention/flash_attention.h"
 #include "core/thread_pool.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace sattn {
@@ -32,6 +33,7 @@ void sparse_flash_attention(const AttentionInput& in, const StructuredMask& mask
     SATTN_COUNTER_ADD("attn.kernel_flops", 4.0 * static_cast<double>(d) * evals);
     SATTN_COUNTER_ADD("attn.kernel_bytes", 8.0 * static_cast<double>(d) * evals);
     SATTN_COUNTER_ADD("sattn.mask_stripe_columns", mask.stripe_columns().size());
+    SATTN_HISTOGRAM("kernel.sparse_flash.score_evals", evals);
   }
   out.resize(sq, d);
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));

@@ -1,0 +1,96 @@
+// Minimal JSON document model: parse + serialize for the run-report and
+// bench-diff tooling (io/run_report.h, tools/bench_diff). Deliberately
+// small — no SAX interface, no streaming, objects keep insertion order so
+// serialization is deterministic and golden-file-testable.
+//
+// Numbers are doubles serialized with std::to_chars (shortest round-trip
+// form), so write -> parse -> write is byte-identical.
+#pragma once
+
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sattn {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}                       // NOLINT
+  JsonValue(double n) : kind_(Kind::kNumber), num_(n) {}                    // NOLINT
+  JsonValue(int n) : kind_(Kind::kNumber), num_(n) {}                      // NOLINT
+  JsonValue(long long n) : kind_(Kind::kNumber), num_(static_cast<double>(n)) {}  // NOLINT
+  JsonValue(std::size_t n) : kind_(Kind::kNumber), num_(static_cast<double>(n)) {}  // NOLINT
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}               // NOLINT
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}    // NOLINT
+
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool(bool fallback = false) const { return is_bool() ? bool_ : fallback; }
+  double as_number(double fallback = 0.0) const { return is_number() ? num_ : fallback; }
+  const std::string& as_string() const { return str_; }
+
+  // Array access.
+  std::size_t size() const { return is_array() ? items_.size() : members_.size(); }
+  JsonValue& push_back(JsonValue v);
+  const JsonValue& at(std::size_t i) const;  // kNull sentinel when out of range
+
+  // Object access: get() returns a kNull sentinel for missing keys, so
+  // chained lookups over partial documents are safe.
+  JsonValue& set(const std::string& key, JsonValue v);
+  const JsonValue& get(const std::string& key) const;
+  bool has(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const { return members_; }
+
+  // Serialization. `indent` < 0 gives compact single-line output.
+  std::string to_string(int indent = 2) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;                             // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;   // kObject, insertion order
+};
+
+// Strict-enough parser for the documents this repo writes: objects, arrays,
+// strings with \" \\ \/ \b \f \n \r \t and \uXXXX (BMP only) escapes,
+// numbers, true/false/null. Trailing garbage after the top-level value is
+// an error.
+StatusOr<JsonValue> parse_json(const std::string& text);
+
+// JSON string escaping shared with the serializer.
+std::string json_escape_string(const std::string& s);
+
+// Shortest round-trip decimal form of a double (std::to_chars); "0" for
+// negative zero, and "null" is never produced (NaN/inf clamp to 0).
+std::string json_number(double v);
+
+}  // namespace sattn

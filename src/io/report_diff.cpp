@@ -1,0 +1,184 @@
+#include "io/report_diff.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace sattn {
+namespace {
+
+void count_verdict(DiffResult& result, const DiffEntry& e) {
+  switch (e.verdict) {
+    case DiffVerdict::kRegression: ++result.regressions; break;
+    case DiffVerdict::kImprovement: ++result.improvements; break;
+    case DiffVerdict::kWithinNoise: ++result.within_noise; break;
+    default: break;
+  }
+}
+
+// Lower-is-better comparison under a relative threshold with an absolute
+// noise floor.
+DiffVerdict latency_verdict(double base, double cand, const DiffOptions& opts) {
+  if (std::max(base, cand) < opts.latency_min_us) return DiffVerdict::kWithinNoise;
+  if (base <= 0.0) return DiffVerdict::kWithinNoise;
+  const double rel = cand / base - 1.0;
+  if (rel > opts.latency_rel_threshold) return DiffVerdict::kRegression;
+  if (rel < -opts.latency_rel_threshold) return DiffVerdict::kImprovement;
+  return DiffVerdict::kWithinNoise;
+}
+
+// Higher-is-better comparison under an absolute threshold.
+DiffVerdict quality_verdict(double base, double cand, const DiffOptions& opts) {
+  const double delta = cand - base;
+  if (delta < -opts.quality_abs_threshold) return DiffVerdict::kRegression;
+  if (delta > opts.quality_abs_threshold) return DiffVerdict::kImprovement;
+  return DiffVerdict::kWithinNoise;
+}
+
+void diff_bench(const BenchReport& base, const BenchReport& cand, const DiffOptions& opts,
+                DiffResult& result) {
+  // Latency per span path.
+  if (opts.check_latency) {
+    std::map<std::string, const obs::SpanStat*> base_by_path;
+    for (const obs::SpanStat& s : base.latency) base_by_path[s.path] = &s;
+    for (const obs::SpanStat& s : cand.latency) {
+      const auto it = base_by_path.find(s.path);
+      DiffEntry e;
+      e.bench = base.name;
+      e.metric = "latency:" + s.path;
+      e.candidate = s.mean_us;
+      if (it == base_by_path.end()) {
+        e.verdict = DiffVerdict::kNew;
+      } else {
+        e.baseline = it->second->mean_us;
+        e.verdict = latency_verdict(e.baseline, e.candidate, opts);
+        base_by_path.erase(it);
+      }
+      count_verdict(result, e);
+      result.entries.push_back(std::move(e));
+    }
+    for (const auto& [path, s] : base_by_path) {
+      DiffEntry e;
+      e.bench = base.name;
+      e.metric = "latency:" + path;
+      e.baseline = s->mean_us;
+      e.verdict = DiffVerdict::kMissing;
+      result.entries.push_back(std::move(e));
+    }
+  }
+
+  // Gauges: quality metrics gate; everything else is informational.
+  for (const auto& [name, base_v] : base.gauges) {
+    const auto it = cand.gauges.find(name);
+    DiffEntry e;
+    e.bench = base.name;
+    e.metric = "gauge:" + name;
+    e.baseline = base_v;
+    e.quality = is_quality_metric(name);
+    if (it == cand.gauges.end()) {
+      e.verdict = DiffVerdict::kMissing;
+    } else {
+      e.candidate = it->second;
+      e.verdict = e.quality ? quality_verdict(base_v, it->second, opts)
+                            : DiffVerdict::kWithinNoise;
+    }
+    count_verdict(result, e);
+    result.entries.push_back(std::move(e));
+  }
+
+  // Quality histograms: gate on the p50 of coverage-style distributions.
+  for (const auto& [name, base_h] : base.histograms) {
+    if (!is_quality_metric(name)) continue;
+    const auto it = cand.histograms.find(name);
+    if (it == cand.histograms.end()) continue;
+    DiffEntry e;
+    e.bench = base.name;
+    e.metric = "hist:" + name + ".p50";
+    e.baseline = base_h.p50;
+    e.candidate = it->second.p50;
+    e.quality = true;
+    e.verdict = quality_verdict(e.baseline, e.candidate, opts);
+    count_verdict(result, e);
+    result.entries.push_back(std::move(e));
+  }
+}
+
+}  // namespace
+
+const char* diff_verdict_name(DiffVerdict v) {
+  switch (v) {
+    case DiffVerdict::kRegression: return "REGRESSION";
+    case DiffVerdict::kImprovement: return "improvement";
+    case DiffVerdict::kWithinNoise: return "within-noise";
+    case DiffVerdict::kMissing: return "missing";
+    case DiffVerdict::kNew: return "new";
+  }
+  return "unknown";
+}
+
+bool is_quality_metric(const std::string& name) {
+  return name.find(".cra") != std::string::npos ||
+         name.find("coverage") != std::string::npos ||
+         name.find("recovery") != std::string::npos;
+}
+
+DiffResult diff_reports(const RunReport& baseline, const RunReport& candidate,
+                        const DiffOptions& opts) {
+  DiffResult result;
+  for (const BenchReport& base : baseline.benches) {
+    const BenchReport* cand = candidate.find_bench(base.name);
+    if (cand == nullptr) {
+      DiffEntry e;
+      e.bench = base.name;
+      e.metric = "bench";
+      e.verdict = DiffVerdict::kMissing;
+      result.entries.push_back(std::move(e));
+      continue;
+    }
+    diff_bench(base, *cand, opts, result);
+  }
+  for (const BenchReport& cand : candidate.benches) {
+    if (baseline.find_bench(cand.name) == nullptr) {
+      DiffEntry e;
+      e.bench = cand.name;
+      e.metric = "bench";
+      e.verdict = DiffVerdict::kNew;
+      result.entries.push_back(std::move(e));
+    }
+  }
+  return result;
+}
+
+std::string render_diff(const DiffResult& result, bool verbose) {
+  std::ostringstream out;
+  char buf[320];
+  const auto print_entry = [&](const DiffEntry& e) {
+    const double rel = e.baseline != 0.0 ? 100.0 * (e.candidate / e.baseline - 1.0) : 0.0;
+    std::snprintf(buf, sizeof(buf), "  %-12s %-24s %-48s %14.4g %14.4g %+8.1f%%\n",
+                  diff_verdict_name(e.verdict), e.bench.c_str(), e.metric.c_str(), e.baseline,
+                  e.candidate, rel);
+    out << buf;
+  };
+  const auto print_matching = [&](DiffVerdict v) {
+    for (const DiffEntry& e : result.entries) {
+      if (e.verdict == v) print_entry(e);
+    }
+  };
+  out << "bench_diff — verdict / bench / metric / baseline / candidate / delta\n";
+  print_matching(DiffVerdict::kRegression);
+  print_matching(DiffVerdict::kImprovement);
+  if (verbose) {
+    print_matching(DiffVerdict::kWithinNoise);
+    print_matching(DiffVerdict::kMissing);
+    print_matching(DiffVerdict::kNew);
+  }
+  std::snprintf(buf, sizeof(buf),
+                "summary: %zu regression(s), %zu improvement(s), %zu within noise, %zu entries\n",
+                result.regressions, result.improvements, result.within_noise,
+                result.entries.size());
+  out << buf;
+  return out.str();
+}
+
+}  // namespace sattn

@@ -1,0 +1,70 @@
+// Run-report comparator: the regression-gate logic behind tools/bench_diff
+// and scripts/check_bench_regression.sh. Compares two RunReports
+// bench-by-bench and classifies every shared metric as regression /
+// improvement / within-noise, so perf PRs are judged against a committed
+// baseline instead of eyeballed console tables.
+//
+// Two metric families with different rules:
+//
+//   * Latency (span mean_us per (bench, span path)): relative noise gate.
+//     A regression needs BOTH the candidate to exceed baseline by more than
+//     `latency_rel_threshold` AND both sides to be above `latency_min_us`
+//     (tiny spans are pure noise). Improvements are symmetric.
+//   * Quality (gauges whose name contains ".cra" or "recovery", plus
+//     histogram p50s of "sattn.plan.coverage"-style coverage metrics):
+//     higher is better, and ANY drop beyond `quality_abs_threshold` is a
+//     regression regardless of latency settings — the paper's near-lossless
+//     contract is not allowed to decay quietly.
+//
+// Metrics present on only one side are reported as missing/new but never
+// gate (bench subsets and new instrumentation must not break the gate).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/run_report.h"
+
+namespace sattn {
+
+enum class DiffVerdict { kRegression, kImprovement, kWithinNoise, kMissing, kNew };
+
+const char* diff_verdict_name(DiffVerdict v);
+
+struct DiffOptions {
+  double latency_rel_threshold = 0.20;  // 20% slower == regression
+  double latency_min_us = 500.0;        // ignore spans faster than this
+  double quality_abs_threshold = 0.005; // absolute CRA/recovery drop allowed
+  bool check_latency = true;            // false: gate on quality only
+};
+
+struct DiffEntry {
+  std::string bench;
+  std::string metric;      // "latency:<path>" | "gauge:<name>" | "hist:<name>.p50"
+  double baseline = 0.0;
+  double candidate = 0.0;
+  DiffVerdict verdict = DiffVerdict::kWithinNoise;
+  bool quality = false;    // true for higher-is-better quality metrics
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> entries;
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  std::size_t within_noise = 0;
+
+  bool has_regression() const { return regressions > 0; }
+};
+
+// True when the metric name is gated as a quality (higher-is-better)
+// metric: contains ".cra", "coverage", or "recovery".
+bool is_quality_metric(const std::string& name);
+
+DiffResult diff_reports(const RunReport& baseline, const RunReport& candidate,
+                        const DiffOptions& opts = {});
+
+// Human-readable verdict table: regressions first, then improvements; the
+// within-noise bulk is summarized as a count unless `verbose`.
+std::string render_diff(const DiffResult& result, bool verbose = false);
+
+}  // namespace sattn

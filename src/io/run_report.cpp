@@ -1,0 +1,334 @@
+#include "io/run_report.h"
+
+#include <cstdio>
+#include <thread>
+
+#include "io/json.h"
+#include "obs/trace.h"
+
+// Build/environment stamps, provided by src/CMakeLists.txt at configure
+// time; fall back to "unknown" when building outside the repo's cmake.
+#ifndef SATTN_GIT_REV
+#define SATTN_GIT_REV "unknown"
+#endif
+#ifndef SATTN_BUILD_TYPE
+#define SATTN_BUILD_TYPE "unknown"
+#endif
+#ifndef SATTN_COMPILER
+#define SATTN_COMPILER "unknown"
+#endif
+#ifndef SATTN_CXX_FLAGS
+#define SATTN_CXX_FLAGS ""
+#endif
+
+namespace sattn {
+namespace {
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = n == content.size();
+  return (std::fclose(f) == 0) && ok;
+}
+
+JsonValue hist_json(const obs::HistogramStats& h) {
+  JsonValue o = JsonValue::object();
+  o.set("count", h.count);
+  o.set("sum", h.sum);
+  o.set("min", h.min);
+  o.set("max", h.max);
+  o.set("p50", h.p50);
+  o.set("p90", h.p90);
+  o.set("p99", h.p99);
+  return o;
+}
+
+obs::HistogramStats hist_from_json(const JsonValue& o) {
+  obs::HistogramStats h;
+  h.count = static_cast<std::size_t>(o.get("count").as_number());
+  h.sum = o.get("sum").as_number();
+  h.min = o.get("min").as_number();
+  h.max = o.get("max").as_number();
+  h.p50 = o.get("p50").as_number();
+  h.p90 = o.get("p90").as_number();
+  h.p99 = o.get("p99").as_number();
+  return h;
+}
+
+// Parses "quality.L<layer>H<head>.<metric>"; returns false when the gauge
+// name is not in the per-head quality convention.
+bool parse_head_quality_name(const std::string& name, long long& layer, long long& head,
+                             std::string& metric) {
+  const std::string prefix = "quality.L";
+  if (name.rfind(prefix, 0) != 0) return false;
+  const std::size_t h_at = name.find('H', prefix.size());
+  const std::size_t dot_at = name.find('.', prefix.size());
+  if (h_at == std::string::npos || dot_at == std::string::npos || h_at > dot_at) return false;
+  try {
+    layer = std::stoll(name.substr(prefix.size(), h_at - prefix.size()));
+    head = std::stoll(name.substr(h_at + 1, dot_at - h_at - 1));
+  } catch (...) {
+    return false;
+  }
+  metric = name.substr(dot_at + 1);
+  return true;
+}
+
+// Derived view: gauges `quality.L<l>H<h>.*` grouped into per-head records.
+JsonValue quality_json(const BenchReport& b) {
+  std::map<std::pair<long long, long long>, std::map<std::string, double>> heads;
+  for (const auto& [name, v] : b.gauges) {
+    long long layer = 0, head = 0;
+    std::string metric;
+    if (parse_head_quality_name(name, layer, head, metric)) heads[{layer, head}][metric] = v;
+  }
+  JsonValue per_head = JsonValue::array();
+  for (const auto& [lh, metrics] : heads) {
+    JsonValue rec = JsonValue::object();
+    rec.set("layer", lh.first);
+    rec.set("head", lh.second);
+    for (const auto& [metric, v] : metrics) rec.set(metric, v);
+    per_head.push_back(std::move(rec));
+  }
+  JsonValue q = JsonValue::object();
+  q.set("per_head", std::move(per_head));
+  return q;
+}
+
+// Derived view: gauges `breakdown.S<len>.<field>` grouped per length —
+// the measured vs cost-model-predicted Stage-1/2 split (Table 4).
+JsonValue breakdown_json(const BenchReport& b) {
+  std::map<long long, std::map<std::string, double>> by_len;
+  const std::string prefix = "breakdown.S";
+  for (const auto& [name, v] : b.gauges) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    const std::size_t dot_at = name.find('.', prefix.size());
+    if (dot_at == std::string::npos) continue;
+    try {
+      by_len[std::stoll(name.substr(prefix.size(), dot_at - prefix.size()))]
+            [name.substr(dot_at + 1)] = v;
+    } catch (...) {
+    }
+  }
+  JsonValue arr = JsonValue::array();
+  for (const auto& [len, fields] : by_len) {
+    JsonValue rec = JsonValue::object();
+    rec.set("seq_len", len);
+    for (const auto& [field, v] : fields) rec.set(field, v);
+    arr.push_back(std::move(rec));
+  }
+  return arr;
+}
+
+// Derived view: the serving SLO section, from sched.* counters plus the
+// TTFT histogram. Present only when the bench exercised the scheduler.
+JsonValue serving_json(const BenchReport& b, bool& present) {
+  const auto counter = [&](const char* name) {
+    const auto it = b.counters.find(name);
+    return it == b.counters.end() ? 0.0 : it->second;
+  };
+  const auto ttft = b.histograms.find("sched.ttft_seconds");
+  present = counter("sched.requests_enqueued") > 0.0 || ttft != b.histograms.end();
+  JsonValue s = JsonValue::object();
+  if (!present) return s;
+  s.set("completed", counter("sched.requests_completed"));
+  s.set("shed", counter("sched.requests_shed"));
+  s.set("degraded", counter("sched.requests_degraded"));
+  s.set("retries", counter("sched.request_retries"));
+  s.set("queue_depth_peak", counter("sched.queue_depth_peak"));
+  if (ttft != b.histograms.end()) s.set("ttft", hist_json(ttft->second));
+  return s;
+}
+
+JsonValue bench_json(const BenchReport& b) {
+  JsonValue o = JsonValue::object();
+  o.set("name", b.name);
+
+  JsonValue latency = JsonValue::array();
+  for (const obs::SpanStat& s : b.latency) {
+    JsonValue rec = JsonValue::object();
+    rec.set("path", s.path);
+    rec.set("name", s.name);
+    rec.set("depth", s.depth);
+    rec.set("count", s.count);
+    rec.set("total_us", s.total_us);
+    rec.set("mean_us", s.mean_us);
+    rec.set("p50_us", s.p50_us);
+    rec.set("p99_us", s.p99_us);
+    latency.push_back(std::move(rec));
+  }
+  o.set("latency", std::move(latency));
+
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, v] : b.counters) counters.set(name, v);
+  o.set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, v] : b.gauges) gauges.set(name, v);
+  o.set("gauges", std::move(gauges));
+
+  JsonValue hists = JsonValue::object();
+  for (const auto& [name, h] : b.histograms) hists.set(name, hist_json(h));
+  o.set("histograms", std::move(hists));
+
+  JsonValue series = JsonValue::object();
+  for (const auto& [name, samples] : b.series) {
+    JsonValue arr = JsonValue::array();
+    for (const auto& [t, v] : samples) {
+      JsonValue pt = JsonValue::array();
+      pt.push_back(t);
+      pt.push_back(v);
+      arr.push_back(std::move(pt));
+    }
+    series.set(name, std::move(arr));
+  }
+  o.set("series", std::move(series));
+
+  // Derived views are emitted only when their source gauges/counters exist,
+  // so benches that never touched a subsystem stay compact.
+  JsonValue quality = quality_json(b);
+  if (quality.get("per_head").size() > 0) o.set("quality", std::move(quality));
+  JsonValue breakdown = breakdown_json(b);
+  if (breakdown.size() > 0) o.set("breakdown", std::move(breakdown));
+  bool serving_present = false;
+  JsonValue serving = serving_json(b, serving_present);
+  if (serving_present) o.set("serving", std::move(serving));
+  return o;
+}
+
+BenchReport bench_from_json(const JsonValue& o) {
+  BenchReport b;
+  b.name = o.get("name").as_string();
+  const JsonValue& latency = o.get("latency");
+  for (std::size_t i = 0; i < latency.size(); ++i) {
+    const JsonValue& rec = latency.at(i);
+    obs::SpanStat s;
+    s.path = rec.get("path").as_string();
+    s.name = rec.get("name").as_string();
+    s.depth = static_cast<int>(rec.get("depth").as_number());
+    s.count = static_cast<std::size_t>(rec.get("count").as_number());
+    s.total_us = rec.get("total_us").as_number();
+    s.mean_us = rec.get("mean_us").as_number();
+    s.p50_us = rec.get("p50_us").as_number();
+    s.p99_us = rec.get("p99_us").as_number();
+    b.latency.push_back(std::move(s));
+  }
+  for (const auto& [name, v] : o.get("counters").members()) b.counters[name] = v.as_number();
+  for (const auto& [name, v] : o.get("gauges").members()) b.gauges[name] = v.as_number();
+  for (const auto& [name, v] : o.get("histograms").members()) {
+    b.histograms[name] = hist_from_json(v);
+  }
+  for (const auto& [name, arr] : o.get("series").members()) {
+    auto& samples = b.series[name];
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      samples.emplace_back(arr.at(i).at(0).as_number(), arr.at(i).at(1).as_number());
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+const BenchReport* RunReport::find_bench(const std::string& name) const {
+  for (const BenchReport& b : benches) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+RunReport collect_run_report(const std::string& bench_name) {
+  RunReport report;
+  report.meta["created_by"] = bench_name;
+  report.meta["git_rev"] = SATTN_GIT_REV;
+  report.meta["build_type"] = SATTN_BUILD_TYPE;
+  report.meta["compiler"] = SATTN_COMPILER;
+  report.meta["cxx_flags"] = SATTN_CXX_FLAGS;
+  report.meta["threads"] = std::to_string(std::thread::hardware_concurrency());
+
+  BenchReport bench;
+  bench.name = bench_name;
+  const obs::Collector& col = obs::Collector::global();
+  bench.latency = obs::summarize_spans(col.spans());
+  for (const obs::CounterValue& c : col.counters()) bench.counters[c.name] = c.value;
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  for (const auto& [name, v] : snap.gauges) bench.gauges[name] = v;
+  for (const auto& [name, h] : snap.histograms) bench.histograms[name] = h;
+  for (const auto& [name, s] : snap.series) bench.series[name] = s;
+  report.benches.push_back(std::move(bench));
+  return report;
+}
+
+std::string run_report_json(const RunReport& report) {
+  JsonValue root = JsonValue::object();
+  root.set("schema", kRunReportSchema);
+  root.set("version", report.version);
+
+  JsonValue meta = JsonValue::object();
+  for (const auto& [k, v] : report.meta) meta.set(k, v);
+  JsonValue bench_names = JsonValue::array();
+  for (const BenchReport& b : report.benches) bench_names.push_back(b.name);
+  meta.set("benches", std::move(bench_names));
+  root.set("meta", std::move(meta));
+
+  JsonValue benches = JsonValue::array();
+  for (const BenchReport& b : report.benches) benches.push_back(bench_json(b));
+  root.set("benches", std::move(benches));
+  return root.to_string();
+}
+
+bool write_run_report(const std::string& path, const RunReport& report) {
+  return write_file(path, run_report_json(report));
+}
+
+StatusOr<RunReport> parse_run_report(const std::string& json_text) {
+  auto parsed = parse_json(json_text);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = parsed.value();
+  SATTN_CHECK(root.is_object(), kInvalidArgument, "run report is not a JSON object");
+  SATTN_CHECK(root.get("schema").as_string() == kRunReportSchema, kInvalidArgument,
+              "not a ", kRunReportSchema, " document (schema='",
+              root.get("schema").as_string(), "')");
+  const int version = static_cast<int>(root.get("version").as_number());
+  SATTN_CHECK(version >= 1 && version <= kRunReportVersion, kInvalidArgument,
+              "run report version ", version, " not supported (max ", kRunReportVersion, ")");
+
+  RunReport report;
+  report.version = version;
+  for (const auto& [k, v] : root.get("meta").members()) {
+    if (v.is_string()) report.meta[k] = v.as_string();
+  }
+  const JsonValue& benches = root.get("benches");
+  for (std::size_t i = 0; i < benches.size(); ++i) {
+    report.benches.push_back(bench_from_json(benches.at(i)));
+  }
+  return report;
+}
+
+StatusOr<RunReport> load_run_report(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  SATTN_CHECK(f != nullptr, kUnavailable, "cannot open run report '", path, "'");
+  std::string text;
+  char buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parse_run_report(text);
+}
+
+StatusOr<RunReport> merge_run_reports(const std::vector<RunReport>& reports) {
+  SATTN_CHECK(!reports.empty(), kInvalidArgument, "nothing to merge");
+  RunReport merged;
+  merged.meta = reports.front().meta;
+  merged.meta["created_by"] = "bench_all";
+  for (const RunReport& r : reports) {
+    for (const BenchReport& b : r.benches) {
+      SATTN_CHECK(merged.find_bench(b.name) == nullptr, kInvalidArgument,
+                  "duplicate bench '", b.name, "' while merging run reports");
+      merged.benches.push_back(b);
+    }
+  }
+  return merged;
+}
+
+}  // namespace sattn

@@ -1,0 +1,96 @@
+// Structured, versioned JSON run reports: the machine-checkable record of a
+// bench run that the per-PR bench trajectory (BENCH_sattn.json) and the
+// regression gate (io/report_diff.h, tools/bench_diff) are built on.
+//
+// Schema (version 1; pinned by tests/golden/run_report_v1.json):
+//
+//   {
+//     "schema": "sattn.run_report",
+//     "version": 1,
+//     "meta": { "created_by", "git_rev", "build_type", "compiler",
+//               "cxx_flags", "threads", "benches": [...] },
+//     "benches": [
+//       {
+//         "name": "bench_serving",
+//         "latency":    [ { "path", "name", "depth", "count", "total_us",
+//                           "mean_us", "p50_us", "p99_us" }, ... ],
+//         "counters":   { "sched.requests_completed": 24, ... },
+//         "gauges":     { "quality.L4H3.cra": 0.97, ... },
+//         "histograms": { "sched.ttft_seconds":
+//                           { "count","sum","min","max","p50","p90","p99" } },
+//         "series":     { "sched.queue_depth": [[t, v], ...] },
+//         // Derived views, re-assembled from the raw maps at write time
+//         // (each omitted when its source metrics are absent):
+//         "quality":    { "per_head": [ { "layer","head",
+//                                         "retained_kv_frac","cra" } ] },
+//         "breakdown":  [ { "seq_len","stage1_us","stage2_us","kernel_us",
+//                           "measured_overhead_share",
+//                           "predicted_overhead_share" } ],
+//         "serving":    { "completed","shed","degraded","retries",
+//                         "queue_depth_peak","ttft": {histogram stats} }
+//       }, ...
+//     ]
+//   }
+//
+// `latency` comes from the span summaries (obs/summary.h), `counters` from
+// the obs::Collector, and `gauges`/`histograms`/`series` from the
+// MetricsRegistry (obs/metrics.h). The derived sections are views over the
+// raw maps under the naming conventions of docs/OBSERVABILITY.md:
+// `quality.L<l>H<h>.*` gauges, `breakdown.S<len>.*` gauges, and `sched.*`
+// counters/metrics. Parsing keeps only the raw maps; writing re-derives the
+// views, so write -> parse -> write is byte-identical.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+#include "obs/metrics.h"
+#include "obs/summary.h"
+
+namespace sattn {
+
+inline constexpr int kRunReportVersion = 1;
+inline constexpr const char* kRunReportSchema = "sattn.run_report";
+
+// One bench binary's worth of metrics.
+struct BenchReport {
+  std::string name;
+  std::vector<obs::SpanStat> latency;
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, obs::HistogramStats> histograms;
+  std::map<std::string, std::vector<std::pair<double, double>>> series;
+};
+
+struct RunReport {
+  int version = kRunReportVersion;
+  // Environment metadata, stamped at collection time (git rev and build
+  // flags are baked in at configure time — see src/CMakeLists.txt).
+  std::map<std::string, std::string> meta;
+  std::vector<BenchReport> benches;
+
+  const BenchReport* find_bench(const std::string& name) const;
+};
+
+// Snapshots the global obs::Collector + MetricsRegistry into a single-bench
+// report named `bench_name`, with environment metadata filled in.
+RunReport collect_run_report(const std::string& bench_name);
+
+// Serialization.
+std::string run_report_json(const RunReport& report);
+bool write_run_report(const std::string& path, const RunReport& report);
+
+// Parsing. Rejects documents whose "schema" is not sattn.run_report or
+// whose "version" is newer than this library understands.
+StatusOr<RunReport> parse_run_report(const std::string& json_text);
+StatusOr<RunReport> load_run_report(const std::string& path);
+
+// Merges per-bench reports into one: bench entries concatenate in argument
+// order, meta comes from the first report with `benches` re-listed. Bench
+// names must be unique across inputs (kInvalidArgument otherwise).
+StatusOr<RunReport> merge_run_reports(const std::vector<RunReport>& reports);
+
+}  // namespace sattn

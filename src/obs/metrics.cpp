@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sattn::obs {
+namespace {
+
+// Geometric bucket growth factor: 2^(1/8).
+const double kLogGrowth = std::log(2.0) / 8.0;
+
+int bucket_index(double v) {
+  if (!(v > Histogram::kFloor)) return 0;
+  return 1 + static_cast<int>(std::floor(std::log(v / Histogram::kFloor) / kLogGrowth));
+}
+
+// Geometric midpoint of bucket b's [lo, hi) value range.
+double bucket_mid(int b) {
+  if (b <= 0) return Histogram::kFloor;
+  const double lo = Histogram::kFloor * std::exp(kLogGrowth * static_cast<double>(b - 1));
+  return lo * std::exp(0.5 * kLogGrowth);
+}
+
+}  // namespace
+
+double percentile_nearest_rank(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(std::clamp(q, 0.0, 1.0) * n));
+  rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
+void Histogram::observe(double v) {
+  if (std::isnan(v)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[bucket_index(v)];
+}
+
+double Histogram::percentile_locked(double q) const {
+  if (count_ == 0) return 0.0;
+  auto rank = static_cast<std::size_t>(
+      std::ceil(std::clamp(q, 0.0, 1.0) * static_cast<double>(count_)));
+  rank = std::clamp<std::size_t>(rank, 1, count_);
+  std::size_t seen = 0;
+  for (const auto& [b, c] : buckets_) {
+    seen += c;
+    if (seen >= rank) return std::clamp(bucket_mid(b), min_, max_);
+  }
+  return max_;
+}
+
+HistogramStats Histogram::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramStats s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.p50 = percentile_locked(0.50);
+  s.p90 = percentile_locked(0.90);
+  s.p99 = percentile_locked(0.99);
+  return s;
+}
+
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.clear();
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+void Series::append(double t, double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (seen_++ % stride_ != 0) return;
+  samples_.emplace_back(t, v);
+  if (samples_.size() >= capacity_ && capacity_ >= 2) {
+    // Decimate in place: keep every other sample, double the stride.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < samples_.size(); r += 2) samples_[w++] = samples_[r];
+    samples_.resize(w);
+    stride_ *= 2;
+  }
+}
+
+std::vector<std::pair<double, double>> Series::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+void Series::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.clear();
+  stride_ = 1;
+  seen_ = 0;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Series& MetricsRegistry::series(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = series_[name];
+  if (!slot) slot = std::make_unique<Series>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) snap.histograms.emplace_back(name, h->stats());
+  snap.series.reserve(series_.size());
+  for (const auto& [name, s] : series_) snap.series.emplace_back(name, s->samples());
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, g] : gauges_) g->set(0.0);
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, s] : series_) s->reset();
+}
+
+void record_head_quality(long long layer, long long head, double retained_kv_frac, double cra) {
+  if (!enabled()) return;
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "quality.L%lldH%lld.", layer, head);
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.gauge(std::string(prefix) + "retained_kv_frac").set(retained_kv_frac);
+  reg.gauge(std::string(prefix) + "cra").set(cra);
+}
+
+}  // namespace sattn::obs

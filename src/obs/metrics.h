@@ -1,0 +1,203 @@
+// Structured metrics registry on top of the span/counter tracing layer
+// (obs/trace.h): the quantities the paper states its claims in — retained-KV
+// fraction, CRA, Stage-1/2 overhead share, serving TTFT — recorded as typed
+// metrics instead of free-form bench text, so run reports (io/run_report.h)
+// are machine-checkable across PRs.
+//
+// Three metric kinds, all named with the `area.metric` convention of the
+// counter glossary (docs/OBSERVABILITY.md):
+//
+//   * Gauge      — last-write-wins value ("quality.L4H3.cra = 0.97").
+//   * Histogram  — log-bucketed distribution with count/sum/min/max and
+//                  nearest-rank p50/p90/p99 ("sched.ttft_seconds").
+//   * Series     — bounded (timestamp, value) samples for time-series such
+//                  as scheduler queue depth over simulated time.
+//
+// Monotonic counters stay in obs::Collector (the single counter namespace);
+// MetricsRegistry::counter() delegates there so call sites need only one
+// registry handle. The same enable contract applies: every macro is a
+// relaxed obs::enabled() load when collection is off, and
+// SATTN_TRACE_DISABLED compiles the sites away.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace sattn::obs {
+
+// Nearest-rank percentile over an ascending-sorted sample: the value at
+// 1-indexed rank ceil(q * n), clamped to [1, n]. By definition this always
+// returns an observed sample (never an interpolated point): for n == 1 every
+// quantile is the sample itself; for n == 2, p50 is the lower sample and p99
+// the upper. Empty input returns 0.0. Shared by the span summaries, the
+// serving summary, and histogram percentile estimation.
+double percentile_nearest_rank(const std::vector<double>& sorted, double q);
+
+// Last-write-wins metric value.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+struct HistogramStats {
+  std::size_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+// Log-bucketed histogram: buckets grow geometrically (factor 2^(1/8), about
+// 9% relative resolution) from kFloor. Values at or below kFloor share the
+// lowest bucket; percentiles are the geometric midpoint of the selected
+// bucket under the nearest-rank rule, clamped to the exact observed
+// [min, max]. Thread-safe; observe() takes a mutex (metric sites are not
+// kernel-inner-loop hot).
+class Histogram {
+ public:
+  void observe(double v);
+  HistogramStats stats() const;
+  void reset();
+
+  static constexpr double kFloor = 1e-9;
+
+ private:
+  double percentile_locked(double q) const;
+
+  mutable std::mutex mu_;
+  std::map<int, std::size_t> buckets_;  // bucket index -> count
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Bounded time-series of (timestamp, value) samples. Timestamps are caller
+// units (the scheduler records simulated seconds). When the buffer reaches
+// capacity it is decimated: every other sample is dropped and the effective
+// sampling stride doubles, so long simulations keep a uniform, bounded
+// sketch of the full run rather than only its head.
+class Series {
+ public:
+  explicit Series(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+  void append(double t, double v);
+  std::vector<std::pair<double, double>> samples() const;
+  void reset();
+
+  static constexpr std::size_t kDefaultCapacity = 2048;
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::size_t stride_ = 1;  // keep every stride-th append
+  std::size_t seen_ = 0;    // appends observed since reset
+  std::vector<std::pair<double, double>> samples_;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, double>> gauges;                       // sorted by name
+  std::vector<std::pair<std::string, HistogramStats>> histograms;           // sorted by name
+  std::vector<std::pair<std::string, std::vector<std::pair<double, double>>>> series;  // sorted
+};
+
+// Process-wide registry, heap-allocated and never destroyed (same lifetime
+// contract as obs::Collector). Handles returned by gauge()/histogram()/
+// series() stay valid for the process lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  // Monotonic counters live in the Collector; this is a convenience
+  // passthrough so one registry handle reaches all four metric kinds.
+  Counter& counter(const std::string& name) { return Collector::global().counter(name); }
+
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  Series& series(const std::string& name);
+
+  // Snapshot of every registered metric, each kind sorted by name.
+  MetricsSnapshot snapshot() const;
+
+  // Zeroes gauges and clears histogram/series contents. Counter reset is
+  // Collector::reset(), as before.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+};
+
+// Records the per-head plan quality the run report's `quality.per_head`
+// section is assembled from: gauges `quality.L<layer>H<head>.retained_kv_frac`
+// and `quality.L<layer>H<head>.cra`. No-op when collection is disabled.
+void record_head_quality(long long layer, long long head, double retained_kv_frac, double cra);
+
+}  // namespace sattn::obs
+
+#if defined(SATTN_TRACE_DISABLED)
+
+#define SATTN_GAUGE_SET(name, v) \
+  do {                           \
+    (void)sizeof(name);          \
+    (void)sizeof(v);             \
+  } while (0)
+#define SATTN_HISTOGRAM(name, v) \
+  do {                           \
+    (void)sizeof(name);          \
+    (void)sizeof(v);             \
+  } while (0)
+#define SATTN_SERIES(name, t, v) \
+  do {                           \
+    (void)sizeof(name);          \
+    (void)sizeof(t);             \
+    (void)sizeof(v);             \
+  } while (0)
+
+#else
+
+// Sets the named gauge. `v` is evaluated only when collection is enabled.
+#define SATTN_GAUGE_SET(name, v)                                   \
+  do {                                                             \
+    if (::sattn::obs::enabled()) {                                 \
+      ::sattn::obs::MetricsRegistry::global().gauge(name).set(     \
+          static_cast<double>(v));                                 \
+    }                                                              \
+  } while (0)
+
+// Observes `v` into the named log-bucketed histogram.
+#define SATTN_HISTOGRAM(name, v)                                     \
+  do {                                                               \
+    if (::sattn::obs::enabled()) {                                   \
+      ::sattn::obs::MetricsRegistry::global().histogram(name).observe( \
+          static_cast<double>(v));                                   \
+    }                                                                \
+  } while (0)
+
+// Appends (t, v) to the named bounded time-series.
+#define SATTN_SERIES(name, t, v)                                   \
+  do {                                                             \
+    if (::sattn::obs::enabled()) {                                 \
+      ::sattn::obs::MetricsRegistry::global().series(name).append( \
+          static_cast<double>(t), static_cast<double>(v));         \
+    }                                                              \
+  } while (0)
+
+#endif  // SATTN_TRACE_DISABLED

@@ -6,17 +6,10 @@
 #include <map>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace sattn::obs {
 namespace {
-
-// Nearest-rank percentile over an ascending-sorted sample.
-double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(sorted.size())));
-  const std::size_t idx = rank == 0 ? 0 : rank - 1;
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
 
 struct PathAgg {
   std::vector<double> durations_us;
@@ -72,8 +65,8 @@ std::vector<SpanStat> summarize_spans(std::span<const SpanRecord> spans) {
     std::sort(a.durations_us.begin(), a.durations_us.end());
     for (double d : a.durations_us) s.total_us += d;
     s.mean_us = s.total_us / static_cast<double>(s.count);
-    s.p50_us = percentile(a.durations_us, 0.50);
-    s.p99_us = percentile(a.durations_us, 0.99);
+    s.p50_us = percentile_nearest_rank(a.durations_us, 0.50);
+    s.p99_us = percentile_nearest_rank(a.durations_us, 0.99);
     stats.push_back(std::move(s));
   }
 

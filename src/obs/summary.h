@@ -14,6 +14,12 @@
 
 namespace sattn::obs {
 
+// Percentiles use the nearest-rank definition (obs/metrics.h's
+// percentile_nearest_rank): p(q) is the sample at 1-indexed rank
+// ceil(q * count), so every reported percentile is an actually observed
+// duration. Small-sample behaviour is therefore exact, never interpolated:
+// with one sample p50 == p99 == that sample; with two samples p50 is the
+// faster one and p99 the slower one.
 struct SpanStat {
   std::string path;   // parent names joined with " > ", leaf last
   std::string name;   // leaf span name
@@ -40,6 +46,8 @@ std::size_t span_count(std::span<const SpanRecord> spans, std::string_view name)
 
 // Human-readable report: the span tree with count/total/mean/p50/p99 plus a
 // table of counter values. Used by the bench binaries' trace sessions.
+// Stable for empty collectors: with no spans and no counters it returns the
+// single line "(no spans or counters recorded)".
 std::string render_summary(std::span<const SpanRecord> spans,
                            std::span<const CounterValue> counters);
 

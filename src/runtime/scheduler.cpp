@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/rng.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace sattn {
@@ -74,6 +75,7 @@ std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> req
       ++next;
       SATTN_COUNTER_ADD("sched.requests_enqueued", 1);
       SATTN_COUNTER_MAX("sched.queue_depth_peak", queue.size());
+      SATTN_SERIES("sched.queue_depth", t, queue.size());
     }
   };
 
@@ -103,6 +105,8 @@ std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> req
     now += slice;
     admit_until(now);
     if (finished) {
+      SATTN_HISTOGRAM("sched.ttft_seconds", now - job.req.arrival_seconds);
+      SATTN_SERIES("sched.queue_depth", now, queue.size());
       done.push_back({job.req, job.start, now, 0, 1});
       SATTN_COUNTER_ADD("sched.requests_completed", 1);
     } else {
@@ -187,6 +191,7 @@ StatusOr<SloServingResult> simulate_queue_slo(std::span<const ServingRequest> re
       queue.push_back({std::move(req), 0, 0.0, -1.0, 0.0, 0, 1});
       SATTN_COUNTER_ADD("sched.requests_enqueued", 1);
       SATTN_COUNTER_MAX("sched.queue_depth_peak", queue.size());
+      SATTN_SERIES("sched.queue_depth", t, queue.size());
     }
   };
 
@@ -300,6 +305,8 @@ StatusOr<SloServingResult> simulate_queue_slo(std::span<const ServingRequest> re
       SATTN_COUNTER_ADD("sched.requests_degraded", 1);
     }
     ++result.served_per_level[static_cast<std::size_t>(job.level)];
+    SATTN_HISTOGRAM("sched.ttft_seconds", ttft);
+    SATTN_SERIES("sched.queue_depth", now, queue.size());
     result.completed.push_back({std::move(job.req), job.start, now, job.level, job.attempts});
     SATTN_COUNTER_ADD("sched.requests_completed", 1);
   }
@@ -321,15 +328,8 @@ ServingSummary summarize(std::span<const CompletedRequest> completed) {
   s.mean_ttft /= static_cast<double>(completed.size());
   s.mean_queueing /= static_cast<double>(completed.size());
   std::sort(ttfts.begin(), ttfts.end());
-  const auto percentile = [&](double q) {
-    const std::size_t n = ttfts.size();
-    const std::size_t idx = std::min(
-        n - 1, static_cast<std::size_t>(std::ceil(q * static_cast<double>(n))) -
-                   (q > 0.0 ? 1 : 0));
-    return ttfts[idx];
-  };
-  s.p50_ttft = percentile(0.50);
-  s.p99_ttft = percentile(0.99);
+  s.p50_ttft = obs::percentile_nearest_rank(ttfts, 0.50);
+  s.p99_ttft = obs::percentile_nearest_rank(ttfts, 0.99);
   return s;
 }
 

@@ -9,6 +9,7 @@
 
 #include "attention/flash_attention.h"
 #include "attention/sparse_flash_attention.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "robust/validate.h"
 
@@ -140,6 +141,9 @@ Status guarded_sample_attention(const AttentionInput& in, const SampleAttentionC
     rep.coverage = achieved_coverage(plan);
     rep.density = plan.density;
     rep.overhead += plan.overhead_fraction;
+    // Ladder-depth and achieved-coverage distributions for the run report.
+    SATTN_HISTOGRAM("guard.ladder_rungs", rep.plan_rejects);
+    SATTN_HISTOGRAM("guard.coverage", rep.coverage);
     if (report != nullptr) *report = std::move(rep);
     return Status::Ok();
   }

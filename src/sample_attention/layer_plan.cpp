@@ -1,6 +1,7 @@
 #include "sample_attention/layer_plan.h"
 
 #include "attention/sparse_flash_attention.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace sattn {
@@ -19,6 +20,8 @@ LayerPlan plan_layer(const ModelConfig& model, const ContentSpec& content, Index
       plan.head_plans.push_back(plan_sample_attention(in, opts.cfg));
       plan.mean_overhead += plan.head_plans.back().overhead_fraction;
       ++plan.planned_heads;
+      obs::record_head_quality(layer, head, plan.head_plans.back().density,
+                               plan.head_plans.back().filter.coverage);
     } else {
       // Reuse the group leader's selection; the window is identical by
       // construction and the leader's I_KV stands in for the group.

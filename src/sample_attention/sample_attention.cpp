@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "attention/sparse_flash_attention.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace sattn {
@@ -47,6 +48,12 @@ SamplePlan plan_sample_attention(const AttentionInput& in, const SampleAttention
   SamplePlan plan{std::move(mask), std::move(filtered), std::move(stage1), 0.0, 0.0};
   plan.overhead_fraction = sampling_overhead_fraction(plan.stage1, sq, sk);
   plan.density = plan.mask.density();
+  // Retained-KV fraction and achieved Stage-2 coverage distributions for
+  // the run report (io/run_report.h): the paper's Table 1 / Fig 5 trade-off
+  // quantities, recorded per planned head.
+  SATTN_HISTOGRAM("sattn.plan.density", plan.density);
+  SATTN_HISTOGRAM("sattn.plan.coverage", plan.filter.coverage);
+  SATTN_HISTOGRAM("sattn.plan.overhead_frac", plan.overhead_fraction);
   return plan;
 }
 

@@ -1,0 +1,108 @@
+// bench_diff — compares two structured run reports (io/run_report.h) and
+// exits non-zero when the candidate regresses against the baseline. The
+// CLI behind scripts/check_bench_regression.sh; gate semantics live in
+// io/report_diff.h.
+//
+// Usage:
+//   bench_diff [flags] <baseline.json> <candidate.json>
+//
+// Flags:
+//   --latency-threshold=F  relative latency regression threshold (default 0.20)
+//   --min-latency-us=F     ignore spans with mean below this (default 500)
+//   --quality-threshold=F  absolute CRA/coverage/recovery drop allowed (default 0.005)
+//   --ignore-latency       gate on quality metrics only (for cross-machine
+//                          comparisons where wall-clock is not comparable)
+//   --verbose              also print within-noise / missing / new entries
+//
+// Exit codes: 0 = no regression, 1 = regression detected, 2 = usage or
+// parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/report_diff.h"
+#include "io/run_report.h"
+
+using namespace sattn;
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitRegression = 1;
+constexpr int kExitError = 2;
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff [--latency-threshold=F] [--min-latency-us=F]\n"
+               "                  [--quality-threshold=F] [--ignore-latency] [--verbose]\n"
+               "                  <baseline.json> <candidate.json>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DiffOptions opts;
+  bool verbose = false;
+  std::vector<std::string> paths;
+  for (int a = 1; a < argc; ++a) {
+    const std::string_view arg = argv[a];
+    const auto value_of = [&](std::string_view name) -> const char* {
+      if (arg.size() > name.size() + 1 && arg.substr(0, name.size()) == name &&
+          arg[name.size()] == '=') {
+        return argv[a] + name.size() + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value_of("--latency-threshold")) {
+      opts.latency_rel_threshold = std::atof(v);
+    } else if (const char* v = value_of("--min-latency-us")) {
+      opts.latency_min_us = std::atof(v);
+    } else if (const char* v = value_of("--quality-threshold")) {
+      opts.quality_abs_threshold = std::atof(v);
+    } else if (arg == "--ignore-latency") {
+      opts.check_latency = false;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return kExitOk;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_diff: unknown flag %s\n", argv[a]);
+      usage();
+      return kExitError;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    usage();
+    return kExitError;
+  }
+
+  auto baseline = load_run_report(paths[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", paths[0].c_str(),
+                 baseline.status().to_string().c_str());
+    return kExitError;
+  }
+  auto candidate = load_run_report(paths[1]);
+  if (!candidate.ok()) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", paths[1].c_str(),
+                 candidate.status().to_string().c_str());
+    return kExitError;
+  }
+
+  std::printf("baseline:  %s (git %s)\n", paths[0].c_str(),
+              baseline.value().meta.count("git_rev") ? baseline.value().meta.at("git_rev").c_str()
+                                                     : "?");
+  std::printf("candidate: %s (git %s)\n\n", paths[1].c_str(),
+              candidate.value().meta.count("git_rev")
+                  ? candidate.value().meta.at("git_rev").c_str()
+                  : "?");
+
+  const DiffResult result = diff_reports(baseline.value(), candidate.value(), opts);
+  std::fputs(render_diff(result, verbose).c_str(), stdout);
+  return result.has_regression() ? kExitRegression : kExitOk;
+}

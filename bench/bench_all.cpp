@@ -61,14 +61,14 @@ int main(int argc, char** argv) {
   if (!only.empty()) to_run = only;
 
   std::vector<RunReport> reports;
-  int failures = 0;
+  std::vector<std::string> failed;
   for (const std::string& name : to_run) {
     const fs::path bin = bin_dir / name;
     std::error_code ec;
     if (!fs::exists(bin, ec)) {
       std::fprintf(stderr, "bench_all: %s not found next to bench_all — skipping\n",
                    bin.string().c_str());
-      ++failures;
+      failed.push_back(name);
       continue;
     }
     const std::string report_path = bench::out_path(name + ".report.json");
@@ -81,14 +81,14 @@ int main(int argc, char** argv) {
     if (rc != 0) {
       std::fprintf(stderr, "bench_all: %s exited with status %d (see %s) — skipping\n",
                    name.c_str(), rc, log_path.c_str());
-      ++failures;
+      failed.push_back(name);
       continue;
     }
     auto report = load_run_report(report_path);
     if (!report.ok()) {
       std::fprintf(stderr, "bench_all: could not load %s: %s\n", report_path.c_str(),
                    report.status().to_string().c_str());
-      ++failures;
+      failed.push_back(name);
       continue;
     }
     reports.push_back(std::move(report).value());
@@ -103,11 +103,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_all: merge failed: %s\n", merged.status().to_string().c_str());
     return 1;
   }
+  if (!failed.empty()) {
+    // Record which benches died in the merged report itself, so a partial
+    // BENCH_sattn.json is self-describing (schema v2 meta.failed_benches).
+    std::string joined;
+    for (const std::string& name : failed) {
+      if (!joined.empty()) joined += ',';
+      joined += name;
+    }
+    merged.value().meta["failed_benches"] = joined;
+  }
   if (!write_run_report(merged_path, merged.value())) {
     std::fprintf(stderr, "bench_all: could not write %s\n", merged_path.c_str());
     return 1;
   }
-  std::printf("bench_all: merged %zu bench report(s) into %s (%d failure(s))\n",
-              reports.size(), merged_path.c_str(), failures);
-  return failures == 0 ? 0 : 1;
+  std::printf("bench_all: merged %zu bench report(s) into %s (%zu failure(s))\n",
+              reports.size(), merged_path.c_str(), failed.size());
+  return failed.empty() ? 0 : 1;
 }

@@ -16,10 +16,12 @@
 #include "baselines/streaming_llm.h"
 #include "io/run_report.h"
 #include "io/trace_export.h"
+#include "obs/accounting.h"
 #include "obs/metrics.h"
 #include "obs/summary.h"
 #include "obs/trace.h"
 #include "perf/latency_report.h"
+#include "perf/model_validation.h"
 #include "sample_attention/sample_attention.h"
 
 namespace sattn::bench {
@@ -125,6 +127,11 @@ class TraceSession {
   }
 
   ~TraceSession() {
+    // Fold the resource accountant into `acct.*` gauges and cross-validate
+    // it against the analytic cost model (`perf.model_error.*`) before the
+    // report snapshot, so every --report-out JSON carries both.
+    obs::publish_accounting();
+    perf::publish_model_error();
     const obs::Collector& col = obs::Collector::global();
     if (obs::enabled()) {
       const auto spans = col.spans();

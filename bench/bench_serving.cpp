@@ -15,6 +15,8 @@
 // make the deadline. Flags: --fault-rate=F --deadline-s=D --slo-ttft-s=T.
 #include <algorithm>
 #include <cstdio>
+#include <string>
+#include <tuple>
 
 #include "bench_common.h"
 #include "io/report.h"
@@ -68,12 +70,18 @@ int main(int argc, char** argv) {
                  "makespan_s"});
   TextTable t({"engine", "scheduler", "mean TTFT", "max TTFT", "mean queueing", "makespan"});
   double fcfs_fa2_mean = 0.0, fcfs_sa_mean = 0.0;
-  for (auto [name, engine] : {std::pair<const char*, const Engine*>{"SDPA", &sdpa},
-                              {"FlashAttention2", &fa2},
-                              {"SampleAttention(0.95)", &sa}}) {
-    for (auto [sched, quantum] :
-         {std::pair<const char*, Index>{"FCFS", 0}, {"chunked RR (8K)", 8192}}) {
-      const ServingSummary s = summarize(simulate_queue(trace, *engine, quantum));
+  for (auto [name, label, engine] :
+       {std::tuple<const char*, const char*, const Engine*>{"SDPA", "sdpa", &sdpa},
+        {"FlashAttention2", "fa2", &fa2},
+        {"SampleAttention(0.95)", "sa", &sa}}) {
+    for (auto [sched, sched_label, quantum] :
+         {std::tuple<const char*, const char*, Index>{"FCFS", "fcfs", 0},
+          {"chunked RR (8K)", "rr8192", 8192}}) {
+      // Per-run label namespaces the request.<label>/<id>.* attribution
+      // gauges so the six engine x scheduler runs stay distinguishable in
+      // the report's per_request view.
+      const std::string run_label = std::string(label) + "_" + sched_label;
+      const ServingSummary s = summarize(simulate_queue(trace, *engine, quantum, run_label));
       t.add_row({name, sched, fmt(s.mean_ttft, 1) + "s", fmt(s.max_ttft, 1) + "s",
                  fmt(s.mean_queueing, 1) + "s", fmt(s.makespan, 1) + "s"});
       csv.add_row({name, sched, fmt(s.mean_ttft, 3), fmt(s.max_ttft, 3),
@@ -103,9 +111,10 @@ int main(int argc, char** argv) {
   slo.retry_backoff_seconds = 2.0;
 
   TextTable slo_table({"engine", "served", "shed", "degraded", "retried", "p50 TTFT", "p99 TTFT"});
-  for (auto [name, engine] :
-       {std::pair<const char*, const Engine*>{"FlashAttention2", &fa2},
-        {"SampleAttention(0.95)", &sa}}) {
+  for (auto [name, label, engine] :
+       {std::tuple<const char*, const char*, const Engine*>{"FlashAttention2", "slo_fa2", &fa2},
+        {"SampleAttention(0.95)", "slo_sa", &sa}}) {
+    slo.run_label = label;
     const auto res = simulate_queue_slo(overload, *engine, slo);
     if (!res.ok()) {
       std::printf("simulate_queue_slo failed: %s\n", res.status().to_string().c_str());

@@ -68,6 +68,11 @@ if ! grep -q '^## Run reports & regression gating' docs/OBSERVABILITY.md; then
   fail=1
 fi
 
+if ! grep -q '^## Resource accounting & cost-model validation' docs/OBSERVABILITY.md; then
+  echo "check_docs: docs/OBSERVABILITY.md is missing the 'Resource accounting & cost-model validation' section" >&2
+  fail=1
+fi
+
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED" >&2
   exit 1

@@ -1,14 +1,22 @@
 #!/usr/bin/env bash
-# Tier-1 tests under AddressSanitizer + UndefinedBehaviorSanitizer
-# (docs/ROBUSTNESS.md). Builds a side tree with -DSATTN_SANITIZE and runs
-# the full ctest suite; any ASan/UBSan report fails the run.
+# Sanitizer suites (docs/ROBUSTNESS.md):
 #
-# Usage: check_sanitizers.sh [repo-root] [build-dir]
+#   1. ASan+UBSan: builds a side tree with -DSATTN_SANITIZE=address,undefined
+#      and runs the full ctest suite; any report fails the run.
+#   2. TSan: builds a second side tree with -DSATTN_SANITIZE=thread and runs
+#      the concurrency-heavy binaries — obs_test, scheduler_test, and
+#      accounting_test — since the span collector, metrics registry, and
+#      resource accountant are written from pool worker threads.
+#
+# Usage: check_sanitizers.sh [repo-root] [build-dir] [tsan-build-dir]
 # Opt-in ctest entry: configure with -DSATTN_SANITIZER_CTEST=ON.
 set -eu
 
 root="${1:-.}"
 build="${2:-$root/build-sanitize}"
+build_tsan="${3:-$root/build-tsan}"
+
+# ---- 1. ASan + UBSan over the full tier-1 suite ----------------------------
 
 cmake -B "$build" -S "$root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -26,3 +34,22 @@ ctest --test-dir "$build" -j "$(nproc)" --output-on-failure \
   -E "^(check_docs|check_sanitizers)$"
 
 echo "sanitizer suite passed: address,undefined"
+
+# ---- 2. ThreadSanitizer over the thread-hammering tests --------------------
+
+cmake -B "$build_tsan" -S "$root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSATTN_SANITIZE=thread >/dev/null
+cmake --build "$build_tsan" -j "$(nproc)" \
+  --target obs_test --target scheduler_test --target accounting_test >/dev/null
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+# The disabled-mode overhead smoke test is a wall-time comparison; it skips
+# itself under sanitizers, but filter it anyway so the TSan log stays about
+# races, not timing.
+"$build_tsan/tests/obs_test"
+"$build_tsan/tests/scheduler_test"
+"$build_tsan/tests/accounting_test" --gtest_filter='-*Overhead*'
+
+echo "sanitizer suite passed: thread (obs_test, scheduler_test, accounting_test)"

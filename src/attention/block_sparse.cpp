@@ -1,10 +1,12 @@
 #include "attention/block_sparse.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "attention/flash_attention.h"
 #include "core/thread_pool.h"
+#include "obs/accounting.h"
 #include "obs/trace.h"
 
 namespace sattn {
@@ -90,16 +92,11 @@ void block_sparse_attention(const AttentionInput& in, const BlockSparseLayout& l
   const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
   assert(layout.sq() == sq && layout.sk() == sk);
   SATTN_SPAN("kernel/block_sparse");
-  if (obs::enabled()) {
-    const double evals = layout.density() * causal_pairs(sq, sk);
-    SATTN_COUNTER_ADD("attn.kernel_score_evals", evals);
-    SATTN_COUNTER_ADD("attn.kernel_flops", 4.0 * static_cast<double>(d) * evals);
-    SATTN_COUNTER_ADD("attn.kernel_bytes", 8.0 * static_cast<double>(d) * evals);
-    SATTN_COUNTER_ADD("attn.block_sparse_tiles", layout.active_tiles());
-  }
+  SATTN_COUNTER_ADD("attn.block_sparse_tiles", layout.active_tiles());
   out.resize(sq, d);
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
   const Index block = layout.block();
+  std::atomic<double> evals_total{0.0};
 
   parallel_for(layout.n_qblocks(), [&](Index qb) {
     const Index q_lo = qb * block;
@@ -109,6 +106,7 @@ void block_sparse_attention(const AttentionInput& in, const BlockSparseLayout& l
     state.reserve(static_cast<std::size_t>(rows));
     for (Index r = 0; r < rows; ++r) state.emplace_back(d);
     std::vector<float> logits;
+    double tile_evals = 0.0;
 
     for (Index kb : layout.active_kblocks(qb)) {
       const Index k_lo = kb * block;
@@ -120,12 +118,18 @@ void block_sparse_attention(const AttentionInput& in, const BlockSparseLayout& l
         if (hi <= k_lo) continue;
         absorb_key_run(state[static_cast<std::size_t>(r)], in, in.q.row(i), scale, k_lo, hi,
                        logits);
+        tile_evals += static_cast<double>(hi - k_lo);
       }
     }
     for (Index r = 0; r < rows; ++r) {
       state[static_cast<std::size_t>(r)].finalize(out.row(q_lo + r));
     }
+    evals_total.fetch_add(tile_evals, std::memory_order_relaxed);
   });
+  // Metadata: 8 bytes per active (qb, kb) tile descriptor.
+  obs::charge_attention_kernel("block_sparse", sq, sk, d, evals_total.load(),
+                               /*score_bytes=*/0.0,
+                               /*meta_bytes=*/8.0 * static_cast<double>(layout.active_tiles()));
 }
 
 }  // namespace sattn

@@ -1,10 +1,12 @@
 #include "attention/flash_attention.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <vector>
 
 #include "core/thread_pool.h"
+#include "obs/accounting.h"
 #include "obs/trace.h"
 
 namespace sattn {
@@ -60,10 +62,11 @@ void flash_attention(const AttentionInput& in, Matrix& out, const FlashConfig& c
   const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
   assert(cfg.tile_q > 0 && cfg.tile_k > 0);
   SATTN_SPAN("kernel/flash");
-  SATTN_COUNTER_ADD("attn.kernel_score_evals", causal_pairs(sq, sk));
-  SATTN_COUNTER_ADD("attn.kernel_flops", 4.0 * static_cast<double>(d) * causal_pairs(sq, sk));
-  SATTN_COUNTER_ADD("attn.kernel_bytes", 8.0 * static_cast<double>(d) * causal_pairs(sq, sk));
   out.resize(sq, d);
+  // Measured score-eval tally: accumulated per q-tile in a plain local and
+  // folded into one atomic add per tile, then charged on the calling thread
+  // after the parallel loop (see obs/accounting.h).
+  std::atomic<double> evals_total{0.0};
 
   const Index n_qtiles = (sq + cfg.tile_q - 1) / cfg.tile_q;
   parallel_for(n_qtiles, [&](Index qt) {
@@ -80,6 +83,7 @@ void flash_attention(const AttentionInput& in, Matrix& out, const FlashConfig& c
 
     // The last key any row of this tile may see (causal).
     const Index tile_k_max = causal_limit(q_hi - 1, sq, sk);
+    double tile_evals = 0.0;
     for (Index k_lo = 0; k_lo <= tile_k_max; k_lo += cfg.tile_k) {
       const Index k_hi = std::min(tile_k_max + 1, k_lo + cfg.tile_k);
       for (Index r = 0; r < rows; ++r) {
@@ -87,6 +91,7 @@ void flash_attention(const AttentionInput& in, Matrix& out, const FlashConfig& c
         const Index lim = causal_limit(i, sq, sk);
         if (k_lo > lim) continue;  // entire tile masked for this row
         const Index jn = std::min(k_hi, lim + 1);
+        tile_evals += static_cast<double>(jn - k_lo);
         const auto qi = in.q.row(i);
         float tile_max = -std::numeric_limits<float>::infinity();
         for (Index j = k_lo; j < jn; ++j) {
@@ -120,7 +125,11 @@ void flash_attention(const AttentionInput& in, Matrix& out, const FlashConfig& c
       auto arow = acc.row(r);
       for (Index t = 0; t < d; ++t) orow[static_cast<std::size_t>(t)] = arow[static_cast<std::size_t>(t)] * inv;
     }
+    evals_total.fetch_add(tile_evals, std::memory_order_relaxed);
   });
+  // No score traffic: tile logits never leave the tile-local buffer (the
+  // point of the flash formulation).
+  obs::charge_attention_kernel("flash", sq, sk, d, evals_total.load());
 }
 
 AttentionResult FlashAttention::run_impl(const AttentionInput& in) const {

@@ -1,11 +1,13 @@
 #include "attention/full_attention.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <vector>
 
 #include "core/numerics.h"
 #include "core/thread_pool.h"
+#include "obs/accounting.h"
 #include "obs/trace.h"
 
 namespace sattn {
@@ -25,10 +27,11 @@ void full_attention(const AttentionInput& in, Matrix& out) {
   const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
   assert(in.k.rows() == in.v.rows() && in.k.cols() == d && in.v.cols() == d);
   SATTN_SPAN("kernel/full");
-  SATTN_COUNTER_ADD("attn.kernel_score_evals", causal_pairs(sq, sk));
-  SATTN_COUNTER_ADD("attn.kernel_flops", 4.0 * static_cast<double>(d) * causal_pairs(sq, sk));
-  SATTN_COUNTER_ADD("attn.kernel_bytes", 8.0 * static_cast<double>(d) * causal_pairs(sq, sk));
   out.resize(sq, d);
+  // Measured trip counts, tallied by the pool workers and charged once on
+  // the calling thread (where the AcctScope/RequestContext attribution
+  // thread-locals live).
+  std::atomic<double> evals_total{0.0};
   parallel_for(sq, [&](Index i) {
     std::vector<float> row(static_cast<std::size_t>(sk));
     logits_row(in, i, row);
@@ -39,7 +42,14 @@ void full_attention(const AttentionInput& in, Matrix& out) {
       const float p = row[static_cast<std::size_t>(j)];
       if (p != 0.0f) axpy(p, in.v.row(j), oi);
     }
+    evals_total.fetch_add(static_cast<double>(lim + 1), std::memory_order_relaxed);
   });
+  // Score traffic: logits_row materializes the whole [sq x sk] buffer (one
+  // write pass) and the softmax/PV loop reads the causal prefix back.
+  const double score_bytes =
+      obs::kAcctBytesPerElement *
+      (static_cast<double>(sq) * static_cast<double>(sk) + evals_total.load());
+  obs::charge_attention_kernel("full", sq, sk, d, evals_total.load(), score_bytes);
 }
 
 Matrix full_attention_scores(const AttentionInput& in) {

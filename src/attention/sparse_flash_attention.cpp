@@ -1,10 +1,12 @@
 #include "attention/sparse_flash_attention.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "attention/flash_attention.h"
 #include "core/thread_pool.h"
+#include "obs/accounting.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -25,17 +27,13 @@ void sparse_flash_attention(const AttentionInput& in, const StructuredMask& mask
   const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
   assert(mask.sq() == sq && mask.sk() == sk);
   SATTN_SPAN("kernel/sparse_flash");
-  if (obs::enabled()) {
-    // mask.density() walks the structure per row, so only pay for it when
-    // the counters are live.
-    const double evals = sparse_flash_work(mask);
-    SATTN_COUNTER_ADD("attn.kernel_score_evals", evals);
-    SATTN_COUNTER_ADD("attn.kernel_flops", 4.0 * static_cast<double>(d) * evals);
-    SATTN_COUNTER_ADD("attn.kernel_bytes", 8.0 * static_cast<double>(d) * evals);
-    SATTN_COUNTER_ADD("sattn.mask_stripe_columns", mask.stripe_columns().size());
-    SATTN_HISTOGRAM("kernel.sparse_flash.score_evals", evals);
-  }
+  SATTN_COUNTER_ADD("sattn.mask_stripe_columns", mask.stripe_columns().size());
   out.resize(sq, d);
+  // Measured work: actual absorbed run lengths and block cells, plus the
+  // mask metadata the kernel walks (8 bytes per band run / stripe run /
+  // block descriptor read per row).
+  std::atomic<double> evals_total{0.0};
+  std::atomic<double> meta_reads{0.0};
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
   const auto& stripe_runs = mask.stripe_runs();
   const auto& blocks = mask.blocks();
@@ -51,11 +49,15 @@ void sparse_flash_attention(const AttentionInput& in, const StructuredMask& mask
     OnlineSoftmaxRow st(d);
     std::vector<float> logits;
     const auto qi = in.q.row(i);
+    double row_evals = 0.0;
 
     // 1. Diagonal bands (the local window plus any extra bands), as
     //    disjoint runs.
     const std::vector<ColumnRun> bands = mask.band_runs_for_row(i);
-    for (const ColumnRun& run : bands) absorb_key_run(st, in, qi, scale, run.lo, run.hi, logits);
+    for (const ColumnRun& run : bands) {
+      absorb_key_run(st, in, qi, scale, run.lo, run.hi, logits);
+      row_evals += static_cast<double>(std::max<Index>(0, run.hi - run.lo));
+    }
 
     // 2. Stripe runs, minus the parts already covered by a band.
     for (const ColumnRun& run : stripe_runs) {
@@ -64,11 +66,18 @@ void sparse_flash_attention(const AttentionInput& in, const StructuredMask& mask
       for (const ColumnRun& band : bands) {
         if (band.hi <= lo) continue;
         if (band.lo >= hi) break;
-        if (band.lo > lo) absorb_key_run(st, in, qi, scale, lo, std::min(band.lo, hi), logits);
+        if (band.lo > lo) {
+          const Index seg_hi = std::min(band.lo, hi);
+          absorb_key_run(st, in, qi, scale, lo, seg_hi, logits);
+          row_evals += static_cast<double>(std::max<Index>(0, seg_hi - lo));
+        }
         lo = std::max(lo, band.hi);
         if (lo >= hi) break;
       }
-      if (lo < hi) absorb_key_run(st, in, qi, scale, lo, hi, logits);
+      if (lo < hi) {
+        absorb_key_run(st, in, qi, scale, lo, hi, logits);
+        row_evals += static_cast<double>(hi - lo);
+      }
     }
 
     // 3. Extra blocks (BigBird): cells not already covered.
@@ -80,10 +89,20 @@ void sparse_flash_attention(const AttentionInput& in, const StructuredMask& mask
         if (std::binary_search(stripe_cols.begin(), stripe_cols.end(), j)) continue;
         const float s = scale * dot(qi, in.k.row(j));
         st.absorb(s, in.v.row(j));
+        row_evals += 1.0;
       }
     }
     st.finalize(orow);
+    evals_total.fetch_add(row_evals, std::memory_order_relaxed);
+    meta_reads.fetch_add(
+        static_cast<double>(bands.size() + stripe_runs.size() + blocks.size()),
+        std::memory_order_relaxed);
   });
+  const double evals = evals_total.load();
+  SATTN_HISTOGRAM("kernel.sparse_flash.score_evals", evals);
+  obs::charge_attention_kernel("sparse_flash", sq, sk, d, evals,
+                               /*score_bytes=*/0.0,
+                               /*meta_bytes=*/8.0 * meta_reads.load());
 }
 
 double sparse_flash_work(const StructuredMask& mask) {

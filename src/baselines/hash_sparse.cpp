@@ -8,6 +8,7 @@
 #include "attention/flash_attention.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
+#include "obs/accounting.h"
 
 namespace sattn {
 namespace {
@@ -108,6 +109,10 @@ AttentionResult HashSparse::run_impl(const AttentionInput& in) const {
     evals_total.fetch_add(evals, std::memory_order_relaxed);
   });
 
+  // Selection metadata: one bucket id per q/k row.
+  obs::charge_attention_kernel("hash", sq, sk, d, static_cast<double>(evals_total.load()),
+                               /*score_bytes=*/0.0,
+                               /*meta_bytes=*/4.0 * static_cast<double>(sq + sk));
   res.density = static_cast<double>(evals_total.load()) / causal_pairs(sq, sk);
   res.overhead_density = static_cast<double>(cfg_.num_buckets) *
                          static_cast<double>(sq + sk) / (2.0 * causal_pairs(sq, sk));

@@ -8,6 +8,7 @@
 #include "attention/flash_attention.h"
 #include "core/rng.h"
 #include "core/thread_pool.h"
+#include "obs/accounting.h"
 
 namespace sattn {
 namespace {
@@ -94,6 +95,13 @@ AttentionResult HyperAttention::run_impl(const AttentionInput& in) const {
     evals_total.fetch_add(static_cast<long long>(sel.size()), std::memory_order_relaxed);
   });
 
+  // Selection metadata: one bucket id per q/k row plus the sampled-column
+  // list each row consults.
+  obs::charge_attention_kernel("hyper", sq, sk, d,
+                               static_cast<double>(evals_total.load()),
+                               /*score_bytes=*/0.0,
+                               /*meta_bytes=*/4.0 * static_cast<double>(sq + sk) +
+                                   8.0 * static_cast<double>(sampled.size()));
   res.density = static_cast<double>(evals_total.load()) / causal_pairs(sq, sk);
   // Hashing cost: one `hash_bits x d` projection pass over Q and K, vs the
   // ~2 * Sk * d flops of a full attention row — expressed as a fraction of

@@ -69,7 +69,10 @@ void diff_bench(const BenchReport& base, const BenchReport& cand, const DiffOpti
   }
 
   // Gauges: quality metrics gate; everything else is informational.
+  // perf.model_error.* gauges are handled by the candidate-side loop below
+  // (they gate on the candidate's absolute value, not the delta).
   for (const auto& [name, base_v] : base.gauges) {
+    if (is_model_error_metric(name)) continue;
     const auto it = cand.gauges.find(name);
     DiffEntry e;
     e.bench = base.name;
@@ -83,6 +86,24 @@ void diff_bench(const BenchReport& base, const BenchReport& cand, const DiffOpti
       e.verdict = e.quality ? quality_verdict(base_v, it->second, opts)
                             : DiffVerdict::kWithinNoise;
     }
+    count_verdict(result, e);
+    result.entries.push_back(std::move(e));
+  }
+
+  // Cost-model error: candidate-side absolute gate. Driven by the CANDIDATE
+  // report so a freshly-instrumented kernel (no baseline gauge yet) is still
+  // checked; the baseline value is attached when present, for the rendered
+  // table.
+  for (const auto& [name, cand_v] : cand.gauges) {
+    if (!is_model_error_metric(name)) continue;
+    DiffEntry e;
+    e.bench = base.name;
+    e.metric = "gauge:" + name;
+    e.candidate = cand_v;
+    const auto it = base.gauges.find(name);
+    if (it != base.gauges.end()) e.baseline = it->second;
+    e.verdict = cand_v > opts.model_error_threshold ? DiffVerdict::kRegression
+                                                    : DiffVerdict::kWithinNoise;
     count_verdict(result, e);
     result.entries.push_back(std::move(e));
   }
@@ -121,6 +142,10 @@ bool is_quality_metric(const std::string& name) {
   return name.find(".cra") != std::string::npos ||
          name.find("coverage") != std::string::npos ||
          name.find("recovery") != std::string::npos;
+}
+
+bool is_model_error_metric(const std::string& name) {
+  return name.rfind("perf.model_error.", 0) == 0;
 }
 
 DiffResult diff_reports(const RunReport& baseline, const RunReport& candidate,

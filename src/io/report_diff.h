@@ -15,9 +15,16 @@
 //     higher is better, and ANY drop beyond `quality_abs_threshold` is a
 //     regression regardless of latency settings — the paper's near-lossless
 //     contract is not allowed to decay quietly.
+//   * Cost-model error (`perf.model_error.*` gauges, published by
+//     perf/model_validation.h): gated on the CANDIDATE value alone — a
+//     kernel whose accounted FLOPs/bytes drift more than
+//     `model_error_threshold` relative from the analytic A100 model is a
+//     regression even when the baseline already drifted, because the
+//     speedup-projection benches depend on the model staying truthful.
 //
-// Metrics present on only one side are reported as missing/new but never
-// gate (bench subsets and new instrumentation must not break the gate).
+// Other metrics present on only one side are reported as missing/new but
+// never gate (bench subsets and new instrumentation must not break the
+// gate).
 #pragma once
 
 #include <string>
@@ -35,6 +42,7 @@ struct DiffOptions {
   double latency_rel_threshold = 0.20;  // 20% slower == regression
   double latency_min_us = 500.0;        // ignore spans faster than this
   double quality_abs_threshold = 0.005; // absolute CRA/recovery drop allowed
+  double model_error_threshold = 0.05;  // max perf.model_error.* gauge value
   bool check_latency = true;            // false: gate on quality only
 };
 
@@ -59,6 +67,11 @@ struct DiffResult {
 // True when the metric name is gated as a quality (higher-is-better)
 // metric: contains ".cra", "coverage", or "recovery".
 bool is_quality_metric(const std::string& name);
+
+// True when the gauge is a cost-model validation error (name starts with
+// "perf.model_error."): gated on the candidate's absolute value against
+// DiffOptions::model_error_threshold.
+bool is_model_error_metric(const std::string& name);
 
 DiffResult diff_reports(const RunReport& baseline, const RunReport& candidate,
                         const DiffOptions& opts = {});

@@ -41,6 +41,11 @@ JsonValue hist_json(const obs::HistogramStats& h) {
   o.set("p50", h.p50);
   o.set("p90", h.p90);
   o.set("p99", h.p99);
+  // v2: exemplar ids linking the tail to a specific observation. Emitted
+  // only when the histogram was actually tagged, so untagged histograms
+  // serialize byte-identically to schema v1.
+  if (!h.max_exemplar.empty()) o.set("max_exemplar", h.max_exemplar);
+  if (!h.p99_exemplar.empty()) o.set("p99_exemplar", h.p99_exemplar);
   return o;
 }
 
@@ -53,6 +58,8 @@ obs::HistogramStats hist_from_json(const JsonValue& o) {
   h.p50 = o.get("p50").as_number();
   h.p90 = o.get("p90").as_number();
   h.p99 = o.get("p99").as_number();
+  if (o.get("max_exemplar").is_string()) h.max_exemplar = o.get("max_exemplar").as_string();
+  if (o.get("p99_exemplar").is_string()) h.p99_exemplar = o.get("p99_exemplar").as_string();
   return h;
 }
 
@@ -141,6 +148,31 @@ JsonValue serving_json(const BenchReport& b, bool& present) {
   return s;
 }
 
+// Derived view (v2): per-request TTFT attribution records, grouped from the
+// `request.<id>.<field>` gauges the scheduler and model runner emit. The id
+// may itself contain dots or slashes (run labels like "sa_rr8192/req-003"),
+// so the field is everything after the LAST dot.
+JsonValue per_request_json(const BenchReport& b) {
+  std::map<std::string, std::map<std::string, double>> requests;
+  const std::string prefix = "request.";
+  for (const auto& [name, v] : b.gauges) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    const std::size_t dot_at = name.rfind('.');
+    if (dot_at == std::string::npos || dot_at <= prefix.size()) continue;
+    const std::string id = name.substr(prefix.size(), dot_at - prefix.size());
+    if (id.empty()) continue;
+    requests[id][name.substr(dot_at + 1)] = v;
+  }
+  JsonValue arr = JsonValue::array();
+  for (const auto& [id, fields] : requests) {
+    JsonValue rec = JsonValue::object();
+    rec.set("id", id);
+    for (const auto& [field, v] : fields) rec.set(field, v);
+    arr.push_back(std::move(rec));
+  }
+  return arr;
+}
+
 JsonValue bench_json(const BenchReport& b) {
   JsonValue o = JsonValue::object();
   o.set("name", b.name);
@@ -194,6 +226,8 @@ JsonValue bench_json(const BenchReport& b) {
   bool serving_present = false;
   JsonValue serving = serving_json(b, serving_present);
   if (serving_present) o.set("serving", std::move(serving));
+  JsonValue per_request = per_request_json(b);
+  if (per_request.size() > 0) o.set("per_request", std::move(per_request));
   return o;
 }
 

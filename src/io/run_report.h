@@ -2,13 +2,16 @@
 // bench run that the per-PR bench trajectory (BENCH_sattn.json) and the
 // regression gate (io/report_diff.h, tools/bench_diff) are built on.
 //
-// Schema (version 1; pinned by tests/golden/run_report_v1.json):
+// Schema (version 2; pinned by tests/golden/run_report_v2.json — version 1
+// documents, pinned by tests/golden/run_report_v1.json, still parse):
 //
 //   {
 //     "schema": "sattn.run_report",
-//     "version": 1,
+//     "version": 2,
 //     "meta": { "created_by", "git_rev", "build_type", "compiler",
-//               "cxx_flags", "threads", "benches": [...] },
+//               "cxx_flags", "threads", "benches": [...],
+//               // v2, bench_all only, comma-separated (absent when clean):
+//               "failed_benches": "bench_a,bench_b" },
 //     "benches": [
 //       {
 //         "name": "bench_serving",
@@ -17,7 +20,9 @@
 //         "counters":   { "sched.requests_completed": 24, ... },
 //         "gauges":     { "quality.L4H3.cra": 0.97, ... },
 //         "histograms": { "sched.ttft_seconds":
-//                           { "count","sum","min","max","p50","p90","p99" } },
+//                           { "count","sum","min","max","p50","p90","p99",
+//                             // v2, present only when exemplars were tagged:
+//                             "max_exemplar","p99_exemplar" } },
 //         "series":     { "sched.queue_depth": [[t, v], ...] },
 //         // Derived views, re-assembled from the raw maps at write time
 //         // (each omitted when its source metrics are absent):
@@ -27,7 +32,11 @@
 //                           "measured_overhead_share",
 //                           "predicted_overhead_share" } ],
 //         "serving":    { "completed","shed","degraded","retries",
-//                         "queue_depth_peak","ttft": {histogram stats} }
+//                         "queue_depth_peak","ttft": {histogram stats} },
+//         // v2: per-request TTFT attribution, from request.<id>.* gauges
+//         // (see docs/OBSERVABILITY.md "Resource accounting"):
+//         "per_request": [ { "id","queue_s","compute_s","guard_s",
+//                            "ttft_s", ... } ]
 //       }, ...
 //     ]
 //   }
@@ -36,9 +45,11 @@
 // the obs::Collector, and `gauges`/`histograms`/`series` from the
 // MetricsRegistry (obs/metrics.h). The derived sections are views over the
 // raw maps under the naming conventions of docs/OBSERVABILITY.md:
-// `quality.L<l>H<h>.*` gauges, `breakdown.S<len>.*` gauges, and `sched.*`
-// counters/metrics. Parsing keeps only the raw maps; writing re-derives the
-// views, so write -> parse -> write is byte-identical.
+// `quality.L<l>H<h>.*` gauges, `breakdown.S<len>.*` gauges, `sched.*`
+// counters/metrics, and `request.<id>.*` gauges. Parsing keeps only the
+// raw maps; writing re-derives the views, so write -> parse -> write is
+// byte-identical (for v1 documents too: the v2 additions are emitted only
+// when their source metrics exist, which v1 documents never carry).
 #pragma once
 
 #include <map>
@@ -52,7 +63,7 @@
 
 namespace sattn {
 
-inline constexpr int kRunReportVersion = 1;
+inline constexpr int kRunReportVersion = 2;
 inline constexpr const char* kRunReportSchema = "sattn.run_report";
 
 // One bench binary's worth of metrics.

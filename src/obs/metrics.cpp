@@ -32,31 +32,44 @@ double percentile_nearest_rank(const std::vector<double>& sorted, double q) {
   return sorted[rank - 1];
 }
 
-void Histogram::observe(double v) {
+void Histogram::observe(double v, std::string_view exemplar) {
   if (std::isnan(v)) return;
   std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) {
     min_ = max_ = v;
+    if (!exemplar.empty()) max_exemplar_ = exemplar;
   } else {
     min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
+    if (v >= max_) {
+      max_ = v;
+      if (!exemplar.empty()) max_exemplar_ = exemplar;
+    }
   }
   ++count_;
   sum_ += v;
-  ++buckets_[bucket_index(v)];
+  const int b = bucket_index(v);
+  ++buckets_[b];
+  if (!exemplar.empty()) exemplars_[b] = exemplar;
 }
 
 double Histogram::percentile_locked(double q) const {
   if (count_ == 0) return 0.0;
+  const int b = percentile_bucket_locked(q);
+  if (b < 0) return max_;
+  return std::clamp(bucket_mid(b), min_, max_);
+}
+
+int Histogram::percentile_bucket_locked(double q) const {
+  if (count_ == 0) return -1;
   auto rank = static_cast<std::size_t>(
       std::ceil(std::clamp(q, 0.0, 1.0) * static_cast<double>(count_)));
   rank = std::clamp<std::size_t>(rank, 1, count_);
   std::size_t seen = 0;
   for (const auto& [b, c] : buckets_) {
     seen += c;
-    if (seen >= rank) return std::clamp(bucket_mid(b), min_, max_);
+    if (seen >= rank) return b;
   }
-  return max_;
+  return buckets_.empty() ? -1 : buckets_.rbegin()->first;
 }
 
 HistogramStats Histogram::stats() const {
@@ -69,12 +82,25 @@ HistogramStats Histogram::stats() const {
   s.p50 = percentile_locked(0.50);
   s.p90 = percentile_locked(0.90);
   s.p99 = percentile_locked(0.99);
+  s.max_exemplar = max_exemplar_;
+  const int p99_bucket = percentile_bucket_locked(0.99);
+  if (p99_bucket >= 0) {
+    // Nearest tagged bucket at or above the p99 bucket (the selected bucket
+    // itself may hold only untagged observations).
+    for (auto it = exemplars_.lower_bound(p99_bucket); it != exemplars_.end(); ++it) {
+      s.p99_exemplar = it->second;
+      break;
+    }
+    if (s.p99_exemplar.empty() && !max_exemplar_.empty()) s.p99_exemplar = max_exemplar_;
+  }
   return s;
 }
 
 void Histogram::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   buckets_.clear();
+  exemplars_.clear();
+  max_exemplar_.clear();
   count_ = 0;
   sum_ = min_ = max_ = 0.0;
 }

@@ -25,6 +25,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -58,6 +59,10 @@ struct HistogramStats {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  // Exemplar ids (e.g. request ids) linking the distribution's tail back to
+  // concrete observations; empty when the caller never supplied any.
+  std::string max_exemplar;
+  std::string p99_exemplar;
 };
 
 // Log-bucketed histogram: buckets grow geometrically (factor 2^(1/8), about
@@ -66,9 +71,15 @@ struct HistogramStats {
 // bucket under the nearest-rank rule, clamped to the exact observed
 // [min, max]. Thread-safe; observe() takes a mutex (metric sites are not
 // kernel-inner-loop hot).
+//
+// observe() optionally tags the observation with an exemplar id (a request
+// id, a trace id). The histogram keeps the last exemplar per bucket plus
+// the exemplar of the running maximum, so stats() can answer "which request
+// is the p99 / the max" without storing every sample.
 class Histogram {
  public:
-  void observe(double v);
+  void observe(double v) { observe(v, std::string_view()); }
+  void observe(double v, std::string_view exemplar);
   HistogramStats stats() const;
   void reset();
 
@@ -76,9 +87,12 @@ class Histogram {
 
  private:
   double percentile_locked(double q) const;
+  int percentile_bucket_locked(double q) const;  // -1 when empty
 
   mutable std::mutex mu_;
   std::map<int, std::size_t> buckets_;  // bucket index -> count
+  std::map<int, std::string> exemplars_;  // bucket index -> last exemplar
+  std::string max_exemplar_;
   std::size_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
@@ -164,6 +178,12 @@ void record_head_quality(long long layer, long long head, double retained_kv_fra
     (void)sizeof(name);          \
     (void)sizeof(v);             \
   } while (0)
+#define SATTN_HISTOGRAM_EX(name, v, exemplar) \
+  do {                                        \
+    (void)sizeof(name);                       \
+    (void)sizeof(v);                          \
+    (void)sizeof(exemplar);                   \
+  } while (0)
 #define SATTN_SERIES(name, t, v) \
   do {                           \
     (void)sizeof(name);          \
@@ -189,6 +209,16 @@ void record_head_quality(long long layer, long long head, double retained_kv_fra
       ::sattn::obs::MetricsRegistry::global().histogram(name).observe( \
           static_cast<double>(v));                                   \
     }                                                                \
+  } while (0)
+
+// Observes `v` tagged with an exemplar id (e.g. the request id behind a
+// TTFT sample), so histogram tails stay traceable to concrete requests.
+#define SATTN_HISTOGRAM_EX(name, v, exemplar)                          \
+  do {                                                                 \
+    if (::sattn::obs::enabled()) {                                     \
+      ::sattn::obs::MetricsRegistry::global().histogram(name).observe( \
+          static_cast<double>(v), exemplar);                           \
+    }                                                                  \
   } while (0)
 
 // Appends (t, v) to the named bounded time-series.

@@ -1,8 +1,10 @@
 #include "runtime/chunked_prefill.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "attention/flash_attention.h"
+#include "obs/accounting.h"
 #include "obs/trace.h"
 
 namespace sattn {
@@ -35,7 +37,8 @@ AttentionInput make_chunk(const AttentionInput& in, Index q_lo, Index q_hi, Inde
 
 template <typename RunChunk>
 StatusOr<ChunkedPrefillResult> run_chunked(const AttentionInput& in, Index chunk_size,
-                                           KVCache* cache, RunChunk run_chunk) {
+                                           KVCache* cache, const std::string& request_id,
+                                           RunChunk run_chunk) {
   const Index sq = in.sq(), d = in.head_dim();
   SATTN_CHECK(in.sq() == in.sk(), kInvalidArgument,
               "chunked prefill expects a standard prefill shape, got Sq=", in.sq(),
@@ -45,6 +48,12 @@ StatusOr<ChunkedPrefillResult> run_chunked(const AttentionInput& in, Index chunk
               "cache head_dim ", cache == nullptr ? 0 : cache->head_dim(),
               " does not match input head_dim ", d);
   SATTN_SPAN("runtime/chunked_prefill");
+  std::unique_ptr<obs::RequestContext> request;
+  std::unique_ptr<obs::ScopedSpan> request_span;
+  if (!request_id.empty() && obs::enabled()) {
+    request = std::make_unique<obs::RequestContext>(request_id);
+    request_span = std::make_unique<obs::ScopedSpan>("request/" + request_id);
+  }
   ChunkedPrefillResult res;
   res.out.resize(sq, d);
   double density_sum = 0.0;
@@ -74,21 +83,25 @@ StatusOr<ChunkedPrefillResult> run_chunked(const AttentionInput& in, Index chunk
 }  // namespace
 
 StatusOr<ChunkedPrefillResult> chunked_flash_prefill(const AttentionInput& in, Index chunk_size,
-                                                     KVCache* cache) {
-  return run_chunked(in, chunk_size, cache, [](const AttentionInput& chunk, Matrix& out) {
-    flash_attention(chunk, out);
-    return 1.0;
-  });
+                                                     KVCache* cache,
+                                                     const std::string& request_id) {
+  return run_chunked(in, chunk_size, cache, request_id,
+                     [](const AttentionInput& chunk, Matrix& out) {
+                       flash_attention(chunk, out);
+                       return 1.0;
+                     });
 }
 
 StatusOr<ChunkedPrefillResult> chunked_sample_prefill(const AttentionInput& in, Index chunk_size,
                                                       const SampleAttentionConfig& cfg,
-                                                      KVCache* cache) {
-  return run_chunked(in, chunk_size, cache, [&cfg](const AttentionInput& chunk, Matrix& out) {
-    SamplePlan plan;
-    sample_attention(chunk, cfg, out, &plan);
-    return plan.density;
-  });
+                                                      KVCache* cache,
+                                                      const std::string& request_id) {
+  return run_chunked(in, chunk_size, cache, request_id,
+                     [&cfg](const AttentionInput& chunk, Matrix& out) {
+                       SamplePlan plan;
+                       sample_attention(chunk, cfg, out, &plan);
+                       return plan.density;
+                     });
 }
 
 }  // namespace sattn

@@ -16,6 +16,8 @@
 // mismatch) return a checked Status instead of asserting.
 #pragma once
 
+#include <string>
+
 #include "attention/attention_method.h"
 #include "core/status.h"
 #include "runtime/kv_cache.h"
@@ -30,12 +32,16 @@ struct ChunkedPrefillResult {
 };
 
 // Exact chunked prefill. If cache != nullptr, all K/V rows are appended.
+// A non-empty `request_id` runs the prefill under an obs::RequestContext so
+// per-chunk kernel charges are attributed to that request.
 StatusOr<ChunkedPrefillResult> chunked_flash_prefill(const AttentionInput& in, Index chunk_size,
-                                                     KVCache* cache = nullptr);
+                                                     KVCache* cache = nullptr,
+                                                     const std::string& request_id = {});
 
 // Chunked SampleAttention prefill: Stage-1/2 run per chunk over the prefix.
 StatusOr<ChunkedPrefillResult> chunked_sample_prefill(const AttentionInput& in, Index chunk_size,
                                                       const SampleAttentionConfig& cfg,
-                                                      KVCache* cache = nullptr);
+                                                      KVCache* cache = nullptr,
+                                                      const std::string& request_id = {});
 
 }  // namespace sattn

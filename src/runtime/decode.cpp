@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/numerics.h"
+#include "obs/accounting.h"
 #include "obs/trace.h"
 #include "robust/validate.h"
 
@@ -35,6 +36,8 @@ Status decode_attention(std::span<const float> q_row, const KVCache& cache,
     if (p != 0.0f) axpy(p, cache.v(s), out_row);
   }
   if (weights != nullptr) *weights = std::move(logits);
+  // One decode step is a 1 x n attention row over the cache.
+  obs::charge_attention_kernel("decode", /*sq=*/1, /*sk=*/n, d, static_cast<double>(n));
   return Status::Ok();
 }
 

@@ -1,7 +1,10 @@
 #include "runtime/model_runner.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "obs/accounting.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "perf/latency_report.h"
 
@@ -20,6 +23,15 @@ StatusOr<PrefillReport> run_prefill(const ModelConfig& model, const ContentSpec&
   PrefillReport report;
   report.method = method.name();
 
+  // Optional per-request attribution: every kernel charge below lands on
+  // this request, and the totals come back as request.<id>.* gauges.
+  std::unique_ptr<obs::RequestContext> request;
+  std::unique_ptr<obs::ScopedSpan> request_span;
+  if (!opts.request_id.empty() && obs::enabled()) {
+    request = std::make_unique<obs::RequestContext>(opts.request_id);
+    request_span = std::make_unique<obs::ScopedSpan>("request/" + opts.request_id);
+  }
+
   WallTimer timer;
   for (Index layer = 0; layer < model.n_layers; layer += opts.layer_stride) {
     double layer_density = 0.0;
@@ -29,6 +41,7 @@ StatusOr<PrefillReport> run_prefill(const ModelConfig& model, const ContentSpec&
       const Index head = (t * model.n_heads) / std::min(opts.heads_per_layer, model.n_heads) +
                          layer % std::max<Index>(1, model.n_heads / opts.heads_per_layer);
       const Index h = std::min(head, model.n_heads - 1);
+      const obs::AcctScope acct(layer, h);
       const AttentionInput in = generate_attention(model, content, layer, h);
       const AttentionResult res = method.run(in);
       layer_density += res.density;
@@ -41,6 +54,14 @@ StatusOr<PrefillReport> run_prefill(const ModelConfig& model, const ContentSpec&
     report.heads_run += layer_heads;
   }
   report.seconds = timer.seconds();
+  if (request != nullptr) {
+    const obs::ResourceUsage& used = request->usage();
+    const std::string prefix = "request." + opts.request_id + ".";
+    auto& reg = obs::MetricsRegistry::global();
+    reg.gauge(prefix + "flops").set(used.flops);
+    reg.gauge(prefix + "bytes").set(used.bytes);
+    reg.gauge(prefix + "seconds").set(report.seconds);
+  }
   SATTN_COUNTER_ADD("runtime.prefill_heads_run", report.heads_run);
   if (report.heads_run > 0) {
     report.mean_density /= static_cast<double>(report.heads_run);

@@ -20,6 +20,10 @@ struct PrefillOptions {
   Index heads_per_layer = 2;
   // If >0, run only every stride-th layer.
   Index layer_stride = 1;
+  // When non-empty, the run executes under an obs::RequestContext with this
+  // id: kernel charges are attributed to the request and
+  // `request.<id>.flops/.bytes/.seconds` gauges are emitted.
+  std::string request_id;
 };
 
 struct PrefillReport {

@@ -46,10 +46,31 @@ double prefix_cost(const Engine& engine, Index tokens, double density_scale) {
   return engine.prefill_seconds(tokens, density_scale);
 }
 
+// Gauge key for one request: `request.<label>/<id>.` (no label segment when
+// the label is empty).
+std::string request_key(const std::string& run_label, const std::string& id) {
+  return run_label.empty() ? id : run_label + "/" + id;
+}
+
+// Publishes one completed request's TTFT attribution and tags the TTFT
+// histogram with the request id, so report tails point at real requests.
+void emit_request_metrics(const std::string& run_label, const CompletedRequest& c) {
+  if (!obs::enabled()) return;
+  const std::string key = request_key(run_label, c.request.id);
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string prefix = "request." + key + ".";
+  reg.gauge(prefix + "queue_s").set(c.queue_seconds);
+  reg.gauge(prefix + "compute_s").set(c.compute_seconds);
+  reg.gauge(prefix + "guard_s").set(c.guard_seconds);
+  reg.gauge(prefix + "ttft_s").set(c.ttft());
+  SATTN_HISTOGRAM_EX("sched.ttft_seconds", c.ttft(), key);
+}
+
 }  // namespace
 
 std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> requests,
-                                             const Engine& engine, Index chunk_quantum_tokens) {
+                                             const Engine& engine, Index chunk_quantum_tokens,
+                                             const std::string& run_label) {
   SATTN_SPAN("runtime/scheduler");
   std::vector<ServingRequest> sorted(requests.begin(), requests.end());
   std::stable_sort(sorted.begin(), sorted.end(),
@@ -62,6 +83,7 @@ std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> req
     Index tokens_done = 0;
     double cost_done = 0.0;  // prefix_cost at tokens_done (cached)
     double start = -1.0;
+    double compute = 0.0;  // service time consumed so far
   };
 
   std::vector<CompletedRequest> done;
@@ -103,11 +125,16 @@ std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> req
       finished = true;
     }
     now += slice;
+    job.compute += slice;
     admit_until(now);
     if (finished) {
-      SATTN_HISTOGRAM("sched.ttft_seconds", now - job.req.arrival_seconds);
       SATTN_SERIES("sched.queue_depth", now, queue.size());
-      done.push_back({job.req, job.start, now, 0, 1});
+      CompletedRequest c{job.req, job.start, now, 0, 1};
+      c.compute_seconds = job.compute;
+      c.guard_seconds = 0.0;
+      c.queue_seconds = c.ttft() - c.compute_seconds;
+      emit_request_metrics(run_label, c);
+      done.push_back(std::move(c));
       SATTN_COUNTER_ADD("sched.requests_completed", 1);
     } else {
       queue.push_back(job);  // round-robin
@@ -154,6 +181,8 @@ StatusOr<SloServingResult> simulate_queue_slo(std::span<const ServingRequest> re
     double available_at = 0.0;    // backoff gate after a transient failure
     int level = 0;                // degrade ladder level (fixed at first service)
     int attempts = 1;
+    double compute = 0.0;  // useful service time of the current attempt
+    double guard = 0.0;    // lost attempts + stall excess + backoff gates
   };
 
   const int levels = static_cast<int>(opts.degrade_density_scale.size());
@@ -262,12 +291,15 @@ StatusOr<SloServingResult> simulate_queue_slo(std::span<const ServingRequest> re
       slice = prefix_cost(engine, job.req.prompt_tokens, scale);
       finished = true;
     }
+    const double base_slice = slice;
     if (opts.stall_rate > 0.0 && rng.uniform() < opts.stall_rate) {
       slice *= opts.stall_factor;
+      job.guard += slice - base_slice;  // stall excess is guardrail time
       ++result.stalls;
       SATTN_COUNTER_ADD("sched.chunk_stalls", 1);
     }
     now += slice;
+    job.compute += base_slice;
     admit_until(now);
 
     if (!finished) {
@@ -284,8 +316,13 @@ StatusOr<SloServingResult> simulate_queue_slo(std::span<const ServingRequest> re
       }
       ++result.retries;
       SATTN_COUNTER_ADD("sched.request_retries", 1);
-      job.available_at =
-          now + opts.retry_backoff_seconds * static_cast<double>(1 << (job.attempts - 1));
+      const double backoff =
+          opts.retry_backoff_seconds * static_cast<double>(1 << (job.attempts - 1));
+      job.available_at = now + backoff;
+      // The whole attempt's useful time is lost, and the backoff gate is
+      // guardrail-imposed waiting.
+      job.guard += job.compute + backoff;
+      job.compute = 0.0;
       ++job.attempts;
       job.tokens_done = 0;
       job.cost_done = 0.0;
@@ -305,9 +342,13 @@ StatusOr<SloServingResult> simulate_queue_slo(std::span<const ServingRequest> re
       SATTN_COUNTER_ADD("sched.requests_degraded", 1);
     }
     ++result.served_per_level[static_cast<std::size_t>(job.level)];
-    SATTN_HISTOGRAM("sched.ttft_seconds", ttft);
     SATTN_SERIES("sched.queue_depth", now, queue.size());
-    result.completed.push_back({std::move(job.req), job.start, now, job.level, job.attempts});
+    CompletedRequest c{std::move(job.req), job.start, now, job.level, job.attempts};
+    c.compute_seconds = job.compute;
+    c.guard_seconds = job.guard;
+    c.queue_seconds = c.ttft() - c.compute_seconds - c.guard_seconds;
+    emit_request_metrics(opts.run_label, c);
+    result.completed.push_back(std::move(c));
     SATTN_COUNTER_ADD("sched.requests_completed", 1);
   }
   return result;

@@ -65,6 +65,14 @@ struct CompletedRequest {
   double finish_seconds = 0.0;   // TTFT instant
   int degrade_level = 0;         // ladder level served at (0 = full quality)
   int attempts = 1;              // 1 + transient-failure retries
+  // TTFT attribution (the three sum to ttft()):
+  //   compute — service time that produced the final output,
+  //   guard   — guardrail escalation time: lost retry attempts, stall
+  //             slowdown excess, and retry-backoff gates,
+  //   queue   — everything else (waiting for the device).
+  double queue_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double guard_seconds = 0.0;
   double ttft() const { return finish_seconds - request.arrival_seconds; }
   double queueing() const { return start_seconds - request.arrival_seconds; }
 };
@@ -86,9 +94,17 @@ struct ServingSummary {
 // early chunks attend short prefixes — so a request arriving mid-stream is
 // not overcharged by a freshly started long request (the quanta telescope:
 // total service time is exactly prefill_seconds(prompt)).
+//
+// Per-request observability: each completed request carries its
+// queue/compute/guard TTFT breakdown, and when collection is enabled the
+// simulator emits `request.<run_label>/<id>.{queue_s,compute_s,guard_s,
+// ttft_s}` gauges (no label prefix when run_label is empty) and tags the
+// `sched.ttft_seconds` histogram with request-id exemplars, so report
+// tails are traceable to specific requests.
 std::vector<CompletedRequest> simulate_queue(std::span<const ServingRequest> requests,
                                              const Engine& engine,
-                                             Index chunk_quantum_tokens = 0);
+                                             Index chunk_quantum_tokens = 0,
+                                             const std::string& run_label = {});
 
 // ---- SLO-aware serving ----
 
@@ -130,6 +146,10 @@ struct SloOptions {
 
   // Round-robin chunk quantum, as in simulate_queue. 0 = FCFS.
   Index chunk_quantum_tokens = 0;
+
+  // Label prefixing the per-request gauges (`request.<run_label>/<id>.*`)
+  // so several simulations in one process do not overwrite each other.
+  std::string run_label;
 };
 
 struct ShedRequest {

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/numerics.h"
+#include "obs/accounting.h"
 #include "obs/trace.h"
 
 namespace sattn {
@@ -68,6 +69,13 @@ FilterResult filter_kv_indices(std::span<const float> column_weight, const Filte
   res.kv_ratio = static_cast<double>(keep) / static_cast<double>(sk);
   res.coverage = prefix[static_cast<std::size_t>(keep - 1)] / total;
   SATTN_COUNTER_ADD("sattn.retained_kv_columns", keep);
+  // Stage-2 work: the descending sort dominates (~sk log2 sk compares);
+  // bytes match the cost model's six passes over the sk-length statistic
+  // (read, sort copy, prefix sum in/out, cut search, index write-back).
+  obs::charge_stage("filtering",
+                    static_cast<double>(sk) *
+                        std::max(1.0, std::log2(static_cast<double>(sk))),
+                    6.0 * obs::kAcctBytesPerElement * static_cast<double>(sk));
   return res;
 }
 

@@ -1,6 +1,7 @@
 #include "sample_attention/layer_plan.h"
 
 #include "attention/sparse_flash_attention.h"
+#include "obs/accounting.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -16,12 +17,18 @@ LayerPlan plan_layer(const ModelConfig& model, const ContentSpec& content, Index
   for (Index head = 0; head < model.n_heads; ++head) {
     const bool is_group_leader = !opts.share_within_kv_group || head % group == 0;
     if (is_group_leader) {
+      const obs::AcctScope acct(layer, head);
       const AttentionInput in = generate_attention(model, content, layer, head);
       plan.head_plans.push_back(plan_sample_attention(in, opts.cfg));
       plan.mean_overhead += plan.head_plans.back().overhead_fraction;
       ++plan.planned_heads;
       obs::record_head_quality(layer, head, plan.head_plans.back().density,
                                plan.head_plans.back().filter.coverage);
+      // Plan-merge metadata: the stripe columns and bands the merged mask
+      // carries for this head.
+      const SamplePlan& planned = plan.head_plans.back();
+      obs::charge_stage("layer_plan", 0.0,
+                        8.0 * static_cast<double>(planned.mask.stripe_columns().size() + 1));
     } else {
       // Reuse the group leader's selection; the window is identical by
       // construction and the leader's I_KV stands in for the group.
@@ -44,6 +51,7 @@ std::vector<Matrix> run_layer(const ModelConfig& model, const ContentSpec& conte
   assert(static_cast<Index>(plan.head_plans.size()) == model.n_heads);
   std::vector<Matrix> outputs(static_cast<std::size_t>(model.n_heads));
   for (Index head = 0; head < model.n_heads; ++head) {
+    const obs::AcctScope acct(layer, head);
     const AttentionInput in = generate_attention(model, content, layer, head);
     sparse_flash_attention(in, plan.head_plans[static_cast<std::size_t>(head)].mask,
                            outputs[static_cast<std::size_t>(head)]);

@@ -6,6 +6,7 @@
 #include "attention/attention_method.h"
 #include "attention/score_utils.h"
 #include "core/rng.h"
+#include "obs/accounting.h"
 #include "obs/trace.h"
 
 namespace sattn {
@@ -71,6 +72,13 @@ SampleStats sample_column_weights(const AttentionInput& in, double row_ratio,
   st.column_weight.resize(acc.size());
   std::transform(acc.begin(), acc.end(), st.column_weight.begin(),
                  [](double v) { return static_cast<float>(v); });
+  // Stage-1 work: score rows only (2d flops per eval, no PV). Bytes: the
+  // sampled Q rows, the K stream, and the column-weight accumulator.
+  obs::charge_stage(
+      "sampling", 2.0 * static_cast<double>(in.head_dim()) * st.score_evals,
+      obs::kAcctBytesPerElement *
+          (static_cast<double>(st.sampled_rows.size()) * static_cast<double>(in.head_dim()) +
+           static_cast<double>(in.head_dim()) * st.score_evals + static_cast<double>(sk)));
   return st;
 }
 

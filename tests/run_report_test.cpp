@@ -1,8 +1,10 @@
 // Tests for the metrics registry (obs/metrics.h), the JSON document model
 // (io/json.h), structured run reports (io/run_report.h), and the regression
-// comparator (io/report_diff.h). The golden-file test pins schema version 1
-// byte-for-byte; regenerate with SATTN_REGEN_GOLDEN=1 after an intentional
-// schema change (and bump kRunReportVersion).
+// comparator (io/report_diff.h). The golden-file test pins the current
+// schema version byte-for-byte (regenerate with SATTN_REGEN_GOLDEN=1 after
+// an intentional schema change, and bump kRunReportVersion); the committed
+// v1 golden additionally pins backward compatibility — old reports must
+// keep parsing and round-tripping unchanged.
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
@@ -345,9 +347,27 @@ TEST(RunReportTest, EmptyDerivedSectionsAreOmitted) {
   EXPECT_TRUE(b.get("serving").is_null());
 }
 
-TEST(RunReportTest, GoldenFilePinsSchemaV1) {
-  const std::string path = std::string(SATTN_TEST_DATA_DIR) + "/golden/run_report_v1.json";
-  const std::string text = run_report_json(fixture_report());
+// v2 additions on top of the v1 fixture: a tagged TTFT histogram (exemplar
+// ids) and per-request attribution gauges, which surface as the
+// `per_request` derived view.
+RunReport fixture_report_v2() {
+  RunReport r = fixture_report();
+  BenchReport& b = r.benches[0];
+  obs::HistogramStats& ttft = b.histograms.at("sched.ttft_seconds");
+  ttft.max_exemplar = "sa_fcfs/req-007";
+  ttft.p99_exemplar = "sa_fcfs/req-007";
+  b.gauges["request.sa_fcfs/req-007.queue_s"] = 1.0;
+  b.gauges["request.sa_fcfs/req-007.compute_s"] = 0.8;
+  b.gauges["request.sa_fcfs/req-007.guard_s"] = 0.2;
+  b.gauges["request.sa_fcfs/req-007.ttft_s"] = 2.0;
+  b.gauges["acct.flash.flops"] = 1.0e9;
+  b.gauges["perf.model_error.max_rel"] = 0.003;
+  return r;
+}
+
+TEST(RunReportTest, GoldenFilePinsSchemaV2) {
+  const std::string path = std::string(SATTN_TEST_DATA_DIR) + "/golden/run_report_v2.json";
+  const std::string text = run_report_json(fixture_report_v2());
   if (std::getenv("SATTN_REGEN_GOLDEN") != nullptr) {
     std::ofstream out(path, std::ios::binary);
     out << text;
@@ -360,6 +380,60 @@ TEST(RunReportTest, GoldenFilePinsSchemaV1) {
   // Byte-for-byte: any schema change must be intentional (bump
   // kRunReportVersion and regenerate with SATTN_REGEN_GOLDEN=1).
   EXPECT_EQ(got.str(), text);
+}
+
+TEST(RunReportTest, GoldenV1DocumentStillParsesAndRoundTrips) {
+  const std::string path = std::string(SATTN_TEST_DATA_DIR) + "/golden/run_report_v1.json";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream got;
+  got << in.rdbuf();
+  const auto parsed = parse_run_report(got.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  // The original version is preserved, and because every v2 addition is
+  // emitted only when its source metrics exist, rewriting a v1 document is
+  // still byte-identical.
+  EXPECT_EQ(parsed.value().version, 1);
+  EXPECT_EQ(run_report_json(parsed.value()), got.str());
+}
+
+TEST(RunReportTest, HistogramExemplarsRoundTripAndOmitWhenEmpty) {
+  const RunReport r = fixture_report_v2();
+  const std::string text = run_report_json(r);
+  const auto parsed = parse_run_report(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const obs::HistogramStats& ttft =
+      parsed.value().benches[0].histograms.at("sched.ttft_seconds");
+  EXPECT_EQ(ttft.max_exemplar, "sa_fcfs/req-007");
+  EXPECT_EQ(ttft.p99_exemplar, "sa_fcfs/req-007");
+  EXPECT_EQ(run_report_json(parsed.value()), text);
+
+  // An untagged histogram (the v1 fixture) serializes without the exemplar
+  // keys at all.
+  const std::string v1_text = run_report_json(fixture_report());
+  EXPECT_EQ(v1_text.find("max_exemplar"), std::string::npos);
+  EXPECT_EQ(v1_text.find("p99_exemplar"), std::string::npos);
+}
+
+TEST(RunReportTest, PerRequestViewGroupsRequestGauges) {
+  const auto doc = parse_json(run_report_json(fixture_report_v2()));
+  ASSERT_TRUE(doc.ok());
+  const JsonValue& b = doc.value().get("benches").at(0);
+  ASSERT_EQ(b.get("per_request").size(), 1u);
+  const JsonValue& rec = b.get("per_request").at(0);
+  // The id keeps the run-label segment; the field is after the LAST dot.
+  EXPECT_EQ(rec.get("id").as_string(), "sa_fcfs/req-007");
+  EXPECT_EQ(rec.get("queue_s").as_number(), 1.0);
+  EXPECT_EQ(rec.get("compute_s").as_number(), 0.8);
+  EXPECT_EQ(rec.get("guard_s").as_number(), 0.2);
+  EXPECT_EQ(rec.get("ttft_s").as_number(), 2.0);
+  // acct.* / perf.* gauges are not per-request records.
+  EXPECT_TRUE(b.get("per_request").at(0).get("flops").is_null());
+
+  // The v1 fixture has no request.* gauges, so the view is omitted.
+  const auto v1_doc = parse_json(run_report_json(fixture_report()));
+  ASSERT_TRUE(v1_doc.ok());
+  EXPECT_TRUE(v1_doc.value().get("benches").at(0).get("per_request").is_null());
 }
 
 TEST(RunReportTest, RejectsWrongSchemaAndNewerVersion) {
@@ -492,6 +566,52 @@ TEST(ReportDiffTest, MissingAndNewEntriesNeverGate) {
   extra.mean_us = 1e6;
   cand.benches[0].latency.push_back(extra);                  // new span, huge latency
   EXPECT_FALSE(diff_reports(base, cand).has_regression());
+}
+
+TEST(ReportDiffTest, ModelErrorMetricNameConvention) {
+  EXPECT_TRUE(is_model_error_metric("perf.model_error.max_rel"));
+  EXPECT_TRUE(is_model_error_metric("perf.model_error.flash.flops_rel"));
+  EXPECT_FALSE(is_model_error_metric("acct.flash.flops"));
+  EXPECT_FALSE(is_model_error_metric("quality.L1H2.cra"));
+}
+
+TEST(ReportDiffTest, ModelErrorGatesOnCandidateAbsoluteValue) {
+  // The gate reads the CANDIDATE gauge against the absolute threshold —
+  // even when the gauge is new (no baseline entry), a kernel drifting away
+  // from the analytic cost model must fail the gate.
+  const RunReport base = fixture_report();  // v1 fixture: no model_error gauges
+  RunReport cand = fixture_report();
+  cand.benches[0].gauges["perf.model_error.max_rel"] = 0.10;  // > default 0.05
+  const DiffResult d = diff_reports(base, cand);
+  ASSERT_TRUE(d.has_regression());
+  bool found = false;
+  for (const DiffEntry& e : d.entries) {
+    if (e.metric == "gauge:perf.model_error.max_rel" && e.verdict == DiffVerdict::kRegression)
+      found = true;
+  }
+  EXPECT_TRUE(found);
+
+  // Under the threshold: within noise, and a baseline that already drifted
+  // does not excuse the candidate.
+  cand.benches[0].gauges["perf.model_error.max_rel"] = 0.003;
+  EXPECT_FALSE(diff_reports(base, cand).has_regression());
+
+  RunReport drifted_base = fixture_report();
+  drifted_base.benches[0].gauges["perf.model_error.max_rel"] = 0.40;
+  cand.benches[0].gauges["perf.model_error.max_rel"] = 0.10;
+  EXPECT_TRUE(diff_reports(drifted_base, cand).has_regression());
+
+  // The threshold is an option, for benches with known-coarser models.
+  DiffOptions loose;
+  loose.model_error_threshold = 0.5;
+  EXPECT_FALSE(diff_reports(drifted_base, cand, loose).has_regression());
+}
+
+TEST(ReportDiffTest, ModelErrorV2FixtureIsSelfConsistent) {
+  // The committed v2 golden fixture carries model-error gauges under the
+  // default threshold: diffing it against itself must stay clean.
+  const RunReport r = fixture_report_v2();
+  EXPECT_FALSE(diff_reports(r, r).has_regression());
 }
 
 TEST(ReportDiffTest, MissingBenchDoesNotGate) {

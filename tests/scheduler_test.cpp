@@ -6,6 +6,8 @@
 #include "attention/full_attention.h"
 #include "metrics/recovery.h"
 #include "model/workload.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/scheduler.h"
 #include "sample_attention/layer_plan.h"
 
@@ -295,6 +297,131 @@ TEST(Scheduler, TraceIsDeterministicAndSorted) {
     EXPECT_GE(a[r].prompt_tokens, 1024);
     EXPECT_LE(a[r].prompt_tokens, 65536 + 1);
   }
+}
+
+// Fixture for the per-request observability tests: metrics collection on,
+// registries clean, and everything restored afterwards so the rest of the
+// binary keeps running with collection off.
+class SchedulerObs : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Collector::global().reset();
+    obs::MetricsRegistry::global().reset();
+    ASSERT_TRUE(obs::set_enabled(true)) << "SATTN_TRACE=0 in the test environment";
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::Collector::global().reset();
+    obs::MetricsRegistry::global().reset();
+  }
+
+  static double gauge_value(const obs::MetricsSnapshot& snap, const std::string& name) {
+    for (const auto& [n, v] : snap.gauges)
+      if (n == name) return v;
+    ADD_FAILURE() << "gauge not found: " << name;
+    return 0.0;
+  }
+};
+
+TEST_F(SchedulerObs, FcfsAttributionSumsToTtftAndEmitsGauges) {
+  Engine fa2;
+  fa2.kind = EngineKind::kFlashAttention;
+  const auto trace = synthetic_trace(12, 16 * 1024, 128 * 1024, 2.0, 5).value();
+  const auto done = simulate_queue(trace, fa2, /*chunk_quantum_tokens=*/0, "fcfs_t");
+  ASSERT_EQ(done.size(), trace.size());
+
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  std::string max_id;
+  double max_ttft = -1.0;
+  for (const CompletedRequest& c : done) {
+    // The attribution invariant: the three components partition TTFT, and
+    // without guardrails the FCFS queue books zero guard time and charges
+    // exactly the engine's prefill cost as compute.
+    EXPECT_NEAR(c.queue_seconds + c.compute_seconds + c.guard_seconds, c.ttft(), 1e-9)
+        << c.request.id;
+    EXPECT_DOUBLE_EQ(c.guard_seconds, 0.0) << c.request.id;
+    EXPECT_NEAR(c.compute_seconds, fa2.prefill_seconds(c.request.prompt_tokens), 1e-9)
+        << c.request.id;
+    EXPECT_NEAR(c.queue_seconds, c.queueing(), 1e-9) << c.request.id;
+
+    const std::string base = "request.fcfs_t/" + c.request.id + ".";
+    EXPECT_NEAR(gauge_value(snap, base + "queue_s"), c.queue_seconds, 1e-12);
+    EXPECT_NEAR(gauge_value(snap, base + "compute_s"), c.compute_seconds, 1e-12);
+    EXPECT_NEAR(gauge_value(snap, base + "guard_s"), c.guard_seconds, 1e-12);
+    EXPECT_NEAR(gauge_value(snap, base + "ttft_s"), c.ttft(), 1e-12);
+    if (c.ttft() > max_ttft) {
+      max_ttft = c.ttft();
+      max_id = c.request.id;
+    }
+  }
+
+  // The TTFT histogram carries request exemplars so report tails point at a
+  // concrete request; the exemplar is the label-qualified key, matching the
+  // `request.<label>/<id>.*` gauge names.
+  bool found_hist = false;
+  for (const auto& [name, stats] : snap.histograms) {
+    if (name != "sched.ttft_seconds") continue;
+    found_hist = true;
+    EXPECT_EQ(stats.count, done.size());
+    EXPECT_EQ(stats.max_exemplar, "fcfs_t/" + max_id);
+    EXPECT_FALSE(stats.p99_exemplar.empty());
+  }
+  EXPECT_TRUE(found_hist) << "sched.ttft_seconds histogram missing";
+
+  // Round-robin chunking must preserve the invariant, and the quanta
+  // telescope so compute is still exactly the full prefill cost.
+  obs::MetricsRegistry::global().reset();
+  const auto rr = simulate_queue(trace, fa2, /*chunk_quantum_tokens=*/8192, "rr_t");
+  ASSERT_EQ(rr.size(), trace.size());
+  for (const CompletedRequest& c : rr) {
+    EXPECT_NEAR(c.queue_seconds + c.compute_seconds + c.guard_seconds, c.ttft(), 1e-9)
+        << c.request.id;
+    EXPECT_DOUBLE_EQ(c.guard_seconds, 0.0) << c.request.id;
+    EXPECT_NEAR(c.compute_seconds, fa2.prefill_seconds(c.request.prompt_tokens), 1e-9)
+        << c.request.id;
+  }
+
+  // An empty run label drops the `<label>/` prefix rather than emitting a
+  // dangling slash.
+  obs::MetricsRegistry::global().reset();
+  std::vector<ServingRequest> one = {{"r0", 32768, 0.0}};
+  (void)simulate_queue(one, fa2);
+  const obs::MetricsSnapshot plain = obs::MetricsRegistry::global().snapshot();
+  EXPECT_GT(gauge_value(plain, "request.r0.ttft_s"), 0.0);
+}
+
+TEST_F(SchedulerObs, SloAttributionSumsToTtftUnderFaultsAndStalls) {
+  Engine sa;
+  sa.kind = EngineKind::kSampleAttention;
+  const auto trace = synthetic_trace(24, 32 * 1024, 192 * 1024, 3.0, 13).value();
+  SloOptions opts;
+  opts.slo_ttft_seconds = 80.0;
+  opts.deadline_seconds = 100.0;
+  opts.fault_rate = 0.2;
+  opts.stall_rate = 0.1;
+  opts.chunk_quantum_tokens = 8192;
+  opts.run_label = "slo_t";
+  const SloServingResult res = simulate_queue_slo(trace, sa, opts).value();
+  ASSERT_FALSE(res.completed.empty());
+  EXPECT_GT(res.retries + res.stalls, 0) << "trace should exercise the guardrails";
+
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  double total_guard = 0.0;
+  for (const CompletedRequest& c : res.completed) {
+    EXPECT_NEAR(c.queue_seconds + c.compute_seconds + c.guard_seconds, c.ttft(), 1e-9)
+        << c.request.id;
+    EXPECT_GE(c.queue_seconds, -1e-12) << c.request.id;
+    EXPECT_GT(c.compute_seconds, 0.0) << c.request.id;
+    EXPECT_GE(c.guard_seconds, -1e-12) << c.request.id;
+    total_guard += c.guard_seconds;
+
+    const std::string base = "request.slo_t/" + c.request.id + ".";
+    EXPECT_NEAR(gauge_value(snap, base + "ttft_s"), c.ttft(), 1e-12);
+    EXPECT_NEAR(gauge_value(snap, base + "guard_s"), c.guard_seconds, 1e-12);
+  }
+  // Injected faults/stalls must surface as guard time somewhere, not be
+  // silently folded into queueing.
+  EXPECT_GT(total_guard, 0.0);
 }
 
 TEST(LayerPlan, PlansEveryHead) {

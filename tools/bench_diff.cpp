@@ -10,6 +10,8 @@
 //   --latency-threshold=F  relative latency regression threshold (default 0.20)
 //   --min-latency-us=F     ignore spans with mean below this (default 500)
 //   --quality-threshold=F  absolute CRA/coverage/recovery drop allowed (default 0.005)
+//   --model-error-threshold=F  max allowed perf.model_error.* gauge value in
+//                          the candidate report (default 0.05)
 //   --ignore-latency       gate on quality metrics only (for cross-machine
 //                          comparisons where wall-clock is not comparable)
 //   --verbose              also print within-noise / missing / new entries
@@ -36,7 +38,8 @@ constexpr int kExitError = 2;
 void usage() {
   std::fprintf(stderr,
                "usage: bench_diff [--latency-threshold=F] [--min-latency-us=F]\n"
-               "                  [--quality-threshold=F] [--ignore-latency] [--verbose]\n"
+               "                  [--quality-threshold=F] [--model-error-threshold=F]\n"
+               "                  [--ignore-latency] [--verbose]\n"
                "                  <baseline.json> <candidate.json>\n");
 }
 
@@ -61,6 +64,8 @@ int main(int argc, char** argv) {
       opts.latency_min_us = std::atof(v);
     } else if (const char* v = value_of("--quality-threshold")) {
       opts.quality_abs_threshold = std::atof(v);
+    } else if (const char* v = value_of("--model-error-threshold")) {
+      opts.model_error_threshold = std::atof(v);
     } else if (arg == "--ignore-latency") {
       opts.check_latency = false;
     } else if (arg == "--verbose") {

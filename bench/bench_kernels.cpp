@@ -4,7 +4,10 @@
 // equal density).
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
 #include "bench_common.h"
+#include "core/simd.h"
 #include "attention/block_sparse.h"
 #include "attention/flash_attention.h"
 #include "attention/full_attention.h"
@@ -142,6 +145,71 @@ void BM_SamplePlanBlockKernel(benchmark::State& state) {
   state.counters["rounding"] = layout.rounding_overhead(plan.mask);
 }
 BENCHMARK(BM_SamplePlanBlockKernel)->Arg(16)->Arg(64)->Arg(128);
+
+// ---- scalar-vs-simd comparison mode ----------------------------------------
+// Paired benchmarks for the SIMD micro-kernel dispatch (core/simd.h): the
+// *Dispatched variant runs whatever the CPU supports, the *Scalar variant
+// pins the portable backend via ScopedForceScalar. Run with
+//   bench_kernels --benchmark_filter=BM_SimdCompare
+// and read the label column for the backend each side actually used (on a
+// non-AVX2 host both sides report "scalar" and the pair is a null
+// comparison). docs/PERFORMANCE.md records the reference numbers.
+template <bool kForceScalar, typename Kernel>
+void simd_compare_run(benchmark::State& state, const Kernel& kernel, Index s) {
+  const AttentionInput in = bench_input(s);
+  std::optional<simd::ScopedForceScalar> guard;
+  if (kForceScalar) guard.emplace();
+  state.SetLabel(simd::active_level_name());
+  Matrix out;
+  for (auto _ : state) {
+    kernel(in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * in.sq() * in.sk() / 2);
+}
+
+template <bool kForceScalar>
+void BM_SimdCompareFlash(benchmark::State& state) {
+  simd_compare_run<kForceScalar>(
+      state, [](const AttentionInput& in, Matrix& out) { flash_attention(in, out); },
+      state.range(0));
+}
+BENCHMARK_TEMPLATE(BM_SimdCompareFlash, false)->Arg(1024)->Arg(2048);
+BENCHMARK_TEMPLATE(BM_SimdCompareFlash, true)->Arg(1024)->Arg(2048);
+
+template <bool kForceScalar>
+void BM_SimdCompareFull(benchmark::State& state) {
+  simd_compare_run<kForceScalar>(
+      state, [](const AttentionInput& in, Matrix& out) { full_attention(in, out); },
+      state.range(0));
+}
+BENCHMARK_TEMPLATE(BM_SimdCompareFull, false)->Arg(1024)->Arg(2048);
+BENCHMARK_TEMPLATE(BM_SimdCompareFull, true)->Arg(1024)->Arg(2048);
+
+template <bool kForceScalar>
+void BM_SimdCompareSparseFlash(benchmark::State& state) {
+  const Index s = state.range(0);
+  StructuredMask mask(s, s);
+  mask.set_window(std::max<Index>(1, s / 8));
+  simd_compare_run<kForceScalar>(
+      state,
+      [&mask](const AttentionInput& in, Matrix& out) { sparse_flash_attention(in, mask, out); },
+      s);
+}
+BENCHMARK_TEMPLATE(BM_SimdCompareSparseFlash, false)->Arg(2048);
+BENCHMARK_TEMPLATE(BM_SimdCompareSparseFlash, true)->Arg(2048);
+
+template <bool kForceScalar>
+void BM_SimdCompareSampleEndToEnd(benchmark::State& state) {
+  simd_compare_run<kForceScalar>(
+      state,
+      [](const AttentionInput& in, Matrix& out) {
+        sample_attention(in, SampleAttentionConfig{}, out);
+      },
+      state.range(0));
+}
+BENCHMARK_TEMPLATE(BM_SimdCompareSampleEndToEnd, false)->Arg(2048);
+BENCHMARK_TEMPLATE(BM_SimdCompareSampleEndToEnd, true)->Arg(2048);
 
 void BM_BigBird(benchmark::State& state) {
   const AttentionInput in = bench_input(state.range(0));

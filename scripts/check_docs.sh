@@ -73,6 +73,14 @@ if ! grep -q '^## Resource accounting & cost-model validation' docs/OBSERVABILIT
   fail=1
 fi
 
+for section in '^## Numeric contract' '^## Dispatch rules' \
+               '^## Reproducing the scalar-vs-SIMD comparison'; do
+  if ! grep -q "$section" docs/PERFORMANCE.md; then
+    echo "check_docs: docs/PERFORMANCE.md is missing the required section matching '$section'" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED" >&2
   exit 1

@@ -35,6 +35,22 @@ ctest --test-dir "$build" -j "$(nproc)" --output-on-failure \
 
 echo "sanitizer suite passed: address,undefined"
 
+# ---- 1b. Both SIMD backends under ASan+UBSan -------------------------------
+#
+# The ctest pass above runs whatever backend the host dispatches (AVX2 on
+# most x86 machines). Re-run the kernel-heavy suites with the scalar
+# backend pinned via SATTN_FORCE_SCALAR, then once more with dispatch
+# explicitly enabled, so unaligned loads / tail handling in BOTH tables of
+# core/simd.h stay sanitizer-clean (docs/PERFORMANCE.md).
+for mode in 1 0; do
+  SATTN_FORCE_SCALAR="$mode" "$build/tests/simd_kernel_test"
+  SATTN_FORCE_SCALAR="$mode" "$build/tests/attention_test"
+  SATTN_FORCE_SCALAR="$mode" "$build/tests/sparse_kernel_test"
+  SATTN_FORCE_SCALAR="$mode" "$build/tests/block_sparse_test"
+done
+
+echo "sanitizer suite passed: simd backends (SATTN_FORCE_SCALAR=1 and dispatch)"
+
 # ---- 2. ThreadSanitizer over the thread-hammering tests --------------------
 
 cmake -B "$build_tsan" -S "$root" \

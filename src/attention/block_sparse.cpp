@@ -111,14 +111,28 @@ void block_sparse_attention(const AttentionInput& in, const BlockSparseLayout& l
     for (Index kb : layout.active_kblocks(qb)) {
       const Index k_lo = kb * block;
       const Index k_hi = std::min(sk, k_lo + block);
-      for (Index r = 0; r < rows; ++r) {
-        const Index i = q_lo + r;
-        const Index lim = causal_limit(i, sq, sk);
-        const Index hi = std::min(k_hi, lim + 1);
-        if (hi <= k_lo) continue;
-        absorb_key_run(state[static_cast<std::size_t>(r)], in, in.q.row(i), scale, k_lo, hi,
-                       logits);
-        tile_evals += static_cast<double>(hi - k_lo);
+      // Register-blocked: groups of mk::kQRows rows of this q-block share
+      // each K/V row of the tile (attention/microkernel.h).
+      for (Index r0 = 0; r0 < rows; r0 += mk::kQRows) {
+        mk::QBlock b;
+        b.d = d;
+        Index his[mk::kQRows];
+        const Index r1 = std::min(rows, r0 + mk::kQRows);
+        for (Index r = r0; r < r1; ++r) {
+          const Index i = q_lo + r;
+          const Index lim = causal_limit(i, sq, sk);
+          const Index hi = std::min(k_hi, lim + 1);
+          if (hi <= k_lo) continue;
+          OnlineSoftmaxRow& st = state[static_cast<std::size_t>(r)];
+          b.q[b.rows] = in.q.row(i).data();
+          b.m[b.rows] = &st.m;
+          b.l[b.rows] = &st.l;
+          b.acc[b.rows] = st.acc.data();
+          his[b.rows] = hi;
+          ++b.rows;
+          tile_evals += static_cast<double>(hi - k_lo);
+        }
+        if (b.rows > 0) mk::absorb_key_tile(b, in, scale, k_lo, his, logits);
       }
     }
     for (Index r = 0; r < rows; ++r) {

@@ -11,53 +11,6 @@
 
 namespace sattn {
 
-void absorb_key_run(OnlineSoftmaxRow& st, const AttentionInput& in, std::span<const float> qi,
-                    float scale, Index lo, Index hi, std::vector<float>& logits) {
-  if (hi <= lo) return;
-  const auto n = static_cast<std::size_t>(hi - lo);
-  if (logits.size() < n) logits.resize(n);
-  float run_max = -std::numeric_limits<float>::infinity();
-  for (Index j = lo; j < hi; ++j) {
-    const float s = scale * dot(qi, in.k.row(j));
-    logits[static_cast<std::size_t>(j - lo)] = s;
-    run_max = std::max(run_max, s);
-  }
-  if (run_max > st.m) {
-    const float rescale = std::exp(st.m - run_max);
-    for (float& a : st.acc) a *= rescale;
-    st.l *= rescale;
-    st.m = run_max;
-  }
-  for (Index j = lo; j < hi; ++j) {
-    const float w = std::exp(logits[static_cast<std::size_t>(j - lo)] - st.m);
-    st.l += w;
-    axpy(w, in.v.row(j), std::span<float>(st.acc));
-  }
-}
-
-void OnlineSoftmaxRow::absorb(float logit, std::span<const float> v_row) {
-  assert(v_row.size() == acc.size());
-  if (logit > m) {
-    const float rescale = std::exp(m - logit);
-    for (float& a : acc) a *= rescale;
-    l *= rescale;
-    m = logit;
-  }
-  const float w = std::exp(logit - m);
-  l += w;
-  for (std::size_t t = 0; t < acc.size(); ++t) acc[t] += w * v_row[t];
-}
-
-void OnlineSoftmaxRow::finalize(std::span<float> out_row) const {
-  assert(out_row.size() == acc.size());
-  if (l <= 0.0) {
-    std::fill(out_row.begin(), out_row.end(), 0.0f);
-    return;
-  }
-  const auto inv = static_cast<float>(1.0 / l);
-  for (std::size_t t = 0; t < acc.size(); ++t) out_row[t] = acc[t] * inv;
-}
-
 void flash_attention(const AttentionInput& in, Matrix& out, const FlashConfig& cfg) {
   const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
   assert(cfg.tile_q > 0 && cfg.tile_k > 0);
@@ -78,7 +31,7 @@ void flash_attention(const AttentionInput& in, Matrix& out, const FlashConfig& c
     std::vector<float> m(static_cast<std::size_t>(rows), -std::numeric_limits<float>::infinity());
     std::vector<double> l(static_cast<std::size_t>(rows), 0.0);
     Matrix acc(rows, d);
-    std::vector<float> logits(static_cast<std::size_t>(cfg.tile_k));
+    std::vector<float> logits;
     const float scale = 1.0f / std::sqrt(static_cast<float>(d));
 
     // The last key any row of this tile may see (causal).
@@ -86,32 +39,28 @@ void flash_attention(const AttentionInput& in, Matrix& out, const FlashConfig& c
     double tile_evals = 0.0;
     for (Index k_lo = 0; k_lo <= tile_k_max; k_lo += cfg.tile_k) {
       const Index k_hi = std::min(tile_k_max + 1, k_lo + cfg.tile_k);
-      for (Index r = 0; r < rows; ++r) {
-        const Index i = q_lo + r;
-        const Index lim = causal_limit(i, sq, sk);
-        if (k_lo > lim) continue;  // entire tile masked for this row
-        const Index jn = std::min(k_hi, lim + 1);
-        tile_evals += static_cast<double>(jn - k_lo);
-        const auto qi = in.q.row(i);
-        float tile_max = -std::numeric_limits<float>::infinity();
-        for (Index j = k_lo; j < jn; ++j) {
-          const float s = scale * dot(qi, in.k.row(j));
-          logits[static_cast<std::size_t>(j - k_lo)] = s;
-          tile_max = std::max(tile_max, s);
+      // Register-blocked inner loop: groups of mk::kQRows query rows share
+      // each K/V row of the tile (one dotn/axpyn per key for the group).
+      for (Index r0 = 0; r0 < rows; r0 += mk::kQRows) {
+        mk::QBlock b;
+        b.d = d;
+        Index his[mk::kQRows];
+        const Index r1 = std::min(rows, r0 + mk::kQRows);
+        for (Index r = r0; r < r1; ++r) {
+          const Index i = q_lo + r;
+          const Index lim = causal_limit(i, sq, sk);
+          if (k_lo > lim) continue;  // entire tile masked for this row
+          const Index jn = std::min(k_hi, lim + 1);
+          const auto rr = static_cast<std::size_t>(r);
+          b.q[b.rows] = in.q.row(i).data();
+          b.m[b.rows] = &m[rr];
+          b.l[b.rows] = &l[rr];
+          b.acc[b.rows] = acc.row(r).data();
+          his[b.rows] = jn;
+          ++b.rows;
+          tile_evals += static_cast<double>(jn - k_lo);
         }
-        const std::size_t rr = static_cast<std::size_t>(r);
-        auto arow = acc.row(r);
-        if (tile_max > m[rr]) {
-          const float rescale = std::exp(m[rr] - tile_max);
-          for (float& a : arow) a *= rescale;
-          l[rr] *= rescale;
-          m[rr] = tile_max;
-        }
-        for (Index j = k_lo; j < jn; ++j) {
-          const float w = std::exp(logits[static_cast<std::size_t>(j - k_lo)] - m[rr]);
-          l[rr] += w;
-          axpy(w, in.v.row(j), arow);
-        }
+        if (b.rows > 0) mk::absorb_key_tile(b, in, scale, k_lo, his, logits);
       }
     }
     for (Index r = 0; r < rows; ++r) {

@@ -3,9 +3,12 @@
 // This is the CPU analogue of the paper's FlashAttention2 baseline: the
 // kernel walks KV tiles of TILE_K keys per query tile, maintaining a running
 // row max m_i and normalizer l_i, and rescales the partial output when the
-// max shifts (Dao et al., 2022, Alg. 1). The same inner machinery is reused
-// by the sparse kernel in sparse_flash_attention.h, which simply visits
-// fewer KV tiles.
+// max shifts (Dao et al., 2022, Alg. 1). The inner machinery — the
+// OnlineSoftmaxRow state, the single-row run absorb, and the
+// register-blocked multi-row tile absorb — lives in attention/microkernel.h
+// (re-exported here) on top of the runtime-dispatched SIMD primitives of
+// core/simd.h. The same machinery is reused by the sparse kernel in
+// sparse_flash_attention.h, which simply visits fewer KV tiles.
 #pragma once
 
 #include <limits>
@@ -13,6 +16,7 @@
 #include <vector>
 
 #include "attention/attention_method.h"
+#include "attention/microkernel.h"
 #include "core/tensor.h"
 
 namespace sattn {
@@ -34,30 +38,6 @@ class FlashAttention final : public AttentionMethod {
 
  private:
   FlashConfig cfg_;
-};
-
-// Absorbs the key run [lo, hi) of `in` into a row's online-softmax state
-// with a single rescale for the whole run (tile-level update). `scale` is
-// 1/sqrt(d); `logits` is caller-owned scratch. Shared by the row-run and
-// block-sparse kernels.
-struct OnlineSoftmaxRow;
-void absorb_key_run(OnlineSoftmaxRow& st, const AttentionInput& in, std::span<const float> qi,
-                    float scale, Index lo, Index hi, std::vector<float>& logits);
-
-// Online-softmax accumulator for one query row. Public so the sparse kernel
-// and SampleAttention's fused Stage-1 share the exact same update rule.
-struct OnlineSoftmaxRow {
-  std::vector<float> acc;  // unnormalized output accumulator, length d
-  float m = -std::numeric_limits<float>::infinity();  // running max
-  double l = 0.0;                                     // running normalizer
-
-  explicit OnlineSoftmaxRow(Index d) : acc(static_cast<std::size_t>(d), 0.0f) {}
-
-  // Absorb one (logit, value-row) pair.
-  void absorb(float logit, std::span<const float> v_row);
-
-  // Write normalized output; zero if nothing was absorbed.
-  void finalize(std::span<float> out_row) const;
 };
 
 }  // namespace sattn

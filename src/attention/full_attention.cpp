@@ -1,10 +1,12 @@
 #include "attention/full_attention.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <limits>
 #include <vector>
 
+#include "attention/microkernel.h"
 #include "core/numerics.h"
 #include "core/thread_pool.h"
 #include "obs/accounting.h"
@@ -32,20 +34,52 @@ void full_attention(const AttentionInput& in, Matrix& out) {
   // the calling thread (where the AcctScope/RequestContext attribution
   // thread-locals live).
   std::atomic<double> evals_total{0.0};
-  parallel_for(sq, [&](Index i) {
-    std::vector<float> row(static_cast<std::size_t>(sk));
-    logits_row(in, i, row);
-    const Index lim = causal_limit(i, sq, sk);
-    softmax_prefix_inplace(row, lim + 1);
-    auto oi = out.row(i);
-    for (Index j = 0; j <= lim; ++j) {
-      const float p = row[static_cast<std::size_t>(j)];
-      if (p != 0.0f) axpy(p, in.v.row(j), oi);
+  // Register-blocked over groups of mk::kQRows query rows: the logits pass
+  // shares each K row across the group (mk::logits_rows) and the PV pass
+  // shares each V row (simd::axpyn). Row i's causal prefix is i + sk - sq,
+  // so within a group the prefixes ascend with r.
+  const Index n_groups = (sq + mk::kQRows - 1) / mk::kQRows;
+  parallel_for(n_groups, [&](Index g) {
+    const simd::Ops& ops = simd::ops();
+    const Index i0 = g * mk::kQRows;
+    const Index nr = std::min<Index>(mk::kQRows, sq - i0);
+    std::vector<float> buf(static_cast<std::size_t>(nr * sk));
+    Index q_rows[mk::kQRows];
+    float* rows[mk::kQRows];
+    double group_evals = 0.0;
+    for (Index r = 0; r < nr; ++r) {
+      q_rows[r] = i0 + r;
+      rows[r] = buf.data() + static_cast<std::size_t>(r * sk);
     }
-    evals_total.fetch_add(static_cast<double>(lim + 1), std::memory_order_relaxed);
+    mk::logits_rows(in, q_rows, nr, rows);
+    for (Index r = 0; r < nr; ++r) {
+      const Index lim = causal_limit(i0 + r, sq, sk);
+      softmax_prefix_inplace(std::span<float>(rows[r], static_cast<std::size_t>(sk)), lim + 1);
+      group_evals += static_cast<double>(lim + 1);
+    }
+    // PV: for key j, accumulate w[r] * v_j into every row whose causal
+    // prefix reaches j (rows r0..nr-1 where r0 is the first row with
+    // lim >= j; prefixes ascend with r, so that set is a suffix).
+    float* orows[mk::kQRows];
+    for (Index r = 0; r < nr; ++r) orows[r] = out.row(i0 + r).data();
+    float w[mk::kQRows];
+    Index j = 0;
+    for (Index r0 = 0; r0 < nr; ++r0) {
+      const Index lim = causal_limit(i0 + r0, sq, sk);
+      const Index nact = nr - r0;
+      for (; j <= lim; ++j) {
+        bool any = false;
+        for (Index t = 0; t < nact; ++t) {
+          w[t] = rows[r0 + t][j];
+          any |= (w[t] != 0.0f);
+        }
+        if (any) ops.axpyn(w, nact, in.v.row(j).data(), orows + r0, d);
+      }
+    }
+    evals_total.fetch_add(group_evals, std::memory_order_relaxed);
   });
-  // Score traffic: logits_row materializes the whole [sq x sk] buffer (one
-  // write pass) and the softmax/PV loop reads the causal prefix back.
+  // Score traffic: the logits pass materializes the whole [sq x sk] buffer
+  // (one write pass) and the softmax/PV loop reads the causal prefix back.
   const double score_bytes =
       obs::kAcctBytesPerElement *
       (static_cast<double>(sq) * static_cast<double>(sk) + evals_total.load());

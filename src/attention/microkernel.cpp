@@ -1,0 +1,179 @@
+#include "attention/microkernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "attention/attention_method.h"
+
+namespace sattn {
+namespace {
+
+// Single-row run absorb over raw state: two passes (score + max, then
+// weight + accumulate) with one rescale for the whole run. The tiled and
+// row-granular kernels both bottom out here for ragged work.
+void absorb_run_row(const simd::Ops& ops, const float* qi, float& m, double& l, float* acc,
+                    Index d, const AttentionInput& in, float scale, Index lo, Index hi,
+                    std::vector<float>& logits) {
+  if (hi <= lo) return;
+  const auto n = static_cast<std::size_t>(hi - lo);
+  if (logits.size() < n) logits.resize(n);
+  float run_max = -std::numeric_limits<float>::infinity();
+  for (Index j = lo; j < hi; ++j) {
+    const float s = scale * ops.dot(qi, in.k.row(j).data(), d);
+    logits[static_cast<std::size_t>(j - lo)] = s;
+    run_max = std::max(run_max, s);
+  }
+  if (run_max > m) {
+    const float rescale = std::exp(m - run_max);
+    ops.scale_inplace(acc, d, rescale);
+    l *= rescale;
+    m = run_max;
+  }
+  for (Index j = lo; j < hi; ++j) {
+    const float w = std::exp(logits[static_cast<std::size_t>(j - lo)] - m);
+    l += w;
+    ops.axpy(w, in.v.row(j).data(), acc, d);
+  }
+}
+
+}  // namespace
+
+void OnlineSoftmaxRow::absorb(float logit, std::span<const float> v_row) {
+  assert(v_row.size() == acc.size());
+  const simd::Ops& ops = simd::ops();
+  const auto d = static_cast<Index>(acc.size());
+  if (logit > m) {
+    const float rescale = std::exp(m - logit);
+    ops.scale_inplace(acc.data(), d, rescale);
+    l *= rescale;
+    m = logit;
+  }
+  const float w = std::exp(logit - m);
+  l += w;
+  ops.axpy(w, v_row.data(), acc.data(), d);
+}
+
+void OnlineSoftmaxRow::finalize(std::span<float> out_row) const {
+  assert(out_row.size() == acc.size());
+  if (l <= 0.0) {
+    std::fill(out_row.begin(), out_row.end(), 0.0f);
+    return;
+  }
+  const auto inv = static_cast<float>(1.0 / l);
+  for (std::size_t t = 0; t < acc.size(); ++t) out_row[t] = acc[t] * inv;
+}
+
+void absorb_key_run(OnlineSoftmaxRow& st, const AttentionInput& in, std::span<const float> qi,
+                    float scale, Index lo, Index hi, std::vector<float>& logits) {
+  absorb_run_row(simd::ops(), qi.data(), st.m, st.l, st.acc.data(),
+                 static_cast<Index>(st.acc.size()), in, scale, lo, hi, logits);
+}
+
+namespace mk {
+
+void absorb_key_tile(const QBlock& b, const AttentionInput& in, float scale, Index lo,
+                     const Index* hi, std::vector<float>& logits) {
+  assert(b.rows >= 1 && b.rows <= kQRows);
+  const simd::Ops& ops = simd::ops();
+  const Index rows = b.rows, d = b.d;
+
+  Index hi_min = hi[0];
+  for (Index r = 1; r < rows; ++r) hi_min = std::min(hi_min, hi[r]);
+
+  // Shared prefix [lo, hi_min): every row sees every key, so K/V rows are
+  // loaded once per block via dotn/axpyn.
+  const Index shared = std::max<Index>(0, hi_min - lo);
+  if (shared > 0) {
+    const auto need = static_cast<std::size_t>(shared * rows);
+    if (logits.size() < need) logits.resize(need);
+    float run_max[kQRows];
+    for (Index r = 0; r < rows; ++r) run_max[r] = -std::numeric_limits<float>::infinity();
+    float s[kQRows];
+    for (Index j = lo; j < hi_min; ++j) {
+      ops.dotn(b.q, rows, in.k.row(j).data(), d, s);
+      const auto col = static_cast<std::size_t>(j - lo);
+      for (Index r = 0; r < rows; ++r) {
+        const float v = scale * s[r];
+        logits[static_cast<std::size_t>(r) * static_cast<std::size_t>(shared) + col] = v;
+        run_max[r] = std::max(run_max[r], v);
+      }
+    }
+    for (Index r = 0; r < rows; ++r) {
+      if (run_max[r] > *b.m[r]) {
+        const float rescale = std::exp(*b.m[r] - run_max[r]);
+        ops.scale_inplace(b.acc[r], d, rescale);
+        *b.l[r] *= rescale;
+        *b.m[r] = run_max[r];
+      }
+    }
+    float w[kQRows];
+    for (Index j = lo; j < hi_min; ++j) {
+      const auto col = static_cast<std::size_t>(j - lo);
+      for (Index r = 0; r < rows; ++r) {
+        w[r] = std::exp(
+            logits[static_cast<std::size_t>(r) * static_cast<std::size_t>(shared) + col] -
+            *b.m[r]);
+        *b.l[r] += w[r];
+      }
+      ops.axpyn(w, rows, in.v.row(j).data(), b.acc, d);
+    }
+  }
+
+  // Ragged tails: rows whose causal limit extends past the shared prefix
+  // finish through the single-row path (one extra rescale per tail run).
+  const Index tail_lo = std::max(lo, hi_min);
+  for (Index r = 0; r < rows; ++r) {
+    if (hi[r] > tail_lo) {
+      absorb_run_row(ops, b.q[r], *b.m[r], *b.l[r], b.acc[r], d, in, scale, tail_lo, hi[r],
+                     logits);
+    }
+  }
+}
+
+void logits_rows(const AttentionInput& in, const Index* q_rows, Index rows, float* const* out) {
+  assert(rows >= 1 && rows <= kQRows);
+  const simd::Ops& ops = simd::ops();
+  const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+  // Order rows by ascending causal limit so key j is scored against exactly
+  // the suffix of rows whose limit reaches it: early keys are shared by the
+  // whole block, late keys by fewer rows.
+  Index ord[kQRows];
+  for (Index r = 0; r < rows; ++r) ord[r] = r;
+  for (Index r = 1; r < rows; ++r) {  // insertion sort over <= kQRows entries
+    const Index o = ord[r];
+    Index t = r;
+    while (t > 0 && q_rows[ord[t - 1]] > q_rows[o]) {
+      ord[t] = ord[t - 1];
+      --t;
+    }
+    ord[t] = o;
+  }
+
+  Index j = 0;
+  for (Index g = 0; g < rows; ++g) {
+    const Index lim = causal_limit(q_rows[ord[g]], sq, sk);
+    const Index nact = rows - g;
+    const float* qp[kQRows];
+    for (Index t = 0; t < nact; ++t) {
+      qp[t] = in.q.row(q_rows[ord[g + t]]).data();
+    }
+    float s[kQRows];
+    for (; j <= lim; ++j) {
+      ops.dotn(qp, nact, in.k.row(j).data(), d, s);
+      for (Index t = 0; t < nact; ++t) {
+        out[ord[g + t]][j] = scale * s[t];
+      }
+    }
+  }
+  for (Index r = 0; r < rows; ++r) {
+    const Index lim = causal_limit(q_rows[r], sq, sk);
+    for (Index t = std::max<Index>(0, lim + 1); t < sk; ++t) {
+      out[r][t] = -std::numeric_limits<float>::infinity();
+    }
+  }
+}
+
+}  // namespace mk
+}  // namespace sattn

@@ -1,0 +1,101 @@
+// Register-blocked attention micro-kernels over the SIMD primitive layer.
+//
+// The tiled kernels (flash_attention, block_sparse) and the row-granular
+// sparse kernels all reduce to the same two inner steps: score a run of
+// keys against one or more query rows, then fold the run into each row's
+// online-softmax state with a single rescale (Dao et al., 2022, Alg. 1).
+// This header owns that machinery:
+//
+//   * OnlineSoftmaxRow — the single-row accumulator (moved here from
+//     flash_attention.h; that header re-exports it, so existing includes
+//     keep working).
+//   * absorb_key_run — single-row run absorb, the workhorse of the
+//     row-granular sparse kernels.
+//   * mk::QBlock / mk::absorb_key_tile — the register-blocked core: up to
+//     mk::kQRows query rows advance through one K/V stream together, so
+//     each K row is scored with one simd::dotn (K lanes loaded once for
+//     all rows) and each V row accumulated with one simd::axpyn. Rows may
+//     have ragged causal limits; the shared prefix is blocked and the
+//     tails fall back to the single-row path, so masked (never-visited)
+//     K/V entries are never read.
+//   * mk::logits_rows — the blocked score path used by for_each_score_row
+//     (Stage-1 sampling): up to kQRows sampled rows share one pass over K.
+//
+// All paths call simd::ops() — AVX2/FMA where the CPU supports it, the
+// portable scalar table under SATTN_FORCE_SCALAR=1 or simd::ScopedForceScalar.
+#pragma once
+
+#include <cassert>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/simd.h"
+#include "core/tensor.h"
+
+namespace sattn {
+
+// Online-softmax accumulator for one query row. Public so the sparse kernel
+// and SampleAttention's fused Stage-1 share the exact same update rule. The
+// normalizer `l` accumulates in double, matching the tiled kernels (see the
+// long-row drift tests in tests/simd_kernel_test.cpp).
+struct OnlineSoftmaxRow {
+  std::vector<float> acc;  // unnormalized output accumulator, length d
+  float m = -std::numeric_limits<float>::infinity();  // running max
+  double l = 0.0;                                     // running normalizer
+
+  explicit OnlineSoftmaxRow(Index d) : acc(static_cast<std::size_t>(d), 0.0f) {}
+
+  // Absorb one (logit, value-row) pair.
+  void absorb(float logit, std::span<const float> v_row);
+
+  // Write normalized output; zero if nothing was absorbed.
+  void finalize(std::span<float> out_row) const;
+};
+
+// Absorbs the key run [lo, hi) of `in` into a row's online-softmax state
+// with a single rescale for the whole run (tile-level update). `scale` is
+// 1/sqrt(d); `logits` is caller-owned scratch. Shared by the row-run and
+// block-sparse kernels.
+void absorb_key_run(OnlineSoftmaxRow& st, const AttentionInput& in, std::span<const float> qi,
+                    float scale, Index lo, Index hi, std::vector<float>& logits);
+
+namespace mk {
+
+// Query rows processed per register block. Matches simd::kMaxRows: the
+// AVX2 dotn/axpyn keep one pair of double accumulators per row in ymm
+// registers, and four rows is the deepest block that still fits.
+inline constexpr Index kQRows = simd::kMaxRows;
+
+// A view over up to kQRows query rows' online-softmax state. The pointers
+// alias caller-owned storage (flash_attention's per-tile m/l/acc arrays, or
+// individual OnlineSoftmaxRow structs in block_sparse), so the blocked core
+// composes with either layout without copying state.
+struct QBlock {
+  Index rows = 0;  // active rows, 1..kQRows
+  Index d = 0;     // head dim
+  const float* q[kQRows] = {};  // query rows
+  float* m[kQRows] = {};        // running max per row
+  double* l[kQRows] = {};       // running normalizer per row
+  float* acc[kQRows] = {};      // unnormalized accumulator rows, length d
+};
+
+// Absorbs keys [lo, hi[r]) into each row r of the block. The shared prefix
+// [lo, min_r hi[r]) is processed register-blocked — each K/V row is loaded
+// once for all rows — with one rescale per row for the whole prefix; the
+// ragged tails [min_r hi[r], hi[r]) run through the single-row path. Rows
+// with hi[r] <= lo must not be placed in the block (their state would still
+// be correct, but they would force an empty shared prefix).
+// `logits` is caller-owned scratch, grown as needed.
+void absorb_key_tile(const QBlock& b, const AttentionInput& in, float scale, Index lo,
+                     const Index* hi, std::vector<float>& logits);
+
+// Blocked score path: fills out[r][0..sk) with the causal logits row of
+// query q_rows[r] (same semantics as logits_row in full_attention.h: the
+// causal prefix holds scale * q·k, the masked tail is -inf), sharing each K
+// row across all block rows whose causal limit reaches it. Rows need not be
+// sorted; each out[r] must hold at least sk floats. rows is 1..kQRows.
+void logits_rows(const AttentionInput& in, const Index* q_rows, Index rows, float* const* out);
+
+}  // namespace mk
+}  // namespace sattn

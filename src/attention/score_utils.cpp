@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "attention/full_attention.h"
+#include "attention/microkernel.h"
 #include "core/numerics.h"
 
 namespace sattn {
@@ -12,12 +13,27 @@ namespace sattn {
 void for_each_score_row(const AttentionInput& in, std::span<const Index> rows,
                         const std::function<void(Index, std::span<const float>)>& visit) {
   const Index sq = in.sq(), sk = in.sk();
-  std::vector<float> row(static_cast<std::size_t>(sk));
-  for (Index i : rows) {
-    assert(i >= 0 && i < sq);
-    logits_row(in, i, row);
-    softmax_prefix_inplace(row, causal_limit(i, sq, sk) + 1);
-    visit(i, row);
+  // Blocked score path: chunks of up to mk::kQRows sampled rows share one
+  // pass over K (mk::logits_rows), then each row is softmaxed and visited
+  // in the caller's original order.
+  std::vector<float> buf(static_cast<std::size_t>(mk::kQRows) * static_cast<std::size_t>(sk));
+  const auto n = static_cast<Index>(rows.size());
+  for (Index c = 0; c < n; c += mk::kQRows) {
+    const Index nr = std::min<Index>(mk::kQRows, n - c);
+    Index q_rows[mk::kQRows];
+    float* out[mk::kQRows];
+    for (Index r = 0; r < nr; ++r) {
+      const Index i = rows[static_cast<std::size_t>(c + r)];
+      assert(i >= 0 && i < sq);
+      q_rows[r] = i;
+      out[r] = buf.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(sk);
+    }
+    mk::logits_rows(in, q_rows, nr, out);
+    for (Index r = 0; r < nr; ++r) {
+      std::span<float> row(out[r], static_cast<std::size_t>(sk));
+      softmax_prefix_inplace(row, causal_limit(q_rows[r], sq, sk) + 1);
+      visit(q_rows[r], row);
+    }
   }
 }
 

@@ -4,7 +4,7 @@
 #include <atomic>
 #include <cmath>
 
-#include "attention/flash_attention.h"
+#include "attention/microkernel.h"
 #include "core/thread_pool.h"
 #include "obs/accounting.h"
 #include "obs/metrics.h"

@@ -7,6 +7,7 @@
 
 #include "attention/flash_attention.h"
 #include "core/rng.h"
+#include "core/simd.h"
 #include "core/thread_pool.h"
 #include "obs/accounting.h"
 
@@ -41,22 +42,32 @@ std::vector<float> dominant_direction(const Matrix& k, Rng& rng) {
 
 // Spherical-LSH bucket per row after removing the dominant-key component:
 // argmax_j <row - (row.u)u, dir_j> over num_buckets random directions
-// (shared between Q and K).
+// (shared between Q and K). The projection loop is register-blocked: four
+// direction rows at a time share one pass over the residual row
+// (simd::dotn with the row as the common stream).
 std::vector<Index> bucket_assignment(const Matrix& m, const Matrix& directions,
                                      std::span<const float> remove_dir) {
   std::vector<Index> out(static_cast<std::size_t>(m.rows()));
   std::vector<float> row(static_cast<std::size_t>(m.cols()));
+  const Index d = m.cols(), nb = directions.rows();
+  const simd::Ops& ops = simd::ops();
   for (Index r = 0; r < m.rows(); ++r) {
     auto src = m.row(r);
     const float proj = dot(src, remove_dir);
     for (std::size_t t = 0; t < row.size(); ++t) row[t] = src[t] - proj * remove_dir[t];
     Index best = 0;
     float best_v = -std::numeric_limits<float>::infinity();
-    for (Index b = 0; b < directions.rows(); ++b) {
-      const float v = dot(std::span<const float>(row), directions.row(b));
-      if (v > best_v) {
-        best_v = v;
-        best = b;
+    for (Index b0 = 0; b0 < nb; b0 += simd::kMaxRows) {
+      const Index nr = std::min<Index>(simd::kMaxRows, nb - b0);
+      const float* dirs[simd::kMaxRows];
+      for (Index t = 0; t < nr; ++t) dirs[t] = directions.row(b0 + t).data();
+      float v[simd::kMaxRows];
+      ops.dotn(dirs, nr, row.data(), d, v);
+      for (Index t = 0; t < nr; ++t) {
+        if (v[t] > best_v) {
+          best_v = v[t];
+          best = b0 + t;
+        }
       }
     }
     out[static_cast<std::size_t>(r)] = best;

@@ -1,0 +1,117 @@
+// SIMD micro-kernel primitives with runtime CPU dispatch.
+//
+// Every hot inner loop in the library funnels through the small primitive
+// set below: dot products (accumulated in double, matching the numeric
+// contract of core/tensor.cpp), multi-row dots that share one key stream,
+// axpy accumulates, multi-row axpy that shares one value stream, and an
+// in-place rescale. Each primitive has a portable scalar implementation and,
+// on x86 hosts whose compiler and CPU both support it, an AVX2/FMA
+// implementation (src/core/simd_avx2.cpp, compiled with -mavx2 -mfma and
+// only ever called after a CPUID check).
+//
+// Dispatch contract:
+//   * detected_level()  — what the CPU supports (CPUID), ignoring overrides.
+//   * dispatched_ops()  — detected level filtered through the
+//     SATTN_FORCE_SCALAR environment variable (any value other than "0"
+//     forces the scalar table); resolved once per process.
+//   * ops()             — the active table: dispatched_ops() unless a
+//     ScopedForceScalar is alive. This is what kernels call.
+//
+// The scalar table reproduces the pre-SIMD loops bit-for-bit (double
+// accumulation for dots, float fused multiply-add for axpy), so
+// SATTN_FORCE_SCALAR=1 recovers the original kernel numerics exactly and
+// the parity suite (tests/simd_kernel_test.cpp) can compare the two tables
+// in one process.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "core/tensor.h"
+
+namespace sattn::simd {
+
+enum class Level { kScalar = 0, kAvx2 = 1 };
+
+// Number of query rows the multi-row primitives (dotn/axpyn) accept at once.
+inline constexpr Index kMaxRows = 4;
+
+// One backend's primitive table. All pointers are non-null in a valid table.
+struct Ops {
+  const char* name;  // "scalar" or "avx2"
+  Level level;
+
+  // out = sum_i a[i] * b[i], accumulated in double.
+  float (*dot)(const float* a, const float* b, Index n);
+
+  // out[r] = dot(q[r], k) for r in [0, rows); rows in [1, kMaxRows]. The
+  // shared k stream is loaded once per vector of lanes for all rows — the
+  // register-blocking primitive of the attention micro-kernels.
+  void (*dotn)(const float* const* q, Index rows, const float* k, Index n, float* out);
+
+  // y[i] += a * x[i].
+  void (*axpy)(float a, const float* x, float* y, Index n);
+
+  // acc[r][i] += w[r] * v[i] for r in [0, rows); the shared v stream is
+  // loaded once for all rows.
+  void (*axpyn)(const float* w, Index rows, const float* v, float* const* acc, Index n);
+
+  // x[i] *= s (the online-softmax rescale step).
+  void (*scale_inplace)(float* x, Index n, float s);
+};
+
+// The portable fallback; always available.
+const Ops& scalar_ops();
+
+// CPU capability, ignoring SATTN_FORCE_SCALAR and scoped overrides.
+Level detected_level();
+
+// detected_level() filtered through SATTN_FORCE_SCALAR; cached after the
+// first call (set the environment variable before any SIMD use).
+const Ops& dispatched_ops();
+
+const char* level_name(Level level);
+
+namespace detail {
+std::atomic<const Ops*>& active_slot();
+const Ops& init_active();
+}  // namespace detail
+
+// The active table. One relaxed atomic load; kernels that loop over many
+// rows should hoist `const Ops& o = simd::ops();` out of the loop.
+inline const Ops& ops() {
+  const Ops* p = detail::active_slot().load(std::memory_order_relaxed);
+  return p != nullptr ? *p : detail::init_active();
+}
+
+inline Level active_level() { return ops().level; }
+inline const char* active_level_name() { return ops().name; }
+
+// Forces the scalar table while alive (benchmark comparison mode and the
+// parity tests). The override is process-global: pool workers dispatched
+// while the scope is alive also see the scalar table. Not meant to be
+// nested from concurrent threads.
+class ScopedForceScalar {
+ public:
+  ScopedForceScalar();
+  ~ScopedForceScalar();
+
+  ScopedForceScalar(const ScopedForceScalar&) = delete;
+  ScopedForceScalar& operator=(const ScopedForceScalar&) = delete;
+
+ private:
+  const Ops* prev_;
+};
+
+// Convenience wrappers over the active table.
+inline float dot(const float* a, const float* b, Index n) { return ops().dot(a, b, n); }
+inline void dotn(const float* const* q, Index rows, const float* k, Index n, float* out) {
+  ops().dotn(q, rows, k, n, out);
+}
+inline void axpy(float a, const float* x, float* y, Index n) { ops().axpy(a, x, y, n); }
+inline void axpyn(const float* w, Index rows, const float* v, float* const* acc, Index n) {
+  ops().axpyn(w, rows, v, acc, n);
+}
+inline void scale_inplace(float* x, Index n, float s) { ops().scale_inplace(x, n, s); }
+
+}  // namespace sattn::simd

@@ -1,0 +1,148 @@
+// AVX2/FMA backend for the SIMD primitive table (core/simd.h).
+//
+// This translation unit is the only one compiled with -mavx2 -mfma (see
+// src/CMakeLists.txt), and its functions are only reachable through
+// dispatched_ops() after a CPUID check, so the binary stays runnable on
+// SSE-only hosts.
+//
+// Numerics: dots convert the float lanes to double and accumulate with
+// 4-wide double FMAs (two independent accumulator chains per row), honoring
+// the double-accumulation contract of the scalar backend — the summation
+// *order* differs, so results agree to ~1e-13 relative rather than
+// bit-for-bit. axpy/axpyn/scale stay in float, like the scalar loops.
+// Remainder elements (n % 8) are handled by scalar tails; no vector load
+// ever touches memory past `n` elements, which keeps ASan clean on exactly
+// sized buffers.
+#include "core/simd.h"
+
+#if defined(SATTN_HAVE_AVX2)
+
+#include <immintrin.h>
+
+namespace sattn::simd {
+namespace {
+
+inline double hsum_pd(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  lo = _mm_add_pd(lo, hi);
+  const __m128d swap = _mm_unpackhi_pd(lo, lo);
+  return _mm_cvtsd_f64(_mm_add_sd(lo, swap));
+}
+
+float dot_avx2(const float* a, const float* b, Index n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 av = _mm256_loadu_ps(a + i);
+    const __m256 bv = _mm256_loadu_ps(b + i);
+    acc0 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(av)),
+                           _mm256_cvtps_pd(_mm256_castps256_ps128(bv)), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(av, 1)),
+                           _mm256_cvtps_pd(_mm256_extractf128_ps(bv, 1)), acc1);
+  }
+  double acc = hsum_pd(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) acc += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(acc);
+}
+
+// R query rows against one shared key stream: the key lanes are loaded and
+// widened once per 8 elements, then FMA'd into each row's accumulators.
+template <int R>
+void dotr_avx2(const float* const* q, const float* k, Index n, float* out) {
+  __m256d acc0[R];
+  __m256d acc1[R];
+  for (int r = 0; r < R; ++r) {
+    acc0[r] = _mm256_setzero_pd();
+    acc1[r] = _mm256_setzero_pd();
+  }
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 kv = _mm256_loadu_ps(k + i);
+    const __m256d klo = _mm256_cvtps_pd(_mm256_castps256_ps128(kv));
+    const __m256d khi = _mm256_cvtps_pd(_mm256_extractf128_ps(kv, 1));
+    for (int r = 0; r < R; ++r) {
+      const __m256 qv = _mm256_loadu_ps(q[r] + i);
+      acc0[r] = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(qv)), klo, acc0[r]);
+      acc1[r] = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(qv, 1)), khi, acc1[r]);
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    double acc = hsum_pd(_mm256_add_pd(acc0[r], acc1[r]));
+    for (Index t = i; t < n; ++t) acc += static_cast<double>(q[r][t]) * k[t];
+    out[r] = static_cast<float>(acc);
+  }
+}
+
+void dotn_avx2(const float* const* q, Index rows, const float* k, Index n, float* out) {
+  switch (rows) {
+    case 1: dotr_avx2<1>(q, k, n, out); return;
+    case 2: dotr_avx2<2>(q, k, n, out); return;
+    case 3: dotr_avx2<3>(q, k, n, out); return;
+    case 4: dotr_avx2<4>(q, k, n, out); return;
+    default:
+      for (Index r = 0; r < rows; ++r) out[r] = dot_avx2(q[r], k, n);
+      return;
+  }
+}
+
+void axpy_avx2(float a, const float* x, float* y, Index n) {
+  const __m256 av = _mm256_set1_ps(a);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 yv = _mm256_fmadd_ps(av, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i));
+    _mm256_storeu_ps(y + i, yv);
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+// R accumulator rows fed from one shared value stream.
+template <int R>
+void axpyr_avx2(const float* w, const float* v, float* const* acc, Index n) {
+  __m256 wv[R];
+  for (int r = 0; r < R; ++r) wv[r] = _mm256_set1_ps(w[r]);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vv = _mm256_loadu_ps(v + i);
+    for (int r = 0; r < R; ++r) {
+      _mm256_storeu_ps(acc[r] + i, _mm256_fmadd_ps(wv[r], vv, _mm256_loadu_ps(acc[r] + i)));
+    }
+  }
+  for (; i < n; ++i) {
+    for (int r = 0; r < R; ++r) acc[r][i] += w[r] * v[i];
+  }
+}
+
+void axpyn_avx2(const float* w, Index rows, const float* v, float* const* acc, Index n) {
+  switch (rows) {
+    case 1: axpyr_avx2<1>(w, v, acc, n); return;
+    case 2: axpyr_avx2<2>(w, v, acc, n); return;
+    case 3: axpyr_avx2<3>(w, v, acc, n); return;
+    case 4: axpyr_avx2<4>(w, v, acc, n); return;
+    default:
+      for (Index r = 0; r < rows; ++r) axpy_avx2(w[r], v, acc[r], n);
+      return;
+  }
+}
+
+void scale_avx2(float* x, Index n, float s) {
+  const __m256 sv = _mm256_set1_ps(s);
+  Index i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(sv, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= s;
+}
+
+}  // namespace
+
+const Ops& avx2_ops() {
+  static const Ops table = {"avx2", Level::kAvx2, dot_avx2,  dotn_avx2,
+                            axpy_avx2, axpyn_avx2, scale_avx2};
+  return table;
+}
+
+}  // namespace sattn::simd
+
+#endif  // SATTN_HAVE_AVX2

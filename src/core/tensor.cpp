@@ -3,30 +3,37 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/simd.h"
+
 namespace sattn {
 
 float dot(std::span<const float> a, std::span<const float> b) {
   assert(a.size() == b.size());
-  // Accumulate in double: head dims are small (<=256) but the reference
-  // paths compare against kernels at 1e-5 tolerances.
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += static_cast<double>(a[i]) * b[i];
-  return static_cast<float>(acc);
+  // Accumulates in double (both SIMD backends honor this contract): head
+  // dims are small (<=256) but the reference paths compare against kernels
+  // at 1e-5 tolerances.
+  return simd::dot(a.data(), b.data(), static_cast<Index>(a.size()));
 }
 
 void axpy(float scale, std::span<const float> x, std::span<float> y) {
   assert(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += scale * x[i];
+  simd::axpy(scale, x.data(), y.data(), static_cast<Index>(x.size()));
 }
 
 void matmul_nt(const Matrix& a, const Matrix& b, Matrix& c) {
   assert(a.cols() == b.cols());
   assert(c.rows() == a.rows() && c.cols() == b.rows());
-  const Index m = a.rows(), n = b.rows();
-  for (Index i = 0; i < m; ++i) {
-    auto ai = a.row(i);
+  const Index m = a.rows(), n = b.rows(), d = a.cols();
+  const simd::Ops& ops = simd::ops();
+  // Register-blocked: groups of rows of A share each row of B.
+  for (Index i0 = 0; i0 < m; i0 += simd::kMaxRows) {
+    const Index nr = std::min<Index>(simd::kMaxRows, m - i0);
+    const float* rows[simd::kMaxRows];
+    for (Index r = 0; r < nr; ++r) rows[r] = a.row(i0 + r).data();
+    float s[simd::kMaxRows];
     for (Index j = 0; j < n; ++j) {
-      c(i, j) = dot(ai, b.row(j));
+      ops.dotn(rows, nr, b.row(j).data(), d, s);
+      for (Index r = 0; r < nr; ++r) c(i0 + r, j) = s[r];
     }
   }
 }

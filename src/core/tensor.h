@@ -83,7 +83,10 @@ struct AttentionInput {
   Index head_dim() const { return q.cols(); }
 };
 
-// Basic dense ops shared by reference paths (not performance critical).
+// Basic dense ops shared by the reference paths and baselines. These route
+// through the runtime-dispatched SIMD primitives (core/simd.h), so every
+// caller — decode, score rows, hash baselines — picks up the vectorized
+// backends; SATTN_FORCE_SCALAR=1 restores the portable scalar loops.
 float dot(std::span<const float> a, std::span<const float> b);
 
 // out[r,:] += scale * m[r,:] for a single row r of m, accumulated into out_row.

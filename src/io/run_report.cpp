@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "core/simd.h"
 #include "io/json.h"
 #include "obs/trace.h"
 
@@ -279,6 +280,10 @@ RunReport collect_run_report(const std::string& bench_name) {
   report.meta["compiler"] = SATTN_COMPILER;
   report.meta["cxx_flags"] = SATTN_CXX_FLAGS;
   report.meta["threads"] = std::to_string(std::thread::hardware_concurrency());
+  // The SIMD backend the micro-kernels actually dispatched to on this host
+  // (docs/PERFORMANCE.md) — wall-clock numbers are only comparable between
+  // reports that ran the same backend.
+  report.meta["simd"] = simd::active_level_name();
 
   BenchReport bench;
   bench.name = bench_name;

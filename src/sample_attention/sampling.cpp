@@ -54,16 +54,24 @@ SampleStats sample_column_weights(const AttentionInput& in, double row_ratio,
     const Index lim = causal_limit(i, sq, sk);
     const Index win_lo =
         exclude_window > 0 ? std::max<Index>(0, lim - exclude_window + 1) : lim + 1;
+    // One fused pass over the sampled row: column accumulate (outside the
+    // excluded window), distance histogram, and window mass together, so
+    // the row is streamed once instead of three times. Accumulation order
+    // per destination matches the old three-pass form (ascending j), so
+    // the sums are bit-identical.
     double row_total = 0.0, row_window = 0.0;
-    for (Index j = 0; j < win_lo; ++j) acc[static_cast<std::size_t>(j)] += p[static_cast<std::size_t>(j)];
     for (Index j = 0; j <= lim; ++j) {
       const float pj = p[static_cast<std::size_t>(j)];
       row_total += pj;
       st.distance_hist[static_cast<std::size_t>(
           std::min<Index>(SampleStats::kDistanceBuckets - 1, (lim - j) / st.distance_bucket_width))] +=
           pj;
+      if (j < win_lo) {
+        acc[static_cast<std::size_t>(j)] += pj;
+      } else {
+        row_window += pj;
+      }
     }
-    for (Index j = win_lo; j <= lim; ++j) row_window += p[static_cast<std::size_t>(j)];
     st.total_mass += row_total;
     st.window_mass += row_window;
     st.score_evals += static_cast<double>(lim + 1);

@@ -15,6 +15,7 @@
 #include "baselines/bigbird.h"
 #include "baselines/streaming_llm.h"
 #include "model/workload.h"
+#include "runtime/batch.h"
 #include "sample_attention/sample_attention.h"
 
 namespace sattn {
@@ -210,6 +211,99 @@ void BM_SimdCompareSampleEndToEnd(benchmark::State& state) {
 }
 BENCHMARK_TEMPLATE(BM_SimdCompareSampleEndToEnd, false)->Arg(2048);
 BENCHMARK_TEMPLATE(BM_SimdCompareSampleEndToEnd, true)->Arg(2048);
+
+// ---------------------------------------------------------------------------
+// Ragged-batch sweep vs a per-request kernel loop (docs/PERFORMANCE.md
+// "Batched kernels"). Same total work — `batch` sequences of 1K tokens —
+// but the per-request loop parallelizes inside one sequence at a time
+// (q-tile granularity) while the ragged sweep runs whole sequences
+// concurrently, which is how the serving engine amortizes a live batch.
+
+void BM_PerRequestLoopDense(benchmark::State& state) {
+  const Index batch = state.range(0);
+  std::vector<AttentionInput> ins;
+  for (Index i = 0; i < batch; ++i) ins.push_back(bench_input(1024));
+  std::vector<Matrix> outs(static_cast<std::size_t>(batch));
+  for (auto _ : state) {
+    for (Index i = 0; i < batch; ++i)
+      flash_attention(ins[static_cast<std::size_t>(i)], outs[static_cast<std::size_t>(i)]);
+    benchmark::DoNotOptimize(outs.front().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * 1024 * 1024 / 2);
+}
+BENCHMARK(BM_PerRequestLoopDense)->Arg(2)->Arg(8);
+
+void BM_RaggedBatchDense(benchmark::State& state) {
+  const Index batch = state.range(0);
+  std::vector<AttentionInput> ins;
+  for (Index i = 0; i < batch; ++i) ins.push_back(bench_input(1024));
+  std::vector<Matrix> outs(static_cast<std::size_t>(batch));
+  RaggedBatchView view;
+  for (Index i = 0; i < batch; ++i) {
+    AttentionInput& in = ins[static_cast<std::size_t>(i)];
+    Matrix& out = outs[static_cast<std::size_t>(i)];
+    out.resize(in.sq(), in.head_dim());
+    RaggedSeq seq;
+    seq.route = SeqRoute::kDense;
+    seq.q = in.q.data();
+    seq.rows = in.sq();
+    seq.kv = mk::KvView::of(in);
+    seq.k_hi = in.sk();
+    seq.causal_off = in.sk() - in.sq();
+    seq.out = out.data();
+    view.seqs.push_back(seq);
+  }
+  for (auto _ : state) {
+    const std::vector<SeqCost> costs = ragged_attention_sweep(view);
+    benchmark::DoNotOptimize(costs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * 1024 * 1024 / 2);
+}
+BENCHMARK(BM_RaggedBatchDense)->Arg(2)->Arg(8);
+
+// Decode-heavy step: one fresh token against a 4K KV prefix per sequence —
+// the regime where per-request dispatch overhead dominates and batching
+// pays the most.
+void BM_PerRequestLoopDecode(benchmark::State& state) {
+  const Index batch = state.range(0), s = 4096;
+  const AttentionInput in = bench_input(s);
+  const mk::KvView kv = mk::KvView::of(in);
+  std::vector<std::vector<float>> outs(static_cast<std::size_t>(batch),
+                                       std::vector<float>(static_cast<std::size_t>(in.head_dim())));
+  for (auto _ : state) {
+    for (Index i = 0; i < batch; ++i)
+      flash_rows(in.q.row(0).data(), 1, kv, s, s - 1, outs[static_cast<std::size_t>(i)].data(),
+                 in.head_dim());
+    benchmark::DoNotOptimize(outs.front().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * s);
+}
+BENCHMARK(BM_PerRequestLoopDecode)->Arg(8)->Arg(32);
+
+void BM_RaggedBatchDecode(benchmark::State& state) {
+  const Index batch = state.range(0), s = 4096;
+  const AttentionInput in = bench_input(s);
+  std::vector<std::vector<float>> outs(static_cast<std::size_t>(batch),
+                                       std::vector<float>(static_cast<std::size_t>(in.head_dim())));
+  RaggedBatchView view;
+  for (Index i = 0; i < batch; ++i) {
+    RaggedSeq seq;
+    seq.route = SeqRoute::kDense;
+    seq.q = in.q.row(0).data();
+    seq.rows = 1;
+    seq.kv = mk::KvView::of(in);
+    seq.k_hi = s;
+    seq.causal_off = s - 1;
+    seq.out = outs[static_cast<std::size_t>(i)].data();
+    view.seqs.push_back(seq);
+  }
+  for (auto _ : state) {
+    const std::vector<SeqCost> costs = ragged_attention_sweep(view);
+    benchmark::DoNotOptimize(costs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch * s);
+}
+BENCHMARK(BM_RaggedBatchDecode)->Arg(8)->Arg(32);
 
 void BM_BigBird(benchmark::State& state) {
   const AttentionInput in = bench_input(state.range(0));

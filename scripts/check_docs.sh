@@ -62,6 +62,25 @@ while IFS= read -r tok; do
   esac
 done <<< "$tokens"
 
+# --- 2b. markdown cross-references must resolve ------------------------------
+# Relative [text](target) links between docs (and into the tree) must point
+# at real files; dangling links rot silently as docs move.
+for f in "${docs[@]}"; do
+  dir="$(dirname "$f")"
+  while IFS= read -r target; do
+    [ -z "$target" ] && continue
+    case "$target" in
+      http://*|https://*|'#'*|mailto:*) continue ;;
+    esac
+    target="${target%%#*}"
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "check_docs: dangling link in $f: ($target)" >&2
+      fail=1
+    fi
+  done < <(grep -ho '](\([^)]*\))' "$f" 2>/dev/null | sed 's/^](//; s/)$//')
+done
+
 # --- 3. required sections ----------------------------------------------------
 if ! grep -q '^## Run reports & regression gating' docs/OBSERVABILITY.md; then
   echo "check_docs: docs/OBSERVABILITY.md is missing the 'Run reports & regression gating' section" >&2
@@ -77,6 +96,18 @@ for section in '^## Numeric contract' '^## Dispatch rules' \
                '^## Reproducing the scalar-vs-SIMD comparison'; do
   if ! grep -q "$section" docs/PERFORMANCE.md; then
     echo "check_docs: docs/PERFORMANCE.md is missing the required section matching '$section'" >&2
+    fail=1
+  fi
+done
+
+# The serving-engine operator guide must keep its load-bearing sections
+# (the engine architecture, the ragged kernel contract, the threading
+# model, the metric mapping, and the bench walkthrough).
+for section in '^## Architecture' '^## The ragged-batch kernel API' \
+               '^## Threading and locking model' '^## Metrics' \
+               '^## Running the serving bench'; do
+  if ! grep -q "$section" docs/SERVING.md; then
+    echo "check_docs: docs/SERVING.md is missing the required section matching '$section'" >&2
     fail=1
   fi
 done

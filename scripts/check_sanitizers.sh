@@ -47,6 +47,8 @@ for mode in 1 0; do
   SATTN_FORCE_SCALAR="$mode" "$build/tests/attention_test"
   SATTN_FORCE_SCALAR="$mode" "$build/tests/sparse_kernel_test"
   SATTN_FORCE_SCALAR="$mode" "$build/tests/block_sparse_test"
+  # Ragged-batch parity must hold bit-exactly on both backends.
+  SATTN_FORCE_SCALAR="$mode" "$build/tests/engine_test" --gtest_filter='RaggedBatch.*'
 done
 
 echo "sanitizer suite passed: simd backends (SATTN_FORCE_SCALAR=1 and dispatch)"
@@ -57,7 +59,8 @@ cmake -B "$build_tsan" -S "$root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSATTN_SANITIZE=thread >/dev/null
 cmake --build "$build_tsan" -j "$(nproc)" \
-  --target obs_test --target scheduler_test --target accounting_test >/dev/null
+  --target obs_test --target scheduler_test --target accounting_test \
+  --target engine_test >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
@@ -67,5 +70,8 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 "$build_tsan/tests/obs_test"
 "$build_tsan/tests/scheduler_test"
 "$build_tsan/tests/accounting_test" --gtest_filter='-*Overhead*'
+# Serving engine: concurrent submitters against the intake lock, the loop
+# thread, and the ragged sweep's pool workers charging per-request acct.*.
+"$build_tsan/tests/engine_test"
 
-echo "sanitizer suite passed: thread (obs_test, scheduler_test, accounting_test)"
+echo "sanitizer suite passed: thread (obs_test, scheduler_test, accounting_test, engine_test)"

@@ -96,6 +96,7 @@ void block_sparse_attention(const AttentionInput& in, const BlockSparseLayout& l
   out.resize(sq, d);
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
   const Index block = layout.block();
+  const mk::KvView kv = mk::KvView::of(in);
   std::atomic<double> evals_total{0.0};
 
   parallel_for(layout.n_qblocks(), [&](Index qb) {
@@ -132,7 +133,7 @@ void block_sparse_attention(const AttentionInput& in, const BlockSparseLayout& l
           ++b.rows;
           tile_evals += static_cast<double>(hi - k_lo);
         }
-        if (b.rows > 0) mk::absorb_key_tile(b, in, scale, k_lo, his, logits);
+        if (b.rows > 0) mk::absorb_key_tile(b, kv, scale, k_lo, his, logits);
       }
     }
     for (Index r = 0; r < rows; ++r) {

@@ -28,6 +28,18 @@ struct FlashConfig {
 
 void flash_attention(const AttentionInput& in, Matrix& out, const FlashConfig& cfg = {});
 
+// The tiled sweep itself, decoupled from AttentionInput: exact attention of
+// `rows` query rows starting at `q` (contiguous, row stride kv.d) against
+// keys/values [0, k_hi) of `kv`. Row r attends keys [0, min(k_hi,
+// r + causal_off + 1)) — for a full square input causal_off is 0; for a
+// prefill chunk whose queries start at global row q_lo it is q_lo plus the
+// input's key/query offset. Normalized outputs land at out + r*out_stride.
+// Single-threaded by design: flash_attention parallelizes over q-tiles, the
+// ragged batch sweep (runtime/batch.h) over sequences. Returns the number
+// of score evaluations (for acct.* charging by the caller).
+double flash_rows(const float* q, Index rows, const mk::KvView& kv, Index k_hi, Index causal_off,
+                  float* out, Index out_stride, const FlashConfig& cfg = {});
+
 class FlashAttention final : public AttentionMethod {
  public:
   explicit FlashAttention(FlashConfig cfg = {}) : cfg_(cfg) {}

@@ -12,14 +12,14 @@ namespace {
 // weight + accumulate) with one rescale for the whole run. The tiled and
 // row-granular kernels both bottom out here for ragged work.
 void absorb_run_row(const simd::Ops& ops, const float* qi, float& m, double& l, float* acc,
-                    Index d, const AttentionInput& in, float scale, Index lo, Index hi,
+                    Index d, const mk::KvView& kv, float scale, Index lo, Index hi,
                     std::vector<float>& logits) {
   if (hi <= lo) return;
   const auto n = static_cast<std::size_t>(hi - lo);
   if (logits.size() < n) logits.resize(n);
   float run_max = -std::numeric_limits<float>::infinity();
   for (Index j = lo; j < hi; ++j) {
-    const float s = scale * ops.dot(qi, in.k.row(j).data(), d);
+    const float s = scale * ops.dot(qi, kv.k_row(j), d);
     logits[static_cast<std::size_t>(j - lo)] = s;
     run_max = std::max(run_max, s);
   }
@@ -32,7 +32,7 @@ void absorb_run_row(const simd::Ops& ops, const float* qi, float& m, double& l, 
   for (Index j = lo; j < hi; ++j) {
     const float w = std::exp(logits[static_cast<std::size_t>(j - lo)] - m);
     l += w;
-    ops.axpy(w, in.v.row(j).data(), acc, d);
+    ops.axpy(w, kv.v_row(j), acc, d);
   }
 }
 
@@ -63,15 +63,15 @@ void OnlineSoftmaxRow::finalize(std::span<float> out_row) const {
   for (std::size_t t = 0; t < acc.size(); ++t) out_row[t] = acc[t] * inv;
 }
 
-void absorb_key_run(OnlineSoftmaxRow& st, const AttentionInput& in, std::span<const float> qi,
+void absorb_key_run(OnlineSoftmaxRow& st, const mk::KvView& kv, std::span<const float> qi,
                     float scale, Index lo, Index hi, std::vector<float>& logits) {
   absorb_run_row(simd::ops(), qi.data(), st.m, st.l, st.acc.data(),
-                 static_cast<Index>(st.acc.size()), in, scale, lo, hi, logits);
+                 static_cast<Index>(st.acc.size()), kv, scale, lo, hi, logits);
 }
 
 namespace mk {
 
-void absorb_key_tile(const QBlock& b, const AttentionInput& in, float scale, Index lo,
+void absorb_key_tile(const QBlock& b, const KvView& kv, float scale, Index lo,
                      const Index* hi, std::vector<float>& logits) {
   assert(b.rows >= 1 && b.rows <= kQRows);
   const simd::Ops& ops = simd::ops();
@@ -90,7 +90,7 @@ void absorb_key_tile(const QBlock& b, const AttentionInput& in, float scale, Ind
     for (Index r = 0; r < rows; ++r) run_max[r] = -std::numeric_limits<float>::infinity();
     float s[kQRows];
     for (Index j = lo; j < hi_min; ++j) {
-      ops.dotn(b.q, rows, in.k.row(j).data(), d, s);
+      ops.dotn(b.q, rows, kv.k_row(j), d, s);
       const auto col = static_cast<std::size_t>(j - lo);
       for (Index r = 0; r < rows; ++r) {
         const float v = scale * s[r];
@@ -115,7 +115,7 @@ void absorb_key_tile(const QBlock& b, const AttentionInput& in, float scale, Ind
             *b.m[r]);
         *b.l[r] += w[r];
       }
-      ops.axpyn(w, rows, in.v.row(j).data(), b.acc, d);
+      ops.axpyn(w, rows, kv.v_row(j), b.acc, d);
     }
   }
 
@@ -124,7 +124,7 @@ void absorb_key_tile(const QBlock& b, const AttentionInput& in, float scale, Ind
   const Index tail_lo = std::max(lo, hi_min);
   for (Index r = 0; r < rows; ++r) {
     if (hi[r] > tail_lo) {
-      absorb_run_row(ops, b.q[r], *b.m[r], *b.l[r], b.acc[r], d, in, scale, tail_lo, hi[r],
+      absorb_run_row(ops, b.q[r], *b.m[r], *b.l[r], b.acc[r], d, kv, scale, tail_lo, hi[r],
                      logits);
     }
   }

@@ -9,6 +9,11 @@
 //   * OnlineSoftmaxRow — the single-row accumulator (moved here from
 //     flash_attention.h; that header re-exports it, so existing includes
 //     keep working).
+//   * mk::KvView — a raw, non-owning view of one K/V stream (base pointers
+//     + head_dim). The absorb paths take this instead of an AttentionInput,
+//     so the same tile sweep serves a request's prefill matrices, a KV
+//     cache's contiguous storage, or one sequence of a ragged batch
+//     (src/runtime/batch.h) without materializing per-call tensors.
 //   * absorb_key_run — single-row run absorb, the workhorse of the
 //     row-granular sparse kernels.
 //   * mk::QBlock / mk::absorb_key_tile — the register-blocked core: up to
@@ -53,11 +58,31 @@ struct OnlineSoftmaxRow {
   void finalize(std::span<float> out_row) const;
 };
 
-// Absorbs the key run [lo, hi) of `in` into a row's online-softmax state
+namespace mk {
+
+// Non-owning view of one K/V stream: row j of either matrix starts at
+// base + j*d. This is the seam that makes the micro-kernels
+// request-agnostic — callers point it at an AttentionInput's matrices, at
+// a KVCache's contiguous storage, or at any sequence of a ragged batch,
+// and the same absorb sweep services all of them.
+struct KvView {
+  const float* k = nullptr;
+  const float* v = nullptr;
+  Index d = 0;
+
+  const float* k_row(Index j) const { return k + static_cast<std::size_t>(j * d); }
+  const float* v_row(Index j) const { return v + static_cast<std::size_t>(j * d); }
+
+  static KvView of(const AttentionInput& in) { return {in.k.data(), in.v.data(), in.head_dim()}; }
+};
+
+}  // namespace mk
+
+// Absorbs the key run [lo, hi) of `kv` into a row's online-softmax state
 // with a single rescale for the whole run (tile-level update). `scale` is
 // 1/sqrt(d); `logits` is caller-owned scratch. Shared by the row-run and
 // block-sparse kernels.
-void absorb_key_run(OnlineSoftmaxRow& st, const AttentionInput& in, std::span<const float> qi,
+void absorb_key_run(OnlineSoftmaxRow& st, const mk::KvView& kv, std::span<const float> qi,
                     float scale, Index lo, Index hi, std::vector<float>& logits);
 
 namespace mk {
@@ -87,7 +112,7 @@ struct QBlock {
 // with hi[r] <= lo must not be placed in the block (their state would still
 // be correct, but they would force an empty shared prefix).
 // `logits` is caller-owned scratch, grown as needed.
-void absorb_key_tile(const QBlock& b, const AttentionInput& in, float scale, Index lo,
+void absorb_key_tile(const QBlock& b, const KvView& kv, float scale, Index lo,
                      const Index* hi, std::vector<float>& logits);
 
 // Blocked score path: fills out[r][0..sk) with the causal logits row of

@@ -38,6 +38,7 @@ void sparse_flash_attention(const AttentionInput& in, const StructuredMask& mask
   const auto& stripe_runs = mask.stripe_runs();
   const auto& blocks = mask.blocks();
   const auto& stripe_cols = mask.stripe_columns();
+  const mk::KvView kv = mk::KvView::of(in);
 
   parallel_for(sq, [&](Index i) {
     const Index lim = causal_limit(i, sq, sk);
@@ -55,7 +56,7 @@ void sparse_flash_attention(const AttentionInput& in, const StructuredMask& mask
     //    disjoint runs.
     const std::vector<ColumnRun> bands = mask.band_runs_for_row(i);
     for (const ColumnRun& run : bands) {
-      absorb_key_run(st, in, qi, scale, run.lo, run.hi, logits);
+      absorb_key_run(st, kv, qi, scale, run.lo, run.hi, logits);
       row_evals += static_cast<double>(std::max<Index>(0, run.hi - run.lo));
     }
 
@@ -68,14 +69,14 @@ void sparse_flash_attention(const AttentionInput& in, const StructuredMask& mask
         if (band.lo >= hi) break;
         if (band.lo > lo) {
           const Index seg_hi = std::min(band.lo, hi);
-          absorb_key_run(st, in, qi, scale, lo, seg_hi, logits);
+          absorb_key_run(st, kv, qi, scale, lo, seg_hi, logits);
           row_evals += static_cast<double>(std::max<Index>(0, seg_hi - lo));
         }
         lo = std::max(lo, band.hi);
         if (lo >= hi) break;
       }
       if (lo < hi) {
-        absorb_key_run(st, in, qi, scale, lo, hi, logits);
+        absorb_key_run(st, kv, qi, scale, lo, hi, logits);
         row_evals += static_cast<double>(hi - lo);
       }
     }

@@ -26,7 +26,17 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+namespace {
+// Set while a pool worker is running a task. A nested parallel_for from
+// inside a task must not block on done_cv — the worker it would be waiting
+// for is itself, so it would deadlock once every worker is inside a nested
+// call. Nested loops run inline instead; the outer loop already owns the
+// pool's parallelism.
+thread_local bool in_pool_worker = false;
+}  // namespace
+
 void ThreadPool::worker_loop() {
+  in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -43,7 +53,7 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(Index n, const std::function<void(Index)>& fn) {
   if (n <= 0) return;
   const Index n_workers = static_cast<Index>(workers_.size());
-  if (n_workers == 0 || n == 1) {
+  if (n_workers == 0 || n == 1 || in_pool_worker) {
     for (Index i = 0; i < n; ++i) fn(i);
     return;
   }

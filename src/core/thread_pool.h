@@ -30,7 +30,10 @@ class ThreadPool {
 
   // Runs fn(i) for i in [0, n). Blocks until all iterations complete.
   // Iterations are distributed in contiguous chunks. With an empty pool
-  // (size 1 and n small) work runs inline on the calling thread.
+  // (size 1 and n small) work runs inline on the calling thread. Re-entrant:
+  // a nested call from inside a pool task runs inline rather than blocking
+  // on workers that may all be busy in the same situation (the ragged batch
+  // sweep parallelizes over sequences whose kernels parallelize internally).
   void parallel_for(Index n, const std::function<void(Index)>& fn);
 
   // Process-wide pool, sized from SATTN_THREADS env var if set.

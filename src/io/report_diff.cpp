@@ -1,6 +1,7 @@
 #include "io/report_diff.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <sstream>
@@ -72,7 +73,7 @@ void diff_bench(const BenchReport& base, const BenchReport& cand, const DiffOpti
   // perf.model_error.* gauges are handled by the candidate-side loop below
   // (they gate on the candidate's absolute value, not the delta).
   for (const auto& [name, base_v] : base.gauges) {
-    if (is_model_error_metric(name)) continue;
+    if (is_model_error_metric(name) || is_engine_error_metric(name)) continue;
     const auto it = cand.gauges.find(name);
     DiffEntry e;
     e.bench = base.name;
@@ -104,6 +105,23 @@ void diff_bench(const BenchReport& base, const BenchReport& cand, const DiffOpti
     if (it != base.gauges.end()) e.baseline = it->second;
     e.verdict = cand_v > opts.model_error_threshold ? DiffVerdict::kRegression
                                                     : DiffVerdict::kWithinNoise;
+    count_verdict(result, e);
+    result.entries.push_back(std::move(e));
+  }
+
+  // Simulator-vs-engine prediction error: same candidate-side absolute
+  // gate, looser threshold (engine measurements carry real scheduler
+  // jitter).
+  for (const auto& [name, cand_v] : cand.gauges) {
+    if (!is_engine_error_metric(name)) continue;
+    DiffEntry e;
+    e.bench = base.name;
+    e.metric = "gauge:" + name;
+    e.candidate = cand_v;
+    const auto it = base.gauges.find(name);
+    if (it != base.gauges.end()) e.baseline = it->second;
+    e.verdict = std::abs(cand_v) > opts.engine_error_threshold ? DiffVerdict::kRegression
+                                                               : DiffVerdict::kWithinNoise;
     count_verdict(result, e);
     result.entries.push_back(std::move(e));
   }
@@ -146,6 +164,10 @@ bool is_quality_metric(const std::string& name) {
 
 bool is_model_error_metric(const std::string& name) {
   return name.rfind("perf.model_error.", 0) == 0;
+}
+
+bool is_engine_error_metric(const std::string& name) {
+  return name.rfind("engine.err.", 0) == 0;
 }
 
 DiffResult diff_reports(const RunReport& baseline, const RunReport& candidate,

@@ -43,6 +43,7 @@ struct DiffOptions {
   double latency_min_us = 500.0;        // ignore spans faster than this
   double quality_abs_threshold = 0.005; // absolute CRA/recovery drop allowed
   double model_error_threshold = 0.05;  // max perf.model_error.* gauge value
+  double engine_error_threshold = 1.0;  // max engine.err.* gauge value
   bool check_latency = true;            // false: gate on quality only
 };
 
@@ -72,6 +73,14 @@ bool is_quality_metric(const std::string& name);
 // "perf.model_error."): gated on the candidate's absolute value against
 // DiffOptions::model_error_threshold.
 bool is_model_error_metric(const std::string& name);
+
+// True when the gauge is a simulator-vs-engine prediction error (name
+// starts with "engine.err.", published by bench_serving --engine): gated on
+// the candidate's absolute value against DiffOptions::engine_error_threshold.
+// The default tolerance is loose — the real engine's measured tails carry
+// scheduler jitter the simulator cannot model — but a blown-out gauge still
+// means the simulator no longer predicts the engine.
+bool is_engine_error_metric(const std::string& name);
 
 DiffResult diff_reports(const RunReport& baseline, const RunReport& candidate,
                         const DiffOptions& opts = {});

@@ -174,6 +174,31 @@ JsonValue per_request_json(const BenchReport& b) {
   return arr;
 }
 
+// Derived view: simulator-predicted vs engine-measured serving metrics,
+// grouped from the engine.predicted.<metric> / engine.measured.<metric> /
+// engine.err.<metric> gauges that bench_serving --engine publishes (the
+// err gauges also gate via tools/bench_diff, see io/report_diff.h).
+JsonValue engine_json(const BenchReport& b) {
+  std::map<std::string, std::map<std::string, double>> metrics;
+  for (const auto& [name, v] : b.gauges) {
+    for (const char* kind : {"predicted", "measured", "err"}) {
+      const std::string prefix = std::string("engine.") + kind + ".";
+      if (name.rfind(prefix, 0) == 0) {
+        metrics[name.substr(prefix.size())][kind] = v;
+        break;
+      }
+    }
+  }
+  JsonValue arr = JsonValue::array();
+  for (const auto& [metric, kinds] : metrics) {
+    JsonValue rec = JsonValue::object();
+    rec.set("metric", metric);
+    for (const auto& [kind, v] : kinds) rec.set(kind, v);
+    arr.push_back(std::move(rec));
+  }
+  return arr;
+}
+
 JsonValue bench_json(const BenchReport& b) {
   JsonValue o = JsonValue::object();
   o.set("name", b.name);
@@ -229,6 +254,8 @@ JsonValue bench_json(const BenchReport& b) {
   if (serving_present) o.set("serving", std::move(serving));
   JsonValue per_request = per_request_json(b);
   if (per_request.size() > 0) o.set("per_request", std::move(per_request));
+  JsonValue engine = engine_json(b);
+  if (engine.size() > 0) o.set("engine", std::move(engine));
   return o;
 }
 

@@ -1,0 +1,123 @@
+// Ragged-sequence batched attention: the kernel API under continuous
+// batching (docs/SERVING.md).
+//
+// A serving iteration holds a live batch of requests in different phases —
+// one is prefilling rows [512, 768) of a 4K prompt, another is decoding its
+// 37th token, a third just arrived. Their (Q, K, V) extents all differ, so
+// the batch is *ragged*: RaggedBatchView is a list of per-request views
+// (query span, mk::KvView over keys/values, causal limit), and
+// ragged_attention_sweep services all of them in one parallel pass —
+// sequences run concurrently on the pool, while each sequence's tiles go
+// through the same mk::absorb_key_tile register blocks as the
+// single-request kernels. Per-request obs attribution is preserved: each
+// sequence executes under its own obs::RequestContext and charges its own
+// acct.* FLOP/byte tallies, and the sweep returns each sequence's measured
+// wall time so the engine (runtime/engine.h) can bill TTFT compute
+// per batch element.
+//
+// Three routes cover the repo's kernel lineup:
+//   * kDense       — exact attention via flash_rows over raw spans
+//                    (zero-copy; serves dense prefill chunks and decode
+//                    steps straight out of a KVCache's flat storage);
+//   * kSparse      — sparse_flash_attention over a planned StructuredMask
+//                    (SampleAttention's Stage-2 under chunked prefill);
+//   * kBlockSparse — block_sparse_attention over a BlockSparseLayout.
+// The sparse routes take tensor-shaped inputs because mask planning already
+// materialized them; the dense route needs none of that.
+//
+// Parity contract (pinned in tests/engine_test.cpp): for every route, the
+// batched output is bit-identical to running the per-request kernel on each
+// sequence alone. The sweep introduces no new arithmetic — only scheduling.
+//
+// form_step is the deterministic batch-formation policy the engine uses:
+// a pure function from a snapshot of live requests to the step's work list,
+// so tests can pin its behavior without threads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attention/block_sparse.h"
+#include "attention/flash_attention.h"
+#include "attention/microkernel.h"
+#include "attention/sparse_flash_attention.h"
+#include "core/tensor.h"
+
+namespace sattn {
+
+enum class SeqRoute { kDense, kSparse, kBlockSparse };
+
+// One sequence's attention work for this iteration. Non-owning throughout:
+// every pointer aliases caller-owned storage that must outlive the sweep.
+struct RaggedSeq {
+  std::string request_id;  // obs attribution; empty skips the RequestContext
+  SeqRoute route = SeqRoute::kDense;
+
+  // kDense: flash sweep over raw spans. Row r of `q` attends keys
+  // [0, min(k_hi, r + causal_off + 1)) of `kv`; normalized outputs land at
+  // out + r*kv.d (contiguous).
+  const float* q = nullptr;  // rows x kv.d, contiguous
+  Index rows = 0;
+  mk::KvView kv;
+  Index k_hi = 0;
+  Index causal_off = 0;
+  float* out = nullptr;
+
+  // kSparse / kBlockSparse: the structured kernels take tensor + layout
+  // forms; `out_mat` receives the kernel output ([chunk->sq() x d]).
+  const AttentionInput* chunk = nullptr;
+  const StructuredMask* mask = nullptr;
+  const BlockSparseLayout* layout = nullptr;
+  Matrix* out_mat = nullptr;
+};
+
+struct RaggedBatchView {
+  std::vector<RaggedSeq> seqs;
+  FlashConfig flash;  // tiling for the dense route
+};
+
+// Measured per-sequence cost of one sweep. Wall times are disjoint per
+// sequence (each sequence is a single work item), so the engine can sum
+// them into per-request compute buckets without double counting.
+struct SeqCost {
+  double seconds = 0.0;
+  double evals = 0.0;  // causal score evaluations (dense route; sparse
+                       // routes charge acct.* internally and report 0 here)
+};
+
+// Runs every sequence of the batch, in parallel across the global pool.
+// Returns costs indexed like batch.seqs.
+std::vector<SeqCost> ragged_attention_sweep(const RaggedBatchView& batch);
+
+// ---------------------------------------------------------------------------
+// Deterministic batch formation.
+
+// A request's scheduling state as the engine loop sees it at the top of an
+// iteration.
+struct SlotSnapshot {
+  std::string id;
+  Index admit_seq = 0;         // admission sequence number (engine-assigned)
+  bool decoding = false;       // prefill complete, producing tokens
+  Index prompt_tokens = 0;
+  Index prefilled_tokens = 0;  // query rows already processed
+};
+
+struct StepItem {
+  std::string id;
+  bool decode = false;
+  Index q_lo = 0, q_hi = 0;  // prefill rows this step; unused when decode
+};
+
+struct StepPlanConfig {
+  Index max_batch = 8;       // live requests serviced per iteration
+  Index chunk_tokens = 256;  // prefill rows per request per iteration
+};
+
+// Continuous-batching step formation: FCFS by admission order, up to
+// max_batch slots per iteration; each decoding request contributes one
+// token step, each prefilling request one chunk of at most chunk_tokens
+// rows. Pure and deterministic — the result depends only on the snapshot
+// contents, not on their order in `slots` (engine_test pins this).
+std::vector<StepItem> form_step(std::vector<SlotSnapshot> slots, const StepPlanConfig& cfg);
+
+}  // namespace sattn

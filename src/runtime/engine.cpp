@@ -1,0 +1,538 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "core/rng.h"
+#include "obs/accounting.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/kv_cache.h"
+
+namespace sattn {
+
+namespace {
+
+std::string request_key(const std::string& run_label, const std::string& id) {
+  return run_label.empty() ? id : run_label + "/" + id;
+}
+
+void emit_completion_metrics(const std::string& run_label, const EngineCompletion& c) {
+  if (!obs::enabled()) return;
+  const std::string key = request_key(run_label, c.base.request.id);
+  auto& reg = obs::MetricsRegistry::global();
+  const std::string prefix = "request." + key + ".";
+  reg.gauge(prefix + "queue_s").set(c.base.queue_seconds);
+  reg.gauge(prefix + "compute_s").set(c.base.compute_seconds);
+  reg.gauge(prefix + "guard_s").set(c.base.guard_seconds);
+  reg.gauge(prefix + "ttft_s").set(c.base.ttft());
+  if (c.decoded_tokens > 0) reg.gauge(prefix + "tpot_s").set(c.tpot_seconds);
+  SATTN_HISTOGRAM_EX("sched.ttft_seconds", c.base.ttft(), key);
+  if (c.decoded_tokens > 0) SATTN_HISTOGRAM("sched.tpot_seconds", c.tpot_seconds);
+}
+
+// Deterministic per-request tensor content: the engine measures kernel
+// time, not model quality, so any finite well-scaled data works; hashing
+// the request id into the stream keeps every request distinct and every
+// run reproducible.
+std::uint64_t mix_id(std::uint64_t seed, const std::string& id) {
+  std::uint64_t h = seed ^ 0x9e3779b97f4a7c15ull;
+  for (const char ch : id) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void fill_matrix(Matrix& m, Rng& rng) {
+  for (Index r = 0; r < m.rows(); ++r) {
+    for (float& x : m.row(r)) x = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+  }
+}
+
+double wall_seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+// One in-flight request. Owned exclusively by the loop thread after
+// admission; submitters never see it.
+struct ServingEngine::Live {
+  ServingRequest req;  // arrival_seconds = measured submit instant
+  Index admit_seq = 0;
+
+  AttentionInput in;  // square prompt_tokens x prompt_tokens workload
+  Matrix out;         // prefill attention output
+  KVCache cache;
+  Matrix dec_q;                // decode queries, one per generated token
+  std::vector<float> dec_out;  // decode output scratch (head_dim)
+
+  Index prefilled = 0;  // query rows whose output is final
+  bool decoding = false;
+  Index decoded = 0;
+
+  // TTFT attribution, accumulated over measured slices.
+  double compute_s = 0.0;
+  double guard_s = 0.0;
+  double start_s = -1.0;          // first service instant
+  double finish_prefill_s = -1.0; // TTFT instant
+  int level = 0;                  // degrade-ladder level
+  int attempts = 1;               // 1 + faulted-chunk retries
+  double available_at = 0.0;      // retry-backoff gate (engine seconds)
+  double decode_total_s = 0.0;
+
+  explicit Live(Index head_dim) : cache(head_dim) {}
+};
+
+std::vector<CompletedRequest> EngineResult::completions() const {
+  std::vector<CompletedRequest> out;
+  out.reserve(completed.size());
+  for (const EngineCompletion& c : completed) out.push_back(c.base);
+  return out;
+}
+
+ServingEngine::ServingEngine(EngineOptions opts) : opts_(std::move(opts)) {
+  assert(opts_.head_dim > 0 && opts_.chunk_tokens > 0 && opts_.max_batch > 0);
+  if (opts_.degrade_density_scale.empty()) opts_.degrade_density_scale = {1.0};
+  result_.served_per_level.assign(opts_.degrade_density_scale.size(), 0);
+}
+
+ServingEngine::~ServingEngine() {
+  if (started_ && !finished_) finish();
+}
+
+double ServingEngine::now() const { return wall_seconds(t0_); }
+
+void ServingEngine::start() {
+  assert(!started_);
+  started_ = true;
+  t0_ = std::chrono::steady_clock::now();
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+void ServingEngine::submit(ServingRequest req) {
+  req.arrival_seconds = now();
+  {
+    std::lock_guard lk(mu_);
+    assert(!closed_);
+    intake_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+}
+
+void ServingEngine::close() {
+  {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+  }
+  cv_.notify_one();
+}
+
+EngineResult ServingEngine::finish() {
+  if (!finished_) {
+    close();
+    if (loop_thread_.joinable()) loop_thread_.join();
+    finished_ = true;
+  }
+  return result_;
+}
+
+EngineResult ServingEngine::run_trace(std::span<const ServingRequest> trace, double time_scale) {
+  start();
+  std::vector<ServingRequest> sorted(trace.begin(), trace.end());
+  std::sort(sorted.begin(), sorted.end(), [](const ServingRequest& a, const ServingRequest& b) {
+    return a.arrival_seconds < b.arrival_seconds;
+  });
+  std::thread submitter([&] {
+    for (const ServingRequest& r : sorted) {
+      const double due = r.arrival_seconds * time_scale;
+      const double lead = due - now();
+      if (lead > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(lead));
+      submit(r);
+    }
+  });
+  submitter.join();
+  return finish();
+}
+
+void ServingEngine::loop() {
+  SATTN_SPAN("engine/loop");
+  FaultInjector injector(opts_.fault);
+  const int levels = static_cast<int>(opts_.degrade_density_scale.size());
+  const auto scale_of = [&](int level) {
+    return opts_.degrade_density_scale[static_cast<std::size_t>(level)];
+  };
+  const double target_ttft = opts_.slo_ttft_seconds > 0.0   ? opts_.slo_ttft_seconds
+                             : opts_.deadline_seconds > 0.0 ? opts_.deadline_seconds
+                                                            : std::numeric_limits<double>::infinity();
+
+  const auto shed = [&](std::unique_ptr<Live> lr, const char* reason) {
+    SATTN_COUNTER_ADD("sched.requests_shed", 1);
+    result_.shed.push_back({std::move(lr->req), reason, now()});
+  };
+
+  for (;;) {
+    // --- Intake: wait if idle, then drain submissions under the lock. ---
+    std::vector<ServingRequest> arrivals;
+    bool closed;
+    {
+      std::unique_lock lk(mu_);
+      if (live_.empty() && intake_.empty() && !closed_) {
+        cv_.wait(lk, [&] { return closed_ || !intake_.empty(); });
+      }
+      arrivals.swap(intake_);
+      closed = closed_;
+    }
+
+    // --- Admission. ---
+    for (ServingRequest& req : arrivals) {
+      auto lr = std::make_unique<Live>(opts_.head_dim);
+      lr->req = std::move(req);
+      if (opts_.max_prompt_tokens > 0 && lr->req.prompt_tokens > opts_.max_prompt_tokens) {
+        SATTN_COUNTER_ADD("sched.oversized_rejects", 1);
+        shed(std::move(lr), "oversized");
+        continue;
+      }
+      if (lr->req.prompt_tokens <= 0 ||
+          (opts_.max_queue_depth > 0 &&
+           static_cast<Index>(live_.size()) >= opts_.max_queue_depth)) {
+        SATTN_COUNTER_ADD("sched.admission_rejects", 1);
+        shed(std::move(lr), "admission");
+        continue;
+      }
+      lr->admit_seq = admit_seq_++;
+      const Index s = lr->req.prompt_tokens, d = opts_.head_dim;
+      Rng rng(mix_id(opts_.seed, lr->req.id));
+      lr->in.q.resize(s, d);
+      lr->in.k.resize(s, d);
+      lr->in.v.resize(s, d);
+      fill_matrix(lr->in.q, rng);
+      fill_matrix(lr->in.k, rng);
+      fill_matrix(lr->in.v, rng);
+      lr->out.resize(s, d);
+      if (opts_.decode_tokens > 0) {
+        lr->dec_q.resize(opts_.decode_tokens, d);
+        fill_matrix(lr->dec_q, rng);
+        lr->dec_out.assign(static_cast<std::size_t>(d), 0.0f);
+      }
+      SATTN_COUNTER_ADD("sched.requests_enqueued", 1);
+      live_.push_back(std::move(lr));
+      result_.peak_live_batch = std::max(result_.peak_live_batch, static_cast<Index>(live_.size()));
+    }
+
+    if (live_.empty()) {
+      if (closed) break;
+      continue;
+    }
+
+    // --- First-service steering and deadline shedding. ---
+    // Mirrors simulate_queue_slo: when service is about to start, walk the
+    // degrade ladder until the projected TTFT fits the target (taking a
+    // rung only when it actually buys time — for dense engines the ladder
+    // is a no-op), then shed whatever cannot make the hard deadline even
+    // fully degraded.
+    const double t_steer = now();
+    for (auto it = live_.begin(); it != live_.end();) {
+      Live& lr = **it;
+      if (lr.start_s >= 0.0) {
+        ++it;
+        continue;
+      }
+      const double waited = t_steer - lr.req.arrival_seconds;
+      bool dead = opts_.deadline_seconds > 0.0 && waited > opts_.deadline_seconds;
+      if (!dead && opts_.projected_prefill_seconds) {
+        const auto& proj = opts_.projected_prefill_seconds;
+        while (lr.level + 1 < levels) {
+          const double cur = proj(lr.req.prompt_tokens, scale_of(lr.level));
+          if (waited + cur <= target_ttft) break;
+          if (proj(lr.req.prompt_tokens, scale_of(lr.level + 1)) >= cur) break;
+          ++lr.level;
+        }
+        dead = opts_.deadline_seconds > 0.0 &&
+               waited + proj(lr.req.prompt_tokens, scale_of(lr.level)) > opts_.deadline_seconds;
+      }
+      if (dead) {
+        SATTN_COUNTER_ADD("sched.deadline_sheds", 1);
+        shed(std::move(*it), "deadline");
+        it = live_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (live_.empty()) {
+      if (closed) break;
+      continue;
+    }
+
+    // --- Batch formation (runtime/batch.h), backoff gates respected. ---
+    const double t_form = now();
+    std::vector<SlotSnapshot> slots;
+    double earliest_gate = std::numeric_limits<double>::infinity();
+    for (const auto& lp : live_) {
+      if (lp->available_at > t_form) {
+        earliest_gate = std::min(earliest_gate, lp->available_at);
+        continue;
+      }
+      slots.push_back({lp->req.id, lp->admit_seq, lp->decoding, lp->req.prompt_tokens,
+                       lp->prefilled});
+    }
+    if (slots.empty()) {
+      // Everyone is backing off: sleep to the earliest gate, but wake on
+      // new arrivals.
+      std::unique_lock lk(mu_);
+      const double lead = earliest_gate - now();
+      if (lead > 0.0 && intake_.empty()) {
+        cv_.wait_for(lk, std::chrono::duration<double>(lead),
+                     [&] { return !intake_.empty(); });
+      }
+      continue;
+    }
+    StepPlanConfig plan_cfg{opts_.max_batch, opts_.chunk_tokens};
+    const std::vector<StepItem> step = form_step(std::move(slots), plan_cfg);
+    if (step.empty()) continue;
+    ++result_.iterations;
+    SATTN_SERIES("sched.queue_depth", t_form, static_cast<double>(live_.size()));
+
+    const auto find_live = [&](const std::string& id) -> Live* {
+      for (const auto& lp : live_)
+        if (lp->req.id == id) return lp.get();
+      return nullptr;
+    };
+
+    // --- Per-item kernel planning; sample mode runs the measured
+    // escalation ladder here (rejected attempts bill to guard). ---
+    struct ItemState {
+      Live* lr = nullptr;
+      Index q_lo = 0, q_hi = 0;
+      bool decode = false;
+      double plan_s = 0.0;   // accepted attempt's planning time (compute)
+      bool escalated = false;
+      // Sparse-route storage (sample mode): kept alive through the sweep.
+      std::unique_ptr<AttentionInput> chunk;
+      std::unique_ptr<SamplePlan> plan;
+      std::unique_ptr<Matrix> chunk_out;
+    };
+    std::vector<ItemState> items;
+    items.reserve(step.size());
+    RaggedBatchView batch;
+    batch.flash = opts_.flash;
+    for (const StepItem& si : step) {
+      Live* lr = find_live(si.id);
+      assert(lr != nullptr);
+      ItemState st;
+      st.lr = lr;
+      st.decode = si.decode;
+      st.q_lo = si.q_lo;
+      st.q_hi = si.q_hi;
+      RaggedSeq seq;
+      seq.request_id = request_key(opts_.run_label, lr->req.id);
+      const Index d = opts_.head_dim;
+      if (si.decode) {
+        seq.route = SeqRoute::kDense;
+        seq.q = lr->dec_q.row(lr->decoded).data();
+        seq.rows = 1;
+        seq.kv = {lr->cache.k_data(), lr->cache.v_data(), d};
+        seq.k_hi = lr->cache.size();
+        seq.causal_off = seq.k_hi - 1;
+        seq.out = lr->dec_out.data();
+      } else if (opts_.mode == EngineMode::kDense) {
+        // Zero-copy chunked prefill: queries [q_lo, q_hi) against the key
+        // prefix [0, q_hi) of the request's own square input.
+        seq.route = SeqRoute::kDense;
+        seq.q = lr->in.q.row(si.q_lo).data();
+        seq.rows = si.q_hi - si.q_lo;
+        seq.kv = mk::KvView::of(lr->in);
+        seq.k_hi = si.q_hi;
+        seq.causal_off = si.q_lo;
+        seq.out = lr->out.row(si.q_lo).data();
+      } else {
+        // SampleAttention chunk: materialize the chunk, run the measured
+        // plan/validate/escalate ladder, then execute the accepted plan's
+        // sparse kernel (or the dense fallback) inside the sweep.
+        st.chunk = std::make_unique<AttentionInput>();
+        st.chunk->q.resize(si.q_hi - si.q_lo, d);
+        st.chunk->k.resize(si.q_hi, d);
+        st.chunk->v.resize(si.q_hi, d);
+        for (Index r = 0; r < si.q_hi - si.q_lo; ++r) {
+          const auto src = lr->in.q.row(si.q_lo + r);
+          std::copy(src.begin(), src.end(), st.chunk->q.row(r).begin());
+        }
+        for (Index r = 0; r < si.q_hi; ++r) {
+          const auto ks = lr->in.k.row(r);
+          const auto vs = lr->in.v.row(r);
+          std::copy(ks.begin(), ks.end(), st.chunk->k.row(r).begin());
+          std::copy(vs.begin(), vs.end(), st.chunk->v.row(r).begin());
+        }
+
+        // Degrade level -> planner budget: the ladder's density scale
+        // multiplies the CRA threshold and window budget, the same knobs
+        // the simulator's cost model scales.
+        SampleAttentionConfig cfg = opts_.sample;
+        const double ds = scale_of(lr->level);
+        cfg.alpha = std::min(1.0, cfg.alpha * ds);
+        cfg.window_ratio = cfg.window_ratio * ds;
+
+        bool dense_fallback = false;
+        Index resamples = 0, widens = 0;
+        for (;;) {
+          const double a0 = now();
+          SamplePlan plan = plan_sample_attention(*st.chunk, cfg);
+          if (opts_.guard.plan_hook) opts_.guard.plan_hook(plan);
+          const Status ok = validate_sample_plan(plan, *st.chunk, cfg, opts_.guard);
+          const double attempt_s = now() - a0;
+          if (ok.ok()) {
+            st.plan_s = attempt_s;
+            st.plan = std::make_unique<SamplePlan>(std::move(plan));
+            break;
+          }
+          // Rejected attempt: measured guardrail time, next rung.
+          lr->guard_s += attempt_s;
+          SATTN_COUNTER_ADD("engine.plan_rejects", 1);
+          st.escalated = true;
+          if (resamples < opts_.guard.max_resamples) {
+            ++resamples;
+            cfg.row_ratio *= opts_.guard.resample_factor;
+          } else if (widens < opts_.guard.max_widens) {
+            ++widens;
+            cfg.window_ratio *= opts_.guard.widen_factor;
+          } else {
+            dense_fallback = true;  // exact rung, always valid
+            break;
+          }
+        }
+        if (dense_fallback || !st.plan) {
+          SATTN_COUNTER_ADD("engine.dense_fallbacks", 1);
+          seq.route = SeqRoute::kDense;
+          seq.q = lr->in.q.row(si.q_lo).data();
+          seq.rows = si.q_hi - si.q_lo;
+          seq.kv = mk::KvView::of(lr->in);
+          seq.k_hi = si.q_hi;
+          seq.causal_off = si.q_lo;
+          seq.out = lr->out.row(si.q_lo).data();
+        } else {
+          st.chunk_out = std::make_unique<Matrix>();
+          seq.route = SeqRoute::kSparse;
+          seq.chunk = st.chunk.get();
+          seq.mask = &st.plan->mask;
+          seq.out_mat = st.chunk_out.get();
+        }
+      }
+      batch.seqs.push_back(std::move(seq));
+      items.push_back(std::move(st));
+    }
+
+    // --- One ragged sweep services the whole step. ---
+    const std::vector<SeqCost> costs = ragged_attention_sweep(batch);
+
+    // --- Apply results: fault injection, attribution, phase transitions. ---
+    const double t_done = now();
+    std::vector<Live*> finished;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      ItemState& st = items[i];
+      Live* lr = st.lr;
+      const double kernel_s = costs[i].seconds;
+      if (lr->start_s < 0.0) lr->start_s = t_done - kernel_s;
+
+      if (!st.decode && injector.should_fire()) {
+        // Transient chunk fault: the attempt's measured work (planning and
+        // kernel) is lost guardrail time, and the backoff gate is
+        // guardrail-imposed waiting — the chunk is redone after it.
+        lr->guard_s += st.plan_s + kernel_s;
+        if (lr->attempts > opts_.max_retries) {
+          SATTN_COUNTER_ADD("sched.retry_exhausted_sheds", 1);
+          for (auto it = live_.begin(); it != live_.end(); ++it) {
+            if (it->get() == lr) {
+              shed(std::move(*it), "retries_exhausted");
+              live_.erase(it);
+              break;
+            }
+          }
+          continue;
+        }
+        ++result_.retries;
+        SATTN_COUNTER_ADD("sched.request_retries", 1);
+        const double backoff =
+            opts_.retry_backoff_seconds * static_cast<double>(1 << (lr->attempts - 1));
+        lr->available_at = t_done + backoff;
+        lr->guard_s += backoff;
+        ++lr->attempts;
+        continue;
+      }
+
+      if (st.decode) {
+        lr->decode_total_s += kernel_s;
+        ++lr->decoded;
+        continue;
+      }
+
+      // Successful prefill chunk.
+      lr->compute_s += st.plan_s + kernel_s;
+      if (st.chunk_out) {
+        // Sparse route wrote chunk-local rows; fold them into the request
+        // output.
+        for (Index r = 0; r < st.q_hi - st.q_lo; ++r) {
+          const auto src = st.chunk_out->row(r);
+          std::copy(src.begin(), src.end(), lr->out.row(st.q_lo + r).begin());
+        }
+      }
+      lr->prefilled = st.q_hi;
+      if (lr->prefilled >= lr->req.prompt_tokens) {
+        lr->finish_prefill_s = t_done;
+        const double ttft = t_done - lr->req.arrival_seconds;
+        if (opts_.deadline_seconds > 0.0 && ttft > opts_.deadline_seconds) {
+          SATTN_COUNTER_ADD("sched.deadline_sheds", 1);
+          for (auto it = live_.begin(); it != live_.end(); ++it) {
+            if (it->get() == lr) {
+              shed(std::move(*it), "deadline");
+              live_.erase(it);
+              break;
+            }
+          }
+          continue;
+        }
+        if (opts_.decode_tokens > 0) {
+          // Cache fill is service work on the request's critical path.
+          const double c0 = now();
+          const Status cs = lr->cache.append_prefill(lr->in);
+          assert(cs.ok());
+          (void)cs;
+          lr->compute_s += now() - c0;
+          lr->decoding = true;
+        }
+      }
+    }
+
+    // --- Completions. ---
+    for (auto it = live_.begin(); it != live_.end();) {
+      Live& lr = **it;
+      const bool prefill_done = lr.finish_prefill_s >= 0.0;
+      const bool decode_done = !lr.decoding || lr.decoded >= opts_.decode_tokens;
+      if (!(prefill_done && decode_done)) {
+        ++it;
+        continue;
+      }
+      EngineCompletion c;
+      c.base = CompletedRequest{std::move(lr.req), lr.start_s, lr.finish_prefill_s, lr.level,
+                                lr.attempts};
+      c.base.compute_seconds = lr.compute_s;
+      c.base.guard_seconds = lr.guard_s;
+      c.base.queue_seconds = c.base.ttft() - c.base.compute_seconds - c.base.guard_seconds;
+      c.decoded_tokens = lr.decoded;
+      c.tpot_seconds = lr.decoded > 0 ? lr.decode_total_s / static_cast<double>(lr.decoded) : 0.0;
+      if (lr.level > 0) {
+        ++result_.degraded;
+        SATTN_COUNTER_ADD("sched.requests_degraded", 1);
+      }
+      ++result_.served_per_level[static_cast<std::size_t>(lr.level)];
+      emit_completion_metrics(opts_.run_label, c);
+      SATTN_COUNTER_ADD("sched.requests_completed", 1);
+      result_.completed.push_back(std::move(c));
+      it = live_.erase(it);
+    }
+  }
+}
+
+}  // namespace sattn

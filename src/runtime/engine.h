@@ -1,0 +1,164 @@
+// Real continuous-batching serving engine: the measured counterpart of the
+// queue simulator in runtime/scheduler.h (docs/SERVING.md).
+//
+// Where simulate_queue_slo plays an arrival trace against *modeled* prefill
+// cost, ServingEngine runs the actual kernels: submitters hand it
+// ServingRequests from any thread, an engine loop thread admits them,
+// forms a continuous batch each iteration (runtime/batch.h), interleaves
+// one chunked-prefill step or one decode step per live request through a
+// single ragged_attention_sweep, and measures what the simulator predicts —
+// per-request TTFT split into queue/compute/guard, TPOT over decode steps,
+// and the same admission / deadline / degrade-ladder / retry policies from
+// the SLO simulator applied to *measured* kernel time.
+//
+// Attribution contract (pinned by engine_test): for every completed
+// request, queue + compute + guard == ttft, where compute is the sum of
+// the request's measured kernel slices (planning + accepted execution),
+// guard is measured guardrail overhead (rejected plan attempts on the
+// escalation ladder, lost faulted chunks, retry-backoff gates), and queue
+// is the remaining wall time — genuinely waiting on the device, because
+// each request occupies at most one sequence of any sweep and its slices
+// are disjoint in wall time.
+//
+// Threading model: submit()/close() are thread-safe producers onto a
+// mutex-guarded intake queue; the single loop thread owns all request
+// state, so no request field is ever touched concurrently; kernel
+// parallelism lives inside the sweep (pool workers, one sequence each).
+// finish() closes the intake, joins the loop, and returns the results.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attention/flash_attention.h"
+#include "robust/fault_injection.h"
+#include "runtime/batch.h"
+#include "runtime/scheduler.h"
+#include "sample_attention/guarded.h"
+#include "sample_attention/sample_attention.h"
+
+namespace sattn {
+
+enum class EngineMode { kDense, kSampleAttention };
+
+struct EngineOptions {
+  EngineMode mode = EngineMode::kDense;
+  Index head_dim = 64;
+
+  // Batch formation (runtime/batch.h).
+  Index chunk_tokens = 256;
+  Index max_batch = 8;
+
+  // Tokens decoded per request after prefill before it completes. TPOT is
+  // the mean measured decode-step time. 0 skips decode.
+  Index decode_tokens = 8;
+
+  // Policies, mirroring SloOptions (measured instead of modeled).
+  Index max_queue_depth = 0;      // shed "admission" beyond this many waiting
+  Index max_prompt_tokens = 0;    // shed "oversized" above this
+  double deadline_seconds = 0.0;  // hard TTFT deadline; 0 disables
+  double slo_ttft_seconds = 0.0;  // degrade-steering target; 0 disables
+  std::vector<double> degrade_density_scale = {1.0, 0.6, 0.35};
+  int max_retries = 2;
+  double retry_backoff_seconds = 0.05;
+
+  // Chunk-level transient faults (deterministic in fault.seed): a firing
+  // chunk's measured time is billed to guard and the chunk is redone.
+  FaultSpec fault;
+
+  // kSampleAttention: per-chunk planning config and the guard policy whose
+  // escalation ladder (resample -> widen -> dense) runs on measured time.
+  SampleAttentionConfig sample;
+  GuardConfig guard;
+
+  FlashConfig flash;
+
+  // Projected full-quality prefill seconds for a prompt at a density scale,
+  // calibrated by the caller from measured samples (bench_serving fits one
+  // from warmup chunks). Drives SLO degrade steering and deadline shedding
+  // at first service; null disables projection-based steering.
+  std::function<double(Index prompt_tokens, double density_scale)> projected_prefill_seconds;
+
+  // Seed for the synthetic per-request Q/K/V content.
+  std::uint64_t seed = 0x5e1ull;
+
+  // Prefix for request.<run_label>/<id>.* gauges.
+  std::string run_label = "engine";
+};
+
+// One finished request. `base` reuses the simulator's completion record so
+// summarize() and the request gauges work unchanged; all its times are
+// measured seconds relative to engine start.
+struct EngineCompletion {
+  CompletedRequest base;
+  Index decoded_tokens = 0;
+  double tpot_seconds = 0.0;  // mean measured decode-step seconds
+};
+
+struct EngineResult {
+  std::vector<EngineCompletion> completed;
+  std::vector<ShedRequest> shed;
+  Index degraded = 0;  // completed below full quality
+  Index retries = 0;   // faulted chunks retried
+  std::vector<Index> served_per_level;
+  Index iterations = 0;      // engine loop iterations that ran a sweep
+  Index peak_live_batch = 0; // max requests in flight at once
+
+  std::vector<CompletedRequest> completions() const;  // bases, for summarize()
+};
+
+class ServingEngine {
+ public:
+  explicit ServingEngine(EngineOptions opts);
+  ~ServingEngine();
+
+  // Spawns the engine loop thread. Call once.
+  void start();
+
+  // Thread-safe: enqueue a request for admission. The request's
+  // arrival_seconds is ignored; arrival is measured at the submit() call.
+  void submit(ServingRequest req);
+
+  // Thread-safe: no further submissions; the loop drains and exits.
+  void close();
+
+  // close() + join + results. Idempotent.
+  EngineResult finish();
+
+  // Convenience: replay a trace (arrival_seconds * time_scale = real
+  // seconds between submits) on a submitter thread, then finish().
+  EngineResult run_trace(std::span<const ServingRequest> trace, double time_scale = 1.0);
+
+ private:
+  struct Live;  // one in-flight request (engine.cpp)
+
+  void loop();
+  double now() const;  // seconds since start()
+
+  EngineOptions opts_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<ServingRequest> intake_;
+  bool closed_ = false;
+
+  std::thread loop_thread_;
+  bool started_ = false;
+  bool finished_ = false;
+  std::chrono::steady_clock::time_point t0_;
+
+  // Loop-thread-owned state.
+  std::vector<std::unique_ptr<Live>> live_;
+  Index admit_seq_ = 0;
+  EngineResult result_;
+};
+
+}  // namespace sattn

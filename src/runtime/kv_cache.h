@@ -49,6 +49,12 @@ class KVCache {
     return {v_.data() + static_cast<std::size_t>(slot * d_), static_cast<std::size_t>(d_)};
   }
 
+  // Flat contiguous storage (size() * head_dim() floats, row per slot).
+  // This is what lets decode route through the batched kernels: an
+  // mk::KvView over {k_data(), v_data()} reads the cache with zero copies.
+  const float* k_data() const { return k_.data(); }
+  const float* v_data() const { return v_.data(); }
+
   // Original token position held in a slot (eviction makes slots sparse in
   // position space).
   Index position(Index slot) const {

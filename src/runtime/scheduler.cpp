@@ -13,6 +13,7 @@ namespace sattn {
 
 double Engine::prefill_seconds(Index prompt_tokens, double density_scale) const {
   if (prompt_tokens <= 0) return 0.0;
+  if (cost_override) return cost_override(prompt_tokens, density_scale);
   const double linear = linear_parts_seconds(model, prompt_tokens, gpu);
   switch (kind) {
     case EngineKind::kSdpa:
@@ -277,6 +278,7 @@ StatusOr<SloServingResult> simulate_queue_slo(std::span<const ServingRequest> re
     }
 
     const double scale = scale_of(job.level);
+    const Index prev_tokens = job.tokens_done;
     bool finished;
     double slice;
     if (opts.chunk_quantum_tokens > 0 && job.req.prompt_tokens > 0) {
@@ -303,6 +305,33 @@ StatusOr<SloServingResult> simulate_queue_slo(std::span<const ServingRequest> re
     admit_until(now);
 
     if (!finished) {
+      // Reactive mid-stream escalation: a measured slice (stall, earlier
+      // retry) can reveal that the first-service projection was optimistic.
+      // When the remaining work at the current level can no longer meet the
+      // target, take the next rung — and re-bill the chunk that was in
+      // flight when the ladder fired: it was planned under the abandoned
+      // density budget and is redone at the new level, so its time is
+      // guardrail overhead, not service compute. Billing it as compute
+      // would break queue + compute + guard == ttft the moment measured
+      // times replace modeled ones (the redone chunk's compute would be
+      // counted twice).
+      const double slo_target = opts.slo_ttft_seconds > 0.0   ? opts.slo_ttft_seconds
+                                : opts.deadline_seconds > 0.0 ? opts.deadline_seconds
+                                                              : 0.0;
+      if (slo_target > 0.0 && job.level + 1 < levels) {
+        const double remaining =
+            prefix_cost(engine, job.req.prompt_tokens, scale) - job.cost_done;
+        if ((now - job.req.arrival_seconds) + remaining > slo_target &&
+            engine.prefill_seconds(job.req.prompt_tokens, scale_of(job.level + 1)) <
+                engine.prefill_seconds(job.req.prompt_tokens, scale)) {
+          ++job.level;
+          job.compute -= base_slice;
+          job.guard += base_slice;
+          job.tokens_done = prev_tokens;
+          job.cost_done = prefix_cost(engine, prev_tokens, scale_of(job.level));
+          SATTN_COUNTER_ADD("sched.midstream_escalations", 1);
+        }
+      }
       queue.push_back(job);  // round-robin
       SATTN_COUNTER_ADD("sched.preemptions", 1);
       continue;

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -51,6 +52,13 @@ struct Engine {
   double overhead_density = 0.05;
   Index density_measured_at = 4096;
   double window_ratio = 0.08;
+
+  // When set, replaces the analytic cost model: prefill_seconds returns
+  // cost_override(prompt_tokens, density_scale) directly. bench_serving
+  // --engine calibrates one from measured kernel time so the simulator's
+  // predictions and the real engine's measurements share a cost substrate
+  // (docs/SERVING.md).
+  std::function<double(Index prompt_tokens, double density_scale)> cost_override;
 
   // Prefill seconds for one request of the given prompt length.
   // `density_scale` models graceful degradation: the SampleAttention

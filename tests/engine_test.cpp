@@ -1,0 +1,461 @@
+// Tests for the continuous-batching serving engine (runtime/engine.h) and
+// the ragged-sequence batched kernel API (runtime/batch.h).
+//
+// The parity suite pins the batch contract: ragged_attention_sweep is pure
+// scheduling — for every route the batched output is bit-identical to the
+// per-request kernel run alone. The engine suite pins the serving
+// contracts: thread-safe admission, deterministic batch formation, the
+// measured TTFT attribution invariant across a live batch, and the
+// degrade/retry guardrails firing on measured time.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "attention/block_sparse.h"
+#include "attention/flash_attention.h"
+#include "attention/sparse_flash_attention.h"
+#include "core/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "robust/fault_injection.h"
+#include "runtime/batch.h"
+#include "runtime/engine.h"
+#include "runtime/kv_cache.h"
+#include "sample_attention/sample_attention.h"
+
+namespace sattn {
+namespace {
+
+AttentionInput random_input(Index sq, Index sk, Index d, std::uint64_t seed) {
+  AttentionInput in;
+  in.q.resize(sq, d);
+  in.k.resize(sk, d);
+  in.v.resize(sk, d);
+  Rng rng(seed);
+  rng.fill_normal(in.q);
+  rng.fill_normal(in.k);
+  rng.fill_normal(in.v);
+  return in;
+}
+
+// Bit-identical comparison: the sweep must introduce no new arithmetic, so
+// even the last ulp has to match the per-request kernel.
+void expect_bit_identical(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (Index r = 0; r < a.rows(); ++r) {
+    const auto ra = a.row(r);
+    const auto rb = b.row(r);
+    ASSERT_EQ(std::memcmp(ra.data(), rb.data(), ra.size() * sizeof(float)), 0)
+        << what << " row " << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ragged-batch kernel parity.
+
+TEST(RaggedBatch, DenseRouteMatchesFlashAttentionBitExact) {
+  const Index d = 32;
+  const std::vector<Index> sizes = {64, 192, 256};
+  std::vector<AttentionInput> ins;
+  std::vector<Matrix> ref(sizes.size()), got(sizes.size());
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    ins.push_back(random_input(sizes[i], sizes[i], d, 100 + i));
+
+  RaggedBatchView batch;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    flash_attention(ins[i], ref[i]);
+    got[i].resize(sizes[i], d);
+    RaggedSeq seq;
+    seq.route = SeqRoute::kDense;
+    seq.q = ins[i].q.data();
+    seq.rows = sizes[i];
+    seq.kv = mk::KvView::of(ins[i]);
+    seq.k_hi = sizes[i];
+    seq.causal_off = 0;
+    seq.out = got[i].data();
+    batch.seqs.push_back(seq);
+  }
+  ragged_attention_sweep(batch);
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    expect_bit_identical(ref[i], got[i], "dense seq");
+}
+
+TEST(RaggedBatch, ChunkedPrefillMatchesFullFlashBitExact) {
+  // Chunk boundaries on tile_q multiples reproduce the full kernel's tile
+  // walk exactly, so chunked prefill through the sweep is bit-identical to
+  // one-shot prefill.
+  const Index s = 256, d = 32, chunk = 128;
+  AttentionInput in = random_input(s, s, d, 7);
+  Matrix ref;
+  flash_attention(in, ref);
+
+  Matrix got(s, d);
+  for (Index q_lo = 0; q_lo < s; q_lo += chunk) {
+    const Index q_hi = std::min(s, q_lo + chunk);
+    RaggedBatchView batch;
+    RaggedSeq seq;
+    seq.route = SeqRoute::kDense;
+    seq.q = in.q.row(q_lo).data();
+    seq.rows = q_hi - q_lo;
+    seq.kv = mk::KvView::of(in);
+    seq.k_hi = q_hi;
+    seq.causal_off = q_lo;
+    seq.out = got.row(q_lo).data();
+    batch.seqs.push_back(seq);
+    ragged_attention_sweep(batch);
+  }
+  expect_bit_identical(ref, got, "chunked prefill");
+}
+
+TEST(RaggedBatch, SparseAndBlockRoutesMatchStructuredKernelsBitExact) {
+  const Index s = 256, d = 32;
+  AttentionInput in = random_input(s, s, d, 11);
+  SampleAttentionConfig cfg;
+  const SamplePlan plan = plan_sample_attention(in, cfg);
+  const BlockSparseLayout layout = BlockSparseLayout::from_mask(plan.mask, 64);
+
+  Matrix ref_sparse, ref_block;
+  sparse_flash_attention(in, plan.mask, ref_sparse);
+  block_sparse_attention(in, layout, ref_block);
+
+  // Both structured routes plus a dense sequence in ONE batch: the
+  // structured kernels' internal parallel_for must run inline on the pool
+  // worker (re-entrant parallel_for) and still produce identical bits.
+  AttentionInput dense_in = random_input(128, 128, d, 12);
+  Matrix ref_dense;
+  flash_attention(dense_in, ref_dense);
+
+  Matrix got_sparse, got_block, got_dense(128, d);
+  RaggedBatchView batch;
+  {
+    RaggedSeq seq;
+    seq.route = SeqRoute::kSparse;
+    seq.chunk = &in;
+    seq.mask = &plan.mask;
+    seq.out_mat = &got_sparse;
+    batch.seqs.push_back(seq);
+  }
+  {
+    RaggedSeq seq;
+    seq.route = SeqRoute::kBlockSparse;
+    seq.chunk = &in;
+    seq.layout = &layout;
+    seq.out_mat = &got_block;
+    batch.seqs.push_back(seq);
+  }
+  {
+    RaggedSeq seq;
+    seq.route = SeqRoute::kDense;
+    seq.q = dense_in.q.data();
+    seq.rows = 128;
+    seq.kv = mk::KvView::of(dense_in);
+    seq.k_hi = 128;
+    seq.causal_off = 0;
+    seq.out = got_dense.data();
+    batch.seqs.push_back(seq);
+  }
+  const std::vector<SeqCost> costs = ragged_attention_sweep(batch);
+  ASSERT_EQ(costs.size(), 3u);
+  for (const SeqCost& c : costs) EXPECT_GE(c.seconds, 0.0);
+
+  expect_bit_identical(ref_sparse, got_sparse, "sparse seq");
+  expect_bit_identical(ref_block, got_block, "block-sparse seq");
+  expect_bit_identical(ref_dense, got_dense, "dense seq in mixed batch");
+}
+
+TEST(RaggedBatch, DecodeStepAgainstKvCacheMatchesDirectFlashRows) {
+  const Index s = 128, d = 32;
+  AttentionInput in = random_input(s, s, d, 21);
+  KVCache cache(d);
+  ASSERT_TRUE(cache.append_prefill(in).ok());
+  Matrix q = random_input(1, 1, d, 22).q;
+
+  std::vector<float> ref(d, 0.0f), got(d, 0.0f);
+  const mk::KvView kv{cache.k_data(), cache.v_data(), d};
+  flash_rows(q.data(), 1, kv, cache.size(), cache.size() - 1, ref.data(), d);
+
+  RaggedBatchView batch;
+  RaggedSeq seq;
+  seq.route = SeqRoute::kDense;
+  seq.q = q.data();
+  seq.rows = 1;
+  seq.kv = kv;
+  seq.k_hi = cache.size();
+  seq.causal_off = cache.size() - 1;
+  seq.out = got.data();
+  batch.seqs.push_back(seq);
+  ragged_attention_sweep(batch);
+  ASSERT_EQ(std::memcmp(ref.data(), got.data(), d * sizeof(float)), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic batch formation.
+
+TEST(FormStep, DeterministicAcrossSnapshotOrderings) {
+  std::vector<SlotSnapshot> slots = {
+      {"a", 0, false, 1000, 512},  // mid-prefill
+      {"b", 1, true, 512, 512},    // decoding
+      {"c", 2, false, 300, 0},     // fresh
+      {"d", 3, false, 100, 100},   // prefilled, not yet decoding: skipped
+      {"e", 4, false, 4096, 0},    // fresh, long
+  };
+  StepPlanConfig cfg;
+  cfg.max_batch = 3;
+  cfg.chunk_tokens = 256;
+  const std::vector<StepItem> ref = form_step(slots, cfg);
+
+  ASSERT_EQ(ref.size(), 3u);  // a, b, c — FCFS by admit_seq, capped at 3
+  EXPECT_EQ(ref[0].id, "a");
+  EXPECT_FALSE(ref[0].decode);
+  EXPECT_EQ(ref[0].q_lo, 512);
+  EXPECT_EQ(ref[0].q_hi, 768);
+  EXPECT_EQ(ref[1].id, "b");
+  EXPECT_TRUE(ref[1].decode);
+  EXPECT_EQ(ref[2].id, "c");
+  EXPECT_EQ(ref[2].q_lo, 0);
+  EXPECT_EQ(ref[2].q_hi, 256);  // clipped below: 300-token prompt, next step
+
+  // Any permutation of the snapshot yields the identical plan.
+  std::sort(slots.begin(), slots.end(),
+            [](const SlotSnapshot& a, const SlotSnapshot& b) { return a.id > b.id; });
+  const std::vector<StepItem> rev = form_step(slots, cfg);
+  ASSERT_EQ(rev.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(rev[i].id, ref[i].id);
+    EXPECT_EQ(rev[i].decode, ref[i].decode);
+    EXPECT_EQ(rev[i].q_lo, ref[i].q_lo);
+    EXPECT_EQ(rev[i].q_hi, ref[i].q_hi);
+  }
+
+  // The final chunk is clipped to the prompt end.
+  std::vector<SlotSnapshot> tail = {{"c", 2, false, 300, 256}};
+  const std::vector<StepItem> last = form_step(tail, cfg);
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0].q_lo, 256);
+  EXPECT_EQ(last[0].q_hi, 300);
+}
+
+// ---------------------------------------------------------------------------
+// Serving engine.
+
+// Obs fixture: metrics collection on and registries clean, restored after,
+// so counter/gauge assertions are hermetic.
+class EngineObs : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Collector::global().reset();
+    obs::MetricsRegistry::global().reset();
+    ASSERT_TRUE(obs::set_enabled(true)) << "SATTN_TRACE=0 in the test environment";
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::Collector::global().reset();
+    obs::MetricsRegistry::global().reset();
+  }
+
+  static double counter_value(const std::string& name) {
+    for (const obs::CounterValue& cv : obs::Collector::global().counters())
+      if (cv.name == name) return cv.value;
+    return 0.0;
+  }
+};
+
+EngineOptions small_engine() {
+  EngineOptions opts;
+  opts.mode = EngineMode::kDense;
+  opts.head_dim = 32;
+  opts.chunk_tokens = 64;
+  opts.max_batch = 4;
+  opts.decode_tokens = 2;
+  opts.run_label = "t";
+  return opts;
+}
+
+TEST(ServingEngineTest, ConcurrentAdmissionCompletesEveryRequest) {
+  // Hammer submit() from several threads at once; every request must come
+  // back exactly once (completed — no policies are armed). This is the
+  // TSan target for the intake path (scripts/check_sanitizers.sh).
+  ServingEngine engine(small_engine());
+  engine.start();
+  constexpr int kThreads = 4, kPerThread = 4;
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&engine, &counter] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int n = counter.fetch_add(1);
+        engine.submit({"r" + std::to_string(n), 64 + 32 * (n % 3), 0.0});
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  const EngineResult res = engine.finish();
+
+  ASSERT_EQ(res.completed.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_TRUE(res.shed.empty());
+  std::vector<std::string> ids;
+  for (const EngineCompletion& c : res.completed) ids.push_back(c.base.request.id);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end()) << "duplicate completion";
+  EXPECT_GT(res.iterations, 0);
+}
+
+TEST_F(EngineObs, TtftAttributionHoldsAcrossLiveBatch) {
+  // A burst of simultaneous arrivals forms a live batch; each request's
+  // measured queue/compute/guard must partition its TTFT with a
+  // non-negative queue residual (measured slices can never exceed the
+  // request's wall time, because its slices are disjoint).
+  EngineOptions opts = small_engine();
+  std::vector<ServingRequest> trace;
+  for (int i = 0; i < 6; ++i) trace.push_back({"b" + std::to_string(i), 128 + 64 * (i % 2), 0.0});
+  ServingEngine engine(opts);
+  const EngineResult res = engine.run_trace(trace);
+
+  ASSERT_EQ(res.completed.size(), trace.size());
+  EXPECT_GT(res.peak_live_batch, 1);
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  const auto gauge = [&](const std::string& name) {
+    for (const auto& [n, v] : snap.gauges)
+      if (n == name) return v;
+    ADD_FAILURE() << "gauge not found: " << name;
+    return 0.0;
+  };
+  for (const EngineCompletion& c : res.completed) {
+    const CompletedRequest& b = c.base;
+    EXPECT_NEAR(b.queue_seconds + b.compute_seconds + b.guard_seconds, b.ttft(), 1e-9)
+        << b.request.id;
+    EXPECT_GE(b.queue_seconds, -1e-6) << b.request.id;
+    EXPECT_GT(b.compute_seconds, 0.0) << b.request.id;
+    EXPECT_DOUBLE_EQ(b.guard_seconds, 0.0) << b.request.id;  // no guardrails armed
+    EXPECT_GE(b.start_seconds, b.request.arrival_seconds - 1e-9) << b.request.id;
+    EXPECT_EQ(c.decoded_tokens, opts.decode_tokens) << b.request.id;
+    EXPECT_GT(c.tpot_seconds, 0.0) << b.request.id;
+    // The per-request gauges mirror the completion record.
+    const std::string base = "request.t/" + b.request.id + ".";
+    EXPECT_NEAR(gauge(base + "ttft_s"), b.ttft(), 1e-12) << b.request.id;
+    EXPECT_NEAR(gauge(base + "compute_s"), b.compute_seconds, 1e-12) << b.request.id;
+  }
+}
+
+TEST(ServingEngineTest, DegradeLadderSteersAgainstProjectedSlo) {
+  // The projection says full quality blows the SLO at every rung, so first
+  // service walks the ladder to the bottom and the completion records it.
+  EngineOptions opts = small_engine();
+  opts.slo_ttft_seconds = 0.5;
+  opts.projected_prefill_seconds = [](Index prompt_tokens, double density_scale) {
+    return density_scale * static_cast<double>(prompt_tokens);  // 64 tokens -> 64 s
+  };
+  std::vector<ServingRequest> trace = {{"g0", 64, 0.0}, {"g1", 128, 0.0}};
+  ServingEngine engine(opts);
+  const EngineResult res = engine.run_trace(trace);
+
+  ASSERT_EQ(res.completed.size(), 2u);
+  EXPECT_EQ(res.degraded, 2);
+  const int bottom = static_cast<int>(opts.degrade_density_scale.size()) - 1;
+  for (const EngineCompletion& c : res.completed) EXPECT_EQ(c.base.degrade_level, bottom);
+  ASSERT_EQ(res.served_per_level.size(), opts.degrade_density_scale.size());
+  EXPECT_EQ(res.served_per_level[static_cast<std::size_t>(bottom)], 2);
+}
+
+TEST_F(EngineObs, FaultedChunksRetryWithBackoffBilledToGuard) {
+  EngineOptions opts = small_engine();
+  opts.decode_tokens = 0;
+  opts.fault = {FaultClass::kTensorNaN, 1.0, 0x7ull, /*max_fires=*/2};
+  opts.max_retries = 3;
+  opts.retry_backoff_seconds = 0.005;
+  ServingEngine engine(opts);
+  std::vector<ServingRequest> trace = {{"f0", 128, 0.0}};
+  const EngineResult res = engine.run_trace(trace);
+
+  ASSERT_EQ(res.completed.size(), 1u);
+  EXPECT_EQ(res.retries, 2);
+  const CompletedRequest& c = res.completed[0].base;
+  EXPECT_EQ(c.attempts, 3);
+  // Two lost chunk attempts plus two backoff gates (5 ms + 10 ms).
+  EXPECT_GE(c.guard_seconds, 0.015);
+  EXPECT_NEAR(c.queue_seconds + c.compute_seconds + c.guard_seconds, c.ttft(), 1e-9);
+  EXPECT_GE(c.queue_seconds, -1e-6);
+  EXPECT_GE(counter_value("sched.request_retries"), 2.0);
+}
+
+TEST(ServingEngineTest, RetryExhaustionShedsTheRequest) {
+  EngineOptions opts = small_engine();
+  opts.decode_tokens = 0;
+  opts.fault = {FaultClass::kTensorNaN, 1.0, 0x7ull, /*max_fires=*/-1};
+  opts.max_retries = 1;
+  opts.retry_backoff_seconds = 0.001;
+  ServingEngine engine(opts);
+  std::vector<ServingRequest> trace = {{"x0", 64, 0.0}};
+  const EngineResult res = engine.run_trace(trace);
+
+  EXPECT_TRUE(res.completed.empty());
+  ASSERT_EQ(res.shed.size(), 1u);
+  EXPECT_EQ(res.shed[0].reason, "retries_exhausted");
+}
+
+TEST(ServingEngineTest, AdmissionAndOversizedSheddingAtTheDoor) {
+  EngineOptions opts = small_engine();
+  opts.max_prompt_tokens = 256;
+  opts.max_queue_depth = 2;
+  ServingEngine engine(opts);
+  engine.start();
+  engine.submit({"big", 4096, 0.0});  // oversized
+  engine.submit({"a", 64, 0.0});
+  engine.submit({"b", 64, 0.0});
+  const EngineResult res = engine.finish();
+
+  bool saw_oversized = false;
+  for (const ShedRequest& s : res.shed) {
+    if (s.request.id == "big") {
+      saw_oversized = true;
+      EXPECT_EQ(s.reason, "oversized");
+    }
+  }
+  EXPECT_TRUE(saw_oversized);
+  EXPECT_EQ(res.completed.size() + res.shed.size(), 3u);
+}
+
+TEST_F(EngineObs, SampleModeEscalationLadderFallsBackToDenseOnPlanFaults) {
+  // Every plan the engine produces is corrupted (stripes emptied), so
+  // validation rejects rung after rung — resample, widen — until the dense
+  // fallback serves the chunk. Rejected attempts bill to guard.
+  EngineOptions opts = small_engine();
+  opts.mode = EngineMode::kSampleAttention;
+  opts.chunk_tokens = 256;
+  opts.decode_tokens = 0;
+  auto injector = std::make_shared<FaultInjector>(
+      FaultSpec{FaultClass::kPlanEmptyStripes, 1.0, 0x9ull, /*max_fires=*/-1});
+  opts.guard.plan_hook = [injector](SamplePlan& plan) { injector->corrupt_plan(plan); };
+  ServingEngine engine(opts);
+  std::vector<ServingRequest> trace = {{"s0", 256, 0.0}};
+  const EngineResult res = engine.run_trace(trace);
+
+  ASSERT_EQ(res.completed.size(), 1u);
+  const CompletedRequest& c = res.completed[0].base;
+  EXPECT_GT(c.guard_seconds, 0.0);  // rejected plan attempts
+  EXPECT_NEAR(c.queue_seconds + c.compute_seconds + c.guard_seconds, c.ttft(), 1e-9);
+  EXPECT_GE(counter_value("engine.plan_rejects"), 2.0);
+  EXPECT_GE(counter_value("engine.dense_fallbacks"), 1.0);
+}
+
+TEST(ServingEngineTest, SampleModeServesCleanPlansWithoutEscalation) {
+  EngineOptions opts = small_engine();
+  opts.mode = EngineMode::kSampleAttention;
+  opts.chunk_tokens = 256;
+  ServingEngine engine(opts);
+  std::vector<ServingRequest> trace = {{"c0", 256, 0.0}};
+  const EngineResult res = engine.run_trace(trace);
+
+  ASSERT_EQ(res.completed.size(), 1u);
+  const EngineCompletion& c = res.completed[0];
+  EXPECT_GT(c.base.compute_seconds, 0.0);
+  EXPECT_EQ(c.decoded_tokens, opts.decode_tokens);
+}
+
+}  // namespace
+}  // namespace sattn

@@ -390,6 +390,50 @@ TEST_F(SchedulerObs, FcfsAttributionSumsToTtftAndEmitsGauges) {
   EXPECT_GT(gauge_value(plain, "request.r0.ttft_s"), 0.0);
 }
 
+TEST_F(SchedulerObs, MidStreamEscalationRebillsInFlightChunkToGuard) {
+  // A stalled chunk reveals mid-prefill that the first-service projection
+  // was optimistic; the ladder must fire *during* service and the chunk in
+  // flight when it fired — planned under the abandoned density budget and
+  // redone at the new level — must be re-billed from compute to guard.
+  // Deterministic cost substrate: level-0 prefill of the 1000-token request
+  // costs 1.0s (0.25s per 250-token chunk), level 1 half that.
+  Engine sa;
+  sa.kind = EngineKind::kSampleAttention;
+  sa.cost_override = [](Index prompt_tokens, double density_scale) {
+    return density_scale * static_cast<double>(prompt_tokens) * 1e-3;
+  };
+  SloOptions opts;
+  opts.slo_ttft_seconds = 1.1;  // level-0 projection (1.0s) fits at t=0
+  opts.chunk_quantum_tokens = 250;
+  opts.stall_rate = 1.0;  // every chunk stalls: measured > modeled
+  opts.stall_factor = 3.0;
+  opts.degrade_density_scale = {1.0, 0.5};
+  opts.run_label = "mid_t";
+  const std::vector<ServingRequest> trace = {{"r0", 1000, 0.0}};
+  const SloServingResult res = simulate_queue_slo(trace, sa, opts).value();
+
+  ASSERT_EQ(res.completed.size(), 1u);
+  const CompletedRequest& c = res.completed[0];
+  EXPECT_EQ(c.degrade_level, 1);
+  EXPECT_EQ(res.degraded, 1);
+
+  // The attribution invariant survives the escalation, and compute is
+  // exactly the final level's prefill cost — the escalated chunk's 0.25s
+  // sits in guard, not double-counted into compute.
+  EXPECT_NEAR(c.queue_seconds + c.compute_seconds + c.guard_seconds, c.ttft(), 1e-9);
+  EXPECT_NEAR(c.compute_seconds, sa.prefill_seconds(1000, 0.5), 1e-9);
+  EXPECT_GT(c.guard_seconds, 0.0);
+  EXPECT_NEAR(c.queue_seconds, 0.0, 1e-9);
+
+  bool found = false;
+  for (const obs::CounterValue& cv : obs::Collector::global().counters()) {
+    if (cv.name != "sched.midstream_escalations") continue;
+    found = true;
+    EXPECT_GE(cv.value, 1);
+  }
+  EXPECT_TRUE(found) << "sched.midstream_escalations counter missing";
+}
+
 TEST_F(SchedulerObs, SloAttributionSumsToTtftUnderFaultsAndStalls) {
   Engine sa;
   sa.kind = EngineKind::kSampleAttention;

@@ -12,6 +12,9 @@
 //   --quality-threshold=F  absolute CRA/coverage/recovery drop allowed (default 0.005)
 //   --model-error-threshold=F  max allowed perf.model_error.* gauge value in
 //                          the candidate report (default 0.05)
+//   --engine-error-threshold=F max allowed engine.err.* gauge value (the
+//                          simulator-vs-real-engine serving prediction
+//                          error from bench_serving --engine; default 1.0)
 //   --ignore-latency       gate on quality metrics only (for cross-machine
 //                          comparisons where wall-clock is not comparable)
 //   --verbose              also print within-noise / missing / new entries
@@ -39,7 +42,7 @@ void usage() {
   std::fprintf(stderr,
                "usage: bench_diff [--latency-threshold=F] [--min-latency-us=F]\n"
                "                  [--quality-threshold=F] [--model-error-threshold=F]\n"
-               "                  [--ignore-latency] [--verbose]\n"
+               "                  [--engine-error-threshold=F] [--ignore-latency] [--verbose]\n"
                "                  <baseline.json> <candidate.json>\n");
 }
 
@@ -66,6 +69,8 @@ int main(int argc, char** argv) {
       opts.quality_abs_threshold = std::atof(v);
     } else if (const char* v = value_of("--model-error-threshold")) {
       opts.model_error_threshold = std::atof(v);
+    } else if (const char* v = value_of("--engine-error-threshold")) {
+      opts.engine_error_threshold = std::atof(v);
     } else if (arg == "--ignore-latency") {
       opts.check_latency = false;
     } else if (arg == "--verbose") {

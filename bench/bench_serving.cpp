@@ -18,6 +18,7 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -50,6 +51,19 @@ double mean_of(const std::vector<double>& v) {
   double s = 0.0;
   for (double x : v) s += x;
   return s / static_cast<double>(v.size());
+}
+
+// Winsorized percentile: every sample is clamped to 3x the median before
+// the percentile is taken. OS scheduling can stretch a single ~30us decode
+// step by an order of magnitude; winsorizing bounds that jitter's pull on
+// the tail while still moving when the distribution genuinely shifts —
+// which is what lets the tpot tail be GATED again (engine.err.tpot_p99w_s)
+// instead of report-only.
+double winsorized_percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  const double cap = 3.0 * percentile(v, 0.5);
+  for (double& x : v) x = std::min(x, cap);
+  return percentile(std::move(v), p);
 }
 
 AttentionInput random_square_input(Index s, Index d, std::uint64_t seed) {
@@ -213,9 +227,10 @@ int run_engine_mode(const sattn::bench::FlagParser& flags) {
     double predicted;
     double measured;
     // Gated rows emit engine.err.* (bench_diff --engine-error-threshold).
-    // tpot_p99 is reported but not gated: the tail of a ~30us decode step
+    // The raw tpot_p99 stays report-only — the tail of a ~30us decode step
     // over 64 requests is dominated by OS scheduling jitter, not model
-    // fidelity.
+    // fidelity — but its robust versions are gated: p95 ignores the extreme
+    // tail, and the winsorized p99 clamps samples to 3x the median first.
     bool gated;
   };
   const std::vector<Row> rows = {
@@ -223,6 +238,9 @@ int run_engine_mode(const sattn::bench::FlagParser& flags) {
       {"ttft_p99_s", percentile(pred_ttft, 0.99), percentile(meas_ttft, 0.99), true},
       {"ttft_mean_s", mean_of(pred_ttft), mean_of(meas_ttft), true},
       {"tpot_p50_s", percentile(pred_tpot, 0.50), percentile(meas_tpot, 0.50), true},
+      {"tpot_p95_s", percentile(pred_tpot, 0.95), percentile(meas_tpot, 0.95), true},
+      {"tpot_p99w_s", winsorized_percentile(pred_tpot, 0.99), winsorized_percentile(meas_tpot, 0.99),
+       true},
       {"tpot_p99_s", percentile(pred_tpot, 0.99), percentile(meas_tpot, 0.99), false},
   };
   TextTable t({"metric", "predicted (simulator)", "measured (engine)", "rel err"});
@@ -256,6 +274,167 @@ int run_engine_mode(const sattn::bench::FlagParser& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --chaos: lifecycle verification on the LIVE engine (docs/ROBUSTNESS.md,
+// "Lifecycle, overload & chaos"). Three phases, non-zero exit if any
+// lifecycle invariant breaks:
+//   1. baseline — the --engine bench trace, unlimited KV, to measure peak
+//      KV demand;
+//   2. memory pressure — the same trace under a KV budget of 50% of that
+//      peak: everyone must still complete (eviction engages before anything
+//      sheds) and live KV must stay under budget;
+//   3. storm — compressed arrivals (the whole trace at once, far past
+//      max_batch capacity), seeded chunk faults, a TTFT deadline storm, and
+//      mid-stream cancellation of a quarter of the requests.
+
+bool chaos_ok = true;
+
+void chaos_check(bool ok, const char* what) {
+  if (!ok) {
+    std::printf("CHAOS INVARIANT VIOLATED: %s\n", what);
+    chaos_ok = false;
+  }
+}
+
+// The lifecycle contract, checked on every phase's result: exactly one
+// terminal state per submitted id, and the TTFT attribution identity on
+// every completed and cancelled record.
+void chaos_check_lifecycle(const EngineResult& res, std::vector<std::string> submitted,
+                           const char* phase) {
+  std::vector<std::string> terminal;
+  for (const auto& [id, state] : res.outcomes()) terminal.push_back(id);
+  std::sort(terminal.begin(), terminal.end());
+  std::sort(submitted.begin(), submitted.end());
+  const bool exact = terminal == submitted;
+  std::printf("  [%s] terminal states: %zu completed, %zu shed, %zu cancelled (%zu submitted)\n",
+              phase, res.completed.size(), res.shed.size(), res.cancelled.size(),
+              submitted.size());
+  chaos_check(exact, "every submitted request must reach exactly one terminal state");
+  const auto identity = [&](const CompletedRequest& r) {
+    const double residual =
+        std::abs(r.queue_seconds + r.compute_seconds + r.guard_seconds - r.ttft());
+    chaos_check(residual < 1e-9 && r.queue_seconds > -1e-9,
+                "queue + compute + guard must equal ttft with a non-negative queue");
+  };
+  for (const EngineCompletion& c : res.completed) identity(c.base);
+  for (const CancelledRequest& c : res.cancelled) identity(c.base);
+}
+
+int run_chaos_mode(const sattn::bench::FlagParser& flags) {
+  const Index n_requests = static_cast<Index>(flags.int_flag("--requests", 64));
+  const double fault_rate = flags.double_flag("--chaos-fault-rate", 0.15);
+  const auto trace_or = synthetic_trace(n_requests, 256, 2048,
+                                        /*mean interarrival s=*/0.05, /*seed=*/0x7e1ull);
+  if (!trace_or.ok()) {
+    std::printf("synthetic_trace failed: %s\n", trace_or.status().to_string().c_str());
+    return 1;
+  }
+  const std::vector<ServingRequest>& trace = trace_or.value();
+  std::vector<std::string> ids;
+  for (const ServingRequest& r : trace) ids.push_back(r.id);
+
+  EngineOptions base;
+  base.mode = EngineMode::kDense;
+  base.head_dim = 64;
+  base.chunk_tokens = 256;
+  base.max_batch = 8;
+  base.decode_tokens = 8;
+  base.run_label.clear();
+  std::printf("Chaos bench — %lld requests, 256-2048 token prompts\n\n",
+              static_cast<long long>(n_requests));
+
+  // --- Phase 1: baseline, unlimited KV — measure peak demand. ---
+  std::printf("phase 1: baseline (unlimited KV)\n");
+  EngineResult baseline;
+  {
+    ServingEngine engine(base);
+    baseline = engine.run_trace(trace, /*time_scale=*/0.25);
+  }
+  chaos_check_lifecycle(baseline, ids, "baseline");
+  chaos_check(baseline.completed.size() == static_cast<std::size_t>(n_requests),
+              "baseline must complete every request");
+  chaos_check(baseline.peak_kv_bytes > 0.0, "baseline must observe peak KV demand");
+  std::printf("  peak KV demand: %.1f KiB\n\n", baseline.peak_kv_bytes / 1024.0);
+
+  // --- Phase 2: the same trace under half the peak KV demand. ---
+  const double budget = 0.5 * baseline.peak_kv_bytes;
+  std::printf("phase 2: KV budget at 50%% of peak (%.1f KiB), sink+recent eviction rung\n",
+              budget / 1024.0);
+  EngineOptions pressured = base;
+  pressured.kv_budget_bytes = budget;
+  pressured.kv_eviction = EvictionKind::kSinkRecent;
+  pressured.kv_evict_keep = 96;
+  pressured.kv_evict_recent = 64;
+  EngineResult squeezed;
+  {
+    ServingEngine engine(pressured);
+    squeezed = engine.run_trace(trace, /*time_scale=*/0.25);
+  }
+  chaos_check_lifecycle(squeezed, ids, "kv_budget");
+  chaos_check(squeezed.completed.size() == static_cast<std::size_t>(n_requests),
+              "under a 50% KV budget, eviction must engage before anything sheds");
+  chaos_check(squeezed.kv_evictions > 0, "the eviction rung must have engaged");
+  chaos_check(squeezed.peak_kv_bytes <= budget + 1e-6, "live KV must stay under the budget");
+  std::printf("  evictions %lld, pressure waits %lld, peak KV %.1f/%.1f KiB\n\n",
+              static_cast<long long>(squeezed.kv_evictions),
+              static_cast<long long>(squeezed.kv_pressure_waits),
+              squeezed.peak_kv_bytes / 1024.0, budget / 1024.0);
+
+  // --- Phase 3: the storm — burst + faults + deadlines + cancels. ---
+  std::printf("phase 3: storm (burst arrivals, fault rate %.2f, 0.2s deadline, 25%% cancels)\n",
+              fault_rate);
+  EngineOptions storm = base;
+  storm.fault = {FaultClass::kTensorNaN, fault_rate, 0xc4a05ull, /*max_fires=*/-1};
+  storm.max_retries = 2;
+  storm.retry_backoff_seconds = 0.002;
+  storm.deadline_seconds = 0.2;
+  storm.watchdog_stall_seconds = 0.25;
+  EngineResult stormed;
+  {
+    ServingEngine engine(storm);
+    engine.start();
+    // A quarter of the ids are cancelled: half of those before their submit
+    // (a cancel racing ahead must land), half mid-stream from a sibling
+    // thread while the burst is in flight.
+    for (std::size_t i = 0; i < ids.size(); i += 8) engine.cancel(ids[i]);
+    std::thread canceller([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      for (std::size_t i = 4; i < ids.size(); i += 8) engine.cancel(ids[i]);
+    });
+    for (const ServingRequest& r : trace) {
+      if (!engine.submit(r).ok()) {
+        std::printf("submit failed mid-burst\n");
+        return 1;
+      }
+    }
+    canceller.join();
+    stormed = engine.finish(/*drain_deadline_seconds=*/30.0);
+  }
+  chaos_check_lifecycle(stormed, ids, "storm");
+  chaos_check(!stormed.cancelled.empty(), "storm cancels must land");
+  chaos_check(stormed.retries + static_cast<Index>(stormed.shed.size()) > 0,
+              "storm faults must fire");
+
+  // The run report's engine view picks these up (scripts/run_benches.sh).
+  SATTN_GAUGE_SET("engine.measured.chaos_baseline_peak_kv_bytes", baseline.peak_kv_bytes);
+  SATTN_GAUGE_SET("engine.measured.chaos_kv_budget_bytes", budget);
+  SATTN_GAUGE_SET("engine.measured.chaos_squeezed_peak_kv_bytes", squeezed.peak_kv_bytes);
+  SATTN_GAUGE_SET("engine.measured.chaos_kv_evictions",
+                  static_cast<double>(squeezed.kv_evictions));
+  SATTN_GAUGE_SET("engine.measured.chaos_kv_pressure_waits",
+                  static_cast<double>(squeezed.kv_pressure_waits));
+  SATTN_GAUGE_SET("engine.measured.chaos_storm_completed",
+                  static_cast<double>(stormed.completed.size()));
+  SATTN_GAUGE_SET("engine.measured.chaos_storm_shed", static_cast<double>(stormed.shed.size()));
+  SATTN_GAUGE_SET("engine.measured.chaos_storm_cancelled",
+                  static_cast<double>(stormed.cancelled.size()));
+  SATTN_GAUGE_SET("engine.measured.chaos_storm_retries", static_cast<double>(stormed.retries));
+
+  std::printf("\n%s\n", chaos_ok ? "all lifecycle invariants held"
+                                 : "LIFECYCLE INVARIANT VIOLATIONS — see above");
+  return chaos_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -266,6 +445,9 @@ int main(int argc, char** argv) {
   // --engine: measured continuous-batching engine vs simulator prediction
   // on an identical trace (docs/SERVING.md walkthrough).
   if (flags.has_flag("--engine")) return run_engine_mode(flags);
+  // --chaos: lifecycle invariants on the live engine under memory pressure
+  // and a fault/cancel/deadline storm (non-zero exit on violation).
+  if (flags.has_flag("--chaos")) return run_chaos_mode(flags);
   const double fault_rate = flags.double_flag("--fault-rate", 0.05);
   const double deadline_s = flags.double_flag("--deadline-s", 150.0);
   const double slo_ttft_s = flags.double_flag("--slo-ttft-s", 120.0);

@@ -100,6 +100,13 @@ for section in '^## Numeric contract' '^## Dispatch rules' \
   fi
 done
 
+# The engine lifecycle-hardening contract (cancellation, KV backpressure,
+# watchdog/breaker, drain, chaos harness) lives in ROBUSTNESS.md.
+if ! grep -q '^## Lifecycle, overload & chaos' docs/ROBUSTNESS.md; then
+  echo "check_docs: docs/ROBUSTNESS.md is missing the 'Lifecycle, overload & chaos' section" >&2
+  fail=1
+fi
+
 # The serving-engine operator guide must keep its load-bearing sections
 # (the engine architecture, the ragged kernel contract, the threading
 # model, the metric mapping, and the bench walkthrough).

@@ -4,9 +4,10 @@
 #   1. ASan+UBSan: builds a side tree with -DSATTN_SANITIZE=address,undefined
 #      and runs the full ctest suite; any report fails the run.
 #   2. TSan: builds a second side tree with -DSATTN_SANITIZE=thread and runs
-#      the concurrency-heavy binaries — obs_test, scheduler_test, and
-#      accounting_test — since the span collector, metrics registry, and
-#      resource accountant are written from pool worker threads.
+#      the concurrency-heavy binaries — obs_test, scheduler_test,
+#      accounting_test, engine_test, and chaos_engine_test — since the span
+#      collector, metrics registry, resource accountant, and serving-engine
+#      intake are written from concurrent threads.
 #
 # Usage: check_sanitizers.sh [repo-root] [build-dir] [tsan-build-dir]
 # Opt-in ctest entry: configure with -DSATTN_SANITIZER_CTEST=ON.
@@ -49,6 +50,10 @@ for mode in 1 0; do
   SATTN_FORCE_SCALAR="$mode" "$build/tests/block_sparse_test"
   # Ragged-batch parity must hold bit-exactly on both backends.
   SATTN_FORCE_SCALAR="$mode" "$build/tests/engine_test" --gtest_filter='RaggedBatch.*'
+  # Chaos harness: eviction-compacted caches must keep the sweep
+  # bit-identical to the direct kernels on either backend, and the storm
+  # invariants are backend-independent.
+  SATTN_FORCE_SCALAR="$mode" "$build/tests/chaos_engine_test"
 done
 
 echo "sanitizer suite passed: simd backends (SATTN_FORCE_SCALAR=1 and dispatch)"
@@ -60,7 +65,7 @@ cmake -B "$build_tsan" -S "$root" \
   -DSATTN_SANITIZE=thread >/dev/null
 cmake --build "$build_tsan" -j "$(nproc)" \
   --target obs_test --target scheduler_test --target accounting_test \
-  --target engine_test >/dev/null
+  --target engine_test --target chaos_engine_test >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
@@ -73,5 +78,9 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 # Serving engine: concurrent submitters against the intake lock, the loop
 # thread, and the ragged sweep's pool workers charging per-request acct.*.
 "$build_tsan/tests/engine_test"
+# Chaos harness: fault storms with racing submitters/cancellers, the
+# watchdog's heartbeat atomics, and forced drains (docs/ROBUSTNESS.md,
+# "Lifecycle, overload & chaos").
+"$build_tsan/tests/chaos_engine_test"
 
-echo "sanitizer suite passed: thread (obs_test, scheduler_test, accounting_test, engine_test)"
+echo "sanitizer suite passed: thread (obs_test, scheduler_test, accounting_test, engine_test, chaos_engine_test)"

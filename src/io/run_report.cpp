@@ -199,6 +199,28 @@ JsonValue engine_json(const BenchReport& b) {
   return arr;
 }
 
+// Derived view: engine lifecycle-hardening telemetry — cancellation, KV
+// memory pressure, watchdog, and circuit-breaker events published by the
+// live ServingEngine (docs/ROBUSTNESS.md, "Lifecycle, overload & chaos").
+// Counter names keep their engine.-stripped suffix; emitted only when the
+// bench actually drove a hardening path.
+JsonValue lifecycle_json(const BenchReport& b) {
+  JsonValue o = JsonValue::object();
+  static constexpr const char* kLifecycleCounters[] = {
+      "engine.requests_cancelled",   "engine.kv_evictions",
+      "engine.kv_pressure_waits",    "engine.kv_budget_sheds",
+      "engine.watchdog_stalls",      "engine.watchdog_sheds",
+      "engine.breaker_trips",        "engine.breaker_closes",
+      "engine.breaker_short_circuits"};
+  for (const char* name : kLifecycleCounters) {
+    const auto it = b.counters.find(name);
+    if (it != b.counters.end()) o.set(std::string(name).substr(7), it->second);
+  }
+  const auto state = b.gauges.find("engine.breaker_state");
+  if (state != b.gauges.end()) o.set("breaker_state", state->second);
+  return o;
+}
+
 JsonValue bench_json(const BenchReport& b) {
   JsonValue o = JsonValue::object();
   o.set("name", b.name);
@@ -256,6 +278,8 @@ JsonValue bench_json(const BenchReport& b) {
   if (per_request.size() > 0) o.set("per_request", std::move(per_request));
   JsonValue engine = engine_json(b);
   if (engine.size() > 0) o.set("engine", std::move(engine));
+  JsonValue lifecycle = lifecycle_json(b);
+  if (lifecycle.size() > 0) o.set("lifecycle", std::move(lifecycle));
   return o;
 }
 

@@ -42,6 +42,20 @@ const std::vector<FaultClass>& trace_fault_classes() {
   return kClasses;
 }
 
+FaultSpec FaultSpec::for_request(std::string_view request_id) const {
+  // FNV-1a over the id, xor-folded into the base seed. Any stable hash
+  // works; what matters is that equal (seed, id) pairs always collide and
+  // distinct ids practically never do.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char ch : request_id) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(ch));
+    h *= 0x100000001b3ull;
+  }
+  FaultSpec forked = *this;
+  forked.seed = seed ^ (h | 1ull);  // | 1 so an empty id still perturbs
+  return forked;
+}
+
 FaultInjector::FaultInjector(FaultSpec spec) : spec_(spec), rng_(spec.seed) {
   spec_.rate = std::clamp(spec_.rate, 0.0, 1.0);
 }

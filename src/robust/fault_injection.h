@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "core/rng.h"
@@ -56,6 +57,15 @@ struct FaultSpec {
   double rate = 1.0;         // P(fire) per opportunity, in [0, 1]
   std::uint64_t seed = 0x0f417ull;
   Index max_fires = -1;      // stop firing after this many; -1 = unlimited
+
+  // The same spec re-seeded for one request: `seed` is mixed with a stable
+  // hash of `request_id`, so a per-request injector's fault decisions depend
+  // only on (spec, request id, per-request opportunity sequence) — never on
+  // the interleaving of concurrent requests. The serving engine forks one
+  // injector per admitted request from this, which is what makes chaos runs
+  // reproducible under concurrent submit order (tests/chaos_engine_test.cpp
+  // pins two same-seed runs to identical outcome multisets).
+  FaultSpec for_request(std::string_view request_id) const;
 };
 
 // Deterministic injector: identical (spec, call sequence) always produces

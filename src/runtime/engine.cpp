@@ -4,11 +4,13 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <unordered_set>
 
 #include "core/rng.h"
 #include "obs/accounting.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/decode.h"
 #include "runtime/kv_cache.h"
 
 namespace sattn {
@@ -84,13 +86,31 @@ struct ServingEngine::Live {
   double available_at = 0.0;      // retry-backoff gate (engine seconds)
   double decode_total_s = 0.0;
 
-  explicit Live(Index head_dim) : cache(head_dim) {}
+  // Lifecycle hardening.
+  FaultInjector injector;  // per-request seeded: fault decisions depend only
+                           // on (spec, id), never on batch interleaving
+  bool active = true;      // KV-budget gate; false = waiting (backpressure)
+  bool kv_waited = false;  // pressure wait counted once per request
+  std::unique_ptr<EvictionPolicy> evict;  // pressure rung, decode phase
+
+  Live(Index head_dim, FaultSpec fault) : cache(head_dim), injector(fault) {}
 };
 
 std::vector<CompletedRequest> EngineResult::completions() const {
   std::vector<CompletedRequest> out;
   out.reserve(completed.size());
   for (const EngineCompletion& c : completed) out.push_back(c.base);
+  return out;
+}
+
+std::vector<std::pair<std::string, TerminalState>> EngineResult::outcomes() const {
+  std::vector<std::pair<std::string, TerminalState>> out;
+  out.reserve(completed.size() + shed.size() + cancelled.size());
+  for (const EngineCompletion& c : completed)
+    out.emplace_back(c.base.request.id, TerminalState::kCompleted);
+  for (const ShedRequest& s : shed) out.emplace_back(s.request.id, TerminalState::kShed);
+  for (const CancelledRequest& c : cancelled)
+    out.emplace_back(c.base.request.id, TerminalState::kCancelled);
   return out;
 }
 
@@ -111,14 +131,27 @@ void ServingEngine::start() {
   started_ = true;
   t0_ = std::chrono::steady_clock::now();
   loop_thread_ = std::thread([this] { loop(); });
+  if (opts_.watchdog_stall_seconds > 0.0) {
+    watchdog_thread_ = std::thread([this] { watchdog(); });
+  }
 }
 
-void ServingEngine::submit(ServingRequest req) {
+Status ServingEngine::submit(ServingRequest req) {
   req.arrival_seconds = now();
   {
     std::lock_guard lk(mu_);
-    assert(!closed_);
+    SATTN_CHECK(!closed_, kFailedPrecondition,
+                "submit() after close(): request '", req.id, "' rejected");
     intake_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return Status::Ok();
+}
+
+void ServingEngine::cancel(const std::string& request_id) {
+  {
+    std::lock_guard lk(mu_);
+    cancel_intake_.push_back(request_id);
   }
   cv_.notify_one();
 }
@@ -131,10 +164,16 @@ void ServingEngine::close() {
   cv_.notify_one();
 }
 
-EngineResult ServingEngine::finish() {
+EngineResult ServingEngine::finish(double drain_deadline_seconds) {
   if (!finished_) {
+    if (started_ && drain_deadline_seconds >= 0.0) {
+      drain_deadline_.store(now() + drain_deadline_seconds, std::memory_order_relaxed);
+    }
     close();
     if (loop_thread_.joinable()) loop_thread_.join();
+    watchdog_stop_.store(true, std::memory_order_relaxed);
+    if (watchdog_thread_.joinable()) watchdog_thread_.join();
+    result_.watchdog_stalls = watchdog_stalls_.load(std::memory_order_relaxed);
     finished_ = true;
   }
   return result_;
@@ -151,16 +190,44 @@ EngineResult ServingEngine::run_trace(std::span<const ServingRequest> trace, dou
       const double due = r.arrival_seconds * time_scale;
       const double lead = due - now();
       if (lead > 0.0) std::this_thread::sleep_for(std::chrono::duration<double>(lead));
-      submit(r);
+      const Status s = submit(r);
+      assert(s.ok());  // run_trace closes only after the submitter joins
+      (void)s;
     }
   });
   submitter.join();
   return finish();
 }
 
+// Watchdog thread: observes loop progress through heartbeat_/loop_waiting_
+// atomics only. A loop that is neither idle-waiting nor bumping its
+// heartbeat for watchdog_stall_seconds — a stuck kernel, a deadlocked step —
+// raises engine.watchdog_stalls. One alert per stalled window (re-armed
+// after each alert), so a long stall is counted, not spammed.
+void ServingEngine::watchdog() {
+  const double stall_s = opts_.watchdog_stall_seconds;
+  const double poll_s = std::min(stall_s / 4.0, 0.01);
+  std::uint64_t last_beat = heartbeat_.load(std::memory_order_relaxed);
+  auto last_progress = std::chrono::steady_clock::now();
+  while (!watchdog_stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(poll_s));
+    const auto t = std::chrono::steady_clock::now();
+    const std::uint64_t beat = heartbeat_.load(std::memory_order_relaxed);
+    if (beat != last_beat || loop_waiting_.load(std::memory_order_relaxed)) {
+      last_beat = beat;
+      last_progress = t;
+      continue;
+    }
+    if (std::chrono::duration<double>(t - last_progress).count() >= stall_s) {
+      watchdog_stalls_.fetch_add(1, std::memory_order_relaxed);
+      SATTN_COUNTER_ADD("engine.watchdog_stalls", 1);
+      last_progress = t;
+    }
+  }
+}
+
 void ServingEngine::loop() {
   SATTN_SPAN("engine/loop");
-  FaultInjector injector(opts_.fault);
   const int levels = static_cast<int>(opts_.degrade_density_scale.size());
   const auto scale_of = [&](int level) {
     return opts_.degrade_density_scale[static_cast<std::size_t>(level)];
@@ -174,22 +241,96 @@ void ServingEngine::loop() {
     result_.shed.push_back({std::move(lr->req), reason, now()});
   };
 
+  // Cancellation terminals. Both preserve the attribution identity
+  // queue + compute + guard == ttft with finish = the cancel instant; a
+  // backoff gate that had not fully elapsed is refunded from guard (it was
+  // billed in full when the retry was scheduled).
+  const auto cancel_unadmitted = [&](ServingRequest req, const char* reason) {
+    const double t = now();
+    CancelledRequest c;
+    c.base = CompletedRequest{std::move(req), t, t, 0, 1};
+    c.base.queue_seconds = c.base.ttft();  // never serviced: pure queueing
+    c.reason = reason;
+    SATTN_COUNTER_ADD("engine.requests_cancelled", 1);
+    result_.cancelled.push_back(std::move(c));
+  };
+  const auto cancel_live = [&](std::unique_ptr<Live> lr, const char* reason) {
+    const double t = now();
+    double guard = lr->guard_s;
+    if (lr->available_at > t) guard = std::max(0.0, guard - (lr->available_at - t));
+    CancelledRequest c;
+    c.base = CompletedRequest{std::move(lr->req), lr->start_s >= 0.0 ? lr->start_s : t, t,
+                              lr->level, lr->attempts};
+    c.base.compute_seconds = lr->compute_s;
+    c.base.guard_seconds = guard;
+    c.base.queue_seconds = c.base.ttft() - c.base.compute_seconds - c.base.guard_seconds;
+    c.decoded_tokens = lr->decoded;
+    c.reason = reason;
+    SATTN_COUNTER_ADD("engine.requests_cancelled", 1);
+    result_.cancelled.push_back(std::move(c));
+  };
+
+  // KV memory budget: projected bytes a request pins while live. A
+  // prefilling request will need its whole prompt's K/V (2 streams, fp32 —
+  // the acct.* byte convention); a decoding request holds exactly its
+  // cache, which the eviction rung can shrink.
+  const double kv_per_token = 2.0 * static_cast<double>(opts_.head_dim) *
+                              obs::kAcctBytesPerElement;
+  const auto kv_bytes_of = [&](const Live& lr) {
+    return lr.decoding ? lr.cache.bytes()
+                       : kv_per_token * static_cast<double>(lr.req.prompt_tokens);
+  };
+
+  // Cancel ids with no matching request yet: a cancel can race ahead of its
+  // submit, so unmatched ids are remembered until they match (or the loop
+  // exits). Ids for already-terminal requests simply never match again.
+  std::unordered_set<std::string> pending_cancels;
+
+  // Circuit breaker over sample-mode planning episodes.
+  enum class Breaker { kClosed, kOpen, kHalfOpen };
+  Breaker breaker = Breaker::kClosed;
+  double breaker_open_until = 0.0;
+  int consecutive_plan_faults = 0;
+
   for (;;) {
+    heartbeat_.fetch_add(1, std::memory_order_relaxed);
+
     // --- Intake: wait if idle, then drain submissions under the lock. ---
     std::vector<ServingRequest> arrivals;
+    std::vector<std::string> cancels;
     bool closed;
     {
       std::unique_lock lk(mu_);
-      if (live_.empty() && intake_.empty() && !closed_) {
-        cv_.wait(lk, [&] { return closed_ || !intake_.empty(); });
+      if (live_.empty() && intake_.empty() && cancel_intake_.empty() && !closed_) {
+        loop_waiting_.store(true, std::memory_order_relaxed);
+        cv_.wait(lk, [&] { return closed_ || !intake_.empty() || !cancel_intake_.empty(); });
+        loop_waiting_.store(false, std::memory_order_relaxed);
       }
       arrivals.swap(intake_);
+      cancels.swap(cancel_intake_);
       closed = closed_;
+    }
+    for (std::string& id : cancels) pending_cancels.insert(std::move(id));
+
+    // --- Bounded drain: past the deadline, force-cancel everything. ---
+    if (closed && now() >= drain_deadline_.load(std::memory_order_relaxed)) {
+      for (ServingRequest& req : arrivals) cancel_unadmitted(std::move(req), "shutdown");
+      for (auto& lp : live_) cancel_live(std::move(lp), "shutdown");
+      live_.clear();
+      break;
     }
 
     // --- Admission. ---
     for (ServingRequest& req : arrivals) {
-      auto lr = std::make_unique<Live>(opts_.head_dim);
+      if (!pending_cancels.empty()) {
+        const auto pc = pending_cancels.find(req.id);
+        if (pc != pending_cancels.end()) {
+          pending_cancels.erase(pc);
+          cancel_unadmitted(std::move(req), "cancel");
+          continue;
+        }
+      }
+      auto lr = std::make_unique<Live>(opts_.head_dim, opts_.fault.for_request(req.id));
       lr->req = std::move(req);
       if (opts_.max_prompt_tokens > 0 && lr->req.prompt_tokens > opts_.max_prompt_tokens) {
         SATTN_COUNTER_ADD("sched.oversized_rejects", 1);
@@ -204,6 +345,7 @@ void ServingEngine::loop() {
         continue;
       }
       lr->admit_seq = admit_seq_++;
+      lr->active = opts_.kv_budget_bytes <= 0.0;  // budget gate (activation below)
       const Index s = lr->req.prompt_tokens, d = opts_.head_dim;
       Rng rng(mix_id(opts_.seed, lr->req.id));
       lr->in.q.resize(s, d);
@@ -223,21 +365,103 @@ void ServingEngine::loop() {
       result_.peak_live_batch = std::max(result_.peak_live_batch, static_cast<Index>(live_.size()));
     }
 
+    // --- Cancellation of in-flight requests (between chunks). ---
+    if (!pending_cancels.empty()) {
+      for (auto it = live_.begin(); it != live_.end();) {
+        const auto pc = pending_cancels.find((*it)->req.id);
+        if (pc != pending_cancels.end()) {
+          pending_cancels.erase(pc);
+          cancel_live(std::move(*it), "cancel");
+          it = live_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    // --- KV budget: activation, backpressure, and the eviction rung. ---
+    // Waiters activate FCFS when their projected bytes fit; before a waiter
+    // blocks, the eviction rung compacts active decoding caches (retention
+    // degrades before traffic sheds). Only a request whose solo demand
+    // exceeds the whole budget sheds — so a finite trace cannot deadlock:
+    // when no request is active the head waiter always fits.
+    double active_kv_bytes = 0.0;
+    for (const auto& lp : live_)
+      if (lp->active) active_kv_bytes += kv_bytes_of(*lp);
+    if (opts_.kv_budget_bytes > 0.0) {
+      for (auto it = live_.begin(); it != live_.end();) {
+        Live& lr = **it;
+        if (lr.active) {
+          ++it;
+          continue;
+        }
+        const double need = kv_bytes_of(lr);
+        if (active_kv_bytes + need > opts_.kv_budget_bytes &&
+            opts_.kv_eviction != EvictionKind::kNone) {
+          bool freed = false;
+          for (auto& lp : live_) {
+            if (lp->active && lp->decoding && lp->evict && lp->evict->enforce(lp->cache)) {
+              freed = true;
+            }
+          }
+          if (freed) {
+            ++result_.kv_evictions;
+            SATTN_COUNTER_ADD("engine.kv_evictions", 1);
+            active_kv_bytes = 0.0;
+            for (const auto& lp : live_)
+              if (lp->active) active_kv_bytes += kv_bytes_of(*lp);
+          }
+        }
+        if (active_kv_bytes + need <= opts_.kv_budget_bytes) {
+          lr.active = true;
+          active_kv_bytes += need;
+          ++it;
+          continue;
+        }
+        if (need > opts_.kv_budget_bytes) {
+          SATTN_COUNTER_ADD("engine.kv_budget_sheds", 1);
+          shed(std::move(*it), "kv_budget");
+          it = live_.erase(it);
+          continue;
+        }
+        if (!lr.kv_waited) {
+          lr.kv_waited = true;
+          ++result_.kv_pressure_waits;
+          SATTN_COUNTER_ADD("engine.kv_pressure_waits", 1);
+        }
+        break;  // FCFS: later arrivals must not jump the head waiter's budget
+      }
+    }
+    result_.peak_kv_bytes = std::max(result_.peak_kv_bytes, active_kv_bytes);
+
     if (live_.empty()) {
       if (closed) break;
       continue;
     }
 
-    // --- First-service steering and deadline shedding. ---
+    // --- First-service steering, deadline shedding, runaway watchdog. ---
     // Mirrors simulate_queue_slo: when service is about to start, walk the
     // degrade ladder until the projected TTFT fits the target (taking a
     // rung only when it actually buys time — for dense engines the ladder
     // is a no-op), then shed whatever cannot make the hard deadline even
-    // fully degraded.
+    // fully degraded. Started requests get the runaway check: a prefill
+    // whose measured service time blew past watchdog_cost_multiple x its
+    // projected cost is shed instead of parking the batch indefinitely.
     const double t_steer = now();
     for (auto it = live_.begin(); it != live_.end();) {
       Live& lr = **it;
       if (lr.start_s >= 0.0) {
+        if (opts_.watchdog_cost_multiple > 0.0 && opts_.projected_prefill_seconds &&
+            lr.finish_prefill_s < 0.0) {
+          const double proj =
+              opts_.projected_prefill_seconds(lr.req.prompt_tokens, scale_of(lr.level));
+          if (proj > 0.0 && t_steer - lr.start_s > opts_.watchdog_cost_multiple * proj) {
+            SATTN_COUNTER_ADD("engine.watchdog_sheds", 1);
+            shed(std::move(*it), "watchdog");
+            it = live_.erase(it);
+            continue;
+          }
+        }
         ++it;
         continue;
       }
@@ -267,11 +491,13 @@ void ServingEngine::loop() {
       continue;
     }
 
-    // --- Batch formation (runtime/batch.h), backoff gates respected. ---
+    // --- Batch formation (runtime/batch.h): active slots only, backoff
+    // gates respected. ---
     const double t_form = now();
     std::vector<SlotSnapshot> slots;
     double earliest_gate = std::numeric_limits<double>::infinity();
     for (const auto& lp : live_) {
+      if (!lp->active) continue;  // KV backpressure: waiting, not serviceable
       if (lp->available_at > t_form) {
         earliest_gate = std::min(earliest_gate, lp->available_at);
         continue;
@@ -280,13 +506,20 @@ void ServingEngine::loop() {
                        lp->prefilled});
     }
     if (slots.empty()) {
-      // Everyone is backing off: sleep to the earliest gate, but wake on
-      // new arrivals.
+      // Everyone serviceable is backing off: sleep to the earliest gate
+      // (clamped to the drain deadline), but wake on arrivals, cancels, or a
+      // drain deadline armed after the sleep began — a bounded finish() must
+      // not wait out a long backoff.
       std::unique_lock lk(mu_);
-      const double lead = earliest_gate - now();
-      if (lead > 0.0 && intake_.empty()) {
-        cv_.wait_for(lk, std::chrono::duration<double>(lead),
-                     [&] { return !intake_.empty(); });
+      const double dd0 = drain_deadline_.load(std::memory_order_relaxed);
+      const double lead = std::min(earliest_gate, dd0) - now();
+      if (lead > 0.0 && intake_.empty() && cancel_intake_.empty()) {
+        loop_waiting_.store(true, std::memory_order_relaxed);
+        cv_.wait_for(lk, std::chrono::duration<double>(lead), [&] {
+          return !intake_.empty() || !cancel_intake_.empty() ||
+                 drain_deadline_.load(std::memory_order_relaxed) != dd0;
+        });
+        loop_waiting_.store(false, std::memory_order_relaxed);
       }
       continue;
     }
@@ -376,31 +609,68 @@ void ServingEngine::loop() {
         cfg.window_ratio = cfg.window_ratio * ds;
 
         bool dense_fallback = false;
-        Index resamples = 0, widens = 0;
-        for (;;) {
-          const double a0 = now();
-          SamplePlan plan = plan_sample_attention(*st.chunk, cfg);
-          if (opts_.guard.plan_hook) opts_.guard.plan_hook(plan);
-          const Status ok = validate_sample_plan(plan, *st.chunk, cfg, opts_.guard);
-          const double attempt_s = now() - a0;
-          if (ok.ok()) {
-            st.plan_s = attempt_s;
-            st.plan = std::make_unique<SamplePlan>(std::move(plan));
-            break;
-          }
-          // Rejected attempt: measured guardrail time, next rung.
-          lr->guard_s += attempt_s;
-          SATTN_COUNTER_ADD("engine.plan_rejects", 1);
-          st.escalated = true;
-          if (resamples < opts_.guard.max_resamples) {
-            ++resamples;
-            cfg.row_ratio *= opts_.guard.resample_factor;
-          } else if (widens < opts_.guard.max_widens) {
-            ++widens;
-            cfg.window_ratio *= opts_.guard.widen_factor;
+        // Circuit breaker: while open, no guard time is burned on a planner
+        // known to be faulting — the chunk short-circuits straight to the
+        // dense rung. The first chunk after the cooldown probes half-open.
+        if (breaker == Breaker::kOpen) {
+          if (now() < breaker_open_until) {
+            dense_fallback = true;
+            SATTN_COUNTER_ADD("engine.breaker_short_circuits", 1);
           } else {
-            dense_fallback = true;  // exact rung, always valid
-            break;
+            breaker = Breaker::kHalfOpen;
+            SATTN_GAUGE_SET("engine.breaker_state", 2.0);
+          }
+        }
+        if (!dense_fallback) {
+          Index resamples = 0, widens = 0;
+          for (;;) {
+            const double a0 = now();
+            SamplePlan plan = plan_sample_attention(*st.chunk, cfg);
+            if (opts_.guard.plan_hook) opts_.guard.plan_hook(plan);
+            const Status ok = validate_sample_plan(plan, *st.chunk, cfg, opts_.guard);
+            const double attempt_s = now() - a0;
+            if (ok.ok()) {
+              st.plan_s = attempt_s;
+              st.plan = std::make_unique<SamplePlan>(std::move(plan));
+              break;
+            }
+            // Rejected attempt: measured guardrail time, next rung.
+            lr->guard_s += attempt_s;
+            SATTN_COUNTER_ADD("engine.plan_rejects", 1);
+            st.escalated = true;
+            if (resamples < opts_.guard.max_resamples) {
+              ++resamples;
+              cfg.row_ratio *= opts_.guard.resample_factor;
+            } else if (widens < opts_.guard.max_widens) {
+              ++widens;
+              cfg.window_ratio *= opts_.guard.widen_factor;
+            } else {
+              dense_fallback = true;  // exact rung, always valid
+              break;
+            }
+          }
+          // Breaker bookkeeping per planning episode: exhausting the whole
+          // ladder is one consecutive plan fault; an accepted plan resets
+          // the streak and closes a half-open breaker.
+          if (opts_.breaker_fault_threshold > 0) {
+            if (dense_fallback || !st.plan) {
+              ++consecutive_plan_faults;
+              if (breaker == Breaker::kHalfOpen ||
+                  consecutive_plan_faults >= opts_.breaker_fault_threshold) {
+                ++result_.breaker_trips;
+                SATTN_COUNTER_ADD("engine.breaker_trips", 1);
+                breaker = Breaker::kOpen;
+                breaker_open_until = now() + opts_.breaker_cooldown_seconds;
+                SATTN_GAUGE_SET("engine.breaker_state", 1.0);
+              }
+            } else {
+              consecutive_plan_faults = 0;
+              if (breaker == Breaker::kHalfOpen) {
+                breaker = Breaker::kClosed;
+                SATTN_COUNTER_ADD("engine.breaker_closes", 1);
+                SATTN_GAUGE_SET("engine.breaker_state", 0.0);
+              }
+            }
           }
         }
         if (dense_fallback || !st.plan) {
@@ -429,14 +699,13 @@ void ServingEngine::loop() {
 
     // --- Apply results: fault injection, attribution, phase transitions. ---
     const double t_done = now();
-    std::vector<Live*> finished;
     for (std::size_t i = 0; i < items.size(); ++i) {
       ItemState& st = items[i];
       Live* lr = st.lr;
       const double kernel_s = costs[i].seconds;
       if (lr->start_s < 0.0) lr->start_s = t_done - kernel_s;
 
-      if (!st.decode && injector.should_fire()) {
+      if (!st.decode && lr->injector.should_fire()) {
         // Transient chunk fault: the attempt's measured work (planning and
         // kernel) is lost guardrail time, and the backoff gate is
         // guardrail-imposed waiting — the chunk is redone after it.
@@ -464,6 +733,16 @@ void ServingEngine::loop() {
 
       if (st.decode) {
         lr->decode_total_s += kernel_s;
+        // H2O's heavy-hitter scores observe this step's real attention
+        // weights (runtime/decode.h) — only when the pressure rung is
+        // armed, so the un-budgeted decode path stays untouched.
+        if (lr->evict && opts_.kv_eviction == EvictionKind::kH2O) {
+          std::vector<float> weights;
+          std::vector<float> scratch(static_cast<std::size_t>(opts_.head_dim), 0.0f);
+          const auto q = lr->dec_q.row(lr->decoded);
+          const Status ws = decode_attention(q, lr->cache, scratch, &weights);
+          if (ws.ok()) lr->evict->observe(lr->cache, weights);
+        }
         ++lr->decoded;
         continue;
       }
@@ -479,20 +758,23 @@ void ServingEngine::loop() {
         }
       }
       lr->prefilled = st.q_hi;
+      const double ttft_so_far = t_done - lr->req.arrival_seconds;
+      if (opts_.deadline_seconds > 0.0 && ttft_so_far > opts_.deadline_seconds) {
+        // Deadline enforcement between chunks: a request that blew its TTFT
+        // deadline mid-prefill sheds now instead of burning the remaining
+        // chunks' device time.
+        SATTN_COUNTER_ADD("sched.deadline_sheds", 1);
+        for (auto it = live_.begin(); it != live_.end(); ++it) {
+          if (it->get() == lr) {
+            shed(std::move(*it), "deadline");
+            live_.erase(it);
+            break;
+          }
+        }
+        continue;
+      }
       if (lr->prefilled >= lr->req.prompt_tokens) {
         lr->finish_prefill_s = t_done;
-        const double ttft = t_done - lr->req.arrival_seconds;
-        if (opts_.deadline_seconds > 0.0 && ttft > opts_.deadline_seconds) {
-          SATTN_COUNTER_ADD("sched.deadline_sheds", 1);
-          for (auto it = live_.begin(); it != live_.end(); ++it) {
-            if (it->get() == lr) {
-              shed(std::move(*it), "deadline");
-              live_.erase(it);
-              break;
-            }
-          }
-          continue;
-        }
         if (opts_.decode_tokens > 0) {
           // Cache fill is service work on the request's critical path.
           const double c0 = now();
@@ -501,6 +783,14 @@ void ServingEngine::loop() {
           (void)cs;
           lr->compute_s += now() - c0;
           lr->decoding = true;
+          if (opts_.kv_budget_bytes > 0.0) {
+            lr->evict = make_eviction_policy(opts_.kv_eviction, opts_.kv_evict_keep,
+                                             opts_.kv_evict_recent);
+          }
+          // The prefill tensors are dead once the cache holds K/V: release
+          // them so live memory tracks what the KV budget models.
+          lr->in = AttentionInput{};
+          lr->out = Matrix{};
         }
       }
     }
@@ -533,6 +823,8 @@ void ServingEngine::loop() {
       it = live_.erase(it);
     }
   }
+  // Loop exited: nothing left for the watchdog to monitor.
+  loop_waiting_.store(true, std::memory_order_relaxed);
 }
 
 }  // namespace sattn

@@ -20,27 +20,41 @@
 // each request occupies at most one sequence of any sweep and its slices
 // are disjoint in wall time.
 //
-// Threading model: submit()/close() are thread-safe producers onto a
-// mutex-guarded intake queue; the single loop thread owns all request
+// Threading model: submit()/cancel()/close() are thread-safe producers onto
+// a mutex-guarded intake queue; the single loop thread owns all request
 // state, so no request field is ever touched concurrently; kernel
 // parallelism lives inside the sweep (pool workers, one sequence each).
-// finish() closes the intake, joins the loop, and returns the results.
+// finish() closes the intake, joins the loop (optionally bounded by a drain
+// deadline that force-cancels stragglers), and returns the results. An
+// optional watchdog thread observes loop progress through atomics only.
+//
+// Lifecycle hardening (docs/ROBUSTNESS.md, "Lifecycle, overload & chaos"):
+// every submitted request reaches EXACTLY ONE terminal state — completed,
+// shed (with reason), or cancelled — and completed + cancelled records both
+// satisfy queue + compute + guard == ttft. The chaos harness
+// (tests/chaos_engine_test.cpp, bench_serving --chaos) drives seeded fault
+// storms, overload bursts, deadline storms, and mid-stream cancellations
+// against these invariants.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "attention/flash_attention.h"
 #include "robust/fault_injection.h"
 #include "runtime/batch.h"
+#include "runtime/eviction.h"
 #include "runtime/scheduler.h"
 #include "sample_attention/guarded.h"
 #include "sample_attention/sample_attention.h"
@@ -92,6 +106,45 @@ struct EngineOptions {
 
   // Prefix for request.<run_label>/<id>.* gauges.
   std::string run_label = "engine";
+
+  // ---- Lifecycle hardening ----
+
+  // KV memory budget: cap on the projected live KV bytes across *active*
+  // requests — prompt_tokens x head_dim x 2 streams x 4 bytes while a
+  // request prefills (it will need its full KV), the actual KVCache::bytes()
+  // once it decodes (eviction shrinks it). Admitted requests beyond the
+  // budget wait un-started (backpressure; their wait bills to queue); before
+  // a waiter sheds, the eviction rung compacts decoding caches to free
+  // bytes. Only a request whose SOLO demand exceeds the whole budget is shed
+  // ("kv_budget") — everything else eventually activates, so a finite trace
+  // cannot deadlock. 0 disables the budget.
+  double kv_budget_bytes = 0.0;
+
+  // Eviction-under-pressure rung: the policy enforced on active decoding
+  // caches when a waiter cannot fit (runtime/eviction.h). Retention degrades
+  // before traffic sheds. H2O additionally observes per-step attention
+  // weights (decode_attention) so its heavy-hitter scores are real.
+  EvictionKind kv_eviction = EvictionKind::kSinkRecent;
+  Index kv_evict_keep = 96;    // max slots a pressured cache retains
+  Index kv_evict_recent = 64;  // tail slots always retained
+
+  // Watchdog: with watchdog_stall_seconds > 0 a monitor thread alerts
+  // (engine.watchdog_stalls) when the loop makes no progress for that long
+  // while not idle-waiting — a stuck kernel or a deadlocked step. With
+  // watchdog_cost_multiple > 0 and projected_prefill_seconds set, the loop
+  // sheds a prefilling request ("watchdog") whose service wall time exceeds
+  // multiple x projected cost — a runaway request cannot park the batch.
+  double watchdog_stall_seconds = 0.0;
+  double watchdog_cost_multiple = 0.0;
+
+  // Circuit breaker (sample mode): after this many CONSECUTIVE chunk
+  // plannings that exhausted the escalation ladder to dense fallback, the
+  // breaker opens and planning is short-circuited straight to dense for
+  // breaker_cooldown_seconds (no guard time burned on a faulting planner);
+  // the first post-cooldown chunk probes half-open, and a planning success
+  // closes the breaker. 0 disables.
+  int breaker_fault_threshold = 0;
+  double breaker_cooldown_seconds = 0.05;
 };
 
 // One finished request. `base` reuses the simulator's completion record so
@@ -103,16 +156,45 @@ struct EngineCompletion {
   double tpot_seconds = 0.0;  // mean measured decode-step seconds
 };
 
+// A request that reached the kCancelled terminal state: explicitly via
+// cancel(), or force-cancelled by a bounded drain. The base record carries
+// the same queue/compute/guard attribution as a completion, with
+// finish_seconds = the cancellation instant (so queue + compute + guard ==
+// ttft still holds: compute/guard are the measured slices spent before the
+// cancel, queue the residual; an unserved portion of a retry-backoff gate
+// is refunded from guard).
+struct CancelledRequest {
+  CompletedRequest base;
+  Index decoded_tokens = 0;
+  std::string reason;  // "cancel" | "shutdown"
+};
+
+// The three terminal states of the request lifecycle. Exactly one per
+// submitted request — the chaos harness's core invariant.
+enum class TerminalState { kCompleted, kShed, kCancelled };
+
 struct EngineResult {
   std::vector<EngineCompletion> completed;
   std::vector<ShedRequest> shed;
+  std::vector<CancelledRequest> cancelled;
   Index degraded = 0;  // completed below full quality
   Index retries = 0;   // faulted chunks retried
   std::vector<Index> served_per_level;
   Index iterations = 0;      // engine loop iterations that ran a sweep
   Index peak_live_batch = 0; // max requests in flight at once
 
+  // Lifecycle-hardening telemetry (mirrored by engine.* counters).
+  Index kv_evictions = 0;       // eviction-rung passes that freed bytes
+  Index kv_pressure_waits = 0;  // requests that waited on the KV budget
+  double peak_kv_bytes = 0.0;   // max projected live KV bytes observed
+  Index watchdog_stalls = 0;    // stall alerts from the watchdog thread
+  Index breaker_trips = 0;      // closed -> open transitions
+
   std::vector<CompletedRequest> completions() const;  // bases, for summarize()
+
+  // (request id, terminal state) over completed + shed + cancelled. The
+  // chaos invariant: this lists every submitted id exactly once.
+  std::vector<std::pair<std::string, TerminalState>> outcomes() const;
 };
 
 class ServingEngine {
@@ -120,18 +202,32 @@ class ServingEngine {
   explicit ServingEngine(EngineOptions opts);
   ~ServingEngine();
 
-  // Spawns the engine loop thread. Call once.
+  // Spawns the engine loop thread (and the watchdog thread when armed).
+  // Call once.
   void start();
 
   // Thread-safe: enqueue a request for admission. The request's
   // arrival_seconds is ignored; arrival is measured at the submit() call.
-  void submit(ServingRequest req);
+  // kFailedPrecondition after close() — the request is NOT enqueued and
+  // reaches no terminal state.
+  Status submit(ServingRequest req);
+
+  // Thread-safe, idempotent: ask the loop to cancel a request. A matched
+  // in-flight or queued request reaches the kCancelled terminal state at
+  // the next loop iteration (in-flight work already dispatched to the sweep
+  // finishes first — cancellation is between-chunks, never mid-kernel). An
+  // id that never matches anything is remembered until finish and then
+  // dropped: cancelling an already-terminal or unknown request is a no-op.
+  void cancel(const std::string& request_id);
 
   // Thread-safe: no further submissions; the loop drains and exits.
   void close();
 
-  // close() + join + results. Idempotent.
-  EngineResult finish();
+  // close() + join + results. Idempotent — every call after the first
+  // returns the same result. drain_deadline_seconds >= 0 bounds the drain:
+  // requests still in flight that long after the call are force-cancelled
+  // (reason "shutdown"); negative (default) drains fully.
+  EngineResult finish(double drain_deadline_seconds = -1.0);
 
   // Convenience: replay a trace (arrival_seconds * time_scale = real
   // seconds between submits) on a submitter thread, then finish().
@@ -141,6 +237,7 @@ class ServingEngine {
   struct Live;  // one in-flight request (engine.cpp)
 
   void loop();
+  void watchdog();
   double now() const;  // seconds since start()
 
   EngineOptions opts_;
@@ -148,12 +245,27 @@ class ServingEngine {
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<ServingRequest> intake_;
+  std::vector<std::string> cancel_intake_;
   bool closed_ = false;
 
   std::thread loop_thread_;
   bool started_ = false;
   bool finished_ = false;
   std::chrono::steady_clock::time_point t0_;
+
+  // Engine-seconds instant after which the loop force-cancels all in-flight
+  // work (bounded drain). +inf = drain fully.
+  std::atomic<double> drain_deadline_{std::numeric_limits<double>::infinity()};
+
+  // Watchdog channel: the loop bumps heartbeat_ every iteration and flags
+  // loop_waiting_ around its idle/backoff waits; the watchdog thread reads
+  // both and alerts on a silent, non-waiting loop. Atomics only — the
+  // watchdog never touches request state (TSan-clean by construction).
+  std::atomic<std::uint64_t> heartbeat_{0};
+  std::atomic<bool> loop_waiting_{false};
+  std::atomic<bool> watchdog_stop_{false};
+  std::atomic<Index> watchdog_stalls_{0};
+  std::thread watchdog_thread_;
 
   // Loop-thread-owned state.
   std::vector<std::unique_ptr<Live>> live_;

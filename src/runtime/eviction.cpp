@@ -38,6 +38,8 @@ bool H2OPolicy::enforce(KVCache& cache) {
   std::vector<Index> keep = topk_indices(scores, n_heavy);
   for (Index s = n - n_recent; s < n; ++s) keep.push_back(s);
   std::sort(keep.begin(), keep.end());
+  SATTN_COUNTER_ADD("kv_cache.evicted_slots", static_cast<double>(n) -
+                                                  static_cast<double>(keep.size()));
   // Slots are sorted, deduped and in-range by construction.
   const Status kept = cache.keep_slots(keep);
   assert(kept.ok());
@@ -61,10 +63,33 @@ bool SinkRecentPolicy::enforce(KVCache& cache) {
   for (Index s = 0; s < n; ++s) {
     if (cache.position(s) < sinks_ || s >= n - recent_) keep.push_back(s);
   }
+  SATTN_COUNTER_ADD("kv_cache.evicted_slots", static_cast<double>(n) -
+                                                  static_cast<double>(keep.size()));
   const Status kept = cache.keep_slots(keep);
   assert(kept.ok());
   (void)kept;
   return true;
+}
+
+const char* eviction_kind_name(EvictionKind kind) {
+  switch (kind) {
+    case EvictionKind::kNone: return "none";
+    case EvictionKind::kSinkRecent: return "sink_recent";
+    case EvictionKind::kH2O: return "h2o";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<EvictionPolicy> make_eviction_policy(EvictionKind kind, Index keep_budget,
+                                                     Index recent) {
+  assert(kind == EvictionKind::kNone || (recent > 0 && keep_budget > recent));
+  switch (kind) {
+    case EvictionKind::kNone: return nullptr;
+    case EvictionKind::kSinkRecent:
+      return std::make_unique<SinkRecentPolicy>(keep_budget - recent, recent);
+    case EvictionKind::kH2O: return std::make_unique<H2OPolicy>(keep_budget, recent);
+  }
+  return nullptr;
 }
 
 }  // namespace sattn

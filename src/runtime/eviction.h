@@ -11,6 +11,7 @@
 //     and the most recent `recent` tokens unconditionally.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -66,5 +67,20 @@ class SinkRecentPolicy final : public EvictionPolicy {
   Index sinks_;
   Index recent_;
 };
+
+// Policy selector for callers that wire eviction by configuration — the
+// serving engine's memory-pressure rung (runtime/engine.h) picks one of
+// these per decoding request.
+enum class EvictionKind { kNone = 0, kSinkRecent, kH2O };
+
+const char* eviction_kind_name(EvictionKind kind);
+
+// Builds a policy that retains at most `keep_budget` slots with the
+// `recent` most recent always kept (keep_budget > recent > 0): SinkRecent
+// keeps the first keep_budget - recent positions as sinks, H2O fills the
+// non-recent budget with the heaviest hitters it observed. kNone returns
+// nullptr.
+std::unique_ptr<EvictionPolicy> make_eviction_policy(EvictionKind kind, Index keep_budget,
+                                                     Index recent);
 
 }  // namespace sattn

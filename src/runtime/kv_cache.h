@@ -30,6 +30,14 @@ class KVCache {
   Index head_dim() const { return d_; }
   bool empty() const { return positions_.empty(); }
 
+  // Payload bytes currently held (K + V streams, fp32 substrate) — the
+  // quantity the serving engine's KV memory budget meters and eviction
+  // policies reclaim. Position metadata is excluded: the budget models
+  // device KV capacity, not host bookkeeping.
+  double bytes() const {
+    return 2.0 * static_cast<double>(size()) * static_cast<double>(d_) * sizeof(float);
+  }
+
   // Appends one key/value row for the token at original position `pos`.
   // Positions must be strictly increasing (kFailedPrecondition) and the rows
   // must have head_dim entries (kInvalidArgument); on error nothing is

@@ -162,7 +162,12 @@ struct SloOptions {
 
 struct ShedRequest {
   ServingRequest request;
-  std::string reason;  // "admission" | "oversized" | "deadline" | "retries_exhausted"
+  // "admission" | "oversized" | "deadline" | "retries_exhausted" from the
+  // simulator and the live engine; the engine's lifecycle hardening adds
+  // "kv_budget" (solo KV demand exceeds the whole memory budget) and
+  // "watchdog" (measured service time blew past the runaway multiple) —
+  // see runtime/engine.h.
+  std::string reason;
   double shed_seconds = 0.0;
 };
 

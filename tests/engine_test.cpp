@@ -289,7 +289,7 @@ TEST(ServingEngineTest, ConcurrentAdmissionCompletesEveryRequest) {
     submitters.emplace_back([&engine, &counter] {
       for (int i = 0; i < kPerThread; ++i) {
         const int n = counter.fetch_add(1);
-        engine.submit({"r" + std::to_string(n), 64 + 32 * (n % 3), 0.0});
+        ASSERT_TRUE(engine.submit({"r" + std::to_string(n), 64 + 32 * (n % 3), 0.0}).ok());
       }
     });
   }
@@ -404,9 +404,9 @@ TEST(ServingEngineTest, AdmissionAndOversizedSheddingAtTheDoor) {
   opts.max_queue_depth = 2;
   ServingEngine engine(opts);
   engine.start();
-  engine.submit({"big", 4096, 0.0});  // oversized
-  engine.submit({"a", 64, 0.0});
-  engine.submit({"b", 64, 0.0});
+  ASSERT_TRUE(engine.submit({"big", 4096, 0.0}).ok());  // oversized
+  ASSERT_TRUE(engine.submit({"a", 64, 0.0}).ok());
+  ASSERT_TRUE(engine.submit({"b", 64, 0.0}).ok());
   const EngineResult res = engine.finish();
 
   bool saw_oversized = false;
@@ -441,6 +441,34 @@ TEST_F(EngineObs, SampleModeEscalationLadderFallsBackToDenseOnPlanFaults) {
   EXPECT_NEAR(c.queue_seconds + c.compute_seconds + c.guard_seconds, c.ttft(), 1e-9);
   EXPECT_GE(counter_value("engine.plan_rejects"), 2.0);
   EXPECT_GE(counter_value("engine.dense_fallbacks"), 1.0);
+}
+
+TEST(ServingEngineTest, SubmitAfterCloseIsRejectedWithoutATerminalState) {
+  ServingEngine engine(small_engine());
+  engine.start();
+  ASSERT_TRUE(engine.submit({"early", 64, 0.0}).ok());
+  engine.close();
+  const Status late = engine.submit({"late", 64, 0.0});
+  EXPECT_EQ(late.code(), StatusCode::kFailedPrecondition);
+  const EngineResult res = engine.finish();
+
+  // The rejected request was never enqueued: it appears in NO terminal list.
+  ASSERT_EQ(res.outcomes().size(), 1u);
+  EXPECT_EQ(res.outcomes()[0].first, "early");
+  EXPECT_EQ(res.outcomes()[0].second, TerminalState::kCompleted);
+}
+
+TEST(ServingEngineTest, FinishIsIdempotentAndHandlesZeroRequests) {
+  ServingEngine engine(small_engine());
+  engine.start();
+  const EngineResult first = engine.finish();
+  EXPECT_TRUE(first.completed.empty());
+  EXPECT_TRUE(first.shed.empty());
+  EXPECT_TRUE(first.cancelled.empty());
+  // Every later finish() — bounded or not — returns the same (empty) result
+  // without touching the already-joined loop.
+  const EngineResult again = engine.finish(/*drain_deadline_seconds=*/0.0);
+  EXPECT_TRUE(again.completed.empty() && again.shed.empty() && again.cancelled.empty());
 }
 
 TEST(ServingEngineTest, SampleModeServesCleanPlansWithoutEscalation) {

@@ -207,10 +207,24 @@ int run_engine_mode(const sattn::bench::FlagParser& flags) {
   }
 
   // --- Batched run: same trace, live batch of 8 — the continuous-batching
-  // payoff, reported as measured-only gauges. ---
+  // payoff, reported as measured-only gauges. This is the run operators
+  // watch live: --telemetry-out=PATH streams NDJSON telemetry from it
+  // (tail it with tools/engine_top), --telemetry-prom=PATH adds a
+  // Prometheus-style exposition file, --telemetry-interval=S sets the
+  // publisher tick (default 50ms).
   EngineOptions eb = eo;
   eb.max_batch = 8;
   eb.run_label = "engine_b8";
+  const std::string tele_out = flags.string_flag("--telemetry-out", "");
+  const std::string tele_prom = flags.string_flag("--telemetry-prom", "");
+  if (!tele_out.empty() || !tele_prom.empty()) {
+    eb.telemetry.enabled = true;
+    eb.telemetry.ndjson_path = tele_out;
+    eb.telemetry.prom_path = tele_prom;
+    eb.telemetry.interval_seconds = flags.double_flag("--telemetry-interval", 0.05);
+    std::printf("telemetry: streaming to %s%s%s\n", tele_out.c_str(),
+                tele_prom.empty() ? "" : " + ", tele_prom.c_str());
+  }
   ServingEngine batched(eb);
   const EngineResult bres = batched.run_trace(trace);
   double serial_makespan = 0.0, batched_makespan = 0.0;

@@ -92,6 +92,13 @@ if ! grep -q '^## Resource accounting & cost-model validation' docs/OBSERVABILIT
   fail=1
 fi
 
+# The live telemetry plane (NDJSON stream schema, alert glossary, engine_top)
+# must stay documented alongside the metric names it defines.
+if ! grep -q '^## Live telemetry & alerts' docs/OBSERVABILITY.md; then
+  echo "check_docs: docs/OBSERVABILITY.md is missing the 'Live telemetry & alerts' section" >&2
+  fail=1
+fi
+
 for section in '^## Numeric contract' '^## Dispatch rules' \
                '^## Reproducing the scalar-vs-SIMD comparison'; do
   if ! grep -q "$section" docs/PERFORMANCE.md; then

@@ -5,9 +5,10 @@
 #      and runs the full ctest suite; any report fails the run.
 #   2. TSan: builds a second side tree with -DSATTN_SANITIZE=thread and runs
 #      the concurrency-heavy binaries — obs_test, scheduler_test,
-#      accounting_test, engine_test, and chaos_engine_test — since the span
-#      collector, metrics registry, resource accountant, and serving-engine
-#      intake are written from concurrent threads.
+#      accounting_test, engine_test, chaos_engine_test, and telemetry_test —
+#      since the span collector, metrics registry, resource accountant,
+#      serving-engine intake, and telemetry rings/publisher are written from
+#      concurrent threads.
 #
 # Usage: check_sanitizers.sh [repo-root] [build-dir] [tsan-build-dir]
 # Opt-in ctest entry: configure with -DSATTN_SANITIZER_CTEST=ON.
@@ -65,7 +66,7 @@ cmake -B "$build_tsan" -S "$root" \
   -DSATTN_SANITIZE=thread >/dev/null
 cmake --build "$build_tsan" -j "$(nproc)" \
   --target obs_test --target scheduler_test --target accounting_test \
-  --target engine_test --target chaos_engine_test >/dev/null
+  --target engine_test --target chaos_engine_test --target telemetry_test >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
@@ -82,5 +83,12 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 # watchdog's heartbeat atomics, and forced drains (docs/ROBUSTNESS.md,
 # "Lifecycle, overload & chaos").
 "$build_tsan/tests/chaos_engine_test"
+# Telemetry plane: SPSC rings fed by submitters + the engine loop while the
+# publisher thread drains, plus the metrics-registry gauges it publishes.
+# The enabled-vs-disabled overhead bound itself runs in the plain-build
+# ctest suite (TelemetryOverheadTest, RUN_SERIAL) — under TSan it would
+# only measure the sanitizer, so it is filtered here like the accounting
+# one (and would GTEST_SKIP itself anyway).
+"$build_tsan/tests/telemetry_test" --gtest_filter='-*Overhead*'
 
-echo "sanitizer suite passed: thread (obs_test, scheduler_test, accounting_test, engine_test, chaos_engine_test)"
+echo "sanitizer suite passed: thread (obs_test, scheduler_test, accounting_test, engine_test, chaos_engine_test, telemetry_test)"

@@ -5,6 +5,7 @@
 
 #include "core/simd.h"
 #include "io/json.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 // Build/environment stamps, provided by src/CMakeLists.txt at configure
@@ -194,6 +195,12 @@ JsonValue engine_json(const BenchReport& b) {
     JsonValue rec = JsonValue::object();
     rec.set("metric", metric);
     for (const auto& [kind, v] : kinds) rec.set(kind, v);
+    // Tail-metric labeling: a metric with an err gauge is gated by
+    // tools/bench_diff --engine-error-threshold; one without (the raw
+    // tpot_p99_s, whose ~30µs decode steps are OS-jitter-dominated) is
+    // report-only. The flag makes bench_diff output unambiguous about
+    // which tails can fail a run.
+    rec.set("gated", kinds.count("err") > 0);
     arr.push_back(std::move(rec));
   }
   return arr;
@@ -211,14 +218,52 @@ JsonValue lifecycle_json(const BenchReport& b) {
       "engine.kv_pressure_waits",    "engine.kv_budget_sheds",
       "engine.watchdog_stalls",      "engine.watchdog_sheds",
       "engine.breaker_trips",        "engine.breaker_closes",
-      "engine.breaker_short_circuits"};
+      "engine.breaker_short_circuits", "engine.breaker_pretrips"};
   for (const char* name : kLifecycleCounters) {
     const auto it = b.counters.find(name);
     if (it != b.counters.end()) o.set(std::string(name).substr(7), it->second);
   }
   const auto state = b.gauges.find("engine.breaker_state");
   if (state != b.gauges.end()) o.set("breaker_state", state->second);
+  const auto heartbeat = b.gauges.find("engine.heartbeat_age_s");
+  if (heartbeat != b.gauges.end()) o.set("heartbeat_age_s", heartbeat->second);
+  const auto dropped = b.gauges.find("telemetry.events_dropped");
+  if (dropped != b.gauges.end()) o.set("telemetry_events_dropped", dropped->second);
+  // Quality-drift alerts raised by the telemetry plane: `alert.<name>`
+  // counters count rising edges over the run.
+  JsonValue alerts = JsonValue::object();
+  const std::string alert_prefix = "alert.";
+  for (const auto& [name, v] : b.counters) {
+    if (name.rfind(alert_prefix, 0) == 0) alerts.set(name.substr(alert_prefix.size()), v);
+  }
+  if (alerts.size() > 0) o.set("alerts", std::move(alerts));
   return o;
+}
+
+// Derived view (v2): per-request timelines from the `timeline.<request>`
+// series the engine emits — phase-coded (obs::RequestPhase) lifecycle
+// events, submit through terminal state, rendered with their names so the
+// report is readable without the enum.
+JsonValue timelines_json(const BenchReport& b) {
+  JsonValue arr = JsonValue::array();
+  const std::string prefix = "timeline.";
+  for (const auto& [name, samples] : b.series) {
+    if (name.rfind(prefix, 0) != 0) continue;
+    JsonValue rec = JsonValue::object();
+    rec.set("request", name.substr(prefix.size()));
+    JsonValue events = JsonValue::array();
+    for (const auto& [t, v] : samples) {
+      JsonValue ev = JsonValue::object();
+      ev.set("t", t);
+      ev.set("phase", v);
+      ev.set("name", obs::request_phase_name(static_cast<obs::RequestPhase>(
+                         static_cast<int>(v))));
+      events.push_back(std::move(ev));
+    }
+    rec.set("events", std::move(events));
+    arr.push_back(std::move(rec));
+  }
+  return arr;
 }
 
 JsonValue bench_json(const BenchReport& b) {
@@ -280,6 +325,8 @@ JsonValue bench_json(const BenchReport& b) {
   if (engine.size() > 0) o.set("engine", std::move(engine));
   JsonValue lifecycle = lifecycle_json(b);
   if (lifecycle.size() > 0) o.set("lifecycle", std::move(lifecycle));
+  JsonValue timelines = timelines_json(b);
+  if (timelines.size() > 0) o.set("timelines", std::move(timelines));
   return o;
 }
 

@@ -49,12 +49,40 @@ std::string chrome_trace_json(std::span<const obs::SpanRecord> spans,
 
   emit(R"({"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"sattn"}})");
 
+  // Request lanes: spans tagged with a RequestContext id render in a second
+  // "requests" process, one named lane per request, so a serving run reads
+  // as submit -> prefill chunks -> decode steps per request instead of
+  // interleaved worker threads. Untagged spans keep the per-thread lanes.
+  std::vector<std::string> request_ids;
+  for (const obs::SpanRecord& s : spans) {
+    if (!s.request_id.empty()) request_ids.push_back(s.request_id);
+  }
+  std::sort(request_ids.begin(), request_ids.end());
+  request_ids.erase(std::unique(request_ids.begin(), request_ids.end()), request_ids.end());
+  if (!request_ids.empty()) {
+    emit(R"({"name":"process_name","ph":"M","pid":2,"tid":0,"args":{"name":"requests"}})");
+    for (std::size_t i = 0; i < request_ids.size(); ++i) {
+      std::ostringstream ev;
+      ev << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":" << (i + 1)
+         << ",\"args\":{\"name\":\"" << json_escape(request_ids[i]) << "\"}}";
+      emit(ev.str());
+    }
+  }
+  const auto lane_of = [&](const std::string& id) {
+    const auto it = std::lower_bound(request_ids.begin(), request_ids.end(), id);
+    return static_cast<std::size_t>(it - request_ids.begin()) + 1;
+  };
+
   double end_ts = 0.0;
   for (const obs::SpanRecord& s : spans) {
+    const bool tagged = !s.request_id.empty();
     std::ostringstream ev;
     ev << "{\"name\":\"" << json_escape(s.name) << "\",\"cat\":\"sattn\",\"ph\":\"X\""
-       << ",\"pid\":1,\"tid\":" << s.tid << ",\"ts\":" << fmt_number(s.start_us)
-       << ",\"dur\":" << fmt_number(s.dur_us) << "}";
+       << ",\"pid\":" << (tagged ? 2 : 1)
+       << ",\"tid\":" << (tagged ? lane_of(s.request_id) : static_cast<std::size_t>(s.tid))
+       << ",\"ts\":" << fmt_number(s.start_us) << ",\"dur\":" << fmt_number(s.dur_us);
+    if (tagged) ev << ",\"args\":{\"request\":\"" << json_escape(s.request_id) << "\"}";
+    ev << "}";
     emit(ev.str());
     end_ts = std::max(end_ts, s.start_us + s.dur_us);
   }

@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/accounting.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
@@ -54,6 +56,7 @@ struct Collector::ThreadLog {
   // snapshot readers and guarded by `mu`.
   struct OpenSpan {
     std::string name;
+    std::string request_id;
     double start_us = 0.0;
   };
   std::vector<OpenSpan> stack;
@@ -90,7 +93,11 @@ void Collector::begin_span(const char* name) { begin_span(std::string(name)); }
 
 void Collector::begin_span(std::string name) {
   ThreadLog& log = this_thread_log();
-  log.stack.push_back({std::move(name), now_us()});
+  // Capture the request attribution at open time: the RequestContext is a
+  // thread-local RAII scope, so it is still the right one even if the span
+  // outlives an inner context.
+  const RequestContext* ctx = RequestContext::current();
+  log.stack.push_back({std::move(name), ctx != nullptr ? ctx->id() : std::string(), now_us()});
 }
 
 void Collector::end_span() {
@@ -100,6 +107,7 @@ void Collector::end_span() {
   log.stack.pop_back();
   SpanRecord rec;
   rec.name = std::move(open.name);
+  rec.request_id = std::move(open.request_id);
   rec.tid = log.tid;
   rec.start_us = open.start_us;
   rec.dur_us = std::max(0.0, now_us() - open.start_us);

@@ -66,8 +66,12 @@ class Counter {
 
 // One completed span. Timestamps are microseconds since the Collector's
 // epoch (process start, effectively), matching Chrome trace-event units.
+// request_id is the obs::RequestContext in effect when the span opened
+// ("" when none): the Chrome exporter groups request-tagged spans into one
+// lane per request, so serving runs get a per-request timeline for free.
 struct SpanRecord {
   std::string name;
+  std::string request_id;
   std::uint32_t tid = 0;  // dense thread id assigned by the collector
   double start_us = 0.0;
   double dur_us = 0.0;

@@ -49,7 +49,12 @@ std::vector<SeqCost> ragged_attention_sweep(const RaggedBatchView& batch) {
       cost.evals = run_seq(s, batch.flash);
     } else {
       obs::RequestContext ctx(s.request_id);
-      cost.evals = run_seq(s, batch.flash);
+      if (s.span_name != nullptr) {
+        obs::ScopedSpan span(s.span_name);
+        cost.evals = run_seq(s, batch.flash);
+      } else {
+        cost.evals = run_seq(s, batch.flash);
+      }
     }
     cost.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   });

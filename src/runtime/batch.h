@@ -51,6 +51,11 @@ enum class SeqRoute { kDense, kSparse, kBlockSparse };
 // every pointer aliases caller-owned storage that must outlive the sweep.
 struct RaggedSeq {
   std::string request_id;  // obs attribution; empty skips the RequestContext
+  // Optional per-sequence span label (a stable literal such as
+  // "seq/prefill_chunk" or "seq/decode_step"). Opened inside the sequence's
+  // RequestContext, so the Chrome exporter can give every request its own
+  // lane of chunk/step spans. Null skips the span.
+  const char* span_name = nullptr;
   SeqRoute route = SeqRoute::kDense;
 
   // kDense: flash sweep over raw spans. Row r of `q` attends keys

@@ -21,6 +21,17 @@ std::string request_key(const std::string& run_label, const std::string& id) {
   return run_label.empty() ? id : run_label + "/" + id;
 }
 
+// Per-request timeline: one `timeline.<run_label>/<id>` series whose values
+// are obs::RequestPhase codes. The run report's timeline view and the Chrome
+// request lanes are both derived from this shared coding.
+void emit_timeline(const std::string& run_label, const std::string& id, double t,
+                   obs::RequestPhase phase) {
+  if (!obs::enabled()) return;
+  obs::MetricsRegistry::global()
+      .series("timeline." + request_key(run_label, id))
+      .append(t, static_cast<double>(phase));
+}
+
 void emit_completion_metrics(const std::string& run_label, const EngineCompletion& c) {
   if (!obs::enabled()) return;
   const std::string key = request_key(run_label, c.base.request.id);
@@ -126,18 +137,56 @@ ServingEngine::~ServingEngine() {
 
 double ServingEngine::now() const { return wall_seconds(t0_); }
 
+double ServingEngine::heartbeat_age_seconds() const {
+  if (!started_) return 0.0;
+  if (loop_waiting_.load(std::memory_order_relaxed)) return 0.0;
+  return std::max(0.0, now() - heartbeat_s_.load(std::memory_order_relaxed));
+}
+
+void ServingEngine::tele_push(obs::TelemetryEventKind kind, const std::string& id, double t,
+                              double value, std::uint32_t aux) {
+  if (!tele_hub_) return;
+  obs::TelemetryEvent ev;
+  ev.t = t;
+  ev.value = static_cast<float>(value);
+  ev.aux = aux;
+  ev.kind = kind;
+  ev.set_id(id);
+  tele_hub_->push(ev);
+}
+
 void ServingEngine::start() {
   assert(!started_);
   started_ = true;
   t0_ = std::chrono::steady_clock::now();
+  if (opts_.telemetry.enabled) {
+    tele_hub_ = std::make_unique<obs::TelemetryHub>(opts_.telemetry.ring_capacity);
+    tele_pub_ = std::make_unique<obs::TelemetryPublisher>(
+        opts_.telemetry, opts_.run_label, tele_hub_.get(), [this] {
+          obs::EngineTelemetrySnapshot s;
+          s.t = now();
+          s.live = tele_live_.load(std::memory_order_relaxed);
+          s.active = tele_active_.load(std::memory_order_relaxed);
+          s.kv_bytes = tele_kv_bytes_.load(std::memory_order_relaxed);
+          s.kv_budget_bytes = opts_.kv_budget_bytes;
+          s.breaker_state = tele_breaker_.load(std::memory_order_relaxed);
+          s.heartbeat_age_s = heartbeat_age_seconds();
+          s.watchdog_stalls =
+              static_cast<long long>(watchdog_stalls_.load(std::memory_order_relaxed));
+          return s;
+        });
+  }
   loop_thread_ = std::thread([this] { loop(); });
   if (opts_.watchdog_stall_seconds > 0.0) {
     watchdog_thread_ = std::thread([this] { watchdog(); });
   }
+  if (tele_pub_) tele_pub_->start();
 }
 
 Status ServingEngine::submit(ServingRequest req) {
   req.arrival_seconds = now();
+  const double arrival = req.arrival_seconds;
+  const std::string id = req.id;
   {
     std::lock_guard lk(mu_);
     SATTN_CHECK(!closed_, kFailedPrecondition,
@@ -145,6 +194,8 @@ Status ServingEngine::submit(ServingRequest req) {
     intake_.push_back(std::move(req));
   }
   cv_.notify_one();
+  // Submitter-thread telemetry: the event rides this thread's own SPSC ring.
+  tele_push(obs::TelemetryEventKind::kSubmit, id, arrival);
   return Status::Ok();
 }
 
@@ -174,6 +225,9 @@ EngineResult ServingEngine::finish(double drain_deadline_seconds) {
     watchdog_stop_.store(true, std::memory_order_relaxed);
     if (watchdog_thread_.joinable()) watchdog_thread_.join();
     result_.watchdog_stalls = watchdog_stalls_.load(std::memory_order_relaxed);
+    // All producers are quiesced; stop() runs one final flush tick so the
+    // stream's last line reflects the complete run.
+    if (tele_pub_) tele_pub_->stop();
     finished_ = true;
   }
   return result_;
@@ -207,12 +261,13 @@ EngineResult ServingEngine::run_trace(std::span<const ServingRequest> trace, dou
 void ServingEngine::watchdog() {
   const double stall_s = opts_.watchdog_stall_seconds;
   const double poll_s = std::min(stall_s / 4.0, 0.01);
-  std::uint64_t last_beat = heartbeat_.load(std::memory_order_relaxed);
+  double last_beat = heartbeat_s_.load(std::memory_order_relaxed);
   auto last_progress = std::chrono::steady_clock::now();
   while (!watchdog_stop_.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(std::chrono::duration<double>(poll_s));
     const auto t = std::chrono::steady_clock::now();
-    const std::uint64_t beat = heartbeat_.load(std::memory_order_relaxed);
+    const double beat = heartbeat_s_.load(std::memory_order_relaxed);
+    SATTN_GAUGE_SET("engine.heartbeat_age_s", heartbeat_age_seconds());
     if (beat != last_beat || loop_waiting_.load(std::memory_order_relaxed)) {
       last_beat = beat;
       last_progress = t;
@@ -237,8 +292,11 @@ void ServingEngine::loop() {
                                                             : std::numeric_limits<double>::infinity();
 
   const auto shed = [&](std::unique_ptr<Live> lr, const char* reason) {
+    const double t = now();
     SATTN_COUNTER_ADD("sched.requests_shed", 1);
-    result_.shed.push_back({std::move(lr->req), reason, now()});
+    tele_push(obs::TelemetryEventKind::kShed, lr->req.id, t);
+    emit_timeline(opts_.run_label, lr->req.id, t, obs::RequestPhase::kShed);
+    result_.shed.push_back({std::move(lr->req), reason, t});
   };
 
   // Cancellation terminals. Both preserve the attribution identity
@@ -247,6 +305,8 @@ void ServingEngine::loop() {
   // billed in full when the retry was scheduled).
   const auto cancel_unadmitted = [&](ServingRequest req, const char* reason) {
     const double t = now();
+    tele_push(obs::TelemetryEventKind::kCancel, req.id, t);
+    emit_timeline(opts_.run_label, req.id, t, obs::RequestPhase::kCancelled);
     CancelledRequest c;
     c.base = CompletedRequest{std::move(req), t, t, 0, 1};
     c.base.queue_seconds = c.base.ttft();  // never serviced: pure queueing
@@ -256,6 +316,8 @@ void ServingEngine::loop() {
   };
   const auto cancel_live = [&](std::unique_ptr<Live> lr, const char* reason) {
     const double t = now();
+    tele_push(obs::TelemetryEventKind::kCancel, lr->req.id, t);
+    emit_timeline(opts_.run_label, lr->req.id, t, obs::RequestPhase::kCancelled);
     double guard = lr->guard_s;
     if (lr->available_at > t) guard = std::max(0.0, guard - (lr->available_at - t));
     CancelledRequest c;
@@ -293,7 +355,20 @@ void ServingEngine::loop() {
   int consecutive_plan_faults = 0;
 
   for (;;) {
-    heartbeat_.fetch_add(1, std::memory_order_relaxed);
+    heartbeat_s_.store(now(), std::memory_order_relaxed);
+
+    // Drift-monitor pre-trip: a sustained quality alert (dense-fallback /
+    // escalation / retained-KV drift) opens the breaker before the
+    // consecutive-fault streak alone would. Independent of
+    // breaker_fault_threshold — the alert is the trip condition.
+    if (tele_pub_ && tele_pub_->consume_breaker_pretrip() && breaker != Breaker::kOpen) {
+      ++result_.breaker_trips;
+      SATTN_COUNTER_ADD("engine.breaker_trips", 1);
+      SATTN_COUNTER_ADD("engine.breaker_pretrips", 1);
+      breaker = Breaker::kOpen;
+      breaker_open_until = now() + opts_.breaker_cooldown_seconds;
+      SATTN_GAUGE_SET("engine.breaker_state", 1.0);
+    }
 
     // --- Intake: wait if idle, then drain submissions under the lock. ---
     std::vector<ServingRequest> arrivals;
@@ -363,6 +438,12 @@ void ServingEngine::loop() {
       SATTN_COUNTER_ADD("sched.requests_enqueued", 1);
       live_.push_back(std::move(lr));
       result_.peak_live_batch = std::max(result_.peak_live_batch, static_cast<Index>(live_.size()));
+      const Live& adm = *live_.back();
+      const double t_adm = now();
+      tele_push(obs::TelemetryEventKind::kAdmit, adm.req.id, t_adm);
+      emit_timeline(opts_.run_label, adm.req.id, adm.req.arrival_seconds,
+                    obs::RequestPhase::kSubmitted);
+      emit_timeline(opts_.run_label, adm.req.id, t_adm, obs::RequestPhase::kAdmitted);
     }
 
     // --- Cancellation of in-flight requests (between chunks). ---
@@ -433,6 +514,17 @@ void ServingEngine::loop() {
       }
     }
     result_.peak_kv_bytes = std::max(result_.peak_kv_bytes, active_kv_bytes);
+
+    // Telemetry snapshot channel: atomics only, read by the publisher.
+    if (tele_hub_) {
+      std::size_t active_n = 0;
+      for (const auto& lp : live_)
+        if (lp->active) ++active_n;
+      tele_live_.store(live_.size(), std::memory_order_relaxed);
+      tele_active_.store(active_n, std::memory_order_relaxed);
+      tele_kv_bytes_.store(active_kv_bytes, std::memory_order_relaxed);
+      tele_breaker_.store(static_cast<int>(breaker), std::memory_order_relaxed);
+    }
 
     if (live_.empty()) {
       if (closed) break;
@@ -562,6 +654,7 @@ void ServingEngine::loop() {
       st.q_hi = si.q_hi;
       RaggedSeq seq;
       seq.request_id = request_key(opts_.run_label, lr->req.id);
+      seq.span_name = si.decode ? "seq/decode_step" : "seq/prefill_chunk";
       const Index d = opts_.head_dim;
       if (si.decode) {
         seq.route = SeqRoute::kDense;
@@ -673,6 +766,16 @@ void ServingEngine::loop() {
             }
           }
         }
+        // One planning-episode telemetry event per chunk: retained-KV
+        // fraction (mask density; 1.0 for the dense rung), escalation and
+        // fallback bits feed the rolling drift monitors.
+        {
+          const bool fellback = dense_fallback || !st.plan;
+          const double retained = fellback ? 1.0 : st.plan->density;
+          const std::uint32_t aux =
+              (st.escalated ? 1u : 0u) | (fellback ? 2u : 0u);
+          tele_push(obs::TelemetryEventKind::kPlan, lr->req.id, now(), retained, aux);
+        }
         if (dense_fallback || !st.plan) {
           SATTN_COUNTER_ADD("engine.dense_fallbacks", 1);
           seq.route = SeqRoute::kDense;
@@ -744,11 +847,16 @@ void ServingEngine::loop() {
           if (ws.ok()) lr->evict->observe(lr->cache, weights);
         }
         ++lr->decoded;
+        tele_push(obs::TelemetryEventKind::kDecodeStep, lr->req.id, t_done, kernel_s);
+        emit_timeline(opts_.run_label, lr->req.id, t_done, obs::RequestPhase::kDecodeStep);
         continue;
       }
 
       // Successful prefill chunk.
       lr->compute_s += st.plan_s + kernel_s;
+      tele_push(obs::TelemetryEventKind::kPrefillChunk, lr->req.id, t_done,
+                st.plan_s + kernel_s, static_cast<std::uint32_t>(st.q_hi - st.q_lo));
+      emit_timeline(opts_.run_label, lr->req.id, t_done, obs::RequestPhase::kPrefillChunk);
       if (st.chunk_out) {
         // Sparse route wrote chunk-local rows; fold them into the request
         // output.
@@ -775,6 +883,9 @@ void ServingEngine::loop() {
       }
       if (lr->prefilled >= lr->req.prompt_tokens) {
         lr->finish_prefill_s = t_done;
+        tele_push(obs::TelemetryEventKind::kPrefillDone, lr->req.id, t_done,
+                  t_done - lr->req.arrival_seconds);
+        emit_timeline(opts_.run_label, lr->req.id, t_done, obs::RequestPhase::kPrefillDone);
         if (opts_.decode_tokens > 0) {
           // Cache fill is service work on the request's critical path.
           const double c0 = now();
@@ -819,6 +930,10 @@ void ServingEngine::loop() {
       ++result_.served_per_level[static_cast<std::size_t>(lr.level)];
       emit_completion_metrics(opts_.run_label, c);
       SATTN_COUNTER_ADD("sched.requests_completed", 1);
+      const double t_comp = now();
+      tele_push(obs::TelemetryEventKind::kComplete, c.base.request.id, t_comp, c.tpot_seconds,
+                static_cast<std::uint32_t>(c.decoded_tokens));
+      emit_timeline(opts_.run_label, c.base.request.id, t_comp, obs::RequestPhase::kCompleted);
       result_.completed.push_back(std::move(c));
       it = live_.erase(it);
     }

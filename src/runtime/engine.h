@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "attention/flash_attention.h"
+#include "obs/telemetry.h"
 #include "robust/fault_injection.h"
 #include "runtime/batch.h"
 #include "runtime/eviction.h"
@@ -145,6 +146,18 @@ struct EngineOptions {
   // closes the breaker. 0 disables.
   int breaker_fault_threshold = 0;
   double breaker_cooldown_seconds = 0.05;
+
+  // ---- Live telemetry plane (obs/telemetry.h) ----
+  //
+  // With telemetry.enabled the engine owns a TelemetryHub (lock-free
+  // per-thread event rings fed by submit() and the loop) and a
+  // TelemetryPublisher thread that drains it every interval, maintains
+  // rolling TTFT/TPOT/retained-KV windows and EWMA rates, evaluates the
+  // quality-drift monitors (alert.* counters, optional breaker pre-trip via
+  // telemetry.drift.pretrip_breaker), and emits an NDJSON stream plus a
+  // Prometheus-style exposition file. Disabled: no hub, no thread, every
+  // emission site is one pointer test.
+  obs::TelemetryOptions telemetry;
 };
 
 // One finished request. `base` reuses the simulator's completion record so
@@ -233,6 +246,18 @@ class ServingEngine {
   // seconds between submits) on a submitter thread, then finish().
   EngineResult run_trace(std::span<const ServingRequest> trace, double time_scale = 1.0);
 
+  // Seconds since the loop's last heartbeat: 0 while the loop is idle-
+  // waiting (or before start()), the stall age while it is mid-iteration.
+  // Thread-safe (atomics only); published as the `engine.heartbeat_age_s`
+  // gauge by the watchdog and the telemetry publisher, so stall detection
+  // is externally observable instead of a private watchdog channel.
+  double heartbeat_age_seconds() const;
+
+  // Live telemetry publisher (null unless EngineOptions::telemetry.enabled
+  // and start() was called). Valid until destruction; tests read
+  // last_line()/alerts() through it.
+  obs::TelemetryPublisher* telemetry_publisher() const { return tele_pub_.get(); }
+
  private:
   struct Live;  // one in-flight request (engine.cpp)
 
@@ -257,15 +282,28 @@ class ServingEngine {
   // work (bounded drain). +inf = drain fully.
   std::atomic<double> drain_deadline_{std::numeric_limits<double>::infinity()};
 
-  // Watchdog channel: the loop bumps heartbeat_ every iteration and flags
-  // loop_waiting_ around its idle/backoff waits; the watchdog thread reads
-  // both and alerts on a silent, non-waiting loop. Atomics only — the
-  // watchdog never touches request state (TSan-clean by construction).
-  std::atomic<std::uint64_t> heartbeat_{0};
+  // Watchdog channel: the loop stamps heartbeat_s_ (engine seconds) every
+  // iteration and flags loop_waiting_ around its idle/backoff waits; the
+  // watchdog thread and heartbeat_age_seconds() read both and detect a
+  // silent, non-waiting loop. Atomics only — the watchdog never touches
+  // request state (TSan-clean by construction).
+  std::atomic<double> heartbeat_s_{0.0};
   std::atomic<bool> loop_waiting_{false};
   std::atomic<bool> watchdog_stop_{false};
   std::atomic<Index> watchdog_stalls_{0};
   std::thread watchdog_thread_;
+
+  // Telemetry plane (null when opts_.telemetry.enabled is false). The loop
+  // and submit() push events into the hub; the publisher thread reads only
+  // the hub and the tele_* atomics below, never request state.
+  void tele_push(obs::TelemetryEventKind kind, const std::string& id, double t,
+                 double value = 0.0, std::uint32_t aux = 0);
+  std::unique_ptr<obs::TelemetryHub> tele_hub_;
+  std::unique_ptr<obs::TelemetryPublisher> tele_pub_;
+  std::atomic<std::size_t> tele_live_{0};
+  std::atomic<std::size_t> tele_active_{0};
+  std::atomic<double> tele_kv_bytes_{0.0};
+  std::atomic<int> tele_breaker_{0};
 
   // Loop-thread-owned state.
   std::vector<std::unique_ptr<Live>> live_;

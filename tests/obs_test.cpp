@@ -15,6 +15,7 @@
 #include "core/thread_pool.h"
 #include "io/trace_export.h"
 #include "model/workload.h"
+#include "obs/metrics.h"
 #include "obs/summary.h"
 #include "obs/trace.h"
 #include "sample_attention/sample_attention.h"
@@ -362,6 +363,154 @@ TEST_F(ObsTest, InstrumentedLibraryEmitsExpectedSpanNames) {
 TEST_F(ObsTest, UnbalancedEndSpanIsDefensivelyIgnored) {
   Collector::global().end_span();  // no matching begin: must not crash
   EXPECT_TRUE(Collector::global().spans().empty());
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry edge cases (obs/metrics.h): the aggregation corners the
+// telemetry plane leans on — empty/singleton percentiles, series decimation
+// bounds, and snapshot consistency under concurrent writers.
+
+class MetricsEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Collector::global().reset();
+    obs::MetricsRegistry::global().reset();
+    ASSERT_TRUE(obs::set_enabled(true)) << "SATTN_TRACE=0 in the test environment";
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    Collector::global().reset();
+    obs::MetricsRegistry::global().reset();
+  }
+};
+
+TEST_F(MetricsEdgeTest, EmptyHistogramStatsAreAllZero) {
+  const obs::HistogramStats s =
+      obs::MetricsRegistry::global().histogram("edge.empty").stats();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p90, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+  EXPECT_TRUE(s.max_exemplar.empty());
+}
+
+TEST_F(MetricsEdgeTest, SingleSampleHistogramEveryPercentileIsTheSample) {
+  obs::Histogram& h = obs::MetricsRegistry::global().histogram("edge.single");
+  h.observe(0.125, "req-tail");
+  const obs::HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 1u);
+  // The log-bucket midpoint is clamped to the exact observed [min, max], so
+  // a singleton distribution reports the sample itself at every quantile.
+  EXPECT_DOUBLE_EQ(s.p50, 0.125);
+  EXPECT_DOUBLE_EQ(s.p90, 0.125);
+  EXPECT_DOUBLE_EQ(s.p99, 0.125);
+  EXPECT_DOUBLE_EQ(s.min, 0.125);
+  EXPECT_DOUBLE_EQ(s.max, 0.125);
+  EXPECT_EQ(s.max_exemplar, "req-tail");
+  EXPECT_EQ(s.p99_exemplar, "req-tail");
+}
+
+TEST_F(MetricsEdgeTest, HistogramValuesAtOrBelowFloorShareTheLowestBucket) {
+  obs::Histogram& h = obs::MetricsRegistry::global().histogram("edge.floor");
+  h.observe(0.0);
+  h.observe(-1.0);
+  h.observe(obs::Histogram::kFloor);
+  const obs::HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, -1.0);
+  // Percentiles clamp to the observed range even for sub-floor values.
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_GE(s.p50, s.min);
+}
+
+TEST_F(MetricsEdgeTest, SeriesDecimationBoundsSizeAndKeepsFullTimeRange) {
+  obs::Series& series = obs::MetricsRegistry::global().series("edge.decimate");
+  constexpr std::size_t kAppends = 40000;  // ~20x capacity: stride doubles ~5x
+  for (std::size_t i = 0; i < kAppends; ++i) {
+    series.append(static_cast<double>(i), static_cast<double>(i) * 2.0);
+  }
+  const auto samples = series.samples();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_LE(samples.size(), obs::Series::kDefaultCapacity);
+  // Decimation keeps a uniform sketch of the WHOLE run, not just its head:
+  // timestamps stay sorted, start near 0, and reach near the end.
+  EXPECT_DOUBLE_EQ(samples.front().first, 0.0);
+  EXPECT_GT(samples.back().first, static_cast<double>(kAppends) * 0.9);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].first, samples[i].first);
+  }
+  // Values ride along untouched.
+  for (const auto& [t, v] : samples) EXPECT_DOUBLE_EQ(v, t * 2.0);
+}
+
+TEST_F(MetricsEdgeTest, SeriesResetRestoresStrideOne) {
+  obs::Series series(/*capacity=*/8);
+  for (int i = 0; i < 100; ++i) series.append(i, i);
+  series.reset();
+  for (int i = 0; i < 4; ++i) series.append(i, i);
+  const auto samples = series.samples();
+  // After reset the series keeps every append again (stride back to 1).
+  ASSERT_EQ(samples.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(samples[static_cast<std::size_t>(i)].first, i);
+}
+
+TEST_F(MetricsEdgeTest, SnapshotUnderConcurrentWritersSeesConsistentMetrics) {
+  // The TSan target: gauge/histogram/series writers race a snapshotting
+  // reader. The snapshot must stay well-formed throughout (no torn names,
+  // monotonic histogram counts) and complete without data races.
+  auto& reg = obs::MetricsRegistry::global();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&reg, &stop, w] {
+      const std::string gauge = "edge.concurrent.g" + std::to_string(w);
+      const std::string histo = "edge.concurrent.h" + std::to_string(w);
+      const std::string series = "edge.concurrent.s" + std::to_string(w);
+      double i = 0.0;
+      do {  // at least one write each, even if stop wins the thread-start race
+        reg.gauge(gauge).set(i);
+        reg.histogram(histo).observe(i + 0.5);
+        reg.series(series).append(i, i);
+        i += 1.0;
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  }
+  for (int round = 0; round < 50; ++round) {
+    const obs::MetricsSnapshot snap = reg.snapshot();
+    // Snapshots taken mid-write stay well-formed: names sorted, no tears.
+    for (std::size_t i = 1; i < snap.gauges.size(); ++i) {
+      EXPECT_LT(snap.gauges[i - 1].first, snap.gauges[i].first);
+    }
+    for (std::size_t i = 1; i < snap.histograms.size(); ++i) {
+      EXPECT_LT(snap.histograms[i - 1].first, snap.histograms[i].first);
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  // Registered names survive in the registry (reset clears contents, not
+  // registration), so count only this test's metrics.
+  const obs::MetricsSnapshot final_snap = reg.snapshot();
+  std::size_t gauges = 0, histos = 0, series_n = 0;
+  for (const auto& [name, v] : final_snap.gauges)
+    if (name.rfind("edge.concurrent.g", 0) == 0) ++gauges;
+  for (const auto& [name, stats] : final_snap.histograms) {
+    if (name.rfind("edge.concurrent.h", 0) == 0) {
+      ++histos;
+      EXPECT_GE(stats.count, 1u) << name;
+    }
+  }
+  for (const auto& [name, samples] : final_snap.series) {
+    if (name.rfind("edge.concurrent.s", 0) == 0) {
+      ++series_n;
+      EXPECT_FALSE(samples.empty()) << name;
+    }
+  }
+  EXPECT_EQ(gauges, 3u);
+  EXPECT_EQ(histos, 3u);
+  EXPECT_EQ(series_n, 3u);
 }
 
 }  // namespace

@@ -1,0 +1,317 @@
+// engine_top: terminal dashboard for the serving engine's live telemetry
+// stream (docs/OBSERVABILITY.md, "Live telemetry & alerts").
+//
+// Tails the NDJSON file written by a running engine (--telemetry-out on
+// bench_serving --engine, or EngineOptions::telemetry.ndjson_path) and
+// renders one frame per tick: throughput rates, rolling TTFT/TPOT
+// percentiles, KV bytes against the budget, breaker/watchdog state, and the
+// active quality-drift alerts.
+//
+//   engine_top --input=telemetry.ndjson             # live, refresh loop
+//   engine_top --input=telemetry.ndjson --once      # one frame, for CI/pipes
+//   engine_top --selftest [--keep]                  # in-process engine run
+//
+// --selftest spins a small sample-mode engine with every plan corrupted
+// (forced dense fallbacks) and low drift thresholds, streams telemetry to a
+// scratch file, renders it through the same --once path, and exits non-zero
+// unless the frame shows rolling percentiles and an active alert. This is
+// the ctest smoke test: it proves the whole plane end to end — engine ->
+// rings -> publisher -> NDJSON -> dashboard.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/json.h"
+#include "robust/fault_injection.h"
+#include "runtime/engine.h"
+
+namespace {
+
+using sattn::JsonValue;
+
+std::string read_last_line(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::string line, last;
+  while (std::getline(in, line)) {
+    if (!line.empty()) last = line;
+  }
+  return last;
+}
+
+std::string fmt_seconds(double s) {
+  char buf[48];
+  if (s < 0.0) s = 0.0;
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.0fus", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", s);
+  }
+  return buf;
+}
+
+std::string fmt_bytes(double b) {
+  char buf[48];
+  if (b >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fMiB", b / (1024.0 * 1024.0));
+  } else if (b >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB", b / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fB", b);
+  }
+  return buf;
+}
+
+const char* breaker_name(int state) {
+  switch (state) {
+    case 1: return "OPEN";
+    case 2: return "half-open";
+    default: return "closed";
+  }
+}
+
+void render_rolling(std::ostringstream& out, const char* name, const JsonValue& h,
+                    double window_s) {
+  const std::size_t n = static_cast<std::size_t>(h.get("count").as_number());
+  out << "  " << name;
+  if (n == 0) {
+    out << "   (no samples in window)\n";
+    return;
+  }
+  out << "   n=" << n << "  p50=" << fmt_seconds(h.get("p50").as_number())
+      << "  p95=" << fmt_seconds(h.get("p95").as_number())
+      << "  p99=" << fmt_seconds(h.get("p99").as_number())
+      << "  mean=" << fmt_seconds(h.get("mean").as_number()) << "  (last "
+      << window_s << "s)\n";
+}
+
+// One dashboard frame from a parsed telemetry line. Pure string-building so
+// the selftest can assert on the exact frame the user would see.
+std::string render_frame(const JsonValue& o) {
+  std::ostringstream out;
+  const JsonValue& eng = o.get("engine");
+  const JsonValue& totals = o.get("totals");
+  const JsonValue& rates = o.get("rates");
+  const JsonValue& rolling = o.get("rolling");
+  const JsonValue& alerts = o.get("alerts");
+
+  out << "engine_top — label=" << o.get("label").as_string()
+      << "  seq=" << static_cast<long long>(o.get("seq").as_number())
+      << "  t=" << fmt_seconds(o.get("t").as_number()) << "\n";
+  out << "  engine live=" << static_cast<long long>(eng.get("live").as_number())
+      << " active=" << static_cast<long long>(eng.get("active").as_number())
+      << "  breaker=" << breaker_name(static_cast<int>(eng.get("breaker_state").as_number()))
+      << "  heartbeat_age=" << fmt_seconds(eng.get("heartbeat_age_s").as_number())
+      << "  watchdog_stalls=" << static_cast<long long>(eng.get("watchdog_stalls").as_number())
+      << "\n";
+
+  const double kv = eng.get("kv_bytes").as_number();
+  const double budget = eng.get("kv_budget_bytes").as_number();
+  out << "  kv     " << fmt_bytes(kv);
+  if (budget > 0.0) {
+    const double frac = kv / budget;
+    out << " / " << fmt_bytes(budget) << " (" << static_cast<int>(frac * 100.0) << "%)  [";
+    const int width = 24;
+    const int fill = frac >= 1.0 ? width : static_cast<int>(frac * width);
+    for (int i = 0; i < width; ++i) out << (i < fill ? '=' : '.');
+    out << "]";
+  } else {
+    out << " (no budget)";
+  }
+  out << "\n";
+
+  char rate_buf[160];
+  std::snprintf(rate_buf, sizeof(rate_buf),
+                "  rates  submit=%.1f/s complete=%.1f/s decode=%.0f tok/s shed=%.1f/s\n",
+                rates.get("submit_per_s").as_number(), rates.get("complete_per_s").as_number(),
+                rates.get("decode_tokens_per_s").as_number(), rates.get("shed_per_s").as_number());
+  out << rate_buf;
+
+  const double window_s = rolling.get("window_s").as_number();
+  render_rolling(out, "ttft", rolling.get("ttft_s"), window_s);
+  render_rolling(out, "tpot", rolling.get("tpot_s"), window_s);
+  const JsonValue& retained = rolling.get("retained_kv_frac");
+  if (retained.get("count").as_number() > 0.0) {
+    char ret_buf[96];
+    std::snprintf(ret_buf, sizeof(ret_buf), "  retained_kv mean=%.3f min=%.3f (plans in window)\n",
+                  retained.get("mean").as_number(), retained.get("min").as_number());
+    out << ret_buf;
+  }
+
+  out << "  totals submitted=" << static_cast<long long>(totals.get("submitted").as_number())
+      << " admitted=" << static_cast<long long>(totals.get("admitted").as_number())
+      << " completed=" << static_cast<long long>(totals.get("completed").as_number())
+      << " shed=" << static_cast<long long>(totals.get("shed").as_number())
+      << " cancelled=" << static_cast<long long>(totals.get("cancelled").as_number()) << "\n";
+  out << "         prefill_chunks=" << static_cast<long long>(totals.get("prefill_chunks").as_number())
+      << " decode_steps=" << static_cast<long long>(totals.get("decode_steps").as_number())
+      << " plans=" << static_cast<long long>(totals.get("plans").as_number())
+      << " escalations=" << static_cast<long long>(totals.get("escalations").as_number())
+      << " dense_fallbacks=" << static_cast<long long>(totals.get("dense_fallbacks").as_number())
+      << "\n";
+
+  if (alerts.is_array() && alerts.size() > 0) {
+    for (std::size_t i = 0; i < alerts.size(); ++i) {
+      const JsonValue& a = alerts.at(i);
+      char alert_buf[192];
+      std::snprintf(alert_buf, sizeof(alert_buf),
+                    "  ALERT  %s value=%.3f threshold=%.3f since=t+%.2fs\n",
+                    a.get("name").as_string().c_str(), a.get("value").as_number(),
+                    a.get("threshold").as_number(), a.get("since_s").as_number());
+      out << alert_buf;
+    }
+  } else {
+    out << "  alerts (none active)\n";
+  }
+
+  const long long dropped = static_cast<long long>(o.get("events_dropped").as_number());
+  if (dropped > 0) out << "  events_dropped=" << dropped << "\n";
+  return out.str();
+}
+
+// Returns 0 on success; 2 on unreadable/unparseable input.
+int show_once(const std::string& path, std::string* frame_out = nullptr) {
+  const std::string line = read_last_line(path);
+  if (line.empty()) {
+    std::fprintf(stderr, "engine_top: no telemetry lines in %s\n", path.c_str());
+    return 2;
+  }
+  const auto parsed = sattn::parse_json(line);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "engine_top: bad telemetry line: %s\n",
+                 parsed.status().message().c_str());
+    return 2;
+  }
+  const std::string frame = render_frame(parsed.value());
+  std::fputs(frame.c_str(), stdout);
+  if (frame_out != nullptr) *frame_out = frame;
+  return 0;
+}
+
+int watch(const std::string& path, double interval_s) {
+  for (;;) {
+    const std::string line = read_last_line(path);
+    std::fputs("\x1b[2J\x1b[H", stdout);  // clear + home
+    if (line.empty()) {
+      std::printf("engine_top: waiting for telemetry in %s ...\n", path.c_str());
+    } else {
+      const auto parsed = sattn::parse_json(line);
+      if (parsed.ok()) {
+        std::fputs(render_frame(parsed.value()).c_str(), stdout);
+      } else {
+        std::printf("engine_top: unparseable line (mid-write?), retrying\n");
+      }
+    }
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+  }
+}
+
+// In-process end-to-end check: sample-mode engine, every plan corrupted so
+// the ladder falls back to dense, drift thresholds low enough that the
+// dense-fallback alert must fire. Verifies the rendered frame carries
+// rolling percentiles and the alert.
+int selftest(bool keep_file) {
+  using namespace sattn;
+  const std::string path = "engine_top_selftest.ndjson";
+
+  EngineOptions opts;
+  opts.mode = EngineMode::kSampleAttention;
+  opts.head_dim = 32;
+  opts.chunk_tokens = 128;
+  opts.max_batch = 4;
+  opts.decode_tokens = 4;
+  opts.run_label = "selftest";
+  auto injector = std::make_shared<FaultInjector>(
+      FaultSpec{FaultClass::kPlanEmptyStripes, 1.0, 0x9ull, /*max_fires=*/-1});
+  opts.guard.plan_hook = [injector](SamplePlan& plan) { injector->corrupt_plan(plan); };
+  opts.telemetry.enabled = true;
+  opts.telemetry.ndjson_path = path;
+  opts.telemetry.interval_seconds = 0.005;
+  opts.telemetry.drift.min_samples = 2;
+  opts.telemetry.drift.window_seconds = 30.0;  // short run: keep every plan in window
+  opts.telemetry.drift.max_dense_fallback_rate = 0.5;
+
+  std::vector<ServingRequest> trace;
+  for (int i = 0; i < 8; ++i) {
+    trace.push_back({"req" + std::to_string(i), 512, 0.0});
+  }
+  ServingEngine engine(opts);
+  const EngineResult res = engine.run_trace(trace);
+  if (res.completed.size() != trace.size()) {
+    std::fprintf(stderr, "selftest: expected %zu completions, got %zu\n", trace.size(),
+                 res.completed.size());
+    return 1;
+  }
+
+  std::string frame;
+  const int rc = show_once(path, &frame);
+  if (rc != 0) return rc;
+
+  int failures = 0;
+  const auto expect = [&](const char* needle) {
+    if (frame.find(needle) == std::string::npos) {
+      std::fprintf(stderr, "selftest: frame is missing \"%s\"\n", needle);
+      ++failures;
+    }
+  };
+  expect("p99=");                        // rolling percentiles rendered
+  expect("ttft");
+  expect("tpot");
+  expect("ALERT  dense_fallback_rate_high");  // drift monitor fired
+  expect("dense_fallbacks=");
+  if (!keep_file) std::remove(path.c_str());
+  if (failures == 0) std::printf("selftest: OK\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  double interval_s = 0.5;
+  bool once = false;
+  bool run_selftest = false;
+  bool keep = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--input=", 0) == 0) {
+      input = arg.substr(8);
+    } else if (arg.rfind("--interval=", 0) == 0) {
+      interval_s = std::atof(arg.c_str() + 11);
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--selftest") {
+      run_selftest = true;
+    } else if (arg == "--keep") {
+      keep = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: engine_top --input=PATH [--once] [--interval=S]\n"
+          "       engine_top --selftest [--keep]\n"
+          "Tails the NDJSON telemetry stream from a serving-engine run\n"
+          "(bench_serving --engine --telemetry-out=PATH) and renders a\n"
+          "dashboard frame per tick. --once prints one frame and exits.\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "engine_top: unknown flag %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (run_selftest) return selftest(keep);
+  if (input.empty()) {
+    std::fprintf(stderr, "engine_top: --input=PATH or --selftest required (try --help)\n");
+    return 2;
+  }
+  if (once) return show_once(input);
+  return watch(input, interval_s);
+}

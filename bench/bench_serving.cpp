@@ -122,7 +122,10 @@ double measured_decode_seconds(Index s, Index d, const FlashConfig& flash) {
 // chunk sweeps, and through the real continuous-batching engine
 // (runtime/engine.h). Publishes engine.predicted.* / engine.measured.* /
 // engine.err.* gauges (the run report's `engine` view; the err gauges gate
-// via tools/bench_diff --engine-error-threshold).
+// via tools/bench_diff --engine-error-threshold). With --audit-rate=F > 0 an
+// additional sample-mode run arms the online quality auditor and publishes
+// the audit.* scorecard gauges (the run report's `quality_audit` view; the
+// cra_gap gauges gate via tools/bench_diff --audit-cra-threshold).
 int run_engine_mode(const sattn::bench::FlagParser& flags) {
   const Index n_requests = static_cast<Index>(flags.int_flag("--requests", 64));
   const Index d = 64;
@@ -285,6 +288,46 @@ int run_engine_mode(const sattn::bench::FlagParser& flags) {
   std::printf("batched TTFT p50/p99: %.1f/%.1f ms (serial %.1f/%.1f ms)\n",
               percentile(bat_ttft, 0.50) * 1e3, percentile(bat_ttft, 0.99) * 1e3,
               percentile(meas_ttft, 0.50) * 1e3, percentile(meas_ttft, 0.99) * 1e3);
+
+  // --- Audited sample-mode run: --audit-rate=F arms the online quality
+  // auditor (obs/audit.h) on a SampleAttention engine over the same trace.
+  // The auditor shadow-samples query rows, recomputes ground-truth softmax
+  // rows, and scores the deployed masks — the per-head scorecard below is
+  // MEASURED CRA vs the planner's predicted CRA, and the published audit.*
+  // gauges feed the run report's `quality_audit` view (gated by
+  // tools/bench_diff --audit-cra-threshold).
+  const double audit_rate = flags.double_flag("--audit-rate", 0.0);
+  if (audit_rate > 0.0) {
+    EngineOptions ea = eo;
+    ea.mode = EngineMode::kSampleAttention;
+    ea.max_batch = 8;
+    ea.run_label = "engine_audit";
+    ea.audit.enabled = true;
+    ea.audit.sample_rate = audit_rate;
+    std::printf("\naudited sample-mode run — audit rate %.3f\n", audit_rate);
+    ServingEngine audited(ea);
+    const EngineResult ares = audited.run_trace(trace);
+    const obs::QualityAuditor* auditor = audited.auditor();
+    if (auditor == nullptr) {
+      std::printf("auditor was not armed\n");
+      return 1;
+    }
+    TextTable at({"head", "rows", "measured p5", "measured p50", "measured min", "predicted",
+                  "gap (pred-p50)"});
+    for (const obs::AuditHeadStats& hs : auditor->head_stats()) {
+      at.add_row({"L" + std::to_string(hs.layer) + "H" + std::to_string(hs.head),
+                  std::to_string(hs.rows), fmt(hs.cra_p5, 3), fmt(hs.cra_p50, 3),
+                  fmt(hs.cra_min, 3), fmt(hs.predicted, 3), fmt(hs.cra_gap, 3)});
+    }
+    at.print();
+    const auto totals = auditor->totals();
+    std::printf("audited %llu rows over %llu chunks+steps: measured CRA min %.3f mean %.3f, "
+                "overhead %.2f ms (%zu/%lld completed)\n",
+                static_cast<unsigned long long>(totals.rows),
+                static_cast<unsigned long long>(totals.chunks), totals.cra_min, totals.cra_mean,
+                totals.overhead_seconds * 1e3, ares.completed.size(),
+                static_cast<long long>(n_requests));
+  }
   return 0;
 }
 

@@ -99,6 +99,40 @@ if ! grep -q '^## Live telemetry & alerts' docs/OBSERVABILITY.md; then
   fail=1
 fi
 
+# The online quality audit (measured CRA, scorecards, the measured_cra_low
+# alert, the bench_diff audit gate) must stay documented.
+if ! grep -q '^## Online quality audit' docs/OBSERVABILITY.md; then
+  echo "check_docs: docs/OBSERVABILITY.md is missing the 'Online quality audit' section" >&2
+  fail=1
+fi
+
+# --- 3b. metric-name literals must be in the glossary ------------------------
+# Every engine./audit./alert. metric name hardcoded in src/ must appear
+# backticked somewhere in docs/OBSERVABILITY.md — either verbatim or via a
+# documented name family (a backticked prefix like `engine.kv_*`). New
+# counters without glossary entries rot the observability contract.
+while IFS= read -r name; do
+  [ -z "$name" ] && continue
+  if grep -qF "\`$name\`" docs/OBSERVABILITY.md; then continue; fi
+  # Family fallback: `prefix_*` or `prefix.*` covering the name — but a
+  # bare area family (`engine.*`, `audit.*`, ...) is not documentation,
+  # only subfamilies like `engine.kv_*` count.
+  prefix_ok=0
+  while IFS= read -r fam; do
+    fam="${fam%\*}"
+    case "$fam" in
+      engine.|audit.|alert.) continue ;;
+    esac
+    case "$name" in
+      "$fam"*) prefix_ok=1; break ;;
+    esac
+  done < <(grep -ho '`[a-z_.]*\*`' docs/OBSERVABILITY.md | tr -d '\`*' | sort -u)
+  if [ "$prefix_ok" -eq 0 ]; then
+    echo "check_docs: metric '$name' (hardcoded in src/) is not in the docs/OBSERVABILITY.md glossary" >&2
+    fail=1
+  fi
+done < <(grep -rhoE '"(engine|audit|alert)\.[a-z0-9_]+[a-z0-9]"' src/ | tr -d '"' | sort -u)
+
 for section in '^## Numeric contract' '^## Dispatch rules' \
                '^## Reproducing the scalar-vs-SIMD comparison'; do
   if ! grep -q "$section" docs/PERFORMANCE.md; then

@@ -55,6 +55,10 @@ for mode in 1 0; do
   # bit-identical to the direct kernels on either backend, and the storm
   # invariants are backend-independent.
   SATTN_FORCE_SCALAR="$mode" "$build/tests/chaos_engine_test"
+  # Quality auditor: the offline-parity pin (rate 1.0 == metrics/cra.h) must
+  # hold on both backends — the audit's ground-truth score rows go through
+  # the same dispatched kernels.
+  SATTN_FORCE_SCALAR="$mode" "$build/tests/audit_test" --gtest_filter='-*Overhead*'
 done
 
 echo "sanitizer suite passed: simd backends (SATTN_FORCE_SCALAR=1 and dispatch)"
@@ -66,7 +70,8 @@ cmake -B "$build_tsan" -S "$root" \
   -DSATTN_SANITIZE=thread >/dev/null
 cmake --build "$build_tsan" -j "$(nproc)" \
   --target obs_test --target scheduler_test --target accounting_test \
-  --target engine_test --target chaos_engine_test --target telemetry_test >/dev/null
+  --target engine_test --target chaos_engine_test --target telemetry_test \
+  --target audit_test >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
@@ -90,5 +95,9 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 # only measure the sanitizer, so it is filtered here like the accounting
 # one (and would GTEST_SKIP itself anyway).
 "$build_tsan/tests/telemetry_test" --gtest_filter='-*Overhead*'
+# Quality auditor: ragged-sweep pool workers call audit_chunk concurrently
+# against the shared per-head scorecard mutex while the engine loop records
+# decode audits (obs/audit.h, "Thread safety").
+"$build_tsan/tests/audit_test" --gtest_filter='-*Overhead*'
 
-echo "sanitizer suite passed: thread (obs_test, scheduler_test, accounting_test, engine_test, chaos_engine_test, telemetry_test)"
+echo "sanitizer suite passed: thread (obs_test, scheduler_test, accounting_test, engine_test, chaos_engine_test, telemetry_test, audit_test)"

@@ -73,7 +73,12 @@ void diff_bench(const BenchReport& base, const BenchReport& cand, const DiffOpti
   // perf.model_error.* gauges are handled by the candidate-side loop below
   // (they gate on the candidate's absolute value, not the delta).
   for (const auto& [name, base_v] : base.gauges) {
-    if (is_model_error_metric(name) || is_engine_error_metric(name)) continue;
+    // Audit gaps contain ".cra" but are lower-is-better deltas, not quality
+    // gauges — they get their own candidate-side absolute gate below.
+    if (is_model_error_metric(name) || is_engine_error_metric(name) ||
+        is_audit_gap_metric(name)) {
+      continue;
+    }
     const auto it = cand.gauges.find(name);
     DiffEntry e;
     e.bench = base.name;
@@ -126,6 +131,23 @@ void diff_bench(const BenchReport& base, const BenchReport& cand, const DiffOpti
     result.entries.push_back(std::move(e));
   }
 
+  // Online-audit CRA gap: candidate-side absolute gate on the planner's
+  // predicted - measured overclaim. Only positive gaps gate — a planner
+  // that undersells its quality is conservative, not broken.
+  for (const auto& [name, cand_v] : cand.gauges) {
+    if (!is_audit_gap_metric(name)) continue;
+    DiffEntry e;
+    e.bench = base.name;
+    e.metric = "gauge:" + name;
+    e.candidate = cand_v;
+    const auto it = base.gauges.find(name);
+    if (it != base.gauges.end()) e.baseline = it->second;
+    e.verdict = cand_v > opts.audit_cra_threshold ? DiffVerdict::kRegression
+                                                  : DiffVerdict::kWithinNoise;
+    count_verdict(result, e);
+    result.entries.push_back(std::move(e));
+  }
+
   // Quality histograms: gate on the p50 of coverage-style distributions.
   for (const auto& [name, base_h] : base.histograms) {
     if (!is_quality_metric(name)) continue;
@@ -168,6 +190,12 @@ bool is_model_error_metric(const std::string& name) {
 
 bool is_engine_error_metric(const std::string& name) {
   return name.rfind("engine.err.", 0) == 0;
+}
+
+bool is_audit_gap_metric(const std::string& name) {
+  const std::string suffix = ".cra_gap";
+  return name.rfind("audit.", 0) == 0 && name.size() > suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 DiffResult diff_reports(const RunReport& baseline, const RunReport& candidate,

@@ -21,6 +21,10 @@
 //     `model_error_threshold` relative from the analytic A100 model is a
 //     regression even when the baseline already drifted, because the
 //     speedup-projection benches depend on the model staying truthful.
+//   * Online-audit CRA gap (`audit.*.cra_gap` gauges, published by the
+//     serving engine's QualityAuditor): gated on the candidate value alone —
+//     a planner whose predicted CRA overclaims the shadow-measured CRA by
+//     more than `audit_cra_threshold` is a regression, baseline or not.
 //
 // Other metrics present on only one side are reported as missing/new but
 // never gate (bench subsets and new instrumentation must not break the
@@ -44,6 +48,7 @@ struct DiffOptions {
   double quality_abs_threshold = 0.005; // absolute CRA/recovery drop allowed
   double model_error_threshold = 0.05;  // max perf.model_error.* gauge value
   double engine_error_threshold = 1.0;  // max engine.err.* gauge value
+  double audit_cra_threshold = 0.05;    // max audit.*.cra_gap (predicted - measured)
   bool check_latency = true;            // false: gate on quality only
 };
 
@@ -81,6 +86,16 @@ bool is_model_error_metric(const std::string& name);
 // scheduler jitter the simulator cannot model — but a blown-out gauge still
 // means the simulator no longer predicts the engine.
 bool is_engine_error_metric(const std::string& name);
+
+// True when the gauge is an online-audit predicted-vs-measured CRA gap
+// (name starts with "audit." and ends with ".cra_gap", published by the
+// QualityAuditor's scorecard — obs/audit.h). Despite containing ".cra",
+// these are NOT higher-is-better quality gauges: the gap is
+// predicted - measured p50, so a POSITIVE value means the planner
+// overclaims quality. Gated on the candidate's value alone against
+// DiffOptions::audit_cra_threshold (tools/bench_diff --audit-cra-threshold);
+// negative gaps (planner conservative) never gate.
+bool is_audit_gap_metric(const std::string& name);
 
 DiffResult diff_reports(const RunReport& baseline, const RunReport& candidate,
                         const DiffOptions& opts = {});

@@ -1,9 +1,14 @@
 #include "io/run_report.h"
 
+#include <algorithm>
 #include <cstdio>
-#include <thread>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "core/simd.h"
+#include "core/thread_pool.h"
 #include "io/json.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -65,11 +70,11 @@ obs::HistogramStats hist_from_json(const JsonValue& o) {
   return h;
 }
 
-// Parses "quality.L<layer>H<head>.<metric>"; returns false when the gauge
-// name is not in the per-head quality convention.
-bool parse_head_quality_name(const std::string& name, long long& layer, long long& head,
-                             std::string& metric) {
-  const std::string prefix = "quality.L";
+// Parses "<prefix><layer>H<head>.<metric>" (prefix like "quality.L" or
+// "audit.L"); returns false when the gauge name is not in the per-head
+// convention.
+bool parse_head_metric_name(const std::string& name, const std::string& prefix,
+                            long long& layer, long long& head, std::string& metric) {
   if (name.rfind(prefix, 0) != 0) return false;
   const std::size_t h_at = name.find('H', prefix.size());
   const std::size_t dot_at = name.find('.', prefix.size());
@@ -84,13 +89,15 @@ bool parse_head_quality_name(const std::string& name, long long& layer, long lon
   return true;
 }
 
-// Derived view: gauges `quality.L<l>H<h>.*` grouped into per-head records.
-JsonValue quality_json(const BenchReport& b) {
+// Groups `<prefix><l>H<h>.<metric>` gauges into per-head records.
+JsonValue per_head_json(const BenchReport& b, const std::string& prefix) {
   std::map<std::pair<long long, long long>, std::map<std::string, double>> heads;
   for (const auto& [name, v] : b.gauges) {
     long long layer = 0, head = 0;
     std::string metric;
-    if (parse_head_quality_name(name, layer, head, metric)) heads[{layer, head}][metric] = v;
+    if (parse_head_metric_name(name, prefix, layer, head, metric)) {
+      heads[{layer, head}][metric] = v;
+    }
   }
   JsonValue per_head = JsonValue::array();
   for (const auto& [lh, metrics] : heads) {
@@ -100,8 +107,42 @@ JsonValue quality_json(const BenchReport& b) {
     for (const auto& [metric, v] : metrics) rec.set(metric, v);
     per_head.push_back(std::move(rec));
   }
+  return per_head;
+}
+
+// Derived view: gauges `quality.L<l>H<h>.*` grouped into per-head records.
+JsonValue quality_json(const BenchReport& b) {
   JsonValue q = JsonValue::object();
+  q.set("per_head", per_head_json(b, "quality.L"));
+  return q;
+}
+
+// Derived view: the online quality audit's scorecard (obs/audit.h) —
+// per-head *measured* CRA percentiles with the planner's predicted CRA and
+// the predicted-vs-measured gap, from the `audit.L<l>H<h>.*` gauges the
+// QualityAuditor publishes, plus the run totals (`audit.rows_audited` etc).
+// Distinct from the `quality` view: that one is planner-side bookkeeping,
+// this one is ground-truth shadow measurement.
+JsonValue quality_audit_json(const BenchReport& b, bool& present) {
+  JsonValue per_head = per_head_json(b, "audit.L");
+  const auto gauge = [&](const char* name, double& out) {
+    const auto it = b.gauges.find(name);
+    if (it == b.gauges.end()) return false;
+    out = it->second;
+    return true;
+  };
+  double rows = 0.0;
+  const bool has_totals = gauge("audit.rows_audited", rows);
+  present = per_head.size() > 0 || has_totals;
+  JsonValue q = JsonValue::object();
+  if (!present) return q;
   q.set("per_head", std::move(per_head));
+  q.set("rows_audited", rows);
+  double v = 0.0;
+  if (gauge("audit.chunks_audited", v)) q.set("chunks_audited", v);
+  if (gauge("audit.cra_min", v)) q.set("cra_min", v);
+  if (gauge("audit.cra_mean", v)) q.set("cra_mean", v);
+  if (gauge("audit.overhead_seconds", v)) q.set("overhead_seconds", v);
   return q;
 }
 
@@ -314,6 +355,9 @@ JsonValue bench_json(const BenchReport& b) {
   // so benches that never touched a subsystem stay compact.
   JsonValue quality = quality_json(b);
   if (quality.get("per_head").size() > 0) o.set("quality", std::move(quality));
+  bool audit_present = false;
+  JsonValue quality_audit = quality_audit_json(b, audit_present);
+  if (audit_present) o.set("quality_audit", std::move(quality_audit));
   JsonValue breakdown = breakdown_json(b);
   if (breakdown.size() > 0) o.set("breakdown", std::move(breakdown));
   bool serving_present = false;
@@ -377,11 +421,23 @@ RunReport collect_run_report(const std::string& bench_name) {
   report.meta["build_type"] = SATTN_BUILD_TYPE;
   report.meta["compiler"] = SATTN_COMPILER;
   report.meta["cxx_flags"] = SATTN_CXX_FLAGS;
-  report.meta["threads"] = std::to_string(std::thread::hardware_concurrency());
+  // The pool size the kernels actually ran with (SATTN_THREADS-aware), not
+  // the host's hardware_concurrency — wall-clock numbers are only
+  // comparable between reports that used the same worker count. A pool with
+  // zero workers runs everything inline on the caller, i.e. one thread.
+  report.meta["threads"] = std::to_string(std::max(1u, ThreadPool::global().size()));
   // The SIMD backend the micro-kernels actually dispatched to on this host
   // (docs/PERFORMANCE.md) — wall-clock numbers are only comparable between
   // reports that ran the same backend.
   report.meta["simd"] = simd::active_level_name();
+#ifndef _WIN32
+  {
+    char host[256] = {0};
+    if (gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+      report.meta["hostname"] = host;
+    }
+  }
+#endif
 
   BenchReport bench;
   bench.name = bench_name;

@@ -25,6 +25,26 @@ std::uint64_t next_hub_id() {
   return g.fetch_add(1, std::memory_order_relaxed);
 }
 
+// Prometheus exposition escaping: inside label values `\` -> `\\`,
+// `"` -> `\"`, and a literal newline -> `\n`; HELP text escapes only the
+// backslash and newline (the exposition format's escaping rules).
+std::string prom_escape(std::string_view s, bool label_value) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (label_value && c == '"') {
+      out += "\\\"";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 JsonValue stats_json(const RollingStats& s) {
   JsonValue o = JsonValue::object();
   o.set("count", s.count);
@@ -205,7 +225,8 @@ double EwmaRate::rate(double now) const {
 DriftMonitor::DriftMonitor(DriftThresholds th)
     : th_(th),
       ttft_(th.window_seconds > 0.0 ? th.window_seconds : 5.0),
-      tpot_(th.window_seconds > 0.0 ? th.window_seconds : 5.0) {}
+      tpot_(th.window_seconds > 0.0 ? th.window_seconds : 5.0),
+      audit_(th.window_seconds > 0.0 ? th.window_seconds : 5.0) {}
 
 void DriftMonitor::observe_plan(double t, double retained_frac, bool escalated,
                                 bool dense_fallback) {
@@ -216,6 +237,9 @@ void DriftMonitor::observe_plan(double t, double retained_frac, bool escalated,
 
 void DriftMonitor::observe_ttft(double t, double seconds) { ttft_.observe(t, seconds); }
 void DriftMonitor::observe_tpot(double t, double seconds) { tpot_.observe(t, seconds); }
+void DriftMonitor::observe_audit(double t, double measured_cra) {
+  audit_.observe(t, measured_cra);
+}
 
 const std::vector<AlertState>& DriftMonitor::evaluate(double now) {
   const double cutoff = now - th_.window_seconds;
@@ -230,6 +254,7 @@ const std::vector<AlertState>& DriftMonitor::evaluate(double now) {
   }
   const RollingStats ttft = ttft_.stats(now);
   const RollingStats tpot = tpot_.stats(now);
+  const RollingStats audit = audit_.stats(now);
 
   struct Spec {
     const char* name;
@@ -247,6 +272,9 @@ const std::vector<AlertState>& DriftMonitor::evaluate(double now) {
        plan_n > 0 ? escalated_n / static_cast<double>(plan_n) : 0.0, plan_n, false},
       {"ttft_p99_high", th_.max_ttft_p99_seconds, ttft.p99, ttft.count, false},
       {"tpot_p99_high", th_.max_tpot_p99_seconds, tpot.p99, tpot.count, false},
+      // Measured quality: rolling mean of shadow-audited chunk CRA minima
+      // (obs/audit.h). The one monitor fed by ground truth, not proxies.
+      {"measured_cra_low", th_.min_measured_cra, audit.mean, audit.count, true},
   };
 
   if (alerts_.empty()) {
@@ -274,7 +302,7 @@ bool DriftMonitor::quality_alert_active() const {
   for (const AlertState& a : alerts_) {
     if (!a.active) continue;
     if (a.name == "retained_kv_frac_low" || a.name == "dense_fallback_rate_high" ||
-        a.name == "escalation_rate_high") {
+        a.name == "escalation_rate_high" || a.name == "measured_cra_low") {
       return true;
     }
   }
@@ -295,6 +323,7 @@ TelemetryPublisher::TelemetryPublisher(TelemetryOptions opts, std::string label,
       ttft_(opts_.window_seconds),
       tpot_(opts_.window_seconds),
       retained_(opts_.window_seconds),
+      audit_cra_(opts_.window_seconds),
       submit_rate_(opts_.rate_tau_seconds),
       complete_rate_(opts_.rate_tau_seconds),
       decode_tok_rate_(opts_.rate_tau_seconds),
@@ -381,6 +410,12 @@ void TelemetryPublisher::fold(const TelemetryEvent& ev) {
       drift_.observe_plan(ev.t, ev.value, escalated, fallback);
       break;
     }
+    case TelemetryEventKind::kAudit:
+      ++totals_.audited_chunks;
+      totals_.audited_rows += ev.aux;
+      audit_cra_.observe(ev.t, ev.value);
+      drift_.observe_audit(ev.t, ev.value);
+      break;
   }
 }
 
@@ -442,6 +477,8 @@ std::string TelemetryPublisher::render_line(const EngineTelemetrySnapshot& snap)
   totals.set("plans", totals_.plans);
   totals.set("escalations", totals_.escalations);
   totals.set("dense_fallbacks", totals_.dense_fallbacks);
+  totals.set("audited_chunks", totals_.audited_chunks);
+  totals.set("audited_rows", totals_.audited_rows);
   root.set("totals", std::move(totals));
 
   JsonValue rates = JsonValue::object();
@@ -456,6 +493,7 @@ std::string TelemetryPublisher::render_line(const EngineTelemetrySnapshot& snap)
   rolling.set("ttft_s", stats_json(ttft_.stats(snap.t)));
   rolling.set("tpot_s", stats_json(tpot_.stats(snap.t)));
   rolling.set("retained_kv_frac", stats_json(retained_.stats(snap.t)));
+  rolling.set("audit_cra", stats_json(audit_cra_.stats(snap.t)));
   root.set("rolling", std::move(rolling));
 
   JsonValue alerts = JsonValue::array();
@@ -477,10 +515,18 @@ void TelemetryPublisher::write_prometheus(const EngineTelemetrySnapshot& snap) {
   const RollingStats ttft = ttft_.stats(snap.t);
   const RollingStats tpot = tpot_.stats(snap.t);
   const RollingStats retained = retained_.stats(snap.t);
+  const RollingStats audit = audit_cra_.stats(snap.t);
   std::string body;
-  body.reserve(2048);
-  const std::string tag = "{label=\"" + label_ + "\"}";
-  const auto emit = [&](const char* name, const char* type, double v) {
+  body.reserve(4096);
+  // Label values are escaped per the exposition format (`\` -> `\\`,
+  // `"` -> `\"`, newline -> `\n`); run labels are caller-supplied strings.
+  const std::string tag = "{label=\"" + prom_escape(label_, /*label_value=*/true) + "\"}";
+  const auto emit = [&](const char* name, const char* type, const char* help, double v) {
+    body += "# HELP ";
+    body += name;
+    body += ' ';
+    body += prom_escape(help, /*label_value=*/false);
+    body += '\n';
     body += "# TYPE ";
     body += name;
     body += ' ';
@@ -492,27 +538,46 @@ void TelemetryPublisher::write_prometheus(const EngineTelemetrySnapshot& snap) {
     std::snprintf(buf, sizeof(buf), " %.9g\n", v);
     body += buf;
   };
-  emit("sattn_engine_live_requests", "gauge", static_cast<double>(snap.live));
-  emit("sattn_engine_active_requests", "gauge", static_cast<double>(snap.active));
-  emit("sattn_engine_kv_bytes", "gauge", snap.kv_bytes);
-  emit("sattn_engine_kv_budget_bytes", "gauge", snap.kv_budget_bytes);
-  emit("sattn_engine_breaker_state", "gauge", static_cast<double>(snap.breaker_state));
-  emit("sattn_engine_heartbeat_age_seconds", "gauge", snap.heartbeat_age_s);
-  emit("sattn_engine_watchdog_stalls_total", "counter",
+  emit("sattn_engine_live_requests", "gauge", "Requests in flight (any state).",
+       static_cast<double>(snap.live));
+  emit("sattn_engine_active_requests", "gauge", "Requests past the KV-budget gate.",
+       static_cast<double>(snap.active));
+  emit("sattn_engine_kv_bytes", "gauge", "Live KV cache bytes.", snap.kv_bytes);
+  emit("sattn_engine_kv_budget_bytes", "gauge", "Configured KV byte budget (0 = unlimited).",
+       snap.kv_budget_bytes);
+  emit("sattn_engine_breaker_state", "gauge",
+       "Planning breaker state: 0 closed, 1 open, 2 half-open.",
+       static_cast<double>(snap.breaker_state));
+  emit("sattn_engine_heartbeat_age_seconds", "gauge",
+       "Seconds since the engine loop last made progress.", snap.heartbeat_age_s);
+  emit("sattn_engine_watchdog_stalls_total", "counter", "Watchdog stall detections.",
        static_cast<double>(snap.watchdog_stalls));
-  emit("sattn_requests_submitted_total", "counter", static_cast<double>(totals_.submitted));
-  emit("sattn_requests_completed_total", "counter", static_cast<double>(totals_.completed));
-  emit("sattn_requests_shed_total", "counter", static_cast<double>(totals_.shed));
-  emit("sattn_requests_cancelled_total", "counter", static_cast<double>(totals_.cancelled));
+  emit("sattn_requests_submitted_total", "counter", "Requests submitted.",
+       static_cast<double>(totals_.submitted));
+  emit("sattn_requests_completed_total", "counter", "Requests completed.",
+       static_cast<double>(totals_.completed));
+  emit("sattn_requests_shed_total", "counter", "Requests shed.",
+       static_cast<double>(totals_.shed));
+  emit("sattn_requests_cancelled_total", "counter", "Requests cancelled.",
+       static_cast<double>(totals_.cancelled));
   emit("sattn_plan_dense_fallbacks_total", "counter",
+       "Sample-mode plans that fell back to dense.",
        static_cast<double>(totals_.dense_fallbacks));
-  emit("sattn_ttft_p50_seconds", "gauge", ttft.p50);
-  emit("sattn_ttft_p99_seconds", "gauge", ttft.p99);
-  emit("sattn_tpot_p50_seconds", "gauge", tpot.p50);
-  emit("sattn_tpot_p99_seconds", "gauge", tpot.p99);
-  emit("sattn_retained_kv_frac_mean", "gauge", retained.mean);
-  emit("sattn_decode_tokens_per_second", "gauge", decode_tok_rate_.rate(snap.t));
+  emit("sattn_ttft_p50_seconds", "gauge", "Rolling-window TTFT p50.", ttft.p50);
+  emit("sattn_ttft_p99_seconds", "gauge", "Rolling-window TTFT p99.", ttft.p99);
+  emit("sattn_tpot_p50_seconds", "gauge", "Rolling-window decode-step p50.", tpot.p50);
+  emit("sattn_tpot_p99_seconds", "gauge", "Rolling-window decode-step p99.", tpot.p99);
+  emit("sattn_retained_kv_frac_mean", "gauge", "Rolling mean retained-KV fraction.",
+       retained.mean);
+  emit("sattn_decode_tokens_per_second", "gauge", "EWMA decode token rate.",
+       decode_tok_rate_.rate(snap.t));
+  emit("sattn_audit_rows_total", "counter", "Shadow-audited query rows.",
+       static_cast<double>(totals_.audited_rows));
+  emit("sattn_audit_cra_mean", "gauge", "Rolling mean measured chunk CRA (audited).",
+       audit.mean);
+  emit("sattn_audit_cra_min", "gauge", "Rolling min measured chunk CRA (audited).", audit.min);
   emit("sattn_telemetry_events_dropped_total", "counter",
+       "Telemetry events dropped by full rings.",
        static_cast<double>(hub_ != nullptr ? hub_->dropped() : 0));
 
   const std::string tmp = opts_.prom_path + ".tmp";
@@ -533,6 +598,10 @@ void TelemetryPublisher::publish_gauges(const EngineTelemetrySnapshot& snap) {
   reg.gauge("telemetry.tpot_p99_s").set(tpot_.stats(snap.t).p99);
   reg.gauge("telemetry.retained_kv_frac_mean").set(retained_.stats(snap.t).mean);
   reg.gauge("telemetry.decode_tokens_per_s").set(decode_tok_rate_.rate(snap.t));
+  if (totals_.audited_chunks > 0) {
+    reg.gauge("telemetry.audit_cra_mean").set(audit_cra_.stats(snap.t).mean);
+    reg.gauge("telemetry.audit_rows").set(static_cast<double>(totals_.audited_rows));
+  }
   reg.gauge("telemetry.events_dropped").set(
       static_cast<double>(hub_ != nullptr ? hub_->dropped() : 0));
   SATTN_COUNTER_ADD("telemetry.ticks", 1);

@@ -67,6 +67,8 @@ enum class TelemetryEventKind : std::uint8_t {
   kCancel,
   kPlan,              // value = retained-KV fraction; aux bit0 = escalated,
                       // bit1 = dense fallback
+  kAudit,             // value = measured chunk CRA (worst audited row),
+                      // aux = audited row count (obs/audit.h)
 };
 
 // Request lifecycle phases, shared by the `timeline.<request>` series values
@@ -231,8 +233,13 @@ struct DriftThresholds {
   double max_escalation_rate = -1.0;
   double max_ttft_p99_seconds = -1.0;
   double max_tpot_p99_seconds = -1.0;
+  // Alert when the rolling mean of *measured* chunk CRA (shadow-sampled by
+  // the quality auditor, obs/audit.h) falls below this floor. Unlike the
+  // proxies above, this monitor fires on the paper's own quality metric.
+  double min_measured_cra = -1.0;
   // Ask the engine to pre-trip its planning circuit breaker while a
-  // quality alert (retained-KV / dense-fallback / escalation) is active.
+  // quality alert (retained-KV / dense-fallback / escalation / measured
+  // CRA) is active.
   bool pretrip_breaker = false;
 };
 
@@ -255,6 +262,7 @@ class DriftMonitor {
   void observe_plan(double t, double retained_frac, bool escalated, bool dense_fallback);
   void observe_ttft(double t, double seconds);
   void observe_tpot(double t, double seconds);
+  void observe_audit(double t, double measured_cra);
 
   const std::vector<AlertState>& evaluate(double now);
   const std::vector<AlertState>& alerts() const { return alerts_; }
@@ -275,6 +283,7 @@ class DriftMonitor {
   std::deque<PlanSample> plans_;
   RollingHistogram ttft_;
   RollingHistogram tpot_;
+  RollingHistogram audit_;
   std::vector<AlertState> alerts_;
 };
 
@@ -318,6 +327,8 @@ struct TelemetryTotals {
   std::uint64_t plans = 0;
   std::uint64_t escalations = 0;
   std::uint64_t dense_fallbacks = 0;
+  std::uint64_t audited_chunks = 0;
+  std::uint64_t audited_rows = 0;
 };
 
 // The publisher thread: drains the hub every interval, folds events into
@@ -371,6 +382,7 @@ class TelemetryPublisher {
   RollingHistogram ttft_;
   RollingHistogram tpot_;
   RollingHistogram retained_;
+  RollingHistogram audit_cra_;
   EwmaRate submit_rate_;
   EwmaRate complete_rate_;
   EwmaRate decode_tok_rate_;

@@ -57,6 +57,21 @@ std::vector<SeqCost> ragged_attention_sweep(const RaggedBatchView& batch) {
       }
     }
     cost.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    // Shadow quality audit, outside the kernel timing window: re-enters the
+    // request context so the audit's acct.* charges attribute correctly.
+    if (s.auditor != nullptr && s.route == SeqRoute::kSparse && s.chunk != nullptr &&
+        s.mask != nullptr) {
+      const auto run_audit = [&] {
+        return s.auditor->audit_chunk(s.request_id, *s.chunk, *s.mask, s.audit_q_lo,
+                                      s.audit_layer, s.audit_head, s.audit_predicted);
+      };
+      if (s.request_id.empty()) {
+        cost.audit = run_audit();
+      } else {
+        obs::RequestContext ctx(s.request_id);
+        cost.audit = run_audit();
+      }
+    }
   });
   return costs;
 }

@@ -42,6 +42,7 @@
 #include "attention/microkernel.h"
 #include "attention/sparse_flash_attention.h"
 #include "core/tensor.h"
+#include "obs/audit.h"
 
 namespace sattn {
 
@@ -74,6 +75,18 @@ struct RaggedSeq {
   const StructuredMask* mask = nullptr;
   const BlockSparseLayout* layout = nullptr;
   Matrix* out_mat = nullptr;
+
+  // Shadow quality audit (obs/audit.h). When non-null and the sequence runs
+  // the sparse route, the sweep scores the deployed `mask` against
+  // ground-truth softmax rows for the auditor's sampled subset of this
+  // chunk's rows, after the kernel timing window closes — audit wall time
+  // lands in SeqCost.audit.seconds, never in SeqCost.seconds, so measured
+  // compute stays honest and the engine can bill the audit to guard time.
+  obs::QualityAuditor* auditor = nullptr;
+  Index audit_q_lo = 0;          // absolute row of chunk-local row 0
+  long long audit_layer = 0;     // scorecard attribution
+  long long audit_head = 0;
+  double audit_predicted = 1.0;  // planner's CRA claim (SamplePlan coverage)
 };
 
 struct RaggedBatchView {
@@ -88,6 +101,7 @@ struct SeqCost {
   double seconds = 0.0;
   double evals = 0.0;  // causal score evaluations (dense route; sparse
                        // routes charge acct.* internally and report 0 here)
+  obs::AuditResult audit;  // shadow-audit outcome (rows = 0 when not audited)
 };
 
 // Runs every sequence of the batch, in parallel across the global pool.

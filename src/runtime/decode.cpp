@@ -41,4 +41,26 @@ Status decode_attention(std::span<const float> q_row, const KVCache& cache,
   return Status::Ok();
 }
 
+double audited_decode_retained_mass(std::span<const float> weights,
+                                    std::span<const Index> stripe_columns, Index window_cols) {
+  const Index n = static_cast<Index>(weights.size());
+  if (n == 0) return 1.0;
+  const Index win_lo = std::max<Index>(0, n - std::max<Index>(window_cols, 0));
+  double mass = 0.0;
+  for (Index c = win_lo; c < n; ++c) mass += static_cast<double>(weights[static_cast<std::size_t>(c)]);
+  // Stripes inside the window are already counted; Index sets from
+  // StructuredMask::stripe_columns() are deduped, but guard anyway so a
+  // hand-built column list cannot overcount.
+  Index prev = -1;
+  for (const Index c : stripe_columns) {
+    if (c >= 0 && c < win_lo && c != prev) {
+      mass += static_cast<double>(weights[static_cast<std::size_t>(c)]);
+    }
+    prev = c;
+  }
+  obs::charge_attention_kernel("audit", /*sq=*/1, /*sk=*/n, /*head_dim=*/0,
+                               static_cast<double>(n));
+  return std::clamp(mass, 0.0, 1.0);
+}
+
 }  // namespace sattn

@@ -21,4 +21,16 @@ namespace sattn {
 Status decode_attention(std::span<const float> q_row, const KVCache& cache,
                         std::span<float> out_row, std::vector<float>* weights = nullptr);
 
+// Quality-audit helper (obs/audit.h): the retained softmax mass a decode
+// row *would* keep under a window + stripes plan — the last `window_cols`
+// cache slots plus every listed stripe column. Decode runs exact attention,
+// so `weights` (from decode_attention) is already ground truth and the
+// audit is a single pass over it: no extra kernel work. Used by the engine
+// to extend the shadow audit into the decode phase, scoring the request's
+// accepted plan structure against the weights the cache actually produced.
+// Duplicate or out-of-range stripe columns are ignored; mass is clamped to
+// [0, 1]. Charges the measured pass to acct.audit.*.
+double audited_decode_retained_mass(std::span<const float> weights,
+                                    std::span<const Index> stripe_columns, Index window_cols);
+
 }  // namespace sattn

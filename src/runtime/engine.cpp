@@ -104,6 +104,14 @@ struct ServingEngine::Live {
   bool kv_waited = false;  // pressure wait counted once per request
   std::unique_ptr<EvictionPolicy> evict;  // pressure rung, decode phase
 
+  // Decode-phase shadow audit (obs/audit.h): the last accepted plan's
+  // structure, captured at prefill so sampled decode rows can score the
+  // plan's window + stripes against the exact decode weights.
+  std::vector<Index> audit_stripes;
+  Index audit_window = 0;
+  double audit_predicted = 1.0;
+  bool audit_has_plan = false;
+
   Live(Index head_dim, FaultSpec fault) : cache(head_dim), injector(fault) {}
 };
 
@@ -159,6 +167,10 @@ void ServingEngine::start() {
   assert(!started_);
   started_ = true;
   t0_ = std::chrono::steady_clock::now();
+  // Dense mode is exact — there is no deployed mask to audit.
+  if (opts_.audit.enabled && opts_.mode == EngineMode::kSampleAttention) {
+    auditor_ = std::make_unique<obs::QualityAuditor>(opts_.audit);
+  }
   if (opts_.telemetry.enabled) {
     tele_hub_ = std::make_unique<obs::TelemetryHub>(opts_.telemetry.ring_capacity);
     tele_pub_ = std::make_unique<obs::TelemetryPublisher>(
@@ -225,6 +237,9 @@ EngineResult ServingEngine::finish(double drain_deadline_seconds) {
     watchdog_stop_.store(true, std::memory_order_relaxed);
     if (watchdog_thread_.joinable()) watchdog_thread_.join();
     result_.watchdog_stalls = watchdog_stalls_.load(std::memory_order_relaxed);
+    // All audit producers are quiesced: snapshot the scorecard as audit.*
+    // gauges so run reports collected after finish() carry it.
+    if (auditor_) auditor_->publish();
     // All producers are quiesced; stop() runs one final flush tick so the
     // stream's last line reflects the complete run.
     if (tele_pub_) tele_pub_->stop();
@@ -290,6 +305,13 @@ void ServingEngine::loop() {
   const double target_ttft = opts_.slo_ttft_seconds > 0.0   ? opts_.slo_ttft_seconds
                              : opts_.deadline_seconds > 0.0 ? opts_.deadline_seconds
                                                             : std::numeric_limits<double>::infinity();
+  // Scorecard attribution for the shadow audit: requests hash to stable
+  // pseudo-head buckets (obs/audit.h, AuditOptions::head_buckets).
+  const auto audit_head_of = [&](const std::string& id) {
+    const auto buckets =
+        static_cast<std::uint64_t>(std::max<Index>(1, opts_.audit.head_buckets));
+    return static_cast<long long>(mix_id(opts_.audit.seed, id) % buckets);
+  };
 
   const auto shed = [&](std::unique_ptr<Live> lr, const char* reason) {
     const double t = now();
@@ -791,6 +813,17 @@ void ServingEngine::loop() {
           seq.chunk = st.chunk.get();
           seq.mask = &st.plan->mask;
           seq.out_mat = st.chunk_out.get();
+          if (auditor_) {
+            // Shadow audit of the accepted plan, run by the sweep after the
+            // kernel's timing window. Serving requests are single-head
+            // synthetic workloads, so the scorecard slot is a stable
+            // pseudo-head hash(id) % head_buckets at layer 0.
+            seq.auditor = auditor_.get();
+            seq.audit_q_lo = si.q_lo;
+            seq.audit_layer = 0;
+            seq.audit_head = audit_head_of(lr->req.id);
+            seq.audit_predicted = st.plan->filter.coverage;
+          }
         }
       }
       batch.seqs.push_back(std::move(seq));
@@ -807,6 +840,18 @@ void ServingEngine::loop() {
       Live* lr = st.lr;
       const double kernel_s = costs[i].seconds;
       if (lr->start_s < 0.0) lr->start_s = t_done - kernel_s;
+
+      // Shadow-audit outcome (sparse chunks only; rows = 0 otherwise). The
+      // audit's wall time is quality assurance, not service compute: it
+      // bills to guard — keeping queue + compute + guard == ttft — even
+      // when the chunk itself faults below. The measured chunk CRA feeds
+      // the kAudit telemetry stream and the measured_cra_low monitor.
+      const obs::AuditResult& audit = costs[i].audit;
+      if (audit.rows > 0) {
+        lr->guard_s += audit.seconds;
+        tele_push(obs::TelemetryEventKind::kAudit, lr->req.id, t_done, audit.cra_min,
+                  static_cast<std::uint32_t>(audit.rows));
+      }
 
       if (!st.decode && lr->injector.should_fire()) {
         // Transient chunk fault: the attempt's measured work (planning and
@@ -846,6 +891,29 @@ void ServingEngine::loop() {
           const Status ws = decode_attention(q, lr->cache, scratch, &weights);
           if (ws.ok()) lr->evict->observe(lr->cache, weights);
         }
+        // Decode-phase shadow audit: decode is exact, so its weights ARE the
+        // ground-truth row — a sampled step scores the request's accepted
+        // plan structure (window + stripes) against them for free. Absolute
+        // row index prompt_tokens + decoded keeps selection deterministic
+        // across the whole request lifetime. Decode audit time stays out of
+        // guard (TTFT is already fixed at prefill-done) and out of
+        // decode_total_s (TPOT stays honest); the auditor tracks it as
+        // overhead_seconds.
+        if (auditor_ && lr->audit_has_plan &&
+            auditor_->selects_row(lr->req.id, lr->req.prompt_tokens + lr->decoded)) {
+          const double a0 = now();
+          std::vector<float> weights;
+          std::vector<float> scratch(static_cast<std::size_t>(opts_.head_dim), 0.0f);
+          const Status ws =
+              decode_attention(lr->dec_q.row(lr->decoded), lr->cache, scratch, &weights);
+          if (ws.ok()) {
+            const double retained = audited_decode_retained_mass(
+                weights, lr->audit_stripes, lr->audit_window);
+            auditor_->record_decode(0, audit_head_of(lr->req.id), retained,
+                                    lr->audit_predicted, now() - a0);
+            tele_push(obs::TelemetryEventKind::kAudit, lr->req.id, t_done, retained, 1);
+          }
+        }
         ++lr->decoded;
         tele_push(obs::TelemetryEventKind::kDecodeStep, lr->req.id, t_done, kernel_s);
         emit_timeline(opts_.run_label, lr->req.id, t_done, obs::RequestPhase::kDecodeStep);
@@ -864,6 +932,14 @@ void ServingEngine::loop() {
           const auto src = st.chunk_out->row(r);
           std::copy(src.begin(), src.end(), lr->out.row(st.q_lo + r).begin());
         }
+      }
+      if (auditor_ && st.plan) {
+        // Remember the accepted plan's structure so sampled decode rows can
+        // be scored against it once the request starts generating.
+        lr->audit_stripes = st.plan->mask.stripe_columns();
+        lr->audit_window = st.plan->mask.window();
+        lr->audit_predicted = st.plan->filter.coverage;
+        lr->audit_has_plan = true;
       }
       lr->prefilled = st.q_hi;
       const double ttft_so_far = t_done - lr->req.arrival_seconds;

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "attention/flash_attention.h"
+#include "obs/audit.h"
 #include "obs/telemetry.h"
 #include "robust/fault_injection.h"
 #include "runtime/batch.h"
@@ -158,6 +159,20 @@ struct EngineOptions {
   // Prometheus-style exposition file. Disabled: no hub, no thread, every
   // emission site is one pointer test.
   obs::TelemetryOptions telemetry;
+
+  // ---- Online quality audit (obs/audit.h) ----
+  //
+  // With audit.enabled in sample mode, the engine owns a QualityAuditor
+  // that shadow-samples a deterministic fraction of query rows: sparse
+  // prefill chunks are scored in the sweep (ground-truth softmax rows vs
+  // the deployed mask), and decode rows are scored for free from
+  // decode_attention's exact weights against the request's accepted plan
+  // structure. Audit wall time bills to *guard* (it is measured quality
+  // assurance, not service compute), so queue + compute + guard == ttft
+  // still holds; measured chunk CRA feeds the telemetry kAudit stream and
+  // the measured_cra_low drift monitor. Ignored in dense mode (the dense
+  // path is exact — there is nothing to audit).
+  obs::AuditOptions audit;
 };
 
 // One finished request. `base` reuses the simulator's completion record so
@@ -258,6 +273,11 @@ class ServingEngine {
   // last_line()/alerts() through it.
   obs::TelemetryPublisher* telemetry_publisher() const { return tele_pub_.get(); }
 
+  // Online quality auditor (null unless EngineOptions::audit.enabled in
+  // sample mode). Valid until destruction; tests read head_stats()/totals()
+  // through it. finish() publishes its scorecard as `audit.*` gauges.
+  const obs::QualityAuditor* auditor() const { return auditor_.get(); }
+
  private:
   struct Live;  // one in-flight request (engine.cpp)
 
@@ -304,6 +324,11 @@ class ServingEngine {
   std::atomic<std::size_t> tele_active_{0};
   std::atomic<double> tele_kv_bytes_{0.0};
   std::atomic<int> tele_breaker_{0};
+
+  // Shadow quality auditor (null when disabled or in dense mode). Audit
+  // calls run on sweep workers and the loop thread; the auditor locks its
+  // own accumulation state internally.
+  std::unique_ptr<obs::QualityAuditor> auditor_;
 
   // Loop-thread-owned state.
   std::vector<std::unique_ptr<Live>> live_;

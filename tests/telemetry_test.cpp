@@ -444,6 +444,36 @@ TEST_F(TelemetryObs, PublisherWritesNdjsonAndAtomicPrometheusFiles) {
   std::remove((prom + ".tmp").c_str());
 }
 
+TEST_F(TelemetryObs, PrometheusLabelValuesAreEscapedPerExpositionFormat) {
+  // Run labels are caller-supplied strings; a quote, backslash, or newline
+  // in one must not corrupt the exposition file (regression for the
+  // prom_escape satellite: previously emitted verbatim).
+  const std::string prom = "telemetry_escape_test.prom";
+  obs::TelemetryHub hub;
+  obs::TelemetryOptions topts;
+  topts.prom_path = prom;
+  {
+    obs::TelemetryPublisher pub(topts, "we\"ird\\lab\nel", &hub,
+                                [] { return snapshot_at(0.1); });
+    pub.tick();
+  }
+  std::ifstream in(prom);
+  ASSERT_TRUE(in.good());
+  std::stringstream body;
+  body << in.rdbuf();
+  // Escaped: `"` -> `\"`, `\` -> `\\`, newline -> the two characters \n.
+  EXPECT_NE(body.str().find("{label=\"we\\\"ird\\\\lab\\nel\"}"), std::string::npos);
+  // No raw newline survives inside any metric line's label value.
+  std::string line;
+  std::istringstream lines(body.str());
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_EQ(line.find("we\"ird"), std::string::npos) << line;
+  }
+  std::remove(prom.c_str());
+  std::remove((prom + ".tmp").c_str());
+}
+
 TEST_F(TelemetryObs, BreakerPretripArmsOnQualityAlertAndConsumesOnce) {
   obs::TelemetryHub hub;
   for (int i = 0; i < 6; ++i) {

@@ -15,6 +15,10 @@
 //   --engine-error-threshold=F max allowed engine.err.* gauge value (the
 //                          simulator-vs-real-engine serving prediction
 //                          error from bench_serving --engine; default 1.0)
+//   --audit-cra-threshold=F max allowed audit.*.cra_gap gauge value (the
+//                          planner's predicted-CRA overclaim vs the online
+//                          auditor's shadow-measured CRA, from
+//                          bench_serving --engine --audit-rate; default 0.05)
 //   --ignore-latency       gate on quality metrics only (for cross-machine
 //                          comparisons where wall-clock is not comparable)
 //   --verbose              also print within-noise / missing / new entries
@@ -42,7 +46,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: bench_diff [--latency-threshold=F] [--min-latency-us=F]\n"
                "                  [--quality-threshold=F] [--model-error-threshold=F]\n"
-               "                  [--engine-error-threshold=F] [--ignore-latency] [--verbose]\n"
+               "                  [--engine-error-threshold=F] [--audit-cra-threshold=F]\n"
+               "                  [--ignore-latency] [--verbose]\n"
                "                  <baseline.json> <candidate.json>\n");
 }
 
@@ -71,6 +76,8 @@ int main(int argc, char** argv) {
       opts.model_error_threshold = std::atof(v);
     } else if (const char* v = value_of("--engine-error-threshold")) {
       opts.engine_error_threshold = std::atof(v);
+    } else if (const char* v = value_of("--audit-cra-threshold")) {
+      opts.audit_cra_threshold = std::atof(v);
     } else if (arg == "--ignore-latency") {
       opts.check_latency = false;
     } else if (arg == "--verbose") {

@@ -145,6 +145,20 @@ std::string render_frame(const JsonValue& o) {
                   retained.get("mean").as_number(), retained.get("min").as_number());
     out << ret_buf;
   }
+  // Shadow-audit scorecard panel: measured chunk CRA from the online
+  // quality auditor (obs/audit.h). Presence-guarded so streams from
+  // audit-disabled engines render unchanged.
+  const JsonValue& audit = rolling.get("audit_cra");
+  if (audit.get("count").as_number() > 0.0) {
+    char audit_buf[160];
+    std::snprintf(audit_buf, sizeof(audit_buf),
+                  "  audit_cra mean=%.3f min=%.3f p50=%.3f  audited chunks=%lld rows=%lld\n",
+                  audit.get("mean").as_number(), audit.get("min").as_number(),
+                  audit.get("p50").as_number(),
+                  static_cast<long long>(totals.get("audited_chunks").as_number()),
+                  static_cast<long long>(totals.get("audited_rows").as_number()));
+    out << audit_buf;
+  }
 
   out << "  totals submitted=" << static_cast<long long>(totals.get("submitted").as_number())
       << " admitted=" << static_cast<long long>(totals.get("admitted").as_number())
@@ -215,10 +229,16 @@ int watch(const std::string& path, double interval_s) {
   }
 }
 
-// In-process end-to-end check: sample-mode engine, every plan corrupted so
-// the ladder falls back to dense, drift thresholds low enough that the
-// dense-fallback alert must fire. Verifies the rendered frame carries
-// rolling percentiles and the alert.
+// In-process end-to-end check, two scenarios:
+//
+//   1. Every plan corrupted so the ladder falls back to dense; drift
+//      thresholds low enough that the dense-fallback alert must fire.
+//      Verifies the frame carries rolling percentiles and the alert.
+//   2. Quietly degraded masks: a plan hook shrinks each accepted plan's
+//      window to a single diagonal while the Stage-1 bookkeeping still
+//      claims full coverage — validation passes, no fallback, no planner-
+//      side signal at all. Only the shadow auditor's *measured* CRA can see
+//      it; verifies the audit panel renders and measured_cra_low fires.
 int selftest(bool keep_file) {
   using namespace sattn;
   const std::string path = "engine_top_selftest.ndjson";
@@ -269,6 +289,56 @@ int selftest(bool keep_file) {
   expect("ALERT  dense_fallback_rate_high");  // drift monitor fired
   expect("dense_fallbacks=");
   if (!keep_file) std::remove(path.c_str());
+
+  // Scenario 2: measured-quality drift. The hook leaves every plan valid on
+  // paper (coverage bookkeeping untouched, window >= 1, density > 0) but
+  // strips the executed mask's local window down to the bare diagonal, so
+  // the deployed mask silently loses the retained mass the window carried.
+  const std::string audit_path = "engine_top_selftest_audit.ndjson";
+  EngineOptions aopts;
+  aopts.mode = EngineMode::kSampleAttention;
+  aopts.head_dim = 32;
+  aopts.chunk_tokens = 128;
+  aopts.max_batch = 4;
+  aopts.decode_tokens = 4;
+  aopts.run_label = "selftest_audit";
+  aopts.guard.plan_hook = [](SamplePlan& plan) { plan.mask.set_window(1); };
+  aopts.audit.enabled = true;
+  aopts.audit.sample_rate = 1.0;  // audit every row: the drift must be seen
+  aopts.audit.row_budget = 8;
+  aopts.telemetry.enabled = true;
+  aopts.telemetry.ndjson_path = audit_path;
+  aopts.telemetry.interval_seconds = 0.005;
+  aopts.telemetry.drift.min_samples = 2;
+  aopts.telemetry.drift.window_seconds = 30.0;
+  aopts.telemetry.drift.min_measured_cra = 0.90;
+
+  std::vector<ServingRequest> audit_trace;
+  for (int i = 0; i < 8; ++i) {
+    audit_trace.push_back({"aud" + std::to_string(i), 512, 0.0});
+  }
+  ServingEngine audit_engine(aopts);
+  const EngineResult audit_res = audit_engine.run_trace(audit_trace);
+  if (audit_res.completed.size() != audit_trace.size()) {
+    std::fprintf(stderr, "selftest: audit scenario expected %zu completions, got %zu\n",
+                 audit_trace.size(), audit_res.completed.size());
+    return 1;
+  }
+
+  std::string audit_frame;
+  const int audit_rc = show_once(audit_path, &audit_frame);
+  if (audit_rc != 0) return audit_rc;
+  const auto expect_audit = [&](const char* needle) {
+    if (audit_frame.find(needle) == std::string::npos) {
+      std::fprintf(stderr, "selftest: audit frame is missing \"%s\"\n", needle);
+      ++failures;
+    }
+  };
+  expect_audit("audit_cra mean=");           // scorecard panel rendered
+  expect_audit("audited chunks=");
+  expect_audit("ALERT  measured_cra_low");   // measured-quality drift fired
+  if (!keep_file) std::remove(audit_path.c_str());
+
   if (failures == 0) std::printf("selftest: OK\n");
   return failures == 0 ? 0 : 1;
 }

@@ -17,6 +17,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -332,6 +334,192 @@ int run_engine_mode(const sattn::bench::FlagParser& flags) {
 }
 
 // ---------------------------------------------------------------------------
+// --prefix: paged-KV prefix-cache replay (docs/SERVING.md, "Paged KV &
+// prefix cache"). A multi-turn conversation trace — every request opens
+// with one shared system prompt, and each conversation's turns extend a
+// growing shared history — runs twice through the live engine:
+//
+//   1. cold — prefix cache off: every prompt token is prefilled.
+//   2. warm — prefix cache on over a fresh page arena: the first request
+//      publishes its pages; every later request attaches the shared prefix
+//      from the content-hash index and skips those chunks.
+//
+// Published gauges (the run report's `kv` view): kv.prefix_hit_rate,
+// kv.prefix_hit_token_frac, kv.prefix_ttft_reduction (gated by
+// tools/bench_diff --prefix-ttft-min), kv.peak_kv_bytes_{cold,warm},
+// kv.pages_peak, kv.prefix_entries. A third, sample-mode run with
+// kv_sparse_residency measures how many pages the StructuredMask actually
+// pins (kv.residency_page_ratio vs the dense full-page count).
+int run_prefix_mode(const sattn::bench::FlagParser& flags) {
+  const Index n_convs = static_cast<Index>(flags.int_flag("--conversations", 8));
+  const Index n_turns = static_cast<Index>(flags.int_flag("--turns", 3));
+  const Index sys_tokens = static_cast<Index>(flags.int_flag("--sys-tokens", 2048));
+  const Index turn_tokens = 128;  // shared history grows by this much per turn
+  const Index tail_tokens = 64;   // request-private suffix (never shareable)
+
+  EngineOptions eo;
+  eo.mode = EngineMode::kDense;
+  eo.head_dim = 64;
+  eo.chunk_tokens = 128;
+  eo.max_batch = 1;  // serial: each turn publishes before the next attaches
+  eo.decode_tokens = 4;
+  eo.run_label.clear();
+
+  // The trace: turn t of conversation c prompts with
+  //   [sys | conv/c history through turn t | private tail]
+  // Segment content is keyed by (segment key, absolute row), so a turn's
+  // history rows are bit-identical to the same rows of the previous turn —
+  // exactly the reuse a production prefix cache sees.
+  std::vector<ServingRequest> trace;
+  for (Index t = 0; t < n_turns; ++t) {
+    for (Index c = 0; c < n_convs; ++c) {
+      const Index hist = t * turn_tokens;
+      ServingRequest r;
+      r.id = "c" + std::to_string(c) + "t" + std::to_string(t);
+      r.prompt_tokens = sys_tokens + hist + tail_tokens;
+      r.arrival_seconds = 0.0;
+      r.segments.push_back({"sys", sys_tokens});
+      if (hist > 0) r.segments.push_back({"conv/" + std::to_string(c), hist});
+      trace.push_back(std::move(r));
+    }
+  }
+  const auto n = static_cast<double>(trace.size());
+  std::printf("Prefix-cache bench — %lld conversations x %lld turns, %lld-token shared "
+              "system prompt, %lld tokens/turn of shared history\n\n",
+              static_cast<long long>(n_convs), static_cast<long long>(n_turns),
+              static_cast<long long>(sys_tokens), static_cast<long long>(turn_tokens));
+
+  // --- Cold: prefix cache off. ---
+  EngineOptions cold = eo;
+  cold.kv_prefix_cache = false;
+  EngineResult cres;
+  {
+    ServingEngine engine(cold);
+    cres = engine.run_trace(trace);
+  }
+  if (cres.completed.size() != trace.size()) {
+    std::printf("cold run completed %zu/%zu\n", cres.completed.size(), trace.size());
+    return 1;
+  }
+
+  // --- Warm: prefix cache on, fresh shared arena. ---
+  EngineOptions warm = eo;
+  warm.kv_prefix_cache = true;
+  warm.kv_arena = std::make_shared<KvPageArena>(eo.head_dim, eo.kv_page_tokens);
+  EngineResult wres;
+  {
+    ServingEngine engine(warm);
+    wres = engine.run_trace(trace);
+  }
+  if (wres.completed.size() != trace.size()) {
+    std::printf("warm run completed %zu/%zu\n", wres.completed.size(), trace.size());
+    return 1;
+  }
+
+  // Per-request cold-vs-warm TTFT, restricted to requests that actually hit
+  // the prefix index (everything but the very first request, typically).
+  std::map<std::string, double> cold_ttft;
+  for (const EngineCompletion& c : cres.completed) cold_ttft[c.base.request.id] = c.base.ttft();
+  double hit_requests = 0.0;
+  Index prompt_tokens_total = 0;
+  double cold_sum = 0.0, warm_sum = 0.0;
+  for (const EngineCompletion& c : wres.completed) {
+    prompt_tokens_total += c.base.request.prompt_tokens;
+    if (c.prefix_hit_tokens <= 0) continue;
+    hit_requests += 1.0;
+    cold_sum += cold_ttft[c.base.request.id];
+    warm_sum += c.base.ttft();
+  }
+  const double hit_rate = hit_requests / n;
+  const double token_frac = static_cast<double>(wres.kv_prefix_hit_tokens) /
+                            static_cast<double>(std::max<Index>(1, prompt_tokens_total));
+  const double ttft_reduction =
+      hit_requests > 0.0 ? 1.0 - warm_sum / std::max(1e-12, cold_sum) : 0.0;
+
+  TextTable t({"metric", "cold", "warm"});
+  t.add_row({"completed", std::to_string(cres.completed.size()),
+             std::to_string(wres.completed.size())});
+  t.add_row({"prefix hits", "0", fmt(static_cast<double>(wres.kv_prefix_hits), 0)});
+  t.add_row({"prefix hit tokens", "0", fmt(static_cast<double>(wres.kv_prefix_hit_tokens), 0)});
+  t.add_row({"peak KV (KiB)", fmt(cres.peak_kv_bytes / 1024.0, 1),
+             fmt(wres.peak_kv_bytes / 1024.0, 1)});
+  t.add_row({"pages peak", fmt(static_cast<double>(cres.kv_pages_peak), 0),
+             fmt(static_cast<double>(wres.kv_pages_peak), 0)});
+  t.add_row({"mean TTFT on hit requests (ms)",
+             fmt(1e3 * cold_sum / std::max(1.0, hit_requests), 2),
+             fmt(1e3 * warm_sum / std::max(1.0, hit_requests), 2)});
+  t.print();
+  std::printf("\nprefix hit rate %.2f (%g of %g requests), %.1f%% of prompt tokens served "
+              "from shared pages\nwarm-prefix TTFT reduction: %.1f%% (gate: bench_diff "
+              "--prefix-ttft-min)\n",
+              hit_rate, hit_requests, n, token_frac * 100.0, ttft_reduction * 100.0);
+
+  SATTN_GAUGE_SET("kv.prefix_hit_rate", hit_rate);
+  SATTN_GAUGE_SET("kv.prefix_hit_token_frac", token_frac);
+  SATTN_GAUGE_SET("kv.prefix_ttft_reduction", ttft_reduction);
+  SATTN_GAUGE_SET("kv.prefix_hits", static_cast<double>(wres.kv_prefix_hits));
+  SATTN_GAUGE_SET("kv.prefix_hit_tokens", static_cast<double>(wres.kv_prefix_hit_tokens));
+  SATTN_GAUGE_SET("kv.peak_kv_bytes_cold", cres.peak_kv_bytes);
+  SATTN_GAUGE_SET("kv.peak_kv_bytes_warm", wres.peak_kv_bytes);
+  SATTN_GAUGE_SET("kv.pages_peak", static_cast<double>(wres.kv_pages_peak));
+  SATTN_GAUGE_SET("kv.prefix_entries",
+                  static_cast<double>(warm.kv_arena->prefix_entries()));
+  SATTN_GAUGE_SET("kv.prefix_index_bytes",
+                  static_cast<double>(warm.kv_arena->prefix_index_bytes()));
+
+  // --- Sparse residency: sample mode drops pages the mask never touches. ---
+  // Prefix cache off (published pages would pin the arena) so pages_live
+  // tracks the StructuredMask's retained fraction at page granularity.
+  EngineOptions sparse = eo;
+  sparse.mode = EngineMode::kSampleAttention;
+  // One chunk per prompt: the captured plan's stripes/window then span the
+  // whole key range, so the residency pass sees the full mask footprint.
+  sparse.chunk_tokens = sys_tokens + n_turns * turn_tokens + tail_tokens;
+  sparse.kv_prefix_cache = false;
+  sparse.kv_sparse_residency = true;
+  const auto counter_value = [](const char* name) {
+    for (const obs::CounterValue& cv : obs::Collector::global().counters())
+      if (cv.name == name) return cv.value;
+    return 0.0;
+  };
+  // The slot-level cross-check reads kv_cache.* counters, which only record
+  // while collection is on; enable it for this run (restored after) so the
+  // check works without --report-out.
+  const bool obs_was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  const double slots_before = counter_value("kv_cache.evicted_slots");
+  EngineResult sres;
+  {
+    ServingEngine engine(sparse);
+    sres = engine.run_trace(trace);
+  }
+  // Cross-validation against the slot-level acct.* convention: the page
+  // ratio must track the mask's retained-slot fraction from above (pages
+  // are 64-token quanta, so the page ratio reads slightly higher — a page
+  // stays resident if ANY of its slots is a stripe or window member).
+  const double slots_evicted = counter_value("kv_cache.evicted_slots") - slots_before;
+  if (!obs_was_enabled) obs::set_enabled(false);
+  const double slot_ratio =
+      1.0 - slots_evicted / static_cast<double>(std::max<Index>(1, prompt_tokens_total));
+  const double page_ratio =
+      sres.kv_pages_full > 0 ? static_cast<double>(sres.kv_pages_resident) /
+                                   static_cast<double>(sres.kv_pages_full)
+                             : 1.0;
+  std::printf("\nsparse residency (sample mode): %lld of %lld full pages resident after "
+              "prefill (page ratio %.2f vs retained-slot ratio %.2f), %lld residency "
+              "evictions\n",
+              static_cast<long long>(sres.kv_pages_resident),
+              static_cast<long long>(sres.kv_pages_full), page_ratio, slot_ratio,
+              static_cast<long long>(sres.kv_residency_evictions));
+  SATTN_GAUGE_SET("kv.residency_page_ratio", page_ratio);
+  SATTN_GAUGE_SET("kv.residency_slot_ratio", slot_ratio);
+  SATTN_GAUGE_SET("kv.residency_pages_resident", static_cast<double>(sres.kv_pages_resident));
+  SATTN_GAUGE_SET("kv.residency_pages_full", static_cast<double>(sres.kv_pages_full));
+  SATTN_GAUGE_SET("kv.residency_evictions", static_cast<double>(sres.kv_residency_evictions));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // --chaos: lifecycle verification on the LIVE engine (docs/ROBUSTNESS.md,
 // "Lifecycle, overload & chaos"). Three phases, non-zero exit if any
 // lifecycle invariant breaks:
@@ -505,6 +693,10 @@ int main(int argc, char** argv) {
   // --chaos: lifecycle invariants on the live engine under memory pressure
   // and a fault/cancel/deadline storm (non-zero exit on violation).
   if (flags.has_flag("--chaos")) return run_chaos_mode(flags);
+  // --prefix: paged-KV prefix-cache replay — warm-vs-cold TTFT on a
+  // multi-turn shared-prompt trace, plus the sparse-residency page ratio
+  // (gated by tools/bench_diff --prefix-ttft-min).
+  if (flags.has_flag("--prefix")) return run_prefix_mode(flags);
   const double fault_rate = flags.double_flag("--fault-rate", 0.05);
   const double deadline_s = flags.double_flag("--deadline-s", 150.0);
   const double slo_ttft_s = flags.double_flag("--slo-ttft-s", 120.0);
@@ -606,5 +798,10 @@ int main(int argc, char** argv) {
       "(lower alpha / window budget per the cost model) instead of shedding, keeping\n"
       "p99 TTFT inside the SLO with more requests served than the exact engine.\n");
   std::printf("results also written to %s\n", csv_path.c_str());
-  return 0;
+
+  // The paged-KV prefix-cache replay runs as part of the default suite so
+  // bench_all's merged report (and the committed baseline) always carries
+  // the kv.* gauges and the bench_diff --prefix-ttft-min gate stays armed.
+  std::printf("\n");
+  return run_prefix_mode(flags);
 }

@@ -149,9 +149,11 @@ if ! grep -q '^## Lifecycle, overload & chaos' docs/ROBUSTNESS.md; then
 fi
 
 # The serving-engine operator guide must keep its load-bearing sections
-# (the engine architecture, the ragged kernel contract, the threading
-# model, the metric mapping, and the bench walkthrough).
+# (the engine architecture, the ragged kernel contract, the paged-KV /
+# prefix-cache contract, the threading model, the metric mapping, and the
+# bench walkthrough).
 for section in '^## Architecture' '^## The ragged-batch kernel API' \
+               '^## Paged KV & prefix cache' \
                '^## Threading and locking model' '^## Metrics' \
                '^## Running the serving bench'; do
   if ! grep -q "$section" docs/SERVING.md; then
@@ -159,6 +161,13 @@ for section in '^## Architecture' '^## The ragged-batch kernel API' \
     fail=1
   fi
 done
+
+# The paged-KV storage model (page arena, prefix index, counted-once
+# accounting) must stay summarized in the architecture overview.
+if ! grep -q '^## Paged KV & prefix cache' docs/ARCHITECTURE.md; then
+  echo "check_docs: docs/ARCHITECTURE.md is missing the 'Paged KV & prefix cache' section" >&2
+  fail=1
+fi
 
 if [ "$fail" -ne 0 ]; then
   echo "check_docs: FAILED" >&2

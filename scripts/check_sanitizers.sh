@@ -5,10 +5,11 @@
 #      and runs the full ctest suite; any report fails the run.
 #   2. TSan: builds a second side tree with -DSATTN_SANITIZE=thread and runs
 #      the concurrency-heavy binaries — obs_test, scheduler_test,
-#      accounting_test, engine_test, chaos_engine_test, and telemetry_test —
-#      since the span collector, metrics registry, resource accountant,
-#      serving-engine intake, and telemetry rings/publisher are written from
-#      concurrent threads.
+#      accounting_test, engine_test, chaos_engine_test, telemetry_test,
+#      audit_test, and kv_page_test — since the span collector, metrics
+#      registry, resource accountant, serving-engine intake, telemetry
+#      rings/publisher, and the KV page arena are written from concurrent
+#      threads.
 #
 # Usage: check_sanitizers.sh [repo-root] [build-dir] [tsan-build-dir]
 # Opt-in ctest entry: configure with -DSATTN_SANITIZER_CTEST=ON.
@@ -55,6 +56,10 @@ for mode in 1 0; do
   # bit-identical to the direct kernels on either backend, and the storm
   # invariants are backend-independent.
   SATTN_FORCE_SCALAR="$mode" "$build/tests/chaos_engine_test"
+  # Paged KV: flat-vs-paged kernel parity and the prefix-attach replay must
+  # be bit-exact on both backends (the page table only changes addressing,
+  # never arithmetic).
+  SATTN_FORCE_SCALAR="$mode" "$build/tests/kv_page_test"
   # Quality auditor: the offline-parity pin (rate 1.0 == metrics/cra.h) must
   # hold on both backends — the audit's ground-truth score rows go through
   # the same dispatched kernels.
@@ -71,7 +76,7 @@ cmake -B "$build_tsan" -S "$root" \
 cmake --build "$build_tsan" -j "$(nproc)" \
   --target obs_test --target scheduler_test --target accounting_test \
   --target engine_test --target chaos_engine_test --target telemetry_test \
-  --target audit_test >/dev/null
+  --target audit_test --target kv_page_test >/dev/null
 
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
@@ -99,5 +104,9 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 # against the shared per-head scorecard mutex while the engine loop records
 # decode audits (obs/audit.h, "Thread safety").
 "$build_tsan/tests/audit_test" --gtest_filter='-*Overhead*'
+# KV page arena: alloc/retain/release/publish/lookup race from many threads
+# against the arena mutex; ConcurrentAllocReleaseIsClean is the dedicated
+# hammer (src/runtime/kv_page.h, "Thread safety").
+"$build_tsan/tests/kv_page_test"
 
-echo "sanitizer suite passed: thread (obs_test, scheduler_test, accounting_test, engine_test, chaos_engine_test, telemetry_test, audit_test)"
+echo "sanitizer suite passed: thread (obs_test, scheduler_test, accounting_test, engine_test, chaos_engine_test, telemetry_test, audit_test, kv_page_test)"

@@ -89,14 +89,18 @@ Index BlockSparseLayout::active_tiles() const {
 
 void block_sparse_attention(const AttentionInput& in, const BlockSparseLayout& layout,
                             Matrix& out) {
-  const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
+  block_sparse_attention(in.q.data(), in.sq(), mk::KvView::of(in), in.sk(), layout, out);
+}
+
+void block_sparse_attention(const float* q, Index sq, const mk::KvView& kv, Index sk,
+                            const BlockSparseLayout& layout, Matrix& out) {
+  const Index d = kv.d;
   assert(layout.sq() == sq && layout.sk() == sk);
   SATTN_SPAN("kernel/block_sparse");
   SATTN_COUNTER_ADD("attn.block_sparse_tiles", layout.active_tiles());
   out.resize(sq, d);
   const float scale = 1.0f / std::sqrt(static_cast<float>(d));
   const Index block = layout.block();
-  const mk::KvView kv = mk::KvView::of(in);
   std::atomic<double> evals_total{0.0};
 
   parallel_for(layout.n_qblocks(), [&](Index qb) {
@@ -125,7 +129,7 @@ void block_sparse_attention(const AttentionInput& in, const BlockSparseLayout& l
           const Index hi = std::min(k_hi, lim + 1);
           if (hi <= k_lo) continue;
           OnlineSoftmaxRow& st = state[static_cast<std::size_t>(r)];
-          b.q[b.rows] = in.q.row(i).data();
+          b.q[b.rows] = q + static_cast<std::size_t>(i) * static_cast<std::size_t>(d);
           b.m[b.rows] = &st.m;
           b.l[b.rows] = &st.l;
           b.acc[b.rows] = st.acc.data();

@@ -16,6 +16,7 @@
 
 #include "attention/attention_method.h"
 #include "attention/masks.h"
+#include "attention/microkernel.h"
 
 namespace sattn {
 
@@ -57,5 +58,12 @@ class BlockSparseLayout {
 // the block-rounded superset of the original mask.
 void block_sparse_attention(const AttentionInput& in, const BlockSparseLayout& layout,
                             Matrix& out);
+
+// View form: q is sq contiguous rows of kv.d floats, keys/values come from
+// the (flat or paged) view, so the block kernel can execute straight out of
+// a KVCache's page table. The tensor overload forwards here with
+// mk::KvView::of(in) — bit-identical by construction.
+void block_sparse_attention(const float* q, Index sq, const mk::KvView& kv, Index sk,
+                            const BlockSparseLayout& layout, Matrix& out);
 
 }  // namespace sattn

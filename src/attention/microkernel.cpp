@@ -18,10 +18,14 @@ void absorb_run_row(const simd::Ops& ops, const float* qi, float& m, double& l, 
   const auto n = static_cast<std::size_t>(hi - lo);
   if (logits.size() < n) logits.resize(n);
   float run_max = -std::numeric_limits<float>::infinity();
-  for (Index j = lo; j < hi; ++j) {
-    const float s = scale * ops.dot(qi, kv.k_row(j), d);
-    logits[static_cast<std::size_t>(j - lo)] = s;
-    run_max = std::max(run_max, s);
+  for (Index j = lo; j < hi;) {
+    const Index re = kv.run_end(j, hi);
+    const float* krow = kv.k_row(j);
+    for (; j < re; ++j, krow += d) {
+      const float s = scale * ops.dot(qi, krow, d);
+      logits[static_cast<std::size_t>(j - lo)] = s;
+      run_max = std::max(run_max, s);
+    }
   }
   if (run_max > m) {
     const float rescale = std::exp(m - run_max);
@@ -29,10 +33,14 @@ void absorb_run_row(const simd::Ops& ops, const float* qi, float& m, double& l, 
     l *= rescale;
     m = run_max;
   }
-  for (Index j = lo; j < hi; ++j) {
-    const float w = std::exp(logits[static_cast<std::size_t>(j - lo)] - m);
-    l += w;
-    ops.axpy(w, kv.v_row(j), acc, d);
+  for (Index j = lo; j < hi;) {
+    const Index re = kv.run_end(j, hi);
+    const float* vrow = kv.v_row(j);
+    for (; j < re; ++j, vrow += d) {
+      const float w = std::exp(logits[static_cast<std::size_t>(j - lo)] - m);
+      l += w;
+      ops.axpy(w, vrow, acc, d);
+    }
   }
 }
 
@@ -89,13 +97,17 @@ void absorb_key_tile(const QBlock& b, const KvView& kv, float scale, Index lo,
     float run_max[kQRows];
     for (Index r = 0; r < rows; ++r) run_max[r] = -std::numeric_limits<float>::infinity();
     float s[kQRows];
-    for (Index j = lo; j < hi_min; ++j) {
-      ops.dotn(b.q, rows, kv.k_row(j), d, s);
-      const auto col = static_cast<std::size_t>(j - lo);
-      for (Index r = 0; r < rows; ++r) {
-        const float v = scale * s[r];
-        logits[static_cast<std::size_t>(r) * static_cast<std::size_t>(shared) + col] = v;
-        run_max[r] = std::max(run_max[r], v);
+    for (Index j = lo; j < hi_min;) {
+      const Index re = kv.run_end(j, hi_min);
+      const float* krow = kv.k_row(j);
+      for (; j < re; ++j, krow += d) {
+        ops.dotn(b.q, rows, krow, d, s);
+        const auto col = static_cast<std::size_t>(j - lo);
+        for (Index r = 0; r < rows; ++r) {
+          const float v = scale * s[r];
+          logits[static_cast<std::size_t>(r) * static_cast<std::size_t>(shared) + col] = v;
+          run_max[r] = std::max(run_max[r], v);
+        }
       }
     }
     for (Index r = 0; r < rows; ++r) {
@@ -107,15 +119,19 @@ void absorb_key_tile(const QBlock& b, const KvView& kv, float scale, Index lo,
       }
     }
     float w[kQRows];
-    for (Index j = lo; j < hi_min; ++j) {
-      const auto col = static_cast<std::size_t>(j - lo);
-      for (Index r = 0; r < rows; ++r) {
-        w[r] = std::exp(
-            logits[static_cast<std::size_t>(r) * static_cast<std::size_t>(shared) + col] -
-            *b.m[r]);
-        *b.l[r] += w[r];
+    for (Index j = lo; j < hi_min;) {
+      const Index re = kv.run_end(j, hi_min);
+      const float* vrow = kv.v_row(j);
+      for (; j < re; ++j, vrow += d) {
+        const auto col = static_cast<std::size_t>(j - lo);
+        for (Index r = 0; r < rows; ++r) {
+          w[r] = std::exp(
+              logits[static_cast<std::size_t>(r) * static_cast<std::size_t>(shared) + col] -
+              *b.m[r]);
+          *b.l[r] += w[r];
+        }
+        ops.axpyn(w, rows, vrow, b.acc, d);
       }
-      ops.axpyn(w, rows, kv.v_row(j), b.acc, d);
     }
   }
 

@@ -60,18 +60,53 @@ struct OnlineSoftmaxRow {
 
 namespace mk {
 
-// Non-owning view of one K/V stream: row j of either matrix starts at
-// base + j*d. This is the seam that makes the micro-kernels
-// request-agnostic — callers point it at an AttentionInput's matrices, at
-// a KVCache's contiguous storage, or at any sequence of a ragged batch,
-// and the same absorb sweep services all of them.
+// Non-owning view of one K/V stream. This is the seam that makes the
+// micro-kernels request-agnostic — callers point it at an AttentionInput's
+// matrices, at a paged KVCache's page table, or at any sequence of a ragged
+// batch, and the same absorb sweep services all of them. Two layouts:
+//
+//   * flat  — row j of either stream starts at base + j*d (k/v set,
+//     k_pages/v_pages null);
+//   * paged — row j lives in page j >> page_shift at row j & page_mask
+//     (runtime/kv_page.h): k_pages/v_pages are per-page row bases, so the
+//     kernels read straight through a KVCache's page table with no copies
+//     and — because every access goes through k_row/v_row — bit-identical
+//     results to flat storage (pinned in tests/engine_test.cpp).
 struct KvView {
   const float* k = nullptr;
   const float* v = nullptr;
   Index d = 0;
+  const float* const* k_pages = nullptr;  // paged layout: per-page row bases
+  const float* const* v_pages = nullptr;
+  Index page_shift = 0;
+  Index page_mask = 0;
 
-  const float* k_row(Index j) const { return k + static_cast<std::size_t>(j * d); }
-  const float* v_row(Index j) const { return v + static_cast<std::size_t>(j * d); }
+  bool paged() const { return k_pages != nullptr; }
+
+  const float* k_row(Index j) const {
+    if (k_pages != nullptr) {
+      return k_pages[j >> page_shift] + static_cast<std::size_t>(j & page_mask) * d;
+    }
+    return k + static_cast<std::size_t>(j * d);
+  }
+  const float* v_row(Index j) const {
+    if (v_pages != nullptr) {
+      return v_pages[j >> page_shift] + static_cast<std::size_t>(j & page_mask) * d;
+    }
+    return v + static_cast<std::size_t>(j * d);
+  }
+
+  // End of the contiguous row run containing j, clipped to hi: the whole
+  // range for flat views, the end of j's page for paged ones. The hot
+  // absorb loops iterate run-at-a-time — resolve k_row/v_row once per run,
+  // then march the pointer by d — so the flat path keeps the seed's
+  // branch-free per-key codegen and the paged path pays one layout branch
+  // per page instead of per key.
+  Index run_end(Index j, Index hi) const {
+    if (k_pages == nullptr) return hi;
+    const Index page_end = ((j >> page_shift) + 1) << page_shift;
+    return page_end < hi ? page_end : hi;
+  }
 
   static KvView of(const AttentionInput& in) { return {in.k.data(), in.v.data(), in.head_dim()}; }
 };

@@ -24,7 +24,12 @@ bool runs_contain(const std::vector<ColumnRun>& runs, Index j) {
 }  // namespace
 
 void sparse_flash_attention(const AttentionInput& in, const StructuredMask& mask, Matrix& out) {
-  const Index sq = in.sq(), sk = in.sk(), d = in.head_dim();
+  sparse_flash_attention(in.q.data(), in.sq(), mk::KvView::of(in), in.sk(), mask, out);
+}
+
+void sparse_flash_attention(const float* q, Index sq, const mk::KvView& kv, Index sk,
+                            const StructuredMask& mask, Matrix& out) {
+  const Index d = kv.d;
   assert(mask.sq() == sq && mask.sk() == sk);
   SATTN_SPAN("kernel/sparse_flash");
   SATTN_COUNTER_ADD("sattn.mask_stripe_columns", mask.stripe_columns().size());
@@ -38,7 +43,6 @@ void sparse_flash_attention(const AttentionInput& in, const StructuredMask& mask
   const auto& stripe_runs = mask.stripe_runs();
   const auto& blocks = mask.blocks();
   const auto& stripe_cols = mask.stripe_columns();
-  const mk::KvView kv = mk::KvView::of(in);
 
   parallel_for(sq, [&](Index i) {
     const Index lim = causal_limit(i, sq, sk);
@@ -49,7 +53,8 @@ void sparse_flash_attention(const AttentionInput& in, const StructuredMask& mask
     }
     OnlineSoftmaxRow st(d);
     std::vector<float> logits;
-    const auto qi = in.q.row(i);
+    const std::span<const float> qi{q + static_cast<std::size_t>(i) * static_cast<std::size_t>(d),
+                                    static_cast<std::size_t>(d)};
     double row_evals = 0.0;
 
     // 1. Diagonal bands (the local window plus any extra bands), as
@@ -88,8 +93,10 @@ void sparse_flash_attention(const AttentionInput& in, const StructuredMask& mask
       for (Index j = b.k_lo; j < hi; ++j) {
         if (runs_contain(bands, j)) continue;
         if (std::binary_search(stripe_cols.begin(), stripe_cols.end(), j)) continue;
-        const float s = scale * dot(qi, in.k.row(j));
-        st.absorb(s, in.v.row(j));
+        const std::span<const float> kj{kv.k_row(j), static_cast<std::size_t>(d)};
+        const std::span<const float> vj{kv.v_row(j), static_cast<std::size_t>(d)};
+        const float s = scale * dot(qi, kj);
+        st.absorb(s, vj);
         row_evals += 1.0;
       }
     }

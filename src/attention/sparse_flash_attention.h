@@ -14,6 +14,7 @@
 
 #include "attention/attention_method.h"
 #include "attention/masks.h"
+#include "attention/microkernel.h"
 #include "core/tensor.h"
 
 namespace sattn {
@@ -22,6 +23,14 @@ namespace sattn {
 // Softmax is computed over exactly the masked-in keys of each row; a row
 // whose mask is empty (cannot happen with window >= 1) would produce zeros.
 void sparse_flash_attention(const AttentionInput& in, const StructuredMask& mask, Matrix& out);
+
+// View form: q is sq contiguous rows of kv.d floats, keys/values come from
+// the (flat or paged) view — this is how the ragged sweep runs the sparse
+// route straight out of a KVCache's page table (runtime/batch.h). The
+// tensor overload above forwards here with mk::KvView::of(in), so both are
+// bit-identical by construction.
+void sparse_flash_attention(const float* q, Index sq, const mk::KvView& kv, Index sk,
+                            const StructuredMask& mask, Matrix& out);
 
 // Exact number of (query, key) score evaluations the kernel performs for
 // this mask — used by tests (vs mask.density) and by the cost model.

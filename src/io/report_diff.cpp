@@ -76,7 +76,7 @@ void diff_bench(const BenchReport& base, const BenchReport& cand, const DiffOpti
     // Audit gaps contain ".cra" but are lower-is-better deltas, not quality
     // gauges — they get their own candidate-side absolute gate below.
     if (is_model_error_metric(name) || is_engine_error_metric(name) ||
-        is_audit_gap_metric(name)) {
+        is_audit_gap_metric(name) || is_prefix_ttft_metric(name)) {
       continue;
     }
     const auto it = cand.gauges.find(name);
@@ -148,6 +148,25 @@ void diff_bench(const BenchReport& base, const BenchReport& cand, const DiffOpti
     result.entries.push_back(std::move(e));
   }
 
+  // Warm-prefix TTFT win: candidate-side MIN FLOOR. The prefix cache's whole
+  // value proposition is the TTFT cut on shared-prefix replays; a candidate
+  // below the floor regresses even if the baseline was also low. Candidate
+  // reports without the gauge (prefix bench not run) are simply not gated.
+  for (const auto& [name, cand_v] : cand.gauges) {
+    if (!is_prefix_ttft_metric(name)) continue;
+    DiffEntry e;
+    e.bench = base.name;
+    e.metric = "gauge:" + name;
+    e.candidate = cand_v;
+    e.quality = true;
+    const auto it = base.gauges.find(name);
+    if (it != base.gauges.end()) e.baseline = it->second;
+    e.verdict = cand_v < opts.prefix_ttft_min ? DiffVerdict::kRegression
+                                              : DiffVerdict::kWithinNoise;
+    count_verdict(result, e);
+    result.entries.push_back(std::move(e));
+  }
+
   // Quality histograms: gate on the p50 of coverage-style distributions.
   for (const auto& [name, base_h] : base.histograms) {
     if (!is_quality_metric(name)) continue;
@@ -196,6 +215,10 @@ bool is_audit_gap_metric(const std::string& name) {
   const std::string suffix = ".cra_gap";
   return name.rfind("audit.", 0) == 0 && name.size() > suffix.size() &&
          name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_prefix_ttft_metric(const std::string& name) {
+  return name == "kv.prefix_ttft_reduction";
 }
 
 DiffResult diff_reports(const RunReport& baseline, const RunReport& candidate,

@@ -25,6 +25,11 @@
 //     serving engine's QualityAuditor): gated on the candidate value alone —
 //     a planner whose predicted CRA overclaims the shadow-measured CRA by
 //     more than `audit_cra_threshold` is a regression, baseline or not.
+//   * Prefix-cache TTFT win (`kv.prefix_ttft_reduction` gauge, published by
+//     bench_serving --prefix): min-floor gate on the candidate value alone —
+//     the warm-prefix replay must keep cutting TTFT by at least
+//     `prefix_ttft_min` (fraction, default 0.30) vs the cold run. Absent
+//     gauge (the bench didn't run) skips the gate entirely.
 //
 // Other metrics present on only one side are reported as missing/new but
 // never gate (bench subsets and new instrumentation must not break the
@@ -49,6 +54,7 @@ struct DiffOptions {
   double model_error_threshold = 0.05;  // max perf.model_error.* gauge value
   double engine_error_threshold = 1.0;  // max engine.err.* gauge value
   double audit_cra_threshold = 0.05;    // max audit.*.cra_gap (predicted - measured)
+  double prefix_ttft_min = 0.30;        // min kv.prefix_ttft_reduction fraction
   bool check_latency = true;            // false: gate on quality only
 };
 
@@ -96,6 +102,13 @@ bool is_engine_error_metric(const std::string& name);
 // DiffOptions::audit_cra_threshold (tools/bench_diff --audit-cra-threshold);
 // negative gaps (planner conservative) never gate.
 bool is_audit_gap_metric(const std::string& name);
+
+// True for the warm-prefix TTFT-reduction gauge ("kv.prefix_ttft_reduction",
+// published by bench_serving --prefix). Higher is better, but unlike the
+// quality family it is gated as a candidate-side MIN FLOOR: a candidate below
+// DiffOptions::prefix_ttft_min regresses even if the baseline was also low.
+// Reports without the gauge never gate (the prefix bench simply didn't run).
+bool is_prefix_ttft_metric(const std::string& name);
 
 DiffResult diff_reports(const RunReport& baseline, const RunReport& candidate,
                         const DiffOptions& opts = {});

@@ -281,6 +281,19 @@ JsonValue lifecycle_json(const BenchReport& b) {
   return o;
 }
 
+// Derived view: paged-KV / prefix-cache metrics, grouped from the `kv.*`
+// gauges bench_serving --prefix publishes (hit rates, warm-vs-cold TTFT
+// reduction, page residency ratios). The TTFT-reduction gauge also gates via
+// tools/bench_diff --prefix-ttft-min (io/report_diff.h).
+JsonValue kv_json(const BenchReport& b) {
+  JsonValue o = JsonValue::object();
+  const std::string prefix = "kv.";
+  for (const auto& [name, v] : b.gauges) {
+    if (name.rfind(prefix, 0) == 0) o.set(name.substr(prefix.size()), v);
+  }
+  return o;
+}
+
 // Derived view (v2): per-request timelines from the `timeline.<request>`
 // series the engine emits — phase-coded (obs::RequestPhase) lifecycle
 // events, submit through terminal state, rendered with their names so the
@@ -369,6 +382,8 @@ JsonValue bench_json(const BenchReport& b) {
   if (engine.size() > 0) o.set("engine", std::move(engine));
   JsonValue lifecycle = lifecycle_json(b);
   if (lifecycle.size() > 0) o.set("lifecycle", std::move(lifecycle));
+  JsonValue kv = kv_json(b);
+  if (kv.size() > 0) o.set("kv", std::move(kv));
   JsonValue timelines = timelines_json(b);
   if (timelines.size() > 0) o.set("timelines", std::move(timelines));
   return o;

@@ -36,7 +36,11 @@
 //         // v2: per-request TTFT attribution, from request.<id>.* gauges
 //         // (see docs/OBSERVABILITY.md "Resource accounting"):
 //         "per_request": [ { "id","queue_s","compute_s","guard_s",
-//                            "ttft_s", ... } ]
+//                            "ttft_s", ... } ],
+//         // Paged-KV / prefix-cache metrics, from the kv.* gauges that
+//         // bench_serving --prefix publishes:
+//         "kv":         { "prefix_hit_rate","prefix_ttft_reduction",
+//                         "residency_page_ratio", ... }
 //       }, ...
 //     ]
 //   }

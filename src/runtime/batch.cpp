@@ -15,18 +15,31 @@ namespace {
 double run_seq(const RaggedSeq& s, const FlashConfig& flash) {
   switch (s.route) {
     case SeqRoute::kDense: {
-      assert(s.q && s.out && s.kv.k && s.kv.v);
+      assert(s.q && s.out && (s.kv.paged() || (s.kv.k && s.kv.v)));
       const double evals = flash_rows(s.q, s.rows, s.kv, s.k_hi, s.causal_off, s.out, s.kv.d, flash);
       obs::charge_attention_kernel("flash", s.rows, s.k_hi, s.kv.d, evals);
       return evals;
     }
+    // The structured routes take either the tensor form (chunk) mask
+    // planning materialized, or the view form (q + kv + k_hi) that reads
+    // straight through a KVCache's page table.
     case SeqRoute::kSparse:
-      assert(s.chunk && s.mask && s.out_mat);
-      sparse_flash_attention(*s.chunk, *s.mask, *s.out_mat);
+      assert(s.mask && s.out_mat);
+      if (s.chunk != nullptr) {
+        sparse_flash_attention(*s.chunk, *s.mask, *s.out_mat);
+      } else {
+        assert(s.q && (s.kv.paged() || (s.kv.k && s.kv.v)));
+        sparse_flash_attention(s.q, s.rows, s.kv, s.k_hi, *s.mask, *s.out_mat);
+      }
       return 0.0;
     case SeqRoute::kBlockSparse:
-      assert(s.chunk && s.layout && s.out_mat);
-      block_sparse_attention(*s.chunk, *s.layout, *s.out_mat);
+      assert(s.layout && s.out_mat);
+      if (s.chunk != nullptr) {
+        block_sparse_attention(*s.chunk, *s.layout, *s.out_mat);
+      } else {
+        assert(s.q && (s.kv.paged() || (s.kv.k && s.kv.v)));
+        block_sparse_attention(s.q, s.rows, s.kv, s.k_hi, *s.layout, *s.out_mat);
+      }
       return 0.0;
   }
   return 0.0;

@@ -69,8 +69,11 @@ struct RaggedSeq {
   Index causal_off = 0;
   float* out = nullptr;
 
-  // kSparse / kBlockSparse: the structured kernels take tensor + layout
-  // forms; `out_mat` receives the kernel output ([chunk->sq() x d]).
+  // kSparse / kBlockSparse: the structured kernels run either the tensor
+  // form (`chunk` + mask/layout, as materialized by mask planning) or —
+  // when `chunk` is null — the view form over the dense-route fields
+  // (q/rows/kv/k_hi), which reads keys and values straight through a paged
+  // KVCache view. `out_mat` receives the kernel output ([rows x d]).
   const AttentionInput* chunk = nullptr;
   const StructuredMask* mask = nullptr;
   const BlockSparseLayout* layout = nullptr;

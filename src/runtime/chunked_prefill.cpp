@@ -56,8 +56,14 @@ StatusOr<ChunkedPrefillResult> run_chunked(const AttentionInput& in, Index chunk
   }
   ChunkedPrefillResult res;
   res.out.resize(sq, d);
+  // Prefix cache: attach any published leading pages before computing —
+  // their outputs come straight from the index, so the loop below starts
+  // past them (a fully shared prompt computes nothing at all).
+  if (cache != nullptr && cache->empty()) {
+    res.prefix_hit_tokens = cache->try_attach_prefix(in, sq, &res.out);
+  }
   double density_sum = 0.0;
-  for (Index q_lo = 0; q_lo < sq; q_lo += chunk_size) {
+  for (Index q_lo = res.prefix_hit_tokens; q_lo < sq; q_lo += chunk_size) {
     SATTN_SPAN("runtime/prefill_chunk");
     SATTN_COUNTER_ADD("runtime.prefill_chunks", 1);
     const Index q_hi = std::min(sq, q_lo + chunk_size);
@@ -77,6 +83,7 @@ StatusOr<ChunkedPrefillResult> run_chunked(const AttentionInput& in, Index chunk
     ++res.chunks;
   }
   res.mean_density = res.chunks > 0 ? density_sum / res.chunks : 1.0;
+  if (cache != nullptr) cache->publish_prefix(in, res.out);
   return res;
 }
 

@@ -12,6 +12,15 @@
 // chunk (each chunk plans its own mask against the current prefix — the
 // natural way to run SampleAttention under chunked serving).
 //
+// Prefix cache: when a cache is supplied (and starts empty), the prefill
+// first probes its arena's content-hash prefix index (runtime/kv_page.h)
+// and attaches every matching leading page — those tokens' outputs are
+// copied from the index and their chunks are never computed
+// (ChunkedPrefillResult::prefix_hit_tokens) — and afterwards publishes the
+// prompt's full pages so later identical-prefix prefills hit. A cache on a
+// private arena makes both steps no-ops in effect (nothing to hit, nobody
+// to share with).
+//
 // Malformed requests (non-square prefill, chunk_size <= 0, cache head_dim
 // mismatch) return a checked Status instead of asserting.
 #pragma once
@@ -29,6 +38,7 @@ struct ChunkedPrefillResult {
   Matrix out;          // [Sq x d], identical layout to one-shot attention
   Index chunks = 0;
   double mean_density = 1.0;  // mean kept density across chunks (sparse variant)
+  Index prefix_hit_tokens = 0;  // leading tokens served from the prefix index
 };
 
 // Exact chunked prefill. If cache != nullptr, all K/V rows are appended.

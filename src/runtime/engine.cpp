@@ -65,6 +65,38 @@ void fill_matrix(Matrix& m, Rng& rng) {
   }
 }
 
+// Segment-keyed content (requests with ServingRequest::segments): row r of
+// each stream depends only on (engine seed, segment key, absolute position
+// r), so two requests whose prompts start with the same segment sequence
+// produce bit-identical leading rows — the invariant the prefix cache's
+// content-hash chain verifies before sharing pages. Tokens past the declared
+// segments are keyed by the request id (private content). Segment-less
+// requests keep the original sequential per-request fill, bit-identical to
+// the pre-paging engine.
+void fill_row(std::span<float> row, std::uint64_t key) {
+  Rng rng(key);
+  for (float& x : row) x = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+}
+
+void fill_segmented(AttentionInput& in, const ServingRequest& req, std::uint64_t seed) {
+  const Index s = in.sq();
+  Index r = 0;
+  const auto fill_rows = [&](std::uint64_t base, Index hi) {
+    for (; r < hi; ++r) {
+      std::uint64_t h = base ^ (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(r) + 1));
+      h *= 0x100000001b3ull;
+      fill_row(in.q.row(r), h ^ 0x51ull);
+      fill_row(in.k.row(r), h ^ 0x4bull);
+      fill_row(in.v.row(r), h ^ 0x56ull);
+    }
+  };
+  for (const ContentSegment& seg : req.segments) {
+    if (r >= s) break;
+    fill_rows(mix_id(seed, "seg/" + seg.key), std::min(s, r + std::max<Index>(0, seg.tokens)));
+  }
+  fill_rows(mix_id(seed, "req/" + req.id), s);
+}
+
 double wall_seconds(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
@@ -86,6 +118,7 @@ struct ServingEngine::Live {
   Index prefilled = 0;  // query rows whose output is final
   bool decoding = false;
   Index decoded = 0;
+  Index prefix_hit = 0;  // prompt tokens attached from the prefix cache
 
   // TTFT attribution, accumulated over measured slices.
   double compute_s = 0.0;
@@ -111,8 +144,12 @@ struct ServingEngine::Live {
   Index audit_window = 0;
   double audit_predicted = 1.0;
   bool audit_has_plan = false;
+  // Sparse-residency eviction reuses the captured plan structure; set
+  // whenever a plan was accepted, independent of the auditor.
+  bool resid_has_plan = false;
 
-  Live(Index head_dim, FaultSpec fault) : cache(head_dim), injector(fault) {}
+  Live(Index head_dim, FaultSpec fault, std::shared_ptr<KvPageArena> arena)
+      : cache(head_dim, std::move(arena)), injector(fault) {}
 };
 
 std::vector<CompletedRequest> EngineResult::completions() const {
@@ -137,6 +174,9 @@ ServingEngine::ServingEngine(EngineOptions opts) : opts_(std::move(opts)) {
   assert(opts_.head_dim > 0 && opts_.chunk_tokens > 0 && opts_.max_batch > 0);
   if (opts_.degrade_density_scale.empty()) opts_.degrade_density_scale = {1.0};
   result_.served_per_level.assign(opts_.degrade_density_scale.size(), 0);
+  arena_ = opts_.kv_arena ? opts_.kv_arena
+                          : std::make_shared<KvPageArena>(opts_.head_dim, opts_.kv_page_tokens);
+  assert(arena_->head_dim() == opts_.head_dim);
 }
 
 ServingEngine::~ServingEngine() {
@@ -361,8 +401,32 @@ void ServingEngine::loop() {
   const double kv_per_token = 2.0 * static_cast<double>(opts_.head_dim) *
                               obs::kAcctBytesPerElement;
   const auto kv_bytes_of = [&](const Live& lr) {
-    return lr.decoding ? lr.cache.bytes()
-                       : kv_per_token * static_cast<double>(lr.req.prompt_tokens);
+    if (lr.decoding) return lr.cache.bytes();
+    // Prefilling: full-prompt demand, minus what already resides in the
+    // cache as attached prefix pages — those are billed at the cache's
+    // counted-once page share instead of the flat per-token projection.
+    return lr.cache.bytes() +
+           kv_per_token * static_cast<double>(std::max<Index>(0, lr.req.prompt_tokens - lr.cache.size()));
+  };
+
+  // Prefix-cache probe: attach leading shared pages from the arena's
+  // content-hash index and copy their stored attention outputs — those rows
+  // skip prefill compute entirely. Capped at prompt - 1 so even a
+  // full-prefix hit leaves one row of real prefill (the request still flows
+  // through form_step and the normal prefill-done transition). Called at
+  // admission AND again when a budget-deferred waiter activates: the index
+  // may have grown while it queued (an earlier sharer published).
+  const auto probe_prefix = [&](Live& lr) {
+    if (!opts_.kv_prefix_cache || lr.prefilled > 0 || !lr.cache.empty()) return;
+    const Index hit =
+        lr.cache.try_attach_prefix(lr.in, lr.req.prompt_tokens - 1, &lr.out);
+    if (hit <= 0) return;
+    lr.prefilled = hit;
+    lr.prefix_hit = hit;
+    ++result_.kv_prefix_hits;
+    result_.kv_prefix_hit_tokens += hit;
+    SATTN_COUNTER_ADD("engine.kv_prefix_hits", 1);
+    SATTN_COUNTER_ADD("engine.kv_prefix_hit_tokens", static_cast<double>(hit));
   };
 
   // Cancel ids with no matching request yet: a cancel can race ahead of its
@@ -427,7 +491,7 @@ void ServingEngine::loop() {
           continue;
         }
       }
-      auto lr = std::make_unique<Live>(opts_.head_dim, opts_.fault.for_request(req.id));
+      auto lr = std::make_unique<Live>(opts_.head_dim, opts_.fault.for_request(req.id), arena_);
       lr->req = std::move(req);
       if (opts_.max_prompt_tokens > 0 && lr->req.prompt_tokens > opts_.max_prompt_tokens) {
         SATTN_COUNTER_ADD("sched.oversized_rejects", 1);
@@ -444,19 +508,32 @@ void ServingEngine::loop() {
       lr->admit_seq = admit_seq_++;
       lr->active = opts_.kv_budget_bytes <= 0.0;  // budget gate (activation below)
       const Index s = lr->req.prompt_tokens, d = opts_.head_dim;
-      Rng rng(mix_id(opts_.seed, lr->req.id));
       lr->in.q.resize(s, d);
       lr->in.k.resize(s, d);
       lr->in.v.resize(s, d);
-      fill_matrix(lr->in.q, rng);
-      fill_matrix(lr->in.k, rng);
-      fill_matrix(lr->in.v, rng);
-      lr->out.resize(s, d);
-      if (opts_.decode_tokens > 0) {
-        lr->dec_q.resize(opts_.decode_tokens, d);
-        fill_matrix(lr->dec_q, rng);
-        lr->dec_out.assign(static_cast<std::size_t>(d), 0.0f);
+      if (lr->req.segments.empty()) {
+        // Sequential per-request fill — bit-identical to the pre-paging
+        // engine, so segment-less runs reproduce exactly.
+        Rng rng(mix_id(opts_.seed, lr->req.id));
+        fill_matrix(lr->in.q, rng);
+        fill_matrix(lr->in.k, rng);
+        fill_matrix(lr->in.v, rng);
+        if (opts_.decode_tokens > 0) {
+          lr->dec_q.resize(opts_.decode_tokens, d);
+          fill_matrix(lr->dec_q, rng);
+        }
+      } else {
+        fill_segmented(lr->in, lr->req, opts_.seed);
+        if (opts_.decode_tokens > 0) {
+          lr->dec_q.resize(opts_.decode_tokens, d);
+          Rng rng(mix_id(opts_.seed, "dec/" + lr->req.id));
+          fill_matrix(lr->dec_q, rng);
+        }
       }
+      lr->out.resize(s, d);
+      if (opts_.decode_tokens > 0) lr->dec_out.assign(static_cast<std::size_t>(d), 0.0f);
+
+      probe_prefix(*lr);
       SATTN_COUNTER_ADD("sched.requests_enqueued", 1);
       live_.push_back(std::move(lr));
       result_.peak_live_batch = std::max(result_.peak_live_batch, static_cast<Index>(live_.size()));
@@ -517,7 +594,13 @@ void ServingEngine::loop() {
         }
         if (active_kv_bytes + need <= opts_.kv_budget_bytes) {
           lr.active = true;
-          active_kv_bytes += need;
+          // Requests that queued behind the budget re-probe the prefix
+          // index: an earlier sharer may have published while they waited.
+          // Attached shared pages bill at the counted-once share, so the
+          // post-probe demand can only be <= the flat projection that
+          // passed the fit test above.
+          probe_prefix(lr);
+          active_kv_bytes += kv_bytes_of(lr);
           ++it;
           continue;
         }
@@ -536,6 +619,12 @@ void ServingEngine::loop() {
       }
     }
     result_.peak_kv_bytes = std::max(result_.peak_kv_bytes, active_kv_bytes);
+    {
+      // Arena-wide page residency (shared pages counted once by the arena).
+      const Index pages_live = arena_->pages_live();
+      result_.kv_pages_peak = std::max(result_.kv_pages_peak, pages_live);
+      SATTN_GAUGE_SET("engine.kv_pages_live", static_cast<double>(pages_live));
+    }
 
     // Telemetry snapshot channel: atomics only, read by the publisher.
     if (tele_hub_) {
@@ -666,9 +755,22 @@ void ServingEngine::loop() {
     items.reserve(step.size());
     RaggedBatchView batch;
     batch.flash = opts_.flash;
-    for (const StepItem& si : step) {
+    for (StepItem si : step) {
       Live* lr = find_live(si.id);
       assert(lr != nullptr);
+      // Scheduled-time prefix probe: a request starting its FIRST prefill
+      // chunk looks the index up again here — requests admitted in the same
+      // intake sweep (or queued behind the batch) see pages an earlier
+      // sharer published after their admission-time probe missed. On a hit
+      // the scheduled window shifts past the attached rows.
+      if (!si.decode && si.q_lo == 0 && lr->prefilled == 0) {
+        probe_prefix(*lr);
+        if (lr->prefilled > 0) {
+          const Index rows = si.q_hi - si.q_lo;
+          si.q_lo = lr->prefilled;
+          si.q_hi = std::min(lr->req.prompt_tokens, si.q_lo + rows);
+        }
+      }
       ItemState st;
       st.lr = lr;
       st.decode = si.decode;
@@ -682,7 +784,7 @@ void ServingEngine::loop() {
         seq.route = SeqRoute::kDense;
         seq.q = lr->dec_q.row(lr->decoded).data();
         seq.rows = 1;
-        seq.kv = {lr->cache.k_data(), lr->cache.v_data(), d};
+        seq.kv = lr->cache.view();  // reads straight through the page table
         seq.k_hi = lr->cache.size();
         seq.causal_off = seq.k_hi - 1;
         seq.out = lr->dec_out.data();
@@ -933,13 +1035,15 @@ void ServingEngine::loop() {
           std::copy(src.begin(), src.end(), lr->out.row(st.q_lo + r).begin());
         }
       }
-      if (auditor_ && st.plan) {
-        // Remember the accepted plan's structure so sampled decode rows can
-        // be scored against it once the request starts generating.
+      if ((auditor_ || opts_.kv_sparse_residency) && st.plan) {
+        // Remember the accepted plan's structure: the decode-phase shadow
+        // audit scores sampled rows against it, and sparse-residency
+        // eviction keeps exactly its stripes + window at prefill-done.
         lr->audit_stripes = st.plan->mask.stripe_columns();
         lr->audit_window = st.plan->mask.window();
         lr->audit_predicted = st.plan->filter.coverage;
-        lr->audit_has_plan = true;
+        lr->audit_has_plan = auditor_ != nullptr;
+        lr->resid_has_plan = true;
       }
       lr->prefilled = st.q_hi;
       const double ttft_so_far = t_done - lr->req.arrival_seconds;
@@ -958,27 +1062,52 @@ void ServingEngine::loop() {
         continue;
       }
       if (lr->prefilled >= lr->req.prompt_tokens) {
-        lr->finish_prefill_s = t_done;
-        tele_push(obs::TelemetryEventKind::kPrefillDone, lr->req.id, t_done,
-                  t_done - lr->req.arrival_seconds);
-        emit_timeline(opts_.run_label, lr->req.id, t_done, obs::RequestPhase::kPrefillDone);
-        if (opts_.decode_tokens > 0) {
-          // Cache fill is service work on the request's critical path.
+        // The cache is needed for decode, and (independently) to publish
+        // this prompt's prefix pages for future requests to attach. It is
+        // filled BEFORE the TTFT stamp: the fill (and the prefix publish's
+        // hashing) bills to compute, so it must lie inside the TTFT wall
+        // window or the queue residual could go negative.
+        if (opts_.decode_tokens > 0 || opts_.kv_prefix_cache) {
+          // Cache fill is service work on the request's critical path; it
+          // appends only the suffix past any attached prefix pages.
           const double c0 = now();
           const Status cs = lr->cache.append_prefill(lr->in);
           assert(cs.ok());
           (void)cs;
+          if (opts_.kv_prefix_cache) lr->cache.publish_prefix(lr->in, lr->out);
           lr->compute_s += now() - c0;
-          lr->decoding = true;
-          if (opts_.kv_budget_bytes > 0.0) {
-            lr->evict = make_eviction_policy(opts_.kv_eviction, opts_.kv_evict_keep,
-                                             opts_.kv_evict_recent);
+          // Sparse-residency eviction: with an accepted structured plan, no
+          // decode row will read keys outside the plan's stripes + local
+          // window — free the pages holding only such tokens, so page
+          // residency tracks the mask's retained fraction.
+          if (opts_.kv_sparse_residency && lr->resid_has_plan) {
+            const Index dropped =
+                apply_mask_residency(lr->cache, lr->audit_stripes, lr->audit_window);
+            if (dropped > 0) {
+              ++result_.kv_residency_evictions;
+              SATTN_COUNTER_ADD("engine.kv_residency_evictions", 1);
+            }
+          }
+          result_.kv_pages_resident += lr->cache.pages();
+          result_.kv_pages_full += (lr->req.prompt_tokens + arena_->page_tokens() - 1) >>
+                                   arena_->page_shift();
+          if (opts_.decode_tokens > 0) {
+            lr->decoding = true;
+            if (opts_.kv_budget_bytes > 0.0) {
+              lr->evict = make_eviction_policy(opts_.kv_eviction, opts_.kv_evict_keep,
+                                               opts_.kv_evict_recent);
+            }
           }
           // The prefill tensors are dead once the cache holds K/V: release
           // them so live memory tracks what the KV budget models.
           lr->in = AttentionInput{};
           lr->out = Matrix{};
         }
+        const double t_fin = now();
+        lr->finish_prefill_s = t_fin;
+        tele_push(obs::TelemetryEventKind::kPrefillDone, lr->req.id, t_fin,
+                  t_fin - lr->req.arrival_seconds);
+        emit_timeline(opts_.run_label, lr->req.id, t_fin, obs::RequestPhase::kPrefillDone);
       }
     }
 
@@ -999,6 +1128,7 @@ void ServingEngine::loop() {
       c.base.queue_seconds = c.base.ttft() - c.base.compute_seconds - c.base.guard_seconds;
       c.decoded_tokens = lr.decoded;
       c.tpot_seconds = lr.decoded > 0 ? lr.decode_total_s / static_cast<double>(lr.decoded) : 0.0;
+      c.prefix_hit_tokens = lr.prefix_hit;
       if (lr.level > 0) {
         ++result_.degraded;
         SATTN_COUNTER_ADD("sched.requests_degraded", 1);

@@ -57,6 +57,7 @@
 #include "robust/fault_injection.h"
 #include "runtime/batch.h"
 #include "runtime/eviction.h"
+#include "runtime/kv_page.h"
 #include "runtime/scheduler.h"
 #include "sample_attention/guarded.h"
 #include "sample_attention/sample_attention.h"
@@ -130,6 +131,32 @@ struct EngineOptions {
   Index kv_evict_keep = 96;    // max slots a pressured cache retains
   Index kv_evict_recent = 64;  // tail slots always retained
 
+  // ---- Paged KV & prefix cache (runtime/kv_page.h) ----
+
+  // Shared page arena. Null: the engine creates its own private arena sized
+  // by kv_page_tokens. Passing one in lets several engine runs share a
+  // prefix index — a warm run reuses pages published by an earlier cold run
+  // (bench_serving --prefix measures exactly this).
+  std::shared_ptr<KvPageArena> kv_arena;
+  Index kv_page_tokens = KvPageArena::kDefaultPageTokens;  // power of two
+
+  // Prefix cache: at admission the engine probes the arena's content-hash
+  // index with the request's synthetic prompt content and attaches any
+  // matching shared pages — those tokens skip prefill compute entirely
+  // (counters engine.kv_prefix_hits / engine.kv_prefix_hit_tokens), cutting
+  // TTFT; at prefill completion the request's full pages are published for
+  // future requests. Sharing requires overlapping ServingRequest::segments.
+  bool kv_prefix_cache = true;
+
+  // Sparse-residency eviction (sample mode): when a request finishes
+  // prefill with an accepted structured plan, drop the KV pages no head
+  // will touch again — keep the plan's stripe columns plus the local-window
+  // tail — so pages_live tracks the mask's retained fraction instead of the
+  // dense footprint. Uses the same keep_slots COW machinery as the
+  // pressure-driven eviction rungs, but triggered by plan structure rather
+  // than memory pressure.
+  bool kv_sparse_residency = false;
+
   // Watchdog: with watchdog_stall_seconds > 0 a monitor thread alerts
   // (engine.watchdog_stalls) when the loop makes no progress for that long
   // while not idle-waiting — a stuck kernel or a deadlocked step. With
@@ -181,7 +208,8 @@ struct EngineOptions {
 struct EngineCompletion {
   CompletedRequest base;
   Index decoded_tokens = 0;
-  double tpot_seconds = 0.0;  // mean measured decode-step seconds
+  double tpot_seconds = 0.0;    // mean measured decode-step seconds
+  Index prefix_hit_tokens = 0;  // prompt tokens served from the prefix cache
 };
 
 // A request that reached the kCancelled terminal state: explicitly via
@@ -217,6 +245,18 @@ struct EngineResult {
   double peak_kv_bytes = 0.0;   // max projected live KV bytes observed
   Index watchdog_stalls = 0;    // stall alerts from the watchdog thread
   Index breaker_trips = 0;      // closed -> open transitions
+
+  // Paged-KV telemetry (mirrored by engine.kv_* counters).
+  Index kv_prefix_hits = 0;        // requests that attached >= 1 shared page
+  Index kv_prefix_hit_tokens = 0;  // prompt tokens skipped via the prefix cache
+  Index kv_pages_peak = 0;         // max arena pages_live observed by the loop
+  Index kv_residency_evictions = 0;  // sparse-residency page drops performed
+  // Page-residency ratio inputs, summed over finished prefills: pages the
+  // cache actually holds once residency eviction ran, vs. the dense
+  // ceil(prompt / page_tokens) footprint. resident/full ~= the mask's
+  // retained fraction in sparse-residency runs, ~= 1 otherwise.
+  Index kv_pages_resident = 0;
+  Index kv_pages_full = 0;
 
   std::vector<CompletedRequest> completions() const;  // bases, for summarize()
 
@@ -278,6 +318,11 @@ class ServingEngine {
   // through it. finish() publishes its scorecard as `audit.*` gauges.
   const obs::QualityAuditor* auditor() const { return auditor_.get(); }
 
+  // The page arena backing every live KVCache (never null after
+  // construction). Expose it to share the prefix index across engine runs:
+  // pass it as EngineOptions::kv_arena of a later engine.
+  const std::shared_ptr<KvPageArena>& kv_arena() const { return arena_; }
+
  private:
   struct Live;  // one in-flight request (engine.cpp)
 
@@ -329,6 +374,10 @@ class ServingEngine {
   // calls run on sweep workers and the loop thread; the auditor locks its
   // own accumulation state internally.
   std::unique_ptr<obs::QualityAuditor> auditor_;
+
+  // Page arena backing all live KV caches (and the prefix index). Declared
+  // before live_ so caches release their pages before the arena dies.
+  std::shared_ptr<KvPageArena> arena_;
 
   // Loop-thread-owned state.
   std::vector<std::unique_ptr<Live>> live_;

@@ -71,6 +71,29 @@ bool SinkRecentPolicy::enforce(KVCache& cache) {
   return true;
 }
 
+Index apply_mask_residency(KVCache& cache, std::span<const Index> stripe_columns, Index window) {
+  const Index n = cache.size();
+  const Index tail_lo = std::max<Index>(0, n - std::max<Index>(0, window));
+  std::vector<Index> keep;
+  keep.reserve(static_cast<std::size_t>(std::min<Index>(
+      n, static_cast<Index>(stripe_columns.size()) + (n - tail_lo))));
+  for (Index s = 0; s < n; ++s) {
+    if (s >= tail_lo ||
+        std::binary_search(stripe_columns.begin(), stripe_columns.end(), cache.position(s))) {
+      keep.push_back(s);
+    }
+  }
+  const Index dropped = n - static_cast<Index>(keep.size());
+  if (dropped <= 0) return 0;
+  SATTN_SPAN("runtime/eviction");
+  SATTN_COUNTER_ADD("kv_cache.eviction_passes", 1);
+  SATTN_COUNTER_ADD("kv_cache.evicted_slots", static_cast<double>(dropped));
+  const Status kept = cache.keep_slots(keep);
+  assert(kept.ok());
+  (void)kept;
+  return dropped;
+}
+
 const char* eviction_kind_name(EvictionKind kind) {
   switch (kind) {
     case EvictionKind::kNone: return "none";

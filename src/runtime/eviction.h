@@ -83,4 +83,15 @@ const char* eviction_kind_name(EvictionKind kind);
 std::unique_ptr<EvictionPolicy> make_eviction_policy(EvictionKind kind, Index keep_budget,
                                                      Index recent);
 
+// Plan-structure residency: compacts a freshly prefilled cache to the slots
+// a decoding head will still read under an accepted structured plan — the
+// plan's stripe columns plus the trailing `window` slots (the local band's
+// reach at the decode row). Unlike the pressure rungs above this is driven
+// by the Stage-2 mask, not by a byte budget: pages whose every token is
+// outside the retained structure are freed back to the arena, so
+// pages_live tracks the mask's retained fraction instead of the dense
+// footprint (the engine's kv_sparse_residency mode). `stripe_columns` must
+// be ascending original positions. Returns the number of slots dropped.
+Index apply_mask_residency(KVCache& cache, std::span<const Index> stripe_columns, Index window);
+
 }  // namespace sattn

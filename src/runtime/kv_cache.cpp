@@ -1,10 +1,78 @@
 #include "runtime/kv_cache.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "obs/trace.h"
 
 namespace sattn {
+
+KVCache::KVCache(Index head_dim, std::shared_ptr<KvPageArena> arena)
+    : d_(head_dim), arena_(std::move(arena)) {
+  assert(head_dim > 0);
+  if (arena_ == nullptr) arena_ = std::make_shared<KvPageArena>(head_dim);
+  assert(arena_->head_dim() == d_ && "cache head_dim must match its arena");
+  shift_ = arena_->page_shift();
+  mask_ = arena_->page_mask();
+}
+
+KVCache::~KVCache() { release_all_pages(); }
+
+KVCache& KVCache::operator=(KVCache&& other) noexcept {
+  if (this != &other) {
+    release_all_pages();
+    d_ = other.d_;
+    shift_ = other.shift_;
+    mask_ = other.mask_;
+    arena_ = std::move(other.arena_);
+    pages_ = std::move(other.pages_);
+    k_ptrs_ = std::move(other.k_ptrs_);
+    v_ptrs_ = std::move(other.v_ptrs_);
+    shared_pages_ = other.shared_pages_;
+    positions_ = std::move(other.positions_);
+    other.shared_pages_ = 0;
+  }
+  return *this;
+}
+
+void KVCache::push_page(const KvPageArena::PageRef& ref) {
+  pages_.push_back(ref.id);
+  k_ptrs_.push_back(ref.k);
+  v_ptrs_.push_back(ref.v);
+}
+
+void KVCache::release_all_pages() {
+  if (arena_ == nullptr) return;  // moved-from
+  for (const Index id : pages_) arena_->release(id);
+  pages_.clear();
+  k_ptrs_.clear();
+  v_ptrs_.clear();
+  shared_pages_ = 0;
+}
+
+double KVCache::bytes() const {
+  const double page_bytes = arena_->page_bytes();
+  double total = 0.0;
+  for (std::size_t pi = 0; pi < pages_.size(); ++pi) {
+    if (static_cast<Index>(pi) < shared_pages_) {
+      const int owners = arena_->owner_count(pages_[pi]);
+      total += page_bytes / static_cast<double>(std::max(owners, 1));
+    } else {
+      total += page_bytes;  // private page: sole owner by construction
+    }
+  }
+  return total;
+}
+
+mk::KvView KVCache::view() const {
+  mk::KvView v;
+  v.d = d_;
+  v.k_pages = k_ptrs_.data();
+  v.v_pages = v_ptrs_.data();
+  v.page_shift = shift_;
+  v.page_mask = mask_;
+  return v;
+}
 
 Status KVCache::append(Index pos, std::span<const float> k_row, std::span<const float> v_row) {
   SATTN_CHECK(static_cast<Index>(k_row.size()) == d_ && static_cast<Index>(v_row.size()) == d_,
@@ -13,8 +81,14 @@ Status KVCache::append(Index pos, std::span<const float> k_row, std::span<const 
   SATTN_CHECK(positions_.empty() || pos > positions_.back(), kFailedPrecondition,
               "KV append position ", pos, " breaks position monotonicity (last appended position ",
               positions_.empty() ? -1 : positions_.back(), ")");
-  k_.insert(k_.end(), k_row.begin(), k_row.end());
-  v_.insert(v_.end(), v_row.begin(), v_row.end());
+  const Index slot = size();
+  const Index pi = slot >> shift_;
+  if (pi == static_cast<Index>(pages_.size())) push_page(arena_->alloc());
+  assert(pi < static_cast<Index>(pages_.size()));
+  assert(pi >= shared_pages_ && "appends must land after the shared prefix (shared pages are full)");
+  const std::size_t off = static_cast<std::size_t>(slot & mask_) * static_cast<std::size_t>(d_);
+  std::copy(k_row.begin(), k_row.end(), k_ptrs_[static_cast<std::size_t>(pi)] + off);
+  std::copy(v_row.begin(), v_row.end(), v_ptrs_[static_cast<std::size_t>(pi)] + off);
   positions_.push_back(pos);
   SATTN_COUNTER_ADD("kv_cache.appended_rows", 1);
   return Status::Ok();
@@ -25,7 +99,13 @@ Status KVCache::append_prefill(const AttentionInput& in) {
               " does not match cache head_dim ", d_);
   SATTN_CHECK(in.k.rows() == in.v.rows(), kInvalidArgument, "prefill K has ", in.k.rows(),
               " rows but V has ", in.v.rows());
-  for (Index j = 0; j < in.sk(); ++j) {
+  // The attach/append lifecycle: the cache holds exactly positions
+  // [0, size()) — an attached prefix or a previous partial fill — and this
+  // call appends the remaining suffix.
+  SATTN_CHECK(positions_.empty() || positions_.back() == size() - 1, kFailedPrecondition,
+              "append_prefill needs a dense position prefix, cache ends at position ",
+              positions_.empty() ? -1 : positions_.back(), " with ", size(), " slots");
+  for (Index j = size(); j < in.sk(); ++j) {
     SATTN_RETURN_IF_ERROR(append(j, in.k.row(j), in.v.row(j)));
   }
   return Status::Ok();
@@ -54,22 +134,104 @@ Status KVCache::keep_slots(std::span<const Index> sorted_slots) {
   }
   SATTN_COUNTER_ADD("kv_cache.evicted_rows",
                     size() - static_cast<Index>(sorted_slots.size()));
-  std::vector<float> nk, nv;
+  // Copy-on-write compaction: survivors are rewritten into fresh private
+  // pages, then every old page — shared prefix pages included — is
+  // released. Whole pages go back to the arena's freelist; a shared image
+  // other caches still reference is never written.
+  std::vector<Index> old_pages = std::move(pages_);
+  std::vector<float*> old_k = std::move(k_ptrs_);
+  std::vector<float*> old_v = std::move(v_ptrs_);
+  pages_.clear();
+  k_ptrs_.clear();
+  v_ptrs_.clear();
+  shared_pages_ = 0;
   std::vector<Index> npos;
-  nk.reserve(sorted_slots.size() * static_cast<std::size_t>(d_));
-  nv.reserve(sorted_slots.size() * static_cast<std::size_t>(d_));
   npos.reserve(sorted_slots.size());
+  const std::size_t row = static_cast<std::size_t>(d_);
+  Index slot_out = 0;
   for (Index slot : sorted_slots) {
-    const auto kr = k(slot);
-    const auto vr = v(slot);
-    nk.insert(nk.end(), kr.begin(), kr.end());
-    nv.insert(nv.end(), vr.begin(), vr.end());
+    const Index pi = slot_out >> shift_;
+    if (pi == static_cast<Index>(pages_.size())) push_page(arena_->alloc());
+    const std::size_t dst = static_cast<std::size_t>(slot_out & mask_) * row;
+    const std::size_t spi = static_cast<std::size_t>(slot >> shift_);
+    const std::size_t src = static_cast<std::size_t>(slot & mask_) * row;
+    std::memcpy(k_ptrs_[static_cast<std::size_t>(pi)] + dst, old_k[spi] + src,
+                row * sizeof(float));
+    std::memcpy(v_ptrs_[static_cast<std::size_t>(pi)] + dst, old_v[spi] + src,
+                row * sizeof(float));
     npos.push_back(positions_[static_cast<std::size_t>(slot)]);
+    ++slot_out;
   }
-  k_ = std::move(nk);
-  v_ = std::move(nv);
+  for (const Index id : old_pages) arena_->release(id);
   positions_ = std::move(npos);
   return Status::Ok();
+}
+
+Index KVCache::try_attach_prefix(const AttentionInput& in, Index max_tokens, Matrix* out) {
+  assert(empty() && "prefix attach requires an empty cache");
+  assert(in.head_dim() == d_);
+  assert(out == nullptr || (out->rows() >= in.sq() && out->cols() == d_));
+  const Index P = arena_->page_tokens();
+  const Index limit = std::min(std::min(max_tokens, in.sk()), in.sq());
+  std::uint64_t chain = kPrefixChainSeed;
+  Index attached = 0;
+  std::vector<float> k_expect(static_cast<std::size_t>(P) * static_cast<std::size_t>(d_));
+  std::vector<float> v_expect(k_expect.size());
+  std::vector<float> out_rows(k_expect.size());
+  while (attached + P <= limit) {
+    const Index lo = attached, hi = attached + P;
+    chain = prefix_chain_hash(chain, in, lo, hi);
+    const std::size_t row = static_cast<std::size_t>(d_) * sizeof(float);
+    for (Index r = lo; r < hi; ++r) {
+      std::memcpy(k_expect.data() + static_cast<std::size_t>(r - lo) * d_, in.k.row(r).data(), row);
+      std::memcpy(v_expect.data() + static_cast<std::size_t>(r - lo) * d_, in.v.row(r).data(), row);
+    }
+    const KvPageArena::PageRef ref =
+        arena_->prefix_lookup(chain, k_expect.data(), v_expect.data(), out_rows.data());
+    if (ref.id < 0) break;
+    push_page(ref);
+    ++shared_pages_;
+    if (out != nullptr) {
+      for (Index r = lo; r < hi; ++r) {
+        std::memcpy(out->row(r).data(), out_rows.data() + static_cast<std::size_t>(r - lo) * d_,
+                    row);
+      }
+    }
+    for (Index r = lo; r < hi; ++r) positions_.push_back(r);
+    attached = hi;
+  }
+  if (attached > 0) SATTN_COUNTER_ADD("kv_cache.prefix_hit_tokens", attached);
+  return attached;
+}
+
+Index KVCache::publish_prefix(const AttentionInput& in, const Matrix& out) {
+  assert(in.head_dim() == d_ && out.cols() == d_);
+  const Index P = arena_->page_tokens();
+  // Only a dense position prefix is publishable: page p must hold exactly
+  // tokens [p*P, (p+1)*P).
+  Index dense = 0;
+  while (dense < size() && positions_[static_cast<std::size_t>(dense)] == dense) ++dense;
+  const Index full_pages = std::min(dense, std::min(in.sk(), out.rows())) >> shift_;
+  std::uint64_t chain = kPrefixChainSeed;
+  Index published = 0;
+  for (Index pi = 0; pi < full_pages; ++pi) {
+    const Index lo = pi * P, hi = lo + P;
+    chain = prefix_chain_hash(chain, in, lo, hi);
+    if (pi < shared_pages_) continue;  // attached pages are already published
+    if (!arena_->prefix_publish(chain, pages_[static_cast<std::size_t>(pi)], out.row(lo).data())) {
+      // Lost the publish race: another cache's image already backs this
+      // chain (and therefore every longer chain). Our pages stay private
+      // duplicates; later requests will hit the winner's image.
+      break;
+    }
+    ++published;
+    // Published pages are immutable and refcounted by the index; they now
+    // count as this cache's shared prefix (appends land past them and
+    // bytes() amortizes them across owners).
+    assert(pi == shared_pages_);
+    ++shared_pages_;
+  }
+  return published;
 }
 
 }  // namespace sattn

@@ -31,10 +31,34 @@
 
 namespace sattn {
 
+// A span of prompt content identified by a stable key. Two requests whose
+// prompts start with the same segment sequence produce bit-identical Q/K/V
+// rows for those tokens (the live engine derives synthetic content from the
+// segment key + absolute position, not the request id), which is what makes
+// the paged KV prefix cache (runtime/kv_page.h) able to share their prefill
+// across requests — e.g. a fleet of conversations reusing one system prompt.
+struct ContentSegment {
+  std::string key;   // content identity ("sys", "conv/7", ...)
+  Index tokens = 0;  // length of the segment in prompt tokens
+};
+
 struct ServingRequest {
   std::string id;
   Index prompt_tokens = 0;
   double arrival_seconds = 0.0;
+  // Optional content layout. When non-empty, segment tokens must sum to
+  // <= prompt_tokens (the remainder is request-private content); when empty
+  // the whole prompt is private to the request (the pre-paging behavior,
+  // bit-identical to it).
+  std::vector<ContentSegment> segments;
+
+  ServingRequest() = default;
+  ServingRequest(std::string id_, Index tokens, double arrival,
+                 std::vector<ContentSegment> segs = {})
+      : id(std::move(id_)),
+        prompt_tokens(tokens),
+        arrival_seconds(arrival),
+        segments(std::move(segs)) {}
 };
 
 enum class EngineKind { kSdpa, kFlashAttention, kSampleAttention };

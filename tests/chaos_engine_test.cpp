@@ -160,6 +160,78 @@ TEST_F(ChaosObs, StormEveryRequestReachesExactlyOneTerminalState) {
   EXPECT_GE(res.cancelled.size(), 2u);  // the ahead-of-submit cancels at minimum
 }
 
+TEST_F(ChaosObs, StormWithSharedPrefixArenaLeaksNoPages) {
+  // A faulted, cancelled, concurrently-submitted storm over a SHARED page
+  // arena: half the requests carry a common "sys" segment so prefix pages
+  // are published, attached, and COW-released while requests retry and die
+  // mid-flight. The pin: after the engine is gone, the arena holds exactly
+  // the index-published pages — alloc minus freed equals live (no leak),
+  // and release() asserts inside the arena catch any double free.
+  constexpr int kRequests = 24;
+  EngineOptions opts = chaos_engine();
+  opts.fault = {FaultClass::kTensorNaN, 0.2, 0x9a6e5ull, /*max_fires=*/6};
+  opts.max_retries = 2;
+  opts.retry_backoff_seconds = 0.001;
+  // KV backpressure stages admission (~4 requests' worth of pages at a
+  // time), so later shared-segment requests admit after the first publish
+  // and actually hit the prefix index mid-storm.
+  opts.kv_budget_bytes = 4.0 * 256.0 * (2.0 * opts.head_dim * sizeof(float));
+  auto arena = std::make_shared<KvPageArena>(opts.head_dim, opts.kv_page_tokens);
+  opts.kv_arena = arena;
+  const std::vector<ContentSegment> sys = {{"sys", 128}};
+  {
+    ServingEngine engine(opts);
+    engine.start();
+    std::vector<std::string> ids;
+    for (int i = 0; i < kRequests; ++i) ids.push_back("p" + std::to_string(i));
+    std::atomic<int> next{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&] {
+        for (;;) {
+          const int n = next.fetch_add(1);
+          if (n >= kRequests) return;
+          // Even requests share the system segment; odd ones are private.
+          ServingRequest req(ids[static_cast<std::size_t>(n)], 192 + 64 * (n % 2), 0.0,
+                             n % 2 == 0 ? sys : std::vector<ContentSegment>{});
+          ASSERT_TRUE(engine.submit(std::move(req)).ok());
+        }
+      });
+    }
+    // Cancel only odd (private) ids: the shared-segment requests complete
+    // deterministically, so the index is guaranteed to end up populated.
+    std::thread canceller([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      for (int i = 1; i < kRequests; i += 4) engine.cancel(ids[static_cast<std::size_t>(i)]);
+    });
+    for (std::thread& t : submitters) t.join();
+    canceller.join();
+    const EngineResult res = engine.finish();
+
+    std::vector<std::string> terminal;
+    for (const auto& [id, state] : res.outcomes()) terminal.push_back(id);
+    ASSERT_EQ(terminal.size(), static_cast<std::size_t>(kRequests));
+    std::sort(terminal.begin(), terminal.end());
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(terminal, ids);
+    EXPECT_GT(res.kv_prefix_hits, 0);  // sharing actually happened
+  }
+
+  // Engine destroyed: every per-request cache released its pages. What
+  // remains live is exactly the published prefix set, counted once.
+  EXPECT_GT(arena->prefix_entries(), 0);
+  EXPECT_EQ(arena->pages_live(), arena->prefix_entries());
+  EXPECT_EQ(arena->pages_allocated() - arena->pages_freed(), arena->pages_live());
+
+  // The published pages are still attachable: a fresh engine over the same
+  // arena gets the full shared segment (two 64-token pages) for free.
+  ServingEngine fresh(opts);
+  const std::vector<ServingRequest> warm = {{"fresh", 256, 0.0, sys}};
+  const EngineResult wres = fresh.run_trace(warm);
+  ASSERT_EQ(wres.completed.size(), 1u);
+  EXPECT_EQ(wres.completed[0].prefix_hit_tokens, 128);
+}
+
 // ---------------------------------------------------------------------------
 // Determinism: same spec => same outcome multiset, any submit interleaving.
 
@@ -480,7 +552,7 @@ TEST(ChaosEviction, CompactedCacheKeepsSweepBitIdenticalToDirectKernels) {
 
     std::vector<float> ref(static_cast<std::size_t>(d), 0.0f);
     std::vector<float> got(static_cast<std::size_t>(d), 0.0f);
-    const mk::KvView kv{cache.k_data(), cache.v_data(), d};
+    const mk::KvView kv = cache.view();  // paged view over the compacted table
     flash_rows(q.data(), 1, kv, cache.size(), cache.size() - 1, ref.data(), d);
 
     RaggedBatchView batch;

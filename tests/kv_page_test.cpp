@@ -1,0 +1,409 @@
+// Tests for the paged KV arena (runtime/kv_page.h) and the paged KVCache
+// (runtime/kv_cache.h): refcount/freelist correctness, page-granular
+// eviction, copy-on-write divergence after a shared prefix, counted-once
+// byte accounting, the content-hash prefix index, and — the load-bearing
+// contract — bit-identical kernel reads through the page table for all
+// three ragged-sweep routes plus decode.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "attention/block_sparse.h"
+#include "attention/flash_attention.h"
+#include "attention/sparse_flash_attention.h"
+#include "core/rng.h"
+#include "runtime/chunked_prefill.h"
+#include "runtime/eviction.h"
+#include "runtime/kv_cache.h"
+#include "runtime/kv_page.h"
+#include "sample_attention/sample_attention.h"
+
+namespace sattn {
+namespace {
+
+AttentionInput random_input(Index sq, Index sk, Index d, std::uint64_t seed) {
+  AttentionInput in;
+  in.q.resize(sq, d);
+  in.k.resize(sk, d);
+  in.v.resize(sk, d);
+  Rng rng(seed);
+  rng.fill_normal(in.q);
+  rng.fill_normal(in.k);
+  rng.fill_normal(in.v);
+  return in;
+}
+
+void expect_bit_identical(const Matrix& a, const Matrix& b, const char* what) {
+  ASSERT_EQ(a.rows(), b.rows()) << what;
+  ASSERT_EQ(a.cols(), b.cols()) << what;
+  for (Index r = 0; r < a.rows(); ++r) {
+    ASSERT_EQ(std::memcmp(a.row(r).data(), b.row(r).data(), a.row(r).size() * sizeof(float)), 0)
+        << what << " row " << r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arena mechanics.
+
+TEST(KvPageArena, AllocReleaseRefcountAndFreelistReuse) {
+  KvPageArena arena(/*head_dim=*/16, /*page_tokens=*/64);
+  EXPECT_EQ(arena.page_tokens(), 64);
+  EXPECT_EQ(arena.page_mask(), 63);
+  EXPECT_EQ(1 << arena.page_shift(), 64);
+
+  const auto a = arena.alloc();
+  const auto b = arena.alloc();
+  ASSERT_GE(a.id, 0);
+  ASSERT_GE(b.id, 0);
+  ASSERT_NE(a.id, b.id);
+  ASSERT_NE(a.k, nullptr);
+  ASSERT_NE(a.v, nullptr);
+  EXPECT_EQ(arena.pages_live(), 2);
+  EXPECT_EQ(arena.pages_allocated(), 2);
+  EXPECT_EQ(arena.refcount(a.id), 1);
+
+  arena.retain(a.id);
+  EXPECT_EQ(arena.refcount(a.id), 2);
+  arena.release(a.id);
+  EXPECT_EQ(arena.refcount(a.id), 1);
+  EXPECT_EQ(arena.pages_live(), 2) << "still referenced";
+
+  arena.release(a.id);
+  EXPECT_EQ(arena.pages_live(), 1);
+  EXPECT_EQ(arena.pages_freed(), 1);
+
+  // The freed page comes back off the freelist, not a fresh allocation.
+  const auto c = arena.alloc();
+  EXPECT_EQ(c.id, a.id);
+  EXPECT_EQ(arena.pages_live(), 2);
+  arena.release(c.id);
+  arena.release(b.id);
+  EXPECT_EQ(arena.pages_live(), 0);
+  EXPECT_EQ(arena.bytes_live(), 0.0);
+  EXPECT_EQ(arena.pages_allocated() - arena.pages_freed(), 0);
+}
+
+TEST(KvPageArena, PageBytesMatchesAcctConvention) {
+  KvPageArena arena(/*head_dim=*/32, /*page_tokens=*/64);
+  // K + V, fp32: 2 * 64 * 32 * 4.
+  EXPECT_DOUBLE_EQ(arena.page_bytes(), 2.0 * 64 * 32 * 4);
+}
+
+TEST(KvPageArena, ConcurrentAllocReleaseIsClean) {
+  // Exercised under TSan by scripts/check_sanitizers.sh: concurrent
+  // alloc/retain/release churn must not race or double-free.
+  KvPageArena arena(/*head_dim=*/8, /*page_tokens=*/16);
+  constexpr int kThreads = 4, kIters = 500;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&arena] {
+      std::vector<Index> mine;
+      for (int i = 0; i < kIters; ++i) {
+        const auto ref = arena.alloc();
+        // Private page: writing the payload is allowed and must not race
+        // with other threads' pages.
+        ref.k[0] = 1.0f;
+        ref.v[0] = 2.0f;
+        mine.push_back(ref.id);
+        if (mine.size() > 8) {
+          arena.release(mine.front());
+          mine.erase(mine.begin());
+        }
+      }
+      for (const Index id : mine) arena.release(id);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(arena.pages_live(), 0);
+  EXPECT_EQ(arena.pages_allocated() - arena.pages_freed(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Paged cache: reads, page math, eviction at page granularity.
+
+TEST(PagedKvCache, ReadsThroughPageTableMatchAppendedRows) {
+  const Index d = 16;
+  auto arena = std::make_shared<KvPageArena>(d, /*page_tokens=*/64);
+  const AttentionInput in = random_input(200, 200, d, 0xa1ull);
+  KVCache cache(d, arena);
+  ASSERT_TRUE(cache.append_prefill(in).ok());
+  ASSERT_EQ(cache.size(), 200);
+  // 200 tokens over 64-token pages -> 4 pages, last one partial.
+  EXPECT_EQ(cache.pages(), 4);
+  EXPECT_EQ(arena->pages_live(), 4);
+  for (Index j = 0; j < 200; ++j) {
+    ASSERT_EQ(std::memcmp(cache.k(j).data(), in.k.row(j).data(), d * sizeof(float)), 0) << j;
+    ASSERT_EQ(std::memcmp(cache.v(j).data(), in.v.row(j).data(), d * sizeof(float)), 0) << j;
+  }
+  const mk::KvView view = cache.view();
+  ASSERT_TRUE(view.paged());
+  for (Index j = 0; j < 200; ++j) {
+    ASSERT_EQ(view.k_row(j), cache.k(j).data());
+    ASSERT_EQ(view.v_row(j), cache.v(j).data());
+  }
+}
+
+TEST(PagedKvCache, KeepSlotsRewritesSurvivorsAndFreesWholePages) {
+  const Index d = 16;
+  auto arena = std::make_shared<KvPageArena>(d, /*page_tokens=*/64);
+  const AttentionInput in = random_input(256, 256, d, 0xb2ull);
+  KVCache cache(d, arena);
+  ASSERT_TRUE(cache.append_prefill(in).ok());
+  ASSERT_EQ(cache.pages(), 4);
+
+  // Keep the first 8 sinks and the last 56 recents: 64 survivors fit one
+  // page, so three whole pages go back to the freelist.
+  std::vector<Index> keep;
+  for (Index s = 0; s < 8; ++s) keep.push_back(s);
+  for (Index s = 200; s < 256; ++s) keep.push_back(s);
+  ASSERT_TRUE(cache.keep_slots(keep).ok());
+  ASSERT_EQ(cache.size(), 64);
+  EXPECT_EQ(cache.pages(), 1);
+  EXPECT_EQ(arena->pages_live(), 1);
+
+  for (Index s = 0; s < 64; ++s) {
+    const Index pos = cache.position(s);
+    EXPECT_EQ(pos, keep[static_cast<std::size_t>(s)]);
+    ASSERT_EQ(std::memcmp(cache.k(s).data(), in.k.row(pos).data(), d * sizeof(float)), 0);
+    ASSERT_EQ(std::memcmp(cache.v(s).data(), in.v.row(pos).data(), d * sizeof(float)), 0);
+  }
+}
+
+TEST(PagedKvCache, MaskResidencyKeepsStripesAndWindow) {
+  const Index d = 16;
+  auto arena = std::make_shared<KvPageArena>(d, /*page_tokens=*/64);
+  const AttentionInput in = random_input(256, 256, d, 0xc3ull);
+  KVCache cache(d, arena);
+  ASSERT_TRUE(cache.append_prefill(in).ok());
+
+  const std::vector<Index> stripes = {0, 1, 17, 130};
+  const Index dropped = apply_mask_residency(cache, stripes, /*window=*/64);
+  EXPECT_EQ(dropped, 256 - 64 - 4);
+  ASSERT_EQ(cache.size(), 68);
+  // Stripe tokens then the tail window, in position order.
+  EXPECT_EQ(cache.position(0), 0);
+  EXPECT_EQ(cache.position(2), 17);
+  EXPECT_EQ(cache.position(3), 130);
+  EXPECT_EQ(cache.position(4), 192);
+  EXPECT_EQ(cache.position(67), 255);
+  // 68 survivors -> 2 pages instead of 4: residency is page-granular.
+  EXPECT_EQ(cache.pages(), 2);
+  EXPECT_EQ(arena->pages_live(), 2);
+  // A second pass with the same structure is a no-op (slots already kept).
+  EXPECT_EQ(apply_mask_residency(cache, stripes, /*window=*/68), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel parity: every route reads the page table bit-identically to flat
+// storage.
+
+TEST(PagedKvCache, AllSweepRoutesBitIdenticalThroughPageTable) {
+  const Index s = 256, d = 32;
+  const AttentionInput in = random_input(s, s, d, 0xd4ull);
+  auto arena = std::make_shared<KvPageArena>(d, /*page_tokens=*/64);
+  KVCache cache(d, arena);
+  ASSERT_TRUE(cache.append_prefill(in).ok());
+  const mk::KvView paged = cache.view();
+  ASSERT_TRUE(paged.paged());
+
+  // Dense route: flash_rows over the paged view vs the flat tensor view.
+  {
+    Matrix ref(s, d), got(s, d);
+    flash_rows(in.q.data(), s, mk::KvView::of(in), s, 0, ref.data(), d);
+    flash_rows(in.q.data(), s, paged, s, 0, got.data(), d);
+    expect_bit_identical(ref, got, "dense route");
+  }
+
+  // Sparse route: the view-form kernel over the page table vs the tensor
+  // form over flat storage.
+  SampleAttentionConfig cfg;
+  const SamplePlan plan = plan_sample_attention(in, cfg);
+  {
+    Matrix ref, got;
+    sparse_flash_attention(in, plan.mask, ref);
+    sparse_flash_attention(in.q.data(), s, paged, s, plan.mask, got);
+    expect_bit_identical(ref, got, "sparse route");
+  }
+
+  // Block-sparse route.
+  {
+    const BlockSparseLayout layout = BlockSparseLayout::from_mask(plan.mask, 64);
+    Matrix ref, got;
+    block_sparse_attention(in, layout, ref);
+    block_sparse_attention(in.q.data(), s, paged, s, layout, got);
+    expect_bit_identical(ref, got, "block-sparse route");
+  }
+
+  // Decode: a single query row against the full cache.
+  {
+    const Matrix q = random_input(1, 1, d, 0xd5ull).q;
+    std::vector<float> ref(static_cast<std::size_t>(d)), got(ref.size());
+    flash_rows(q.data(), 1, mk::KvView::of(in), s, s - 1, ref.data(), d);
+    flash_rows(q.data(), 1, paged, s, s - 1, got.data(), d);
+    ASSERT_EQ(std::memcmp(ref.data(), got.data(), ref.size() * sizeof(float)), 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prefix index: publish, attach, COW divergence, counted-once bytes.
+
+TEST(PrefixCache, ChunkedPrefillWarmRunHitsAndIsBitIdentical) {
+  const Index s = 256, d = 16, chunk = 64;
+  const AttentionInput in = random_input(s, s, d, 0xe5ull);
+  auto arena = std::make_shared<KvPageArena>(d, /*page_tokens=*/64);
+
+  // Cold run computes everything and publishes the prompt's pages.
+  KVCache cold(d, arena);
+  const auto cold_res = chunked_flash_prefill(in, chunk, &cold);
+  ASSERT_TRUE(cold_res.ok());
+  EXPECT_EQ(cold_res->prefix_hit_tokens, 0);
+  EXPECT_EQ(cold_res->chunks, 4);
+  EXPECT_EQ(arena->prefix_entries(), 4);
+  EXPECT_EQ(cold.shared_pages(), 4) << "publisher's pages become shared";
+
+  // Warm run over the identical prompt: every page hits, zero chunks
+  // compute, outputs are bit-identical, and the K/V pages are physically
+  // shared (same arena page ids).
+  KVCache warm(d, arena);
+  const auto warm_res = chunked_flash_prefill(in, chunk, &warm);
+  ASSERT_TRUE(warm_res.ok());
+  EXPECT_EQ(warm_res->prefix_hit_tokens, s);
+  EXPECT_EQ(warm_res->chunks, 0);
+  expect_bit_identical(cold_res->out, warm_res->out, "warm prefill output");
+  ASSERT_EQ(warm.size(), s);
+  EXPECT_EQ(warm.shared_pages(), 4);
+  for (Index j = 0; j < s; ++j) {
+    ASSERT_EQ(warm.k(j).data(), cold.k(j).data()) << "page not shared at slot " << j;
+  }
+  // No new payload pages were materialized for the warm run.
+  EXPECT_EQ(arena->pages_live(), 4);
+
+  // A prompt sharing only the first two pages attaches exactly those.
+  AttentionInput half = random_input(s, s, d, 0xe6ull);
+  for (Index r = 0; r < 128; ++r) {
+    std::copy(in.q.row(r).begin(), in.q.row(r).end(), half.q.row(r).begin());
+    std::copy(in.k.row(r).begin(), in.k.row(r).end(), half.k.row(r).begin());
+    std::copy(in.v.row(r).begin(), in.v.row(r).end(), half.v.row(r).begin());
+  }
+  KVCache part(d, arena);
+  const auto part_res = chunked_flash_prefill(half, chunk, &part);
+  ASSERT_TRUE(part_res.ok());
+  EXPECT_EQ(part_res->prefix_hit_tokens, 128);
+  EXPECT_EQ(part_res->chunks, 2);
+  // And its shared rows are bit-identical to a from-scratch reference.
+  Matrix ref;
+  flash_attention(half, ref);
+  expect_bit_identical(ref, part_res->out, "partial-hit output");
+}
+
+TEST(PrefixCache, CowDivergenceAfterSharedPrefixLeavesPublisherIntact) {
+  const Index s = 128, d = 16;
+  const AttentionInput in = random_input(s, s, d, 0xf7ull);
+  auto arena = std::make_shared<KvPageArena>(d, /*page_tokens=*/64);
+
+  KVCache cold(d, arena);
+  ASSERT_TRUE(chunked_flash_prefill(in, 64, &cold).ok());
+  KVCache warm(d, arena);
+  ASSERT_TRUE(chunked_flash_prefill(in, 64, &warm).ok());
+  ASSERT_EQ(warm.shared_pages(), 2);
+  const float cold_first = cold.k(0)[0];
+
+  // Divergence: the warm cache compacts (the engine's eviction rung). The
+  // rewrite lands in fresh private pages; the shared images the publisher
+  // (and the index) hold are untouched.
+  std::vector<Index> keep;
+  for (Index j = 32; j < 96; ++j) keep.push_back(j);
+  ASSERT_TRUE(warm.keep_slots(keep).ok());
+  EXPECT_EQ(warm.shared_pages(), 0);
+  ASSERT_EQ(warm.size(), 64);
+  for (Index j = 0; j < 64; ++j) {
+    ASSERT_EQ(std::memcmp(warm.k(j).data(), in.k.row(j + 32).data(), d * sizeof(float)), 0);
+    ASSERT_NE(warm.k(j).data(), cold.k(j + 32).data()) << "must be a private copy";
+  }
+  EXPECT_EQ(cold.k(0)[0], cold_first);
+  EXPECT_EQ(cold.shared_pages(), 2);
+
+  // A third request still hits the intact published chain.
+  KVCache again(d, arena);
+  Matrix out(s, d);
+  EXPECT_EQ(again.try_attach_prefix(in, s, &out), s);
+}
+
+TEST(PrefixCache, BytesCountedOnceAcrossSharers) {
+  const Index s = 128, d = 16;
+  const AttentionInput in = random_input(s, s, d, 0x1a8ull);
+  auto arena = std::make_shared<KvPageArena>(d, /*page_tokens=*/64);
+  const double page_bytes = arena->page_bytes();
+
+  KVCache a(d, arena);
+  ASSERT_TRUE(chunked_flash_prefill(in, 64, &a).ok());
+  // Sole owner (the index's hold is excluded): full price for 2 pages.
+  EXPECT_DOUBLE_EQ(a.bytes(), 2.0 * page_bytes);
+
+  KVCache b(d, arena);
+  ASSERT_TRUE(chunked_flash_prefill(in, 64, &b).ok());
+  // Two owners: each cache bills half, the sum counts every page once.
+  EXPECT_DOUBLE_EQ(a.bytes(), page_bytes);
+  EXPECT_DOUBLE_EQ(b.bytes(), page_bytes);
+  EXPECT_DOUBLE_EQ(a.bytes() + b.bytes(), arena->bytes_live());
+
+  // Partial last page still bills a whole page: accounting is page-granular.
+  KVCache c(d, arena);
+  const AttentionInput odd = random_input(65, 65, d, 0x1a9ull);
+  ASSERT_TRUE(c.append_prefill(odd).ok());
+  EXPECT_DOUBLE_EQ(c.bytes(), 2.0 * page_bytes);
+}
+
+TEST(PrefixCache, ReleaseOnDestructionLeavesOnlyIndexHeldPages) {
+  const Index s = 192, d = 16;
+  const AttentionInput in = random_input(s, s, d, 0x2b9ull);
+  auto arena = std::make_shared<KvPageArena>(d, /*page_tokens=*/64);
+  {
+    KVCache a(d, arena);
+    ASSERT_TRUE(chunked_flash_prefill(in, 64, &a).ok());
+    KVCache b(d, arena);
+    ASSERT_TRUE(chunked_flash_prefill(in, 64, &b).ok());
+    EXPECT_EQ(arena->pages_live(), 3);
+  }
+  // Caches died; the published images stay resident for future requests —
+  // exactly one page per index entry, nothing else.
+  EXPECT_EQ(arena->pages_live(), arena->prefix_entries());
+  EXPECT_EQ(arena->prefix_entries(), 3);
+  EXPECT_EQ(arena->pages_allocated() - arena->pages_freed(), arena->pages_live());
+  EXPECT_GT(arena->prefix_index_bytes(), 0.0);
+
+  // And they are still attachable.
+  KVCache late(d, arena);
+  Matrix out(s, d);
+  EXPECT_EQ(late.try_attach_prefix(in, s, &out), s);
+}
+
+TEST(PrefixCache, LookupRejectsHashCollisionWithDifferentPayload) {
+  // A chain-hash hit whose stored K/V bytes do not match the request's
+  // content must be rejected (memcmp verification), not silently attached.
+  const Index d = 8;
+  auto arena = std::make_shared<KvPageArena>(d, /*page_tokens=*/16);
+  const AttentionInput in = random_input(16, 16, d, 0x3c1ull);
+  KVCache pub(d, arena);
+  ASSERT_TRUE(pub.append_prefill(in).ok());
+  Matrix out(16, d);
+  Rng rng(0x3c2ull);
+  for (Index r = 0; r < 16; ++r)
+    for (float& x : out.row(r)) x = static_cast<float>(rng.uniform());
+  ASSERT_EQ(pub.publish_prefix(in, out), 1);
+
+  // Forge the same chain hash but different K payload via direct lookup.
+  const std::uint64_t chain = prefix_chain_hash(kPrefixChainSeed, in, 0, 16);
+  std::vector<float> k_wrong(16 * d, 0.5f), v_ok(16 * d), out_rows(16 * d);
+  for (Index r = 0; r < 16; ++r)
+    std::memcpy(v_ok.data() + static_cast<std::size_t>(r) * d, in.v.row(r).data(),
+                static_cast<std::size_t>(d) * sizeof(float));
+  EXPECT_LT(arena->prefix_lookup(chain, k_wrong.data(), v_ok.data(), out_rows.data()).id, 0);
+}
+
+}  // namespace
+}  // namespace sattn

@@ -334,6 +334,25 @@ TEST(RunReportTest, DerivedSectionsFollowNamingConventions) {
   EXPECT_EQ(b.get("serving").get("ttft").get("count").as_number(), 2.0);
 }
 
+TEST(RunReportTest, KvViewGroupsKvGaugesAndRoundTrips) {
+  RunReport r = fixture_report();
+  r.benches[0].gauges["kv.prefix_hit_rate"] = 0.96;
+  r.benches[0].gauges["kv.prefix_ttft_reduction"] = 0.68;
+  r.benches[0].gauges["kv.residency_page_ratio"] = 0.90;
+  const std::string text = run_report_json(r);
+  const auto doc = parse_json(text);
+  ASSERT_TRUE(doc.ok());
+  const JsonValue& b = doc.value().get("benches").at(0);
+  EXPECT_EQ(b.get("kv").get("prefix_hit_rate").as_number(), 0.96);
+  EXPECT_EQ(b.get("kv").get("prefix_ttft_reduction").as_number(), 0.68);
+  EXPECT_EQ(b.get("kv").get("residency_page_ratio").as_number(), 0.90);
+  // Derived view only: parsing keeps the raw gauges, so the round trip is
+  // byte-identical like every other view.
+  const auto parsed = parse_run_report(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(run_report_json(parsed.value()), text);
+}
+
 TEST(RunReportTest, EmptyDerivedSectionsAreOmitted) {
   RunReport r = fixture_report();
   r.benches[0].gauges.clear();
@@ -612,6 +631,40 @@ TEST(ReportDiffTest, ModelErrorV2FixtureIsSelfConsistent) {
   // default threshold: diffing it against itself must stay clean.
   const RunReport r = fixture_report_v2();
   EXPECT_FALSE(diff_reports(r, r).has_regression());
+}
+
+TEST(ReportDiffTest, PrefixTtftGatesAsCandidateMinFloor) {
+  EXPECT_TRUE(is_prefix_ttft_metric("kv.prefix_ttft_reduction"));
+  EXPECT_FALSE(is_prefix_ttft_metric("kv.prefix_hit_rate"));
+  EXPECT_FALSE(is_prefix_ttft_metric("sched.ttft_seconds"));
+
+  // Candidate below the floor regresses even when the baseline was lower
+  // still — the warm-prefix TTFT cut is a contract, not a delta.
+  const RunReport base = fixture_report();  // v1 fixture: no kv.* gauges
+  RunReport cand = fixture_report();
+  cand.benches[0].gauges["kv.prefix_ttft_reduction"] = 0.12;  // < default 0.30
+  const DiffResult d = diff_reports(base, cand);
+  ASSERT_TRUE(d.has_regression());
+  bool found = false;
+  for (const DiffEntry& e : d.entries) {
+    if (e.metric == "gauge:kv.prefix_ttft_reduction" && e.verdict == DiffVerdict::kRegression)
+      found = true;
+  }
+  EXPECT_TRUE(found);
+
+  // At or above the floor: clean, regardless of the baseline value.
+  cand.benches[0].gauges["kv.prefix_ttft_reduction"] = 0.65;
+  EXPECT_FALSE(diff_reports(base, cand).has_regression());
+
+  // Absent gauge (prefix bench not run): no gate at all.
+  cand.benches[0].gauges.erase("kv.prefix_ttft_reduction");
+  EXPECT_FALSE(diff_reports(base, cand).has_regression());
+
+  // The floor is an option (tools/bench_diff --prefix-ttft-min).
+  cand.benches[0].gauges["kv.prefix_ttft_reduction"] = 0.12;
+  DiffOptions loose;
+  loose.prefix_ttft_min = 0.10;
+  EXPECT_FALSE(diff_reports(base, cand, loose).has_regression());
 }
 
 TEST(ReportDiffTest, MissingBenchDoesNotGate) {

@@ -19,6 +19,10 @@
 //                          planner's predicted-CRA overclaim vs the online
 //                          auditor's shadow-measured CRA, from
 //                          bench_serving --engine --audit-rate; default 0.05)
+//   --prefix-ttft-min=F    min required kv.prefix_ttft_reduction gauge value
+//                          in the candidate report (the warm-prefix TTFT cut
+//                          from bench_serving --prefix; skipped when the
+//                          gauge is absent; default 0.30)
 //   --ignore-latency       gate on quality metrics only (for cross-machine
 //                          comparisons where wall-clock is not comparable)
 //   --verbose              also print within-noise / missing / new entries
@@ -47,7 +51,7 @@ void usage() {
                "usage: bench_diff [--latency-threshold=F] [--min-latency-us=F]\n"
                "                  [--quality-threshold=F] [--model-error-threshold=F]\n"
                "                  [--engine-error-threshold=F] [--audit-cra-threshold=F]\n"
-               "                  [--ignore-latency] [--verbose]\n"
+               "                  [--prefix-ttft-min=F] [--ignore-latency] [--verbose]\n"
                "                  <baseline.json> <candidate.json>\n");
 }
 
@@ -78,6 +82,8 @@ int main(int argc, char** argv) {
       opts.engine_error_threshold = std::atof(v);
     } else if (const char* v = value_of("--audit-cra-threshold")) {
       opts.audit_cra_threshold = std::atof(v);
+    } else if (const char* v = value_of("--prefix-ttft-min")) {
+      opts.prefix_ttft_min = std::atof(v);
     } else if (arg == "--ignore-latency") {
       opts.check_latency = false;
     } else if (arg == "--verbose") {
